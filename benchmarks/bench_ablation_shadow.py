@@ -1,0 +1,80 @@
+"""Ablation: cost of the shadow return-address stack (section 5).
+
+Measures the per-call overhead the InfoMem shadow stack adds on top of
+the MPU model, using the call-heavy recursive fib workload and the
+Figure-3 benchmarks.  The paper floats this hardening as future work;
+this quantifies what it would have cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.apps.catalog import load_benchmarks
+from repro.kernel.machine import AmuletMachine
+
+FIB = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int on_run(int n) { return fib(n); }
+"""
+
+
+def _cycles(shadow: bool, app_source, app, handler, arg) -> int:
+    firmware = AftPipeline(IsolationModel.MPU,
+                           shadow_stack=shadow).build(app_source)
+    machine = AmuletMachine(firmware)
+    if app == "activity":
+        machine.dispatch("activity", "act_init", [0])
+    machine.dispatch(app, handler, [arg])          # warm FRAM state
+    return machine.dispatch(app, handler, [arg]).cycles
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    fib_app = [AppSource("fib", FIB, ["on_run"])]
+    rows = {}
+    rows["fib(12) [call-heavy]"] = (
+        _cycles(False, fib_app, "fib", "on_run", 12),
+        _cycles(True, fib_app, "fib", "on_run", 12))
+    activity = load_benchmarks(["activity"])
+    rows["Activity Case 2"] = (
+        _cycles(False, activity, "activity", "activity_case2", 7),
+        _cycles(True, activity, "activity", "activity_case2", 7))
+    quicksort = load_benchmarks(["quicksort"])
+    rows["Quicksort"] = (
+        _cycles(False, quicksort, "quicksort", "quicksort_run", 7),
+        _cycles(True, quicksort, "quicksort", "quicksort_run", 7))
+    return rows
+
+
+def test_shadow_stack_cost(measurements, results_dir, benchmark):
+    benchmark(lambda: measurements)
+    lines = ["Ablation: shadow return-address stack cost "
+             "(MPU model, cycles per run)",
+             f"{'Workload':<24}{'plain MPU':>12}{'+shadow':>12}"
+             f"{'overhead':>10}"]
+    for name, (plain, shadowed) in measurements.items():
+        pct = 100.0 * (shadowed - plain) / plain
+        lines.append(f"{name:<24}{plain:>12}{shadowed:>12}"
+                     f"{pct:>9.1f}%")
+    write_result(results_dir, "ablation_shadow", "\n".join(lines))
+
+    for _name, (plain, shadowed) in measurements.items():
+        assert shadowed > plain
+
+    # call-heavy code pays the most (two InfoMem round trips per call)
+    fib_pct = (measurements["fib(12) [call-heavy]"][1]
+               / measurements["fib(12) [call-heavy]"][0])
+    qs_pct = (measurements["Quicksort"][1]
+              / measurements["Quicksort"][0])
+    assert fib_pct > qs_pct
+
+
+def test_benchmark_shadow_dispatch(benchmark):
+    firmware = AftPipeline(IsolationModel.MPU, shadow_stack=True) \
+        .build([AppSource("fib", FIB, ["on_run"])])
+    machine = AmuletMachine(firmware)
+    benchmark(machine.dispatch, "fib", "on_run", [8])

@@ -1,0 +1,109 @@
+"""Ablation: per-app stacks vs. a shared stack with bzero.
+
+Paper section 3: *"If we were to stick with the same single-stack
+model, we would need to bzero the stack region every time we switched
+apps, lest the new app glean information from the stack tailings left
+behind by the prior app.  We chose instead to allocate a distinct
+region of memory for each app's stack, removing this cost ... at the
+cost of increased memory usage."*
+
+This ablation measures both sides of that trade:
+
+* the stack-swap instructions the separate-stack design actually pays
+  per context switch (SoftwareOnly vs NoIsolation dispatch delta), and
+* the cycles a bzero of the shared stack region would cost, by
+  executing a real word-fill loop on the simulated CPU.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.asm.assembler import assemble
+from repro.asm.linker import Linker, LinkScript
+from repro.kernel.machine import AmuletMachine
+from repro.msp430.cpu import Cpu
+from repro.msp430.memory import MemoryMap
+
+EMPTY_APP = "int on_e(int x) { return x; }"
+
+BZERO_ASM = """
+        .text
+        .global __bzero
+; R12 = start address, R13 = byte count (even)
+__bzero:
+        RRA R13             ; words
+        TST R13
+        JEQ .bz_done
+.bz_loop:
+        MOV #0, 0(R12)
+        ADD #2, R12
+        DEC R13
+        JNE .bz_loop
+.bz_done:
+        RET
+        .global __start
+__start:
+        CALL #__bzero
+        MOV #1, &0x01F2
+.park:  JMP .park
+"""
+
+
+def measure_bzero(byte_count: int) -> int:
+    """Execute a real bzero of ``byte_count`` bytes; returns cycles."""
+    script = LinkScript()
+    script.region("fram", MemoryMap.FRAM_START, MemoryMap.FRAM_END)
+    script.place_rule("*", "fram")
+    image = Linker(script).place([assemble(BZERO_ASM, "bzero")]) \
+        .resolve()
+    cpu = Cpu()
+    image.load_into(cpu.memory)
+    cpu.memory.add_io(0x01F2, write=lambda a, v: cpu.halt())
+    cpu.regs.pc = image.symbol("__start")
+    cpu.regs.sp = 0x2400
+    cpu.regs.write(12, 0x1C00)
+    cpu.regs.write(13, byte_count)
+    cpu.run(max_cycles=1_000_000)
+    return cpu.cycles
+
+
+def dispatch_cycles(model) -> int:
+    firmware = AftPipeline(model).build(
+        [AppSource("probe", EMPTY_APP, ["on_e"])])
+    machine = AmuletMachine(firmware)
+    machine.dispatch("probe", "on_e", [0])
+    return machine.dispatch("probe", "on_e", [0]).cycles
+
+
+@pytest.fixture(scope="module")
+def numbers():
+    swap_cost = (dispatch_cycles(IsolationModel.SOFTWARE_ONLY)
+                 - dispatch_cycles(IsolationModel.NO_ISOLATION))
+    bzero_costs = {size: measure_bzero(size)
+                   for size in (64, 128, 256, 512)}
+    return swap_cost, bzero_costs
+
+
+def test_stack_design_tradeoff(numbers, results_dir, benchmark):
+    benchmark(lambda: numbers)
+    swap_cost, bzero_costs = numbers
+    lines = ["Ablation: per-app stacks vs shared stack + bzero "
+             "(cycles per context switch)",
+             f"  separate stacks (paper design): {swap_cost} "
+             f"(stack-pointer swap)"]
+    for size, cycles in bzero_costs.items():
+        lines.append(f"  shared stack, bzero {size:>4}B  : {cycles}")
+    write_result(results_dir, "ablation_stack", "\n".join(lines))
+    # The paper's choice wins for any realistic stack size.
+    assert all(swap_cost < cycles for cycles in bzero_costs.values())
+
+
+def test_bzero_scales_linearly(numbers, benchmark):
+    benchmark(lambda: numbers)
+    _swap, costs = numbers
+    assert costs[512] > 3.5 * costs[128]
+
+
+def test_benchmark_bzero_simulation(benchmark):
+    benchmark(measure_bzero, 256)

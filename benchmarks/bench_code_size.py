@@ -1,0 +1,35 @@
+"""Extension: flash footprint of each isolation method (see
+repro.experiments.code_size).  Not a paper artifact — it fills in the
+size column the software-isolation literature usually reports.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.aft.models import IsolationModel
+from repro.experiments.code_size import run_code_size
+
+
+@pytest.fixture(scope="module")
+def code_size():
+    return run_code_size()
+
+
+def test_code_size_table(code_size, results_dir, benchmark):
+    benchmark(code_size.render)
+    text = code_size.render()
+    write_result(results_dir, "code_size", text)
+    assert code_size.shape_holds()
+
+
+def test_software_only_biggest_inline_footprint(code_size, benchmark):
+    """Two inline bounds per site beats one: SoftwareOnly > MPU."""
+    benchmark(lambda: code_size)
+    assert code_size.total(IsolationModel.SOFTWARE_ONLY) > \
+        code_size.total(IsolationModel.MPU)
+
+
+def test_mpu_size_overhead_moderate(code_size, benchmark):
+    """The hybrid stays under a 60% flash premium on this suite."""
+    benchmark(lambda: code_size)
+    assert 0 < code_size.overhead_percent(IsolationModel.MPU) < 60

@@ -1,0 +1,62 @@
+"""Figure 2 — weekly isolation overhead and battery impact for the
+nine-app suite under Feature Limited / MPU / Software Only.
+
+Prints the figure's two series (billions of cycles per week, battery
+lifetime impact %) per app and model, and asserts the paper's headline
+claim: every app stays under 0.5 % battery impact with the MPU or
+Software Only methods.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.apps.manifests import MANIFESTS
+from repro.experiments.figure2 import FIGURE2_MODELS, run_figure2
+from repro.experiments.table1 import run_table1
+from repro.profiler.arp import ArpProfiler
+from repro.apps.catalog import load_suite
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    table1 = run_table1(runs=100)
+    return run_figure2(table1=table1, arp_samples=64)
+
+
+def test_figure2_regeneration(figure2, results_dir, benchmark):
+    benchmark(figure2.render)
+    lines = [figure2.render(), ""]
+    lines.append(f"max battery impact (MPU / Software Only): "
+                 f"{figure2.max_battery_impact():.4f}%")
+    lines.append("paper claim: < 0.5% for all applications")
+    write_result(results_dir, "figure2", "\n".join(lines))
+    assert figure2.shape_holds()
+
+
+def test_figure2_accelerometer_apps_dominate(figure2, benchmark):
+    """FallDetection and Pedometer are the figure's tallest bars."""
+    benchmark(lambda: figure2)
+    from repro.aft.models import IsolationModel
+    mpu = IsolationModel.MPU
+    heavy = {"falldetection", "pedometer"}
+    heavy_min = min(figure2.overheads[a][mpu].cycles_per_week
+                    for a in heavy)
+    light_max = max(figure2.overheads[a][mpu].cycles_per_week
+                    for a in ("clock", "sun", "temperature",
+                              "batterymeter"))
+    assert heavy_min > light_max
+
+
+def test_figure2_every_model_has_every_app(figure2, benchmark):
+    benchmark(lambda: figure2)
+    assert set(figure2.overheads) == set(MANIFESTS)
+    for by_model in figure2.overheads.values():
+        assert set(by_model) == set(FIGURE2_MODELS)
+
+
+def test_benchmark_arp_profiling(benchmark):
+    """Wall-clock cost of one ARP handler profile (counting build)."""
+    profiler = ArpProfiler(load_suite(["clock"]))
+    from repro.kernel.events import EventType
+    benchmark(profiler.profile_handler, "clock", "on_second",
+              EventType.CLOCK_TICK, 8)

@@ -1,0 +1,59 @@
+"""Table 1 — average cycle count for basic memory-isolation operations.
+
+Full-scale regeneration at the paper's 200-run protocol, plus
+pytest-benchmark timings of the underlying single operations (one event
+dispatch, one memory-access loop) so simulator throughput regressions
+show up.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.apps.catalog import load_benchmarks
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.kernel.machine import AmuletMachine
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(runs=200)
+
+
+def test_table1_regeneration(table1, results_dir, benchmark):
+    benchmark(table1.render)
+    lines = [table1.render(), ""]
+    lines.append("Paper Table 1 (cycles):")
+    for model, (access, switch) in PAPER_TABLE1.items():
+        lines.append(f"  {model.display:<18} access={access:>3} "
+                     f"switch={switch:>3}")
+    lines.append("")
+    lines.append(f"qualitative shape holds: {table1.shape_holds()}")
+    write_result(results_dir, "table1", "\n".join(lines))
+    assert table1.shape_holds()
+
+
+def test_table1_context_switch_magnitudes(table1, benchmark):
+    """Context-switch costs land near the paper's absolute numbers
+    (same gate structure, same cycle tables)."""
+    benchmark(lambda: table1)
+    for model, (paper_access, paper_switch) in PAPER_TABLE1.items():
+        measured = table1.costs[model].context_switch
+        assert paper_switch * 0.5 < measured < paper_switch * 1.5
+
+
+@pytest.fixture(scope="module")
+def mpu_machine():
+    firmware = AftPipeline(IsolationModel.MPU).build(
+        load_benchmarks(["synthetic"]))
+    return AmuletMachine(firmware)
+
+
+def test_benchmark_dispatch(benchmark, mpu_machine):
+    """Wall-clock cost of simulating one MPU-model context switch."""
+    benchmark(mpu_machine.dispatch, "synthetic", "bench_empty", [0])
+
+
+def test_benchmark_memory_access_loop(benchmark, mpu_machine):
+    """Wall-clock cost of simulating a 64-access checked loop."""
+    benchmark(mpu_machine.dispatch, "synthetic", "bench_mem", [64])

@@ -1,0 +1,69 @@
+"""Toolchain and simulator throughput benchmarks.
+
+Not a paper artifact — these keep the reproduction's own moving parts
+honest: AFT build time for the full nine-app suite, per-stage compiler
+costs, and simulator instruction throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.aft import AftPipeline, IsolationModel
+from repro.apps.catalog import app_source, load_suite
+from repro.asm.assembler import assemble
+from repro.cc.codegen import compile_unit
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+from repro.cc.runtime import runtime_asm
+from repro.kernel.machine import AmuletMachine
+
+
+def test_benchmark_lexer(benchmark):
+    source = app_source("falldetection")
+    benchmark(tokenize, source)
+
+
+def test_benchmark_parser(benchmark):
+    source = app_source("falldetection")
+    benchmark(parse, source)
+
+
+def test_benchmark_compile_unit(benchmark):
+    from repro.kernel.api import amulet_api_table
+    source = app_source("pedometer")
+    benchmark(compile_unit, source, api=amulet_api_table())
+
+
+def test_benchmark_assembler(benchmark):
+    from repro.kernel.api import amulet_api_table
+    asm = compile_unit(app_source("pedometer"),
+                       api=amulet_api_table()).asm + runtime_asm()
+    benchmark(assemble, asm)
+
+
+def test_benchmark_full_suite_build(benchmark):
+    benchmark.pedantic(
+        lambda: AftPipeline(IsolationModel.MPU).build(load_suite()),
+        rounds=3, iterations=1)
+
+
+def test_simulator_throughput(results_dir, benchmark):
+    """Simulated instructions per wall-clock second."""
+    benchmark(lambda: None)
+    import time
+    firmware = AftPipeline(IsolationModel.NO_ISOLATION).build(
+        load_suite(["pedometer"]))
+    machine = AmuletMachine(firmware)
+    start_insns = machine.cpu.instructions
+    start = time.perf_counter()
+    for i in range(300):
+        machine.dispatch("pedometer", "on_accel",
+                         [i * 37 & 0x7FF, i * 13 & 0x7FF, 1000])
+    elapsed = time.perf_counter() - start
+    executed = machine.cpu.instructions - start_insns
+    ips = executed / elapsed
+    write_result(results_dir, "simulator_throughput",
+                 f"simulator throughput: {ips:,.0f} "
+                 f"instructions/second ({executed} instructions in "
+                 f"{elapsed:.2f}s)")
+    assert ips > 10_000

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures at
+full scale (the paper's 200-run protocol) and prints the same rows the
+paper reports; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them.  The printed output is also written to
+``benchmarks/results/`` so a plain ``--benchmark-only`` run leaves the
+artifacts behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

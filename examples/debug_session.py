@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Debugging a compiled app on the simulator: breakpoints, watchpoints,
+backtraces — handy when a port misbehaves before the isolation checks
+even get a chance to complain.
+
+    python examples/debug_session.py
+"""
+
+from repro.cc.codegen import compile_unit
+from repro.cc.execution import BareMachine
+from repro.msp430.cpu import Cpu
+from repro.msp430.debug import Debugger
+from repro.ports import DONE_PORT
+
+SOURCE = """
+int balance = 100;
+
+int withdraw(int amount) {
+    balance = balance - amount;   /* no overdraft check! */
+    return balance;
+}
+
+int spend_all(void) {
+    int i;
+    for (i = 0; i < 4; i++) {
+        withdraw(30);
+    }
+    return balance;
+}
+
+int main(void) { return spend_all(); }
+"""
+
+
+def main() -> None:
+    unit = compile_unit(SOURCE)
+    machine = BareMachine(unit)
+    image = machine._link_for("main")
+
+    cpu = Cpu()
+    image.load_into(cpu.memory)
+    cpu.memory.add_io(DONE_PORT, write=lambda a, v: cpu.halt())
+    cpu.regs.pc = image.symbol("__start")
+    cpu.regs.sp = 0x2400
+
+    debugger = Debugger(cpu)
+    withdraw = image.symbol("withdraw")
+    balance = image.symbol("balance")
+    debugger.add_breakpoint(withdraw)
+    debugger.add_watchpoint(balance)
+
+    print(f"breakpoint at withdraw (0x{withdraw:04X}), "
+          f"watchpoint on balance (0x{balance:04X})\n")
+
+    stop = 0
+    while debugger.run() == withdraw:
+        stop += 1
+        current = cpu.memory.read_word(balance)
+        print(f"--- stop #{stop}: withdraw() about to run, "
+              f"balance={current - 0x10000 if current & 0x8000 else current}")
+        print(debugger.backtrace_text(image.symbols))
+        print()
+
+    final = cpu.regs.read(12)
+    print(f"program finished; spend_all() returned "
+          f"{final - 0x10000 if final & 0x8000 else final}")
+    print(f"\nbalance was written {len(debugger.watch_hits)} times:")
+    for hit in debugger.watch_hits:
+        print(f"  cycle {hit.cycle:>5}: write at 0x{hit.address:04X}")
+    print("\nlast instructions executed:")
+    print("\n".join(debugger.trace_text().splitlines()[-6:]))
+
+
+if __name__ == "__main__":
+    main()

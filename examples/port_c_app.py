@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Porting real C to the Amulet — the paper's motivation in action.
+
+The original Amulet language (AmuletC) forbids pointers and recursion,
+so ordinary C like the ring-buffer/statistics module below simply does
+not compile.  The paper's MPU-assisted isolation admits it unchanged
+while still confining it to its own memory region.
+
+    python examples/port_c_app.py
+"""
+
+from repro import AftPipeline, AppSource, IsolationModel
+from repro.errors import CompileError
+from repro.kernel.machine import AmuletMachine
+
+# A typical C sensor-processing module: pointer iterators, a function
+# pointer for the reducer, recursion in the quickselect — all illegal
+# under AmuletC, all fine under the MPU model.
+PORTED_C = """
+int samples[16];
+int scratch[16];
+
+int reduce(int *begin, int *end, int (*op)(int, int), int seed) {
+    int acc = seed;
+    int *p;
+    for (p = begin; p < end; p++) {
+        acc = op(acc, *p);
+    }
+    return acc;
+}
+
+int add(int a, int b) { return a + b; }
+int max2(int a, int b) { return a > b ? a : b; }
+
+/* recursive quickselect: k-th smallest */
+int select_kth(int *a, int lo, int hi, int k) {
+    int pivot = a[hi];
+    int i = lo - 1;
+    int j;
+    int t;
+    if (lo >= hi) return a[lo];
+    for (j = lo; j < hi; j++) {
+        if (a[j] <= pivot) {
+            i++;
+            t = a[i]; a[i] = a[j]; a[j] = t;
+        }
+    }
+    t = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t;
+    if (k == i + 1) return a[k];
+    if (k < i + 1) return select_kth(a, lo, i, k);
+    return select_kth(a, i + 2, hi, k);
+}
+
+int on_window(int seed) {
+    int i;
+    int v = seed;
+    int sum;
+    int peak;
+    int median;
+    for (i = 0; i < 16; i++) {
+        v = v * 31 + 7;
+        samples[i] = v % 1000;
+        scratch[i] = samples[i];
+    }
+    sum = reduce(samples, samples + 16, add, 0);
+    peak = reduce(samples, samples + 16, max2, 0);
+    median = select_kth(scratch, 0, 15, 8);
+    amulet_log_word(sum);
+    amulet_log_word(peak);
+    amulet_log_word(median);
+    return median;
+}
+"""
+
+
+def main() -> None:
+    app = AppSource("ported", PORTED_C, handlers=["on_window"])
+
+    print("1. Building under the original Amulet approach "
+          "(Feature Limited / AmuletC):")
+    try:
+        AftPipeline(IsolationModel.FEATURE_LIMITED).build([app])
+        print("   unexpectedly compiled!")
+    except CompileError as error:
+        print(f"   rejected, as the paper describes: {error}")
+    print()
+
+    print("2. Building the same source under the MPU-assisted model:")
+    firmware = AftPipeline(IsolationModel.MPU).build([app])
+    layout = firmware.apps["ported"]
+    print(f"   {layout.summary()}")
+    print(f"   recursion detected -> default stack of "
+          f"{layout.stack_bytes} bytes "
+          f"(static analysis cannot bound it; paper section 3)")
+    print()
+
+    machine = AmuletMachine(firmware)
+    result = machine.dispatch("ported", "on_window", [42])
+    sum_, peak, median = machine.services.log.words
+    print(f"   on_window(42) ran in {result.cycles} cycles:")
+    print(f"     sum={sum_}  peak={peak}  median={median}")
+    assert not result.faulted
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation in
+one run and print a combined report with the paper's numbers alongside.
+
+    python examples/run_paper_experiments.py [--quick]
+
+``--quick`` trades statistical weight for speed (useful for smoke
+runs); the default uses the paper's 200-run protocol where applicable.
+"""
+
+import sys
+import time
+
+from repro.experiments.report import run_all
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    table1_runs = 30 if quick else 200
+    figure3_runs = 30 if quick else 200
+    arp_samples = 16 if quick else 64
+
+    start = time.time()
+    print(f"Running all experiments "
+          f"({'quick' if quick else 'full'} protocol)...\n")
+    report = run_all(table1_runs=table1_runs,
+                     figure3_runs=figure3_runs,
+                     arp_samples=arp_samples)
+    print(report.render())
+    print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

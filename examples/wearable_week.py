@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Simulate the full nine-app Amulet wearable for a slice of wall-clock
+time under each isolation method, with a misbehaving third-party app
+thrown in to exercise the fault-handling/restart machinery.
+
+    python examples/wearable_week.py [seconds]
+"""
+
+import sys
+
+from repro import AftPipeline, AppSource, IsolationModel
+from repro.apps import MANIFESTS, load_suite
+from repro.kernel.events import EventType, PeriodicSource
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.scheduler import (
+    AppSchedule,
+    RestartPolicy,
+    Scheduler,
+)
+
+ROGUE = """
+int calls = 0;
+int on_sample(int x) {
+    calls++;
+    if (calls > 5) {
+        int *p = (int *)0x4400;   /* wanders into the OS after a bit */
+        return *p;
+    }
+    return calls;
+}
+"""
+
+
+def simulate(model: IsolationModel, seconds: int) -> None:
+    apps = load_suite()
+    with_rogue = model is not IsolationModel.FEATURE_LIMITED
+    if with_rogue:
+        # the rogue needs pointers; AmuletC would reject it at build
+        apps = apps + [AppSource("rogue", ROGUE,
+                                 handlers=["on_sample"])]
+    firmware = AftPipeline(model).build(apps)
+    machine = AmuletMachine(firmware)
+    scheduler = Scheduler(machine,
+                          policy=RestartPolicy.RESTART_AFTER,
+                          restart_cooldown_ms=2000)
+
+    for name, manifest in MANIFESTS.items():
+        scheduler.add_app(AppSchedule(
+            name, sources=manifest.sources_for(name)))
+    if with_rogue:
+        scheduler.add_app(AppSchedule("rogue", sources=[
+            PeriodicSource("rogue", "on_sample", EventType.TIMER,
+                           500)]))
+
+    stats = scheduler.run(horizon_ms=seconds * 1000)
+
+    total_cycles = sum(stats.per_app_cycles.values())
+    print(f"--- {model.display} ---")
+    print(f"  events delivered : {stats.events_delivered}")
+    print(f"  events dropped   : {stats.events_dropped} "
+          f"(rogue app suspensions)")
+    print(f"  faults caught    : {stats.faults}")
+    print(f"  app cycles total : {total_cycles:,}")
+    busiest = sorted(stats.per_app_cycles.items(),
+                     key=lambda kv: -kv[1])[:3]
+    for name, cycles in busiest:
+        print(f"    {name:<14} {cycles:>10,} cycles "
+              f"({stats.per_app_events.get(name, 0)} events)")
+    print(f"  display shows    : {machine.services.display.last_digits}")
+    print(f"  fault log        :")
+    for record in machine.fault_log.records[:3]:
+        print(f"    {record.describe()}")
+    print()
+
+
+def main() -> None:
+    seconds = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print(f"Simulating the nine-app wearable plus a rogue app for "
+          f"{seconds} simulated seconds.\n")
+    for model in (IsolationModel.FEATURE_LIMITED, IsolationModel.MPU,
+                  IsolationModel.SOFTWARE_ONLY):
+        simulate(model, seconds)
+
+    print("Note: the rogue app needs pointers, so under Feature "
+          "Limited it is rejected at build time instead —")
+    try:
+        AftPipeline(IsolationModel.FEATURE_LIMITED).build(
+            [AppSource("rogue", ROGUE, handlers=["on_sample"])])
+    except Exception as error:
+        print(f"  {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "Application Memory Isolation on
+Ultra-Low-Power MCUs" (Hardin et al., USENIX ATC 2018).
+
+Quick start::
+
+    from repro import AftPipeline, AppSource, IsolationModel
+    from repro.kernel.machine import AmuletMachine
+
+    src = '''
+    int total = 0;
+    int on_tick(int step) { total += step; return total; }
+    '''
+    firmware = AftPipeline(IsolationModel.MPU).build(
+        [AppSource("demo", src, handlers=["on_tick"])])
+    machine = AmuletMachine(firmware)
+    print(machine.dispatch("demo", "on_tick", [5]).return_value)
+
+Layers (bottom-up):
+
+* :mod:`repro.msp430` — cycle-counted MSP430FR5969 simulator with the
+  FRAM-family MPU
+* :mod:`repro.asm` — assembler, disassembler, linker
+* :mod:`repro.cc` — the MiniC compiler (full C subset with pointers,
+  function pointers, recursion) and a reference interpreter
+* :mod:`repro.aft` — the four-phase Amulet Firmware Toolchain and the
+  four memory-isolation models
+* :mod:`repro.kernel` — AmuletOS analogue: gates, services, scheduler
+* :mod:`repro.profiler` — ARP, ARP-view and the energy model
+* :mod:`repro.apps` — the nine Amulet apps plus benchmark apps
+* :mod:`repro.experiments` — regenerate Table 1, Figure 2, Figure 3
+"""
+
+from repro.aft import AftPipeline, AppSource, Firmware, IsolationModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AftPipeline", "AppSource", "Firmware", "IsolationModel",
+    "__version__",
+]

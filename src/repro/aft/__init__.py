@@ -1,0 +1,35 @@
+"""The Amulet Firmware Toolchain (AFT).
+
+Paper section 3, "AFT Implementation": a four-phase pipeline that
+analyzes, transforms, and links application code with the OS into a
+single firmware image, injecting the memory-isolation machinery the
+selected memory model requires:
+
+* **Phase 1** — language-feature checking (reject inline asm / goto;
+  reject pointers and recursion under Feature Limited), enumeration of
+  memory accesses and API calls per app, call-graph construction.
+* **Phase 2** — code generation with the model's check policy: MPU
+  configuration code and bounds checks against *placeholder* boundary
+  symbols.
+* **Phase 3** — section attributes for the linker (per-app code/stack/
+  data sections), stack-size estimation, stack-pointer manipulation
+  code (the context-switch gates).
+* **Phase 4** — placement of each app in high FRAM, computation of the
+  real app boundaries, patching of every check via relocation, and the
+  final link.
+"""
+
+from repro.aft.models import (
+    IsolationModel,
+    ModelConfig,
+    model_config,
+    boundary_symbols,
+)
+from repro.aft.phases import AftPipeline, AppSource, AftReport
+from repro.aft.firmware import Firmware, AppLayout
+
+__all__ = [
+    "IsolationModel", "ModelConfig", "model_config", "boundary_symbols",
+    "AftPipeline", "AppSource", "AftReport",
+    "Firmware", "AppLayout",
+]

@@ -1,0 +1,83 @@
+"""Per-app access enumeration (AFT phase 1).
+
+Paper: *"the AFT enumerates each memory access and OS API call on an
+app by app basis"*.  These static counts tell the AFT (and the
+profiler) how many checks each memory model will insert, and where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cc import ast
+from repro.cc.sema import SemaResult
+
+
+@dataclass
+class FunctionAccessProfile:
+    name: str
+    pointer_derefs: int = 0
+    array_accesses: int = 0
+    fn_pointer_calls: int = 0
+    direct_calls: int = 0
+    api_calls: int = 0
+    returns: int = 0
+
+    @property
+    def checked_sites(self) -> int:
+        """Static count of sites that receive a check under the
+        Software-Only / MPU models."""
+        return (self.pointer_derefs + self.fn_pointer_calls
+                + self.returns)
+
+
+@dataclass
+class AccessReport:
+    functions: Dict[str, FunctionAccessProfile] = field(
+        default_factory=dict)
+    api_call_names: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total_pointer_derefs(self) -> int:
+        return sum(f.pointer_derefs for f in self.functions.values())
+
+    @property
+    def total_array_accesses(self) -> int:
+        return sum(f.array_accesses for f in self.functions.values())
+
+    @property
+    def total_api_calls(self) -> int:
+        return sum(f.api_calls for f in self.functions.values())
+
+
+def enumerate_accesses(sema: SemaResult) -> AccessReport:
+    report = AccessReport()
+    deref_ids = {id(node) for node in sema.pointer_derefs}
+    array_ids = {id(node) for node in sema.array_accesses}
+    indirect_ids = {id(node) for node in sema.fn_pointer_calls}
+    api_ids = {id(call): name for name, call in sema.api_calls}
+
+    for function in sema.unit.functions:
+        if function.body is None:
+            continue
+        profile = FunctionAccessProfile(function.name)
+        for node in ast.walk(function.body):
+            node_id = id(node)
+            if node_id in deref_ids:
+                profile.pointer_derefs += 1
+            if node_id in array_ids:
+                profile.array_accesses += 1
+            if isinstance(node, ast.Call):
+                if node_id in indirect_ids:
+                    profile.fn_pointer_calls += 1
+                elif node_id in api_ids:
+                    profile.api_calls += 1
+                    report.api_call_names.append(
+                        (function.name, api_ids[node_id]))
+                else:
+                    profile.direct_calls += 1
+            if isinstance(node, ast.Return):
+                profile.returns += 1
+        report.functions[function.name] = profile
+    return report

@@ -1,0 +1,216 @@
+"""The four memory models the paper compares, as check policies.
+
+=================  ==========  ============================================
+Model              Language    Inserted checks
+=================  ==========  ============================================
+No Isolation       full C      none (baseline)
+Feature Limited    AmuletC     out-of-line array-index check per access
+Software Only      full C      lower **and** upper inline bound check per
+                               pointer dereference / fn-pointer call /
+                               return; no MPU
+MPU (contribution) full C      lower inline bound check only — the MPU's
+                               segment 3 enforces the upper bound in
+                               hardware; MPU reconfigured per context
+                               switch
+=================  ==========  ============================================
+
+Check shapes (paper Figure 1)::
+
+    If App_i dereferences a data pointer:      if (address < D_i) FAULT();
+    If App_i dereferences a function pointer:  if (address < C_i) FAULT();
+
+where ``C_i`` / ``D_i`` are the bottom of app i's code and data/stack
+regions.  ``D_i`` equals MPU boundary B1; the end of the data region is
+B2.  The Software-Only model adds the symmetric upper checks.
+
+The Feature-Limited model reproduces the original Amulet toolchain's
+*out-of-line* array check (a helper call), which is why its per-access
+cost in Table 1 (41 cycles) exceeds the inlined checks of the other
+models (29/32).
+
+Checks are emitted as a compare against a *symbol* immediate; the
+linker patches the real boundary during AFT phase 4.  Fault branches
+use the "skip over a BR #__fault" shape so the 10-bit conditional-jump
+range can never overflow no matter how large the app is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+from repro.cc.codegen import CheckPolicy
+from repro.cc.sema import AMULET_C, FULL_C, LanguageProfile
+
+
+class IsolationModel(enum.Enum):
+    NO_ISOLATION = "NoIsolation"
+    FEATURE_LIMITED = "FeatureLimited"
+    SOFTWARE_ONLY = "SoftwareOnly"
+    MPU = "MPU"
+    #: Ablation (paper section 5, future work): a hypothetical advanced
+    #: MPU with 4+ regions and full coverage — no compiler checks at all,
+    #: both bounds enforced in "hardware".
+    ADVANCED_MPU = "AdvancedMPU"
+
+    @property
+    def display(self) -> str:
+        return {
+            IsolationModel.NO_ISOLATION: "No Isolation",
+            IsolationModel.FEATURE_LIMITED: "Feature Limited",
+            IsolationModel.SOFTWARE_ONLY: "Software Only",
+            IsolationModel.MPU: "MPU",
+            IsolationModel.ADVANCED_MPU: "Advanced MPU (ablation)",
+        }[self]
+
+
+@dataclass(frozen=True)
+class BoundarySymbols:
+    """Linker-defined per-app boundary symbol names."""
+
+    code_lo: str
+    code_hi: str
+    seg_lo: str          # D_i: bottom of data/stack region (== B1)
+    seg_hi: str          # end of data region (== B2)
+
+
+def boundary_symbols(app_name: str) -> BoundarySymbols:
+    prefix = f"__app_{app_name}"
+    return BoundarySymbols(
+        code_lo=f"{prefix}_code_lo",
+        code_hi=f"{prefix}_code_hi",
+        seg_lo=f"{prefix}_seg_lo",
+        seg_hi=f"{prefix}_seg_hi",
+    )
+
+
+class _AppCheckPolicy(CheckPolicy):
+    """Common scaffolding for per-app check policies."""
+
+    def __init__(self, app_name: str,
+                 entry_points: Optional[Set[str]] = None):
+        self.app = app_name
+        self.bounds = boundary_symbols(app_name)
+        #: event handlers return to the OS gate, so their return-address
+        #: check must be skipped (their legitimate return target lies
+        #: below the app's code region by design).
+        self.entry_points: FrozenSet[str] = frozenset(entry_points or ())
+
+    # -- shared emission shapes --------------------------------------------
+    def _lower_check(self, gen, operand: str, bound: str) -> None:
+        """FAULT if operand value < bound."""
+        ok = gen._new_label("cklo")
+        gen.emit(f"CMP #{bound}, {operand}")
+        gen.emit(f"JHS {ok}")
+        gen.emit("BR #__fault")
+        gen.emit_label(ok)
+
+    def _upper_check(self, gen, operand: str, bound: str) -> None:
+        """FAULT if operand value >= bound."""
+        ok = gen._new_label("ckhi")
+        gen.emit(f"CMP #{bound}, {operand}")
+        gen.emit(f"JLO {ok}")
+        gen.emit("BR #__fault")
+        gen.emit_label(ok)
+
+
+class NoChecksPolicy(_AppCheckPolicy):
+    """No Isolation and Advanced-MPU: nothing inserted."""
+
+    name = "none"
+
+
+class FeatureLimitedPolicy(_AppCheckPolicy):
+    """The original Amulet approach: array accesses call the
+    out-of-line bounds-check helper; pointers never reach codegen
+    (sema rejects them under the AmuletC profile)."""
+
+    name = "feature-limited"
+
+    def array_index_check(self, gen, reg: str, length: int) -> None:
+        gen.emit(f"MOV {reg}, R12")
+        gen.emit(f"MOV #{length}, R13")
+        gen.emit("CALL #__aft_check_index")
+
+
+class SoftwareOnlyPolicy(_AppCheckPolicy):
+    """Full software isolation: both bounds checked inline on every
+    pointer dereference, function-pointer call, and function return."""
+
+    name = "software-only"
+
+    def data_pointer_check(self, gen, reg: str, is_write: bool) -> None:
+        self._lower_check(gen, reg, self.bounds.seg_lo)
+        self._upper_check(gen, reg, self.bounds.seg_hi)
+
+    def fn_pointer_check(self, gen, reg: str) -> None:
+        self._lower_check(gen, reg, self.bounds.code_lo)
+        self._upper_check(gen, reg, self.bounds.code_hi)
+
+    def return_check(self, gen) -> None:
+        if gen.function.name in self.entry_points:
+            return
+        self._lower_check(gen, "2(R4)", self.bounds.code_lo)
+        self._upper_check(gen, "2(R4)", self.bounds.code_hi)
+
+
+class MpuPolicy(_AppCheckPolicy):
+    """The paper's contribution: the MPU protects everything *above*
+    the current app (segment 3 no-access, segment 2 no-execute), so the
+    compiler only inserts the *lower*-bound half of each check."""
+
+    name = "mpu"
+
+    def data_pointer_check(self, gen, reg: str, is_write: bool) -> None:
+        self._lower_check(gen, reg, self.bounds.seg_lo)
+
+    def fn_pointer_check(self, gen, reg: str) -> None:
+        self._lower_check(gen, reg, self.bounds.code_lo)
+
+    def return_check(self, gen) -> None:
+        if gen.function.name in self.entry_points:
+            return
+        self._lower_check(gen, "2(R4)", self.bounds.code_lo)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Everything the AFT needs to know about a memory model."""
+
+    model: IsolationModel
+    profile: LanguageProfile
+    uses_mpu: bool               # reconfigure the real MPU per switch
+    separate_stacks: bool        # per-app stacks (vs the shared stack)
+    policy_class: type
+    #: ablation flag: enforce both bounds with a hypothetical MPU
+    advanced_mpu: bool = False
+
+    def make_policy(self, app_name: str,
+                    entry_points: Optional[Set[str]] = None
+                    ) -> CheckPolicy:
+        return self.policy_class(app_name, entry_points)
+
+
+_CONFIGS = {
+    IsolationModel.NO_ISOLATION: ModelConfig(
+        IsolationModel.NO_ISOLATION, FULL_C, uses_mpu=False,
+        separate_stacks=False, policy_class=NoChecksPolicy),
+    IsolationModel.FEATURE_LIMITED: ModelConfig(
+        IsolationModel.FEATURE_LIMITED, AMULET_C, uses_mpu=False,
+        separate_stacks=False, policy_class=FeatureLimitedPolicy),
+    IsolationModel.SOFTWARE_ONLY: ModelConfig(
+        IsolationModel.SOFTWARE_ONLY, FULL_C, uses_mpu=False,
+        separate_stacks=True, policy_class=SoftwareOnlyPolicy),
+    IsolationModel.MPU: ModelConfig(
+        IsolationModel.MPU, FULL_C, uses_mpu=True,
+        separate_stacks=True, policy_class=MpuPolicy),
+    IsolationModel.ADVANCED_MPU: ModelConfig(
+        IsolationModel.ADVANCED_MPU, FULL_C, uses_mpu=False,
+        separate_stacks=True, policy_class=NoChecksPolicy,
+        advanced_mpu=True),
+}
+
+
+def model_config(model: IsolationModel) -> ModelConfig:
+    return _CONFIGS[model]

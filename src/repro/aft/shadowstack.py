@@ -1,0 +1,93 @@
+"""Shadow return-address stack (paper section 5, future work).
+
+*"We may also explore ... the use of a shadow return-address stack to
+prevent applications from jumping outside their code bounds."*  And
+footnote 3: *"We anticipate using the InfoMem in future revisions, for
+a return-address stack that protects the return address from stack
+overflow bugs and attacks."*
+
+Implementation, exactly as the footnotes sketch it:
+
+* The 512-byte InfoMem (0x1800-0x19FF) holds the shadow stack; its
+  first word is the shadow stack pointer, the pushes grow upward from
+  0x1802 (room for ~250 nested calls).
+* Every non-entry function's prologue copies its return address to the
+  shadow stack; its epilogue pops the copy and compares — any
+  corruption of the on-stack return address (overflow, stray pointer)
+  faults before the ``RET`` executes.
+* Under the MPU model the InfoMem segment (MPU segment 0) is opened
+  read-write while an app runs so the instrumented code can maintain
+  the shadow; stray *pointers* into InfoMem are still caught by the
+  compiler's lower-bound check (InfoMem lies far below any app's
+  ``D_i``), so only the inserted prologue/epilogue code can touch it.
+
+The policy composes with any base model: it *replaces* the cheap
+return-address bounds check with the exact-match shadow comparison and
+keeps the base model's data/function-pointer checks.
+"""
+
+from __future__ import annotations
+
+from repro.cc.codegen import CheckPolicy
+from repro.msp430.memory import MemoryMap
+
+#: the shadow stack pointer lives in the first InfoMem word
+SHADOW_SP_ADDRESS = MemoryMap.INFOMEM_START
+#: first shadow slot
+SHADOW_BASE = MemoryMap.INFOMEM_START + 2
+
+
+class ShadowStackPolicy(CheckPolicy):
+    """Wraps a base model policy, adding the shadow return stack."""
+
+    name = "shadow-stack"
+
+    def __init__(self, base: CheckPolicy):
+        self.base = base
+        self.entry_points = getattr(base, "entry_points", frozenset())
+
+    # -- delegated checks ---------------------------------------------------
+    def data_pointer_check(self, gen, reg: str, is_write: bool) -> None:
+        self.base.data_pointer_check(gen, reg, is_write)
+
+    def fn_pointer_check(self, gen, reg: str) -> None:
+        self.base.fn_pointer_check(gen, reg)
+
+    def array_index_check(self, gen, reg: str, length: int) -> None:
+        self.base.array_index_check(gen, reg, length)
+
+    # -- the shadow stack ----------------------------------------------------
+    def stack_entry_check(self, gen) -> None:
+        """Push the return address onto the shadow stack.
+
+        Runs right after the frame is established, before parameter
+        homing — so it must preserve R12-R15 (live arguments) and
+        restore R11 (callee-saved by our private ABI)."""
+        if gen.function.name in self.entry_points:
+            return
+        gen.emit("PUSH R11")
+        gen.emit(f"MOV &0x{SHADOW_SP_ADDRESS:04X}, R11")
+        gen.emit("MOV 2(R4), 0(R11)")     # frame-relative: ret addr
+        gen.emit(f"ADD #2, &0x{SHADOW_SP_ADDRESS:04X}")
+        gen.emit("POP R11")
+
+    def return_check(self, gen) -> None:
+        """Pop the shadow copy and require an exact match."""
+        if gen.function.name in self.entry_points:
+            return
+        ok = gen._new_label("shadow_ok")
+        gen.emit("PUSH R11")
+        gen.emit(f"SUB #2, &0x{SHADOW_SP_ADDRESS:04X}")
+        gen.emit(f"MOV &0x{SHADOW_SP_ADDRESS:04X}, R11")
+        gen.emit("MOV @R11, R11")
+        gen.emit("CMP R11, 2(R4)")        # frame-relative: ret addr
+        gen.emit(f"JEQ {ok}")
+        gen.emit("BR #__fault")
+        gen.emit_label(ok)
+        gen.emit("POP R11")
+
+
+def initialize_shadow_stack(memory) -> None:
+    """Reset the shadow stack pointer (machine boot / fault recovery)."""
+    with memory.supervisor():
+        memory.write_word(SHADOW_SP_ADDRESS, SHADOW_BASE)

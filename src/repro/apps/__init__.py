@@ -1,0 +1,18 @@
+"""The application suite: the nine Amulet apps from Figure 2 plus the
+three benchmark apps from section 4.2, as MiniC sources with event-rate
+manifests."""
+
+from repro.apps.catalog import (
+    app_source,
+    load_suite,
+    load_benchmarks,
+    SUITE_NAMES,
+    BENCHMARK_NAMES,
+)
+from repro.apps.manifests import AppManifest, MANIFESTS, manifest_for
+
+__all__ = [
+    "app_source", "load_suite", "load_benchmarks",
+    "SUITE_NAMES", "BENCHMARK_NAMES",
+    "AppManifest", "MANIFESTS", "manifest_for",
+]

@@ -1,0 +1,47 @@
+"""Loading helpers for the application suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.aft.phases import AppSource
+from repro.apps.manifests import BENCHMARK_HANDLERS, MANIFESTS
+
+_SOURCES_DIR = Path(__file__).parent / "sources"
+
+SUITE_NAMES = tuple(sorted(MANIFESTS))
+BENCHMARK_NAMES = tuple(sorted(BENCHMARK_HANDLERS))
+
+
+def app_source(name: str) -> str:
+    """Raw MiniC source text for a named app."""
+    path = _SOURCES_DIR / f"{name}.mc"
+    if not path.exists():
+        raise FileNotFoundError(f"no app source {name!r} in "
+                                f"{_SOURCES_DIR}")
+    return path.read_text()
+
+
+def load_app(name: str) -> AppSource:
+    """One suite app as an AFT-ready AppSource."""
+    if name in MANIFESTS:
+        return AppSource(name, app_source(name),
+                         handlers=list(MANIFESTS[name].handlers))
+    if name in BENCHMARK_HANDLERS:
+        return AppSource(name, app_source(name),
+                         handlers=list(BENCHMARK_HANDLERS[name]))
+    raise KeyError(f"unknown app {name!r}")
+
+
+def load_suite(names: Optional[Sequence[str]] = None) -> List[AppSource]:
+    """The nine Figure-2 apps (or a subset)."""
+    chosen = names if names is not None else SUITE_NAMES
+    return [load_app(name) for name in chosen]
+
+
+def load_benchmarks(names: Optional[Sequence[str]] = None
+                    ) -> List[AppSource]:
+    """The section-4.2 benchmark apps (or a subset)."""
+    chosen = names if names is not None else BENCHMARK_NAMES
+    return [load_app(name) for name in chosen]

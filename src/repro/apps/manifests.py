@@ -1,0 +1,117 @@
+"""Per-app event-rate manifests.
+
+Figure 2's methodology (paper section 4.1): *"we can account for the
+rate of environmental, user, and timer events set by the developer,
+combine this information with the counted number of memory accesses
+and context switches, and extrapolate the number of cycles of overhead
+for isolating applications"* — over a week.
+
+Event rates below follow the apps' described behaviour: accelerometer
+apps sample at 10-32 Hz, heart-rate apps at 1 Hz, ambient sensors far
+slower; display/maintenance handlers tick at seconds-to-minutes rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.kernel.events import EventType, PeriodicSource
+
+MS_PER_WEEK = 7 * 24 * 60 * 60 * 1000
+
+
+@dataclass(frozen=True)
+class HandlerRate:
+    handler: str
+    event_type: EventType
+    period_ms: int
+
+    @property
+    def events_per_week(self) -> int:
+        return MS_PER_WEEK // self.period_ms
+
+
+@dataclass(frozen=True)
+class AppManifest:
+    name: str
+    display_name: str
+    rates: Tuple[HandlerRate, ...]
+    description: str = ""
+
+    @property
+    def handlers(self) -> List[str]:
+        return [rate.handler for rate in self.rates]
+
+    def sources_for(self, app: str) -> List[PeriodicSource]:
+        return [
+            PeriodicSource(app=app, handler=rate.handler,
+                           event_type=rate.event_type,
+                           period_ms=rate.period_ms,
+                           phase_ms=index + 1)
+            for index, rate in enumerate(self.rates)
+        ]
+
+    def events_per_week(self) -> Dict[str, int]:
+        return {rate.handler: rate.events_per_week
+                for rate in self.rates}
+
+
+def _m(name: str, display: str, description: str,
+       *rates: HandlerRate) -> AppManifest:
+    return AppManifest(name, display, tuple(rates), description)
+
+
+MANIFESTS: Dict[str, AppManifest] = {
+    manifest.name: manifest for manifest in [
+        _m("batterymeter", "BatteryMeter",
+           "battery level smoothing + low-battery alarm",
+           HandlerRate("on_battery", EventType.BATTERY, 5 * 60 * 1000),
+           HandlerRate("on_minute", EventType.TIMER, 60 * 1000)),
+        _m("clock", "Clock",
+           "watch face",
+           HandlerRate("on_second", EventType.CLOCK_TICK, 1000)),
+        _m("falldetection", "FallDetection",
+           "impact + stillness detection at 32 Hz",
+           HandlerRate("on_accel", EventType.ACCEL_SAMPLE, 31),
+           HandlerRate("on_status", EventType.TIMER, 60 * 1000)),
+        _m("hr", "HR",
+           "heart-rate zones, 1 Hz sampling",
+           HandlerRate("on_hr_sample", EventType.HR_SAMPLE, 1000),
+           HandlerRate("on_display", EventType.TIMER, 5000)),
+        _m("hrlog", "HR Log",
+           "heart-rate study logger",
+           HandlerRate("on_hr_sample", EventType.HR_SAMPLE, 1000),
+           HandlerRate("on_flush", EventType.TIMER, 60 * 1000)),
+        _m("pedometer", "Pedometer",
+           "step detection at 20 Hz",
+           HandlerRate("on_accel", EventType.ACCEL_SAMPLE, 50),
+           HandlerRate("on_minute", EventType.TIMER, 60 * 1000)),
+        _m("rest", "Rest",
+           "sedentary-time nudges at 10 Hz",
+           HandlerRate("on_accel", EventType.ACCEL_SAMPLE, 100),
+           HandlerRate("on_minute", EventType.TIMER, 60 * 1000)),
+        _m("sun", "Sun",
+           "daylight exposure tracking",
+           HandlerRate("on_light", EventType.LIGHT_SAMPLE, 5000),
+           HandlerRate("on_show", EventType.TIMER, 60 * 1000),
+           HandlerRate("on_midnight", EventType.TIMER,
+                       24 * 60 * 60 * 1000)),
+        _m("temperature", "Temperature",
+           "skin temperature smoothing, 0.5 Hz",
+           HandlerRate("on_temp", EventType.TEMP_SAMPLE, 2000),
+           HandlerRate("on_show", EventType.TIMER, 60 * 1000)),
+    ]
+}
+
+#: benchmark apps (section 4.2) — driven explicitly, not by rates
+BENCHMARK_HANDLERS: Dict[str, List[str]] = {
+    "synthetic": ["bench_mem", "bench_mem_read", "bench_nop",
+                  "bench_switch", "bench_empty"],
+    "activity": ["activity_case1", "activity_case2", "act_init"],
+    "quicksort": ["quicksort_run"],
+}
+
+
+def manifest_for(name: str) -> AppManifest:
+    return MANIFESTS[name]

@@ -1,0 +1,26 @@
+"""Assembler toolchain: object files, two-pass assembler, disassembler,
+and a linker-script driven linker.
+
+The MiniC compiler emits assembly text; the AFT assembles each app and
+the OS gates into object files, places app sections in high FRAM per the
+paper's memory map, and links a final firmware image with the boundary
+symbols the isolation checks compare against.
+"""
+
+from repro.asm.objfile import (
+    ObjectFile,
+    Section,
+    Symbol,
+    Relocation,
+    RelocType,
+)
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.disassembler import disassemble, disassemble_range
+from repro.asm.linker import Linker, LinkScript, MemoryRegion, Image
+
+__all__ = [
+    "ObjectFile", "Section", "Symbol", "Relocation", "RelocType",
+    "Assembler", "assemble",
+    "disassemble", "disassemble_range",
+    "Linker", "LinkScript", "MemoryRegion", "Image",
+]

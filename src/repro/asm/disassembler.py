@@ -1,0 +1,48 @@
+"""Linear-sweep disassembler.
+
+Used by tests (encode/decode round trips), by the AFT for listings, and
+by debugging helpers.  Data mixed into code will decode as garbage or
+raise; callers point it at known code ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DecodeError
+from repro.msp430.decoder import decode_bytes
+from repro.msp430.isa import Instruction
+
+
+def disassemble(blob: bytes, address: int = 0
+                ) -> List[Tuple[int, Instruction]]:
+    """Decode an entire buffer into (address, instruction) pairs."""
+    out: List[Tuple[int, Instruction]] = []
+    offset = 0
+    while offset + 1 < len(blob):
+        insn, size = decode_bytes(blob[offset:], address + offset)
+        out.append((address + offset, insn))
+        offset += size
+    return out
+
+
+def disassemble_range(memory, start: int, end: int
+                      ) -> List[Tuple[int, Instruction]]:
+    """Decode instructions from simulated memory in [start, end)."""
+    blob = memory.dump(start, end - start)
+    return disassemble(blob, start)
+
+
+def listing(blob: bytes, address: int = 0,
+            symbols: Optional[Dict[str, int]] = None) -> str:
+    """Human-readable listing with optional symbol annotations."""
+    by_address: Dict[int, str] = {}
+    if symbols:
+        for name, value in symbols.items():
+            by_address.setdefault(value, name)
+    lines = []
+    for addr, insn in disassemble(blob, address):
+        if addr in by_address:
+            lines.append(f"{by_address[addr]}:")
+        lines.append(f"    0x{addr:04X}:  {insn.render()}")
+    return "\n".join(lines)

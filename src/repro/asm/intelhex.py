@@ -1,0 +1,116 @@
+"""Intel HEX encoding of firmware images.
+
+MSP430 toolchains ship firmware as Intel HEX (``.hex``) files — TI's
+FET programmers, ``mspdebug`` and the BSL all consume it.  The AFT's
+:class:`~repro.asm.linker.Image` exports to the same format, so a
+firmware built here is byte-comparable with real toolchain output and
+can be diffed, archived, or inspected with standard tools.
+
+Only the record types a 64 KB part needs are implemented:
+``00`` (data) and ``01`` (end of file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ReproError
+
+
+class HexFormatError(ReproError):
+    """Malformed Intel HEX input."""
+
+
+def _record(address: int, record_type: int, payload: bytes) -> str:
+    body = bytes([len(payload), (address >> 8) & 0xFF, address & 0xFF,
+                  record_type]) + payload
+    checksum = (-sum(body)) & 0xFF
+    return ":" + (body + bytes([checksum])).hex().upper()
+
+
+def encode(segments: Iterable[Tuple[int, bytes]],
+           record_size: int = 16) -> str:
+    """Encode (address, blob) segments as Intel HEX text."""
+    lines: List[str] = []
+    for address, blob in sorted(segments, key=lambda s: s[0]):
+        if not blob:
+            continue
+        if address + len(blob) > 0x10000:
+            raise HexFormatError(
+                f"segment at 0x{address:04X} exceeds 64 KB space")
+        for offset in range(0, len(blob), record_size):
+            chunk = blob[offset:offset + record_size]
+            lines.append(_record(address + offset, 0x00, chunk))
+    lines.append(_record(0, 0x01, b""))
+    return "\n".join(lines) + "\n"
+
+
+def encode_image(image, record_size: int = 16) -> str:
+    """Encode a linked :class:`~repro.asm.linker.Image`."""
+    return encode(image.segments, record_size)
+
+
+def decode(text: str) -> Dict[int, int]:
+    """Decode Intel HEX text into an {address: byte} map."""
+    memory: Dict[int, int] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if not line.startswith(":"):
+            raise HexFormatError(
+                f"line {line_number}: missing ':' start code")
+        try:
+            body = bytes.fromhex(line[1:])
+        except ValueError as exc:
+            raise HexFormatError(
+                f"line {line_number}: bad hex digits") from exc
+        if len(body) < 5:
+            raise HexFormatError(f"line {line_number}: truncated record")
+        count, high, low, record_type = body[0], body[1], body[2], body[3]
+        payload = body[4:-1]
+        if len(payload) != count:
+            raise HexFormatError(
+                f"line {line_number}: length field mismatch")
+        if sum(body) & 0xFF:
+            raise HexFormatError(
+                f"line {line_number}: checksum mismatch")
+        if record_type == 0x01:
+            return memory
+        if record_type != 0x00:
+            raise HexFormatError(
+                f"line {line_number}: unsupported record type "
+                f"{record_type:02X}")
+        address = (high << 8) | low
+        for index, value in enumerate(payload):
+            memory[address + index] = value
+    raise HexFormatError("missing end-of-file record")
+
+
+def decode_to_segments(text: str) -> List[Tuple[int, bytes]]:
+    """Decode into contiguous (address, blob) segments."""
+    memory = decode(text)
+    segments: List[Tuple[int, bytes]] = []
+    current_start = None
+    current: List[int] = []
+    for address in sorted(memory):
+        if current_start is not None and \
+                address == current_start + len(current):
+            current.append(memory[address])
+        else:
+            if current_start is not None:
+                segments.append((current_start, bytes(current)))
+            current_start = address
+            current = [memory[address]]
+    if current_start is not None:
+        segments.append((current_start, bytes(current)))
+    return segments
+
+
+def load_hex_into(memory, text: str) -> int:
+    """Load Intel HEX text into simulated memory; returns byte count."""
+    total = 0
+    for address, blob in decode_to_segments(text):
+        memory.load(address, blob)
+        total += len(blob)
+    return total

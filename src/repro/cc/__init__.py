@@ -1,0 +1,28 @@
+"""MiniC: the C compiler at the heart of the AFT.
+
+The paper's contribution hinges on a compiler that (a) accepts real C —
+pointers, function pointers, recursion — and (b) inserts isolation
+checks whose *number and shape* depend on the chosen memory model.
+MiniC is that compiler, targeting the simulated MSP430:
+
+* 16-bit ``int``/``unsigned``, 8-bit ``char`` (unsigned), pointers,
+  1-D arrays, structs, function pointers
+* full expression and statement set (``goto`` parses but is rejected by
+  AFT phase 1, like inline ``asm``)
+* a reference AST interpreter (:mod:`repro.cc.interp`) used for
+  differential testing of the code generator
+
+Public surface: :func:`compile_unit` produces assembly text plus the
+analysis facts (call graph edges, access counts) the AFT phases consume.
+"""
+
+from repro.cc.lexer import tokenize
+from repro.cc.parser import parse
+from repro.cc.sema import analyze, LanguageProfile
+from repro.cc.codegen import CodeGenerator, CompiledUnit, compile_unit
+from repro.cc.interp import Interpreter
+
+__all__ = [
+    "tokenize", "parse", "analyze", "LanguageProfile",
+    "CodeGenerator", "CompiledUnit", "compile_unit", "Interpreter",
+]

@@ -1,0 +1,277 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain dataclasses.  Semantic analysis annotates expressions
+with ``ctype`` and identifier nodes with their resolved ``symbol``;
+those fields default to ``None`` until :func:`repro.cc.sema.analyze`
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.cc.types import CType
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+    label: Optional[str] = None     # assigned by codegen
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    symbol: Optional[object] = None     # cc.symbols.Symbol
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                # - ! ~ * & ++ -- (prefix)
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Postfix(Expr):
+    op: str = ""                # ++ --
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="               # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    func: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ctype: Optional[CType] = None
+    init: Optional[Union[Expr, List[Expr]]] = None
+    is_static: bool = False
+    is_const: bool = False
+    symbol: Optional[object] = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    name: str = ""
+    statement: Optional[Stmt] = None
+
+
+@dataclass
+class Switch(Stmt):
+    """Parsed then lowered to an if/else chain by the parser itself;
+    kept as a node so diagnostics can reference it."""
+    cond: Optional[Expr] = None
+    cases: List[Tuple[Optional[int], List[Stmt]]] = field(
+        default_factory=list)
+
+
+@dataclass
+class InlineAsm(Stmt):
+    text: str = ""
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    line: int = 0
+    symbol: Optional[object] = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    ret: Optional[CType] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_static: bool = False
+    symbol: Optional[object] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[VarDecl] = field(default_factory=list)
+    # struct tag -> StructType lives in the parser's type context
+
+
+def _children(node):
+    """Yield child Nodes, descending through lists and tuples (switch
+    cases are (value, [stmts]) tuples)."""
+    for value in vars(node).values():
+        yield from _nodes_in(value)
+
+
+def _nodes_in(value):
+    if isinstance(value, Node):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _nodes_in(item)
+
+
+def walk(node):
+    """Yield every Node reachable from an AST node (pre-order)."""
+    if node is None:
+        return
+    yield node
+    for child in _children(node):
+        yield from walk(child)
+
+
+def walk_expressions(node):
+    """Yield every Expr reachable from an AST node (pre-order)."""
+    for item in walk(node):
+        if isinstance(item, Expr):
+            yield item
+
+
+def walk_statements(node):
+    """Yield every Stmt reachable from an AST node (pre-order)."""
+    for item in walk(node):
+        if isinstance(item, Stmt):
+            yield item

@@ -1,0 +1,120 @@
+"""Bare-metal execution harness for compiled MiniC.
+
+Compiles a translation unit, links it with the runtime into FRAM, and
+calls a function on the simulated CPU — no kernel, no isolation.  Used
+by the compiler's own tests (including differential testing against the
+reference interpreter) and by examples that want a minimal setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cc.codegen import CheckPolicy, CompiledUnit, compile_unit
+from repro.cc.runtime import runtime_asm
+from repro.cc.sema import FULL_C, LanguageProfile
+from repro.cc.symbols import ApiTable
+from repro.asm.assembler import assemble
+from repro.asm.linker import Image, Linker, LinkScript
+from repro.msp430.cpu import Cpu
+from repro.msp430.memory import MemoryMap
+from repro.ports import DONE_PORT, FAULT_PORT
+
+_START_ASM_TEMPLATE = """
+        .text
+        .global __start
+__start:
+        CALL #{entry}
+        MOV #1, &0x{done:04X}
+.park:
+        JMP .park
+"""
+
+
+def default_script() -> LinkScript:
+    script = LinkScript()
+    script.region("fram", MemoryMap.FRAM_START, MemoryMap.FRAM_END)
+    script.place_rule("*", "fram")
+    return script
+
+
+@dataclass
+class ExecutionResult:
+    value: int
+    cycles: int
+    instructions: int
+    faulted: bool
+    cpu: Cpu
+    image: Image
+
+    @property
+    def signed_value(self) -> int:
+        return self.value - 0x10000 if self.value & 0x8000 else self.value
+
+
+class BareMachine:
+    """A linked program plus a CPU, reusable across calls."""
+
+    def __init__(self, unit: CompiledUnit, extra_asm: Sequence[str] = ()):
+        objects = [assemble(unit.asm, "unit.s"),
+                   assemble(runtime_asm(), "runtime.s")]
+        for index, text in enumerate(extra_asm):
+            objects.append(assemble(text, f"extra{index}.s"))
+        self.unit = unit
+        self._objects = objects
+        self._start_cache = {}
+
+    def _link_for(self, entry: str) -> Image:
+        if entry not in self._start_cache:
+            label = self.unit.function_labels.get(entry, entry)
+            start = assemble(
+                _START_ASM_TEMPLATE.format(entry=label, done=DONE_PORT),
+                "start.s")
+            # Re-assemble objects fresh is unnecessary; sections carry no
+            # addresses until place(), but Linker mutates section
+            # addresses, so link each entry with a fresh script.
+            image = (Linker(default_script())
+                     .place(self._objects + [start])
+                     .resolve())
+            self._start_cache[entry] = image
+        return self._start_cache[entry]
+
+    def run(self, entry: str, args: Sequence[int] = (),
+            max_cycles: int = 50_000_000) -> ExecutionResult:
+        if len(args) > 4:
+            raise ValueError("harness supports at most 4 register args")
+        image = self._link_for(entry)
+        cpu = Cpu()
+        image.load_into(cpu.memory)
+        faulted = False
+
+        def on_done(_addr: int, _value: int) -> None:
+            cpu.halt()
+
+        def on_fault(_addr: int, _value: int) -> None:
+            nonlocal faulted
+            faulted = True
+
+        cpu.memory.add_io(DONE_PORT, write=on_done)
+        cpu.memory.add_io(FAULT_PORT, write=on_fault)
+        cpu.regs.pc = image.symbol("__start")
+        cpu.regs.sp = MemoryMap.SRAM_END + 1
+        for index, value in enumerate(args):
+            cpu.regs.write(12 + index, value & 0xFFFF)
+        cpu.run(max_cycles=max_cycles)
+        return ExecutionResult(
+            value=cpu.regs.read(12), cycles=cpu.cycles,
+            instructions=cpu.instructions, faulted=faulted,
+            cpu=cpu, image=image)
+
+
+def run_compiled(source: str, entry: str, args: Sequence[int] = (),
+                 profile: LanguageProfile = FULL_C,
+                 api: Optional[ApiTable] = None,
+                 checks: Optional[CheckPolicy] = None,
+                 max_cycles: int = 50_000_000) -> ExecutionResult:
+    """Compile ``source`` and execute ``entry(*args)`` on the simulator."""
+    unit = compile_unit(source, profile=profile, api=api, checks=checks)
+    machine = BareMachine(unit)
+    return machine.run(entry, args, max_cycles=max_cycles)

@@ -1,0 +1,604 @@
+"""Reference AST interpreter for MiniC.
+
+Exists so the code generator can be differentially tested: the same
+program is run through :class:`Interpreter` and through the full
+compile → assemble → link → simulate pipeline, and the results must
+agree.  Semantics are therefore specified here precisely:
+
+* ``int`` is signed 16-bit, ``unsigned`` is 16-bit, ``char`` is an
+  unsigned 8-bit byte that promotes to (signed) ``int``.
+* Division/modulo truncate toward zero (C semantics; the compiled
+  runtime helpers match).
+* Shift counts are taken modulo 16 (both here and in the helpers).
+* Pointers are integer addresses into a flat 64 KB byte array; pointer
+  arithmetic scales by the target size.
+
+The interpreter performs **no isolation checks** — it is the semantics
+oracle for *correct* programs, not a sandbox.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import InterpreterError
+from repro.cc import ast
+from repro.cc.symbols import Symbol, SymbolKind
+from repro.cc.types import (
+    ArrayType,
+    CharType,
+    CType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+)
+
+MASK = 0xFFFF
+
+
+def _to_signed(value: int) -> int:
+    value &= MASK
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _truncdiv(a: int, b: int) -> int:
+    """C division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _truncmod(a: int, b: int) -> int:
+    return a - _truncdiv(a, b) * b
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int = 0):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class Frame:
+    def __init__(self) -> None:
+        self.addresses: Dict[int, int] = {}   # id(symbol) -> address
+
+
+class Interpreter:
+    """Executes an analyzed translation unit."""
+
+    GLOBAL_BASE = 0x8000
+    STACK_TOP = 0xF000
+    FUNC_TABLE_BASE = 0x0100     # fake code addresses for fn pointers
+
+    def __init__(self, sema_result,
+                 host_api: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 2_000_000):
+        self.sema = sema_result
+        self.unit = sema_result.unit
+        self.memory = bytearray(0x10000)
+        self.host_api = host_api if host_api is not None else {}
+        self.max_steps = max_steps
+        self.steps = 0
+
+        self.functions: Dict[str, ast.FunctionDef] = {
+            f.name: f for f in self.unit.functions if f.body is not None
+        }
+        self.func_addresses: Dict[str, int] = {}
+        self.addr_to_func: Dict[int, str] = {}
+        for index, name in enumerate(sorted(self.functions)):
+            address = self.FUNC_TABLE_BASE + 2 * index
+            self.func_addresses[name] = address
+            self.addr_to_func[address] = name
+
+        self.global_addresses: Dict[int, int] = {}
+        self.string_addresses: Dict[str, int] = {}
+        self._alloc_cursor = self.GLOBAL_BASE
+        self._stack_cursor = self.STACK_TOP
+        self.frames: List[Frame] = []
+        self._init_globals()
+
+    # -- memory ---------------------------------------------------------------
+    def _allocate(self, size: int, align: int = 2) -> int:
+        if align > 1 and self._alloc_cursor % align:
+            self._alloc_cursor += align - self._alloc_cursor % align
+        address = self._alloc_cursor
+        self._alloc_cursor += max(size, 1)
+        if self._alloc_cursor >= self.STACK_TOP - 0x1000:
+            raise InterpreterError("interpreter data space exhausted")
+        return address
+
+    def _alloc_stack(self, size: int, align: int = 2) -> int:
+        self._stack_cursor -= max(size, 1)
+        if align > 1 and self._stack_cursor % align:
+            self._stack_cursor -= self._stack_cursor % align
+        if self._stack_cursor <= self.GLOBAL_BASE:
+            raise InterpreterError("interpreter stack overflow")
+        return self._stack_cursor
+
+    def load(self, address: int, ctype: CType) -> int:
+        address &= MASK
+        if isinstance(ctype, CharType):
+            return self.memory[address]
+        value = self.memory[address] | (self.memory[(address + 1) & MASK]
+                                        << 8)
+        return value
+
+    def store(self, address: int, value: int, ctype: CType) -> None:
+        address &= MASK
+        if isinstance(ctype, CharType):
+            self.memory[address] = value & 0xFF
+            return
+        self.memory[address] = value & 0xFF
+        self.memory[(address + 1) & MASK] = (value >> 8) & 0xFF
+
+    def _intern_string(self, text: str) -> int:
+        if text not in self.string_addresses:
+            blob = text.encode("latin1") + b"\0"
+            address = self._allocate(len(blob), 1)
+            self.memory[address:address + len(blob)] = blob
+            self.string_addresses[text] = address
+        return self.string_addresses[text]
+
+    # -- globals -----------------------------------------------------------------
+    def _init_globals(self) -> None:
+        from repro.cc.parser import _const_eval
+        for decl in self.unit.globals:
+            address = self._allocate(decl.ctype.size, decl.ctype.align)
+            self.global_addresses[id(decl.symbol)] = address
+            if decl.init is None:
+                continue
+            if isinstance(decl.init, list):
+                element = decl.ctype.element \
+                    if isinstance(decl.ctype, ArrayType) else None
+                cursor = address
+                for item in decl.init:
+                    value = _const_eval(item)
+                    if value is None:
+                        raise InterpreterError("non-constant global init")
+                    self.store(cursor, value, element)
+                    cursor += element.size
+            elif isinstance(decl.init, ast.StringLiteral):
+                blob = decl.init.value.encode("latin1") + b"\0"
+                if isinstance(decl.ctype, ArrayType):
+                    self.memory[address:address + len(blob)] = blob
+                else:
+                    self.store(address, self._intern_string(decl.init.value),
+                               decl.ctype)
+            else:
+                value = _const_eval(decl.init)
+                if value is None:
+                    raise InterpreterError("non-constant global init")
+                self.store(address, value, decl.ctype)
+
+    # -- symbol addressing ----------------------------------------------------------
+    def _symbol_address(self, symbol: Symbol) -> int:
+        if symbol.kind in (SymbolKind.LOCAL, SymbolKind.PARAM):
+            for frame in reversed(self.frames):
+                if id(symbol) in frame.addresses:
+                    return frame.addresses[id(symbol)]
+            raise InterpreterError(f"symbol {symbol.name} not in frame")
+        if symbol.kind in (SymbolKind.GLOBAL, SymbolKind.SYSVAR):
+            if id(symbol) not in self.global_addresses:
+                # sysvars get lazily allocated, zero-initialized
+                self.global_addresses[id(symbol)] = \
+                    self._allocate(symbol.ctype.size, symbol.ctype.align)
+            return self.global_addresses[id(symbol)]
+        if symbol.kind in (SymbolKind.FUNC, SymbolKind.API):
+            if symbol.name in self.func_addresses:
+                return self.func_addresses[symbol.name]
+            raise InterpreterError(
+                f"cannot take the address of API {symbol.name}")
+        raise InterpreterError(f"cannot address {symbol.kind}")
+
+    # -- running ------------------------------------------------------------------------
+    def call(self, name: str, args: Optional[List[int]] = None) -> int:
+        """Call a defined function by name with integer arguments."""
+        function = self.functions.get(name)
+        if function is None:
+            raise InterpreterError(f"no function {name!r}")
+        return self._invoke(function, list(args or []))
+
+    def _invoke(self, function: ast.FunctionDef, args: List[int]) -> int:
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"{function.name} expects {len(function.params)} args")
+        frame = Frame()
+        saved_stack = self._stack_cursor
+        self.frames.append(frame)
+        try:
+            for param, value in zip(function.params, args):
+                address = self._alloc_stack(param.ctype.size,
+                                            param.ctype.align)
+                frame.addresses[id(param.symbol)] = address
+                self.store(address, value, param.ctype)
+            try:
+                self._exec_block(function.body)
+            except _ReturnSignal as signal:
+                return signal.value & MASK
+            return 0
+        finally:
+            self.frames.pop()
+            self._stack_cursor = saved_stack
+
+    # -- statements -------------------------------------------------------------------------
+    def _tick(self, line: int) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpreterError(
+                f"step budget exhausted (possible infinite loop, "
+                f"line {line})")
+
+    def _exec_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.Stmt) -> None:
+        self._tick(stmt.line)
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            frame = self.frames[-1]
+            address = self._alloc_stack(stmt.ctype.size, stmt.ctype.align)
+            frame.addresses[id(stmt.symbol)] = address
+            # zero-fill so repeated runs are deterministic
+            self.memory[address:address + max(stmt.ctype.size, 1)] = \
+                bytes(max(stmt.ctype.size, 1))
+            if stmt.init is None:
+                return
+            if isinstance(stmt.init, list):
+                element = stmt.ctype.element \
+                    if isinstance(stmt.ctype, ArrayType) else None
+                cursor = address
+                for item in stmt.init:
+                    self.store(cursor, self._eval(item), element)
+                    cursor += element.size
+            elif isinstance(stmt.init, ast.StringLiteral) and \
+                    isinstance(stmt.ctype, ArrayType):
+                blob = stmt.init.value.encode("latin1") + b"\0"
+                self.memory[address:address + len(blob)] = blob
+            else:
+                self.store(address, self._eval(stmt.init), stmt.ctype)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._eval(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(stmt.cond):
+                self._exec(stmt.then)
+            elif stmt.otherwise is not None:
+                self._exec(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(stmt.cond):
+                self._tick(stmt.line)
+                try:
+                    self._exec(stmt.body)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick(stmt.line)
+                try:
+                    self._exec(stmt.body)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(stmt.cond):
+                    break
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._exec(stmt.init)
+            while stmt.cond is None or self._truthy(stmt.cond):
+                self._tick(stmt.line)
+                try:
+                    self._exec(stmt.body)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value) if stmt.value is not None else 0
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Switch):
+            self._exec_switch(stmt)
+        elif isinstance(stmt, ast.LabelStmt):
+            self._exec(stmt.statement)
+        else:
+            raise InterpreterError(
+                f"cannot interpret {type(stmt).__name__} "
+                f"(line {stmt.line})")
+
+    def _exec_switch(self, stmt: ast.Switch) -> None:
+        value = _to_signed(self._eval(stmt.cond))
+        start: Optional[int] = None
+        default_index: Optional[int] = None
+        for index, (case_value, _body) in enumerate(stmt.cases):
+            if case_value is None:
+                default_index = index
+            elif _to_signed(case_value) == value:
+                start = index
+                break
+        if start is None:
+            start = default_index
+        if start is None:
+            return
+        try:
+            for _value, body in stmt.cases[start:]:
+                for child in body:
+                    self._exec(child)
+        except _BreakSignal:
+            pass
+
+    # -- expressions --------------------------------------------------------------------------
+    def _truthy(self, expr: ast.Expr) -> bool:
+        return (self._eval(expr) & MASK) != 0
+
+    def _lvalue(self, expr: ast.Expr) -> int:
+        """Evaluate to an address."""
+        if isinstance(expr, ast.Ident):
+            return self._symbol_address(expr.symbol)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._eval(expr.operand) & MASK
+        if isinstance(expr, ast.Index):
+            base_type = expr.base.ctype
+            if isinstance(base_type, ArrayType):
+                base = self._lvalue(expr.base)
+                element = base_type.element
+            else:
+                base = self._eval(expr.base)
+                element = base_type.decay().target
+            index = _to_signed(self._eval(expr.index))
+            return (base + index * element.size) & MASK
+        if isinstance(expr, ast.Member):
+            struct = (expr.base.ctype.decay().target if expr.arrow
+                      else expr.base.ctype)
+            offset = struct.field(expr.name).offset
+            base = (self._eval(expr.base) if expr.arrow
+                    else self._lvalue(expr.base))
+            return (base + offset) & MASK
+        raise InterpreterError(
+            f"not an lvalue: {type(expr).__name__} (line {expr.line})")
+
+    def _eval(self, expr: ast.Expr) -> int:
+        self._tick(expr.line)
+        result = self._eval_inner(expr)
+        return result & MASK
+
+    def _eval_inner(self, expr: ast.Expr) -> int:
+        if isinstance(expr, _Materialized):
+            return expr.value
+        if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+            return expr.value
+        if isinstance(expr, ast.StringLiteral):
+            return self._intern_string(expr.value)
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            if symbol.is_function:
+                return self._symbol_address(symbol)
+            if isinstance(symbol.ctype, ArrayType):
+                return self._symbol_address(symbol)   # decay
+            return self.load(self._symbol_address(symbol), symbol.ctype)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.Postfix):
+            return self._eval_postfix(expr)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr)
+        if isinstance(expr, ast.Conditional):
+            if self._truthy(expr.cond):
+                return self._eval(expr.then)
+            return self._eval(expr.otherwise)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Index):
+            address = self._lvalue(expr)
+            if isinstance(expr.ctype, ArrayType):
+                return address            # multi-level decay
+            return self.load(address, expr.ctype)
+        if isinstance(expr, ast.Member):
+            address = self._lvalue(expr)
+            if isinstance(expr.ctype, ArrayType):
+                return address
+            return self.load(address, expr.ctype)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand)
+            if isinstance(expr.target_type, CharType):
+                return value & 0xFF
+            return value
+        if isinstance(expr, ast.SizeOf):
+            target = (expr.target_type if expr.target_type is not None
+                      else expr.operand.ctype)
+            return target.size
+        raise InterpreterError(
+            f"cannot evaluate {type(expr).__name__} (line {expr.line})")
+
+    def _eval_unary(self, expr: ast.Unary) -> int:
+        op = expr.op
+        if op == "*":
+            address = self._eval(expr.operand)
+            if isinstance(expr.ctype, (ArrayType, FunctionType)):
+                return address
+            return self.load(address, expr.ctype)
+        if op == "&":
+            inner = expr.operand
+            if isinstance(inner, ast.Ident) and inner.symbol.is_function:
+                return self._symbol_address(inner.symbol)
+            return self._lvalue(inner)
+        if op == "-":
+            return -self._eval(expr.operand)
+        if op == "~":
+            return ~self._eval(expr.operand)
+        if op == "!":
+            return 0 if self._truthy(expr.operand) else 1
+        if op in ("++", "--"):
+            address = self._lvalue(expr.operand)
+            ctype = expr.operand.ctype
+            step = (ctype.target.size if ctype.is_pointer else 1)
+            value = self.load(address, ctype)
+            value = value + step if op == "++" else value - step
+            self.store(address, value, ctype)
+            return value
+        raise InterpreterError(f"bad unary {op}")
+
+    def _eval_postfix(self, expr: ast.Postfix) -> int:
+        address = self._lvalue(expr.operand)
+        ctype = expr.operand.ctype
+        step = (ctype.target.size if ctype.is_pointer else 1)
+        value = self.load(address, ctype)
+        updated = value + step if expr.op == "++" else value - step
+        self.store(address, updated, ctype)
+        return value
+
+    def _eval_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op == "&&":
+            return 1 if (self._truthy(expr.left)
+                         and self._truthy(expr.right)) else 0
+        if op == "||":
+            return 1 if (self._truthy(expr.left)
+                         or self._truthy(expr.right)) else 0
+
+        left_type = expr.left.ctype.decay()
+        right_type = expr.right.ctype.decay()
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+
+        # Pointer arithmetic.
+        if op in ("+", "-") and (left_type.is_pointer
+                                 or right_type.is_pointer):
+            if left_type.is_pointer and right_type.is_pointer:
+                return _truncdiv(_to_signed(left - right),
+                                 left_type.target.size)
+            if right_type.is_pointer:
+                left, right = right, left
+                left_type = right_type
+            scale = left_type.target.size
+            delta = _to_signed(right) * scale
+            return left + delta if op == "+" else left - delta
+
+        signed = self._is_signed_op(left_type, right_type)
+        a = _to_signed(left) if signed else left & MASK
+        b = _to_signed(right) if signed else right & MASK
+
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise InterpreterError(f"division by zero "
+                                       f"(line {expr.line})")
+            return _truncdiv(a, b)
+        if op == "%":
+            if b == 0:
+                raise InterpreterError(f"modulo by zero "
+                                       f"(line {expr.line})")
+            return _truncmod(a, b)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return (left << (right & 15)) & MASK
+        if op == ">>":
+            count = right & 15
+            if signed:
+                return _to_signed(left) >> count
+            return (left & MASK) >> count
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if left_type.is_pointer or right_type.is_pointer:
+                a, b = left & MASK, right & MASK
+            comparison = {
+                "==": a == b, "!=": a != b,
+                "<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b,
+            }[op]
+            return 1 if comparison else 0
+        raise InterpreterError(f"bad binary {op}")
+
+    @staticmethod
+    def _is_signed_op(left: CType, right: CType) -> bool:
+        def signedness(t: CType) -> bool:
+            if isinstance(t, CharType):
+                return True          # promotes to signed int
+            if isinstance(t, IntType):
+                return t.signed
+            return False             # pointers compare unsigned
+        return signedness(left) and signedness(right)
+
+    def _eval_assign(self, expr: ast.Assign) -> int:
+        address = self._lvalue(expr.target)
+        target_type = expr.target.ctype
+        value = self._eval(expr.value)
+        if expr.op == "=":
+            self.store(address, value, target_type)
+            return self.load(address, target_type)
+        base_op = expr.op[:-1]
+        current = self.load(address, target_type)
+        if target_type.is_pointer and base_op in ("+", "-"):
+            scale = target_type.target.size
+            delta = _to_signed(value) * scale
+            updated = current + delta if base_op == "+" else \
+                current - delta
+        else:
+            synthetic = ast.Binary(
+                line=expr.line, op=base_op,
+                left=_Materialized(current, target_type),
+                right=_Materialized(value, expr.value.ctype))
+            updated = self._eval_binary(synthetic)
+        self.store(address, updated, target_type)
+        return self.load(address, target_type)
+
+    def _eval_call(self, expr: ast.Call) -> int:
+        args = [self._eval(a) for a in expr.args]
+        # Direct call?
+        if isinstance(expr.func, ast.Ident):
+            symbol = expr.func.symbol
+            if symbol.kind is SymbolKind.API:
+                handler = self.host_api.get(symbol.name)
+                if handler is None:
+                    raise InterpreterError(
+                        f"no host handler for API {symbol.name!r}")
+                return int(handler(*args)) & MASK
+            if symbol.kind is SymbolKind.FUNC:
+                function = self.functions.get(symbol.name)
+                if function is None:
+                    raise InterpreterError(
+                        f"call to undefined function {symbol.name!r}")
+                return self._invoke(function, args)
+        # Indirect call through a function pointer value.
+        address = self._eval(expr.func)
+        name = self.addr_to_func.get(address)
+        if name is None:
+            raise InterpreterError(
+                f"bad function pointer 0x{address:04X} "
+                f"(line {expr.line})")
+        return self._invoke(self.functions[name], args)
+
+
+class _Materialized(ast.Expr):
+    """A pre-computed value wrapped as an expression for compound
+    assignment re-evaluation."""
+
+    def __init__(self, value: int, ctype: CType):
+        super().__init__(line=0, ctype=ctype)
+        self.value = value

@@ -1,0 +1,184 @@
+"""Hand-written lexer for MiniC.
+
+Handles ``//`` and ``/* */`` comments, decimal/hex/octal/binary integer
+literals with optional ``u``/``U`` suffix, character literals with the
+usual escapes, and string literals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CompileError
+from repro.cc.tokens import KEYWORDS, PUNCTUATORS, Token, TokenType
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "\\": "\\", "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f",
+    "v": "\v",
+}
+
+
+class _Lexer:
+    def __init__(self, source: str, filename: str = "<minic>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> CompileError:
+        return CompileError(message, self.line, self.col, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise CompileError("unterminated comment", start_line,
+                                       0, self.filename)
+            else:
+                return
+
+    def _read_escape(self) -> str:
+        self._advance()  # consume backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise self._error("bad \\x escape")
+            return chr(int(digits, 16) & 0xFF)
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        raise self._error(f"unknown escape \\{ch}")
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        text = ""
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 16)
+        elif self._peek() == "0" and self._peek(1) in "bB":
+            self._advance(2)
+            while self._peek() and self._peek() in "01":
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text[2:], 2)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 8) if (len(text) > 1
+                                     and text.startswith("0")) \
+                else int(text)
+        while self._peek() and self._peek() in "uUlL":  # skip suffixes
+            text += self._peek()
+            self._advance()
+        if value > 0xFFFF:
+            raise CompileError(
+                f"integer literal {text} exceeds 16 bits", line, col,
+                self.filename)
+        return Token(TokenType.NUMBER, text, line, col, value)
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenType.EOF, "", self.line, self.col))
+                return tokens
+            line, col = self.line, self.col
+            ch = self._peek()
+
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                text = self.source[start:self.pos]
+                kind = (TokenType.KEYWORD if text in KEYWORDS
+                        else TokenType.IDENT)
+                tokens.append(Token(kind, text, line, col))
+                continue
+
+            if ch.isdigit():
+                tokens.append(self._lex_number())
+                continue
+
+            if ch == "'":
+                self._advance()
+                if self._peek() == "\\":
+                    value = ord(self._read_escape())
+                else:
+                    if not self._peek():
+                        raise self._error("unterminated char literal")
+                    value = ord(self._peek())
+                    self._advance()
+                if self._peek() != "'":
+                    raise self._error("unterminated char literal")
+                self._advance()
+                tokens.append(Token(TokenType.CHAR, f"'{chr(value)}'",
+                                    line, col, value & 0xFF))
+                continue
+
+            if ch == '"':
+                self._advance()
+                chars: List[str] = []
+                while self._peek() and self._peek() != '"':
+                    if self._peek() == "\\":
+                        chars.append(self._read_escape())
+                    else:
+                        chars.append(self._peek())
+                        self._advance()
+                if self._peek() != '"':
+                    raise self._error("unterminated string literal")
+                self._advance()
+                tokens.append(Token(TokenType.STRING, "".join(chars),
+                                    line, col))
+                continue
+
+            for punct in PUNCTUATORS:
+                if self.source.startswith(punct, self.pos):
+                    self._advance(len(punct))
+                    tokens.append(Token(TokenType.PUNCT, punct, line, col))
+                    break
+            else:
+                raise self._error(f"stray character {ch!r}")
+
+
+def tokenize(source: str, filename: str = "<minic>") -> List[Token]:
+    return _Lexer(source, filename).tokenize()

@@ -1,0 +1,303 @@
+"""AST-level optimizer for MiniC.
+
+Runs **before** semantic analysis (``parse → optimize → analyze →
+generate``), so every later stage — sema's access enumeration, the
+AFT's check insertion, codegen — sees the simplified tree and all
+bookkeeping stays consistent.
+
+Passes (all semantics-preserving under MiniC's 16-bit rules):
+
+* **constant folding** — integer arithmetic/logic/comparisons over
+  literals, with the same wrap/truncation semantics as the runtime
+  (division folds only when the divisor is a nonzero literal);
+* **algebraic identities** — ``x+0``, ``x-0``, ``x*1``, ``x|0``,
+  ``x^0``, ``x&-1``, ``x<<0``, ``x>>0`` reduce to ``x``; ``x*0`` and
+  ``x&0`` reduce to ``0`` only when ``x`` has no side effects;
+* **branch pruning** — ``if (k)`` keeps one arm, ``while (0)`` and
+  constant-false ``for`` conditions drop the loop, constant
+  short-circuits (``0 && x``, ``1 || x``) fold;
+* **ternary folding** — ``k ? a : b`` picks an arm.
+
+The optimizer never touches lvalue structure, calls, or anything with
+side effects, so check *sites* (pointer dereferences, array accesses,
+indirect calls) are preserved exactly unless the whole statement was
+provably unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.cc import ast
+
+MASK = 0xFFFF
+
+_FOLDABLE_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b & 15),
+    ">>": lambda a, b: _signed(a) >> (b & 15),
+}
+
+_FOLDABLE_COMPARISONS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: _signed(a) < _signed(b),
+    ">": lambda a, b: _signed(a) > _signed(b),
+    "<=": lambda a, b: _signed(a) <= _signed(b),
+    ">=": lambda a, b: _signed(a) >= _signed(b),
+}
+
+
+def _signed(value: int) -> int:
+    value &= MASK
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _literal(expr) -> Optional[int]:
+    if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+        return expr.value & MASK
+    return None
+
+
+def _make_literal(value: int, line: int) -> ast.IntLiteral:
+    return ast.IntLiteral(line=line, value=value & MASK)
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    """No side effects and no memory access that could trap."""
+    if isinstance(expr, (ast.IntLiteral, ast.CharLiteral, ast.Ident,
+                         ast.SizeOf, ast.StringLiteral)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return expr.op in ("-", "~", "!") and _is_pure(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _is_pure(expr.left) and _is_pure(expr.right)
+    if isinstance(expr, ast.Cast):
+        return _is_pure(expr.operand)
+    return False
+
+
+class Optimizer:
+    """One pass of fold/prune; :func:`optimize_unit` iterates to a
+    fixed point (bounded)."""
+
+    def __init__(self) -> None:
+        self.changed = False
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, node: Optional[ast.Expr]) -> Optional[ast.Expr]:
+        if node is None:
+            return None
+        method = getattr(self, f"_expr_{type(node).__name__.lower()}",
+                         None)
+        if method is None:
+            return self._expr_generic(node)
+        return method(node)
+
+    def _expr_generic(self, node: ast.Expr) -> ast.Expr:
+        for name, value in vars(node).items():
+            if isinstance(value, ast.Expr):
+                setattr(node, name, self.expr(value))
+            elif isinstance(value, list):
+                setattr(node, name,
+                        [self.expr(v) if isinstance(v, ast.Expr) else v
+                         for v in value])
+        return node
+
+    def _expr_binary(self, node: ast.Binary) -> ast.Expr:
+        node.left = self.expr(node.left)
+        node.right = self.expr(node.right)
+        left = _literal(node.left)
+        right = _literal(node.right)
+        op = node.op
+
+        # constant folding
+        if left is not None and right is not None:
+            if op in _FOLDABLE_BINOPS:
+                self.changed = True
+                return _make_literal(_FOLDABLE_BINOPS[op](left, right),
+                                     node.line)
+            if op in _FOLDABLE_COMPARISONS:
+                self.changed = True
+                return _make_literal(
+                    int(_FOLDABLE_COMPARISONS[op](left, right)),
+                    node.line)
+            if op in ("/", "%") and right != 0:
+                self.changed = True
+                a, b = _signed(left), _signed(right)
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                result = q if op == "/" else a - q * b
+                return _make_literal(result, node.line)
+            if op == "&&":
+                self.changed = True
+                return _make_literal(int(bool(left) and bool(right)),
+                                     node.line)
+            if op == "||":
+                self.changed = True
+                return _make_literal(int(bool(left) or bool(right)),
+                                     node.line)
+
+        # constant short-circuits
+        if op == "&&" and left == 0:
+            self.changed = True
+            return _make_literal(0, node.line)
+        if op == "||" and left is not None and left != 0:
+            self.changed = True
+            return _make_literal(1, node.line)
+
+        # algebraic identities (right-literal forms)
+        if right is not None:
+            if (op, right) in ((("+", 0)), ("-", 0), ("|", 0),
+                               ("^", 0), ("<<", 0), (">>", 0)):
+                self.changed = True
+                return node.left
+            if op == "*" and right == 1:
+                self.changed = True
+                return node.left
+            if op == "&" and right == 0xFFFF:
+                self.changed = True
+                return node.left
+            if op in ("*", "&") and right == 0 and _is_pure(node.left):
+                self.changed = True
+                return _make_literal(0, node.line)
+        if left is not None:
+            if op == "+" and left == 0:
+                self.changed = True
+                return node.right
+            if op == "*" and left == 1:
+                self.changed = True
+                return node.right
+            if op in ("*", "&") and left == 0 and _is_pure(node.right):
+                self.changed = True
+                return _make_literal(0, node.line)
+        return node
+
+    def _expr_unary(self, node: ast.Unary) -> ast.Expr:
+        node.operand = self.expr(node.operand)
+        value = _literal(node.operand)
+        if value is not None and node.op in ("-", "~", "!"):
+            self.changed = True
+            folded = {"-": -value, "~": ~value,
+                      "!": int(value == 0)}[node.op]
+            return _make_literal(folded, node.line)
+        # --x == x is not an identity; leave ++/--/&/* alone
+        return node
+
+    def _expr_conditional(self, node: ast.Conditional) -> ast.Expr:
+        node.cond = self.expr(node.cond)
+        node.then = self.expr(node.then)
+        node.otherwise = self.expr(node.otherwise)
+        value = _literal(node.cond)
+        if value is not None:
+            self.changed = True
+            return node.then if value else node.otherwise
+        return node
+
+    def _expr_cast(self, node: ast.Cast) -> ast.Expr:
+        node.operand = self.expr(node.operand)
+        from repro.cc.types import CharType, IntType
+        value = _literal(node.operand)
+        if value is not None and isinstance(node.target_type, CharType):
+            self.changed = True
+            return _make_literal(value & 0xFF, node.line)
+        if value is not None and isinstance(node.target_type, IntType):
+            self.changed = True
+            return _make_literal(value, node.line)
+        return node
+
+    # -- statements --------------------------------------------------------------
+    def stmt(self, node: Optional[ast.Stmt]) -> Optional[ast.Stmt]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Block):
+            node.statements = [
+                out for out in (self.stmt(s) for s in node.statements)
+                if out is not None
+            ]
+            return node
+        if isinstance(node, ast.ExprStmt):
+            node.expr = self.expr(node.expr)
+            if node.expr is not None and _is_pure(node.expr):
+                # a pure expression statement has no effect at all
+                self.changed = True
+                return None
+            return node
+        if isinstance(node, ast.VarDecl):
+            if isinstance(node.init, list):
+                node.init = [self.expr(e) for e in node.init]
+            elif isinstance(node.init, ast.Expr) and \
+                    not isinstance(node.init, ast.StringLiteral):
+                node.init = self.expr(node.init)
+            return node
+        if isinstance(node, ast.If):
+            node.cond = self.expr(node.cond)
+            node.then = self.stmt(node.then)
+            node.otherwise = self.stmt(node.otherwise)
+            value = _literal(node.cond)
+            if value is not None:
+                self.changed = True
+                chosen = node.then if value else node.otherwise
+                return chosen if chosen is not None else None
+            return node
+        if isinstance(node, ast.While):
+            node.cond = self.expr(node.cond)
+            node.body = self.stmt(node.body)
+            value = _literal(node.cond)
+            if value == 0:
+                self.changed = True
+                return None
+            return node
+        if isinstance(node, ast.DoWhile):
+            node.body = self.stmt(node.body)
+            node.cond = self.expr(node.cond)
+            return node
+        if isinstance(node, ast.For):
+            node.init = self.stmt(node.init)
+            node.cond = self.expr(node.cond)
+            node.step = self.expr(node.step)
+            node.body = self.stmt(node.body)
+            if _literal(node.cond) == 0:
+                self.changed = True
+                # the init clause may still have effects
+                return node.init
+            return node
+        if isinstance(node, ast.Return):
+            node.value = self.expr(node.value)
+            return node
+        if isinstance(node, ast.Switch):
+            node.cond = self.expr(node.cond)
+            node.cases = [
+                (value, [out for out in (self.stmt(s) for s in body)
+                         if out is not None])
+                for value, body in node.cases
+            ]
+            return node
+        if isinstance(node, ast.LabelStmt):
+            node.statement = self.stmt(node.statement)
+            return node
+        return node
+
+    # -- top level ----------------------------------------------------------------
+    def unit(self, unit: ast.TranslationUnit) -> ast.TranslationUnit:
+        for function in unit.functions:
+            if function.body is not None:
+                function.body = self.stmt(function.body)
+        return unit
+
+
+def optimize_unit(unit: ast.TranslationUnit,
+                  max_passes: int = 8) -> ast.TranslationUnit:
+    """Iterate fold/prune passes to a fixed point."""
+    for _ in range(max_passes):
+        optimizer = Optimizer()
+        unit = optimizer.unit(unit)
+        if not optimizer.changed:
+            break
+    return unit

@@ -1,0 +1,706 @@
+"""Recursive-descent parser for MiniC.
+
+Produces a :class:`~repro.cc.ast.TranslationUnit`.  Full C declarator
+syntax is supported (``int (*fp)(int, int)``, ``char *argv[4]``, ...),
+since function pointers are one of the language features the paper's
+isolation technique exists to allow.
+
+``switch`` is parsed into case groups executed sequentially, so C
+fall-through semantics survive code generation.  ``goto`` and inline
+``asm`` parse successfully — AFT phase 1 rejects them later with a
+proper diagnostic, mirroring the paper's toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.cc import ast
+from repro.cc.lexer import tokenize
+from repro.cc.tokens import Token, TokenType
+from repro.cc.types import (
+    ArrayType,
+    CHAR,
+    CType,
+    FunctionType,
+    INT,
+    PointerType,
+    StructType,
+    UINT,
+    VOID,
+)
+
+_TYPE_KEYWORDS = frozenset({
+    "int", "unsigned", "signed", "char", "void", "struct", "const",
+    "static",
+})
+
+_ASSIGN_OPS = frozenset({
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+})
+
+_BINARY_LEVELS: Tuple[Tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Declarator:
+    pass
+
+
+class _DName(_Declarator):
+    def __init__(self, name: str, line: int):
+        self.name = name
+        self.line = line
+
+
+class _DPointer(_Declarator):
+    def __init__(self, inner: _Declarator):
+        self.inner = inner
+
+
+class _DArray(_Declarator):
+    def __init__(self, inner: _Declarator, length: Optional[int]):
+        self.inner = inner
+        self.length = length
+
+
+class _DFunc(_Declarator):
+    def __init__(self, inner: _Declarator,
+                 params: List[ast.Param], variadic: bool):
+        self.inner = inner
+        self.params = params
+        self.variadic = variadic
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<minic>"):
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+        self.filename = filename
+        self.structs: Dict[str, StructType] = {}
+        self._label_counter = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None
+               ) -> CompileError:
+        token = token if token is not None else self._peek()
+        return CompileError(message, token.line, token.col, self.filename)
+
+    def _accept(self, text: str) -> Optional[Token]:
+        token = self._peek()
+        if (token.type in (TokenType.PUNCT, TokenType.KEYWORD)
+                and token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, text: str) -> Token:
+        token = self._accept(text)
+        if token is None:
+            raise self._error(f"expected {text!r}, found "
+                              f"{self._peek().text!r}")
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, found {token.text!r}")
+        return self._next()
+
+    # -- types ------------------------------------------------------------------
+    def _starts_type(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return (token.type is TokenType.KEYWORD
+                and token.text in _TYPE_KEYWORDS)
+
+    def _parse_base_type(self) -> Tuple[CType, bool, bool]:
+        """Returns (type, is_static, is_const)."""
+        is_static = is_const = False
+        signedness: Optional[bool] = None
+        base: Optional[CType] = None
+        while True:
+            token = self._peek()
+            if token.is_keyword("static"):
+                is_static = True
+                self._next()
+            elif token.is_keyword("const"):
+                is_const = True
+                self._next()
+            elif token.is_keyword("unsigned"):
+                signedness = False
+                self._next()
+            elif token.is_keyword("signed"):
+                signedness = True
+                self._next()
+            elif token.is_keyword("int"):
+                self._next()
+                base = INT
+            elif token.is_keyword("char"):
+                self._next()
+                base = CHAR
+            elif token.is_keyword("void"):
+                self._next()
+                base = VOID
+            elif token.is_keyword("struct"):
+                self._next()
+                tag = self._expect_ident().text
+                if tag not in self.structs:
+                    self.structs[tag] = StructType(tag)
+                base = self.structs[tag]
+            else:
+                break
+        if base is None:
+            if signedness is None:
+                raise self._error("expected a type")
+            base = INT if signedness else UINT
+        elif base is INT and signedness is not None:
+            base = INT if signedness else UINT
+        # 'signed char' / 'unsigned char' both map to the one char type;
+        # MiniC chars are unsigned (see repro.cc.types).
+        return base, is_static, is_const
+
+    # -- declarators -----------------------------------------------------------
+    def _parse_declarator(self, allow_abstract: bool = False) -> _Declarator:
+        if self._accept("*"):
+            return _DPointer(self._parse_declarator(allow_abstract))
+        return self._parse_direct(allow_abstract)
+
+    def _parse_direct(self, allow_abstract: bool) -> _Declarator:
+        token = self._peek()
+        if token.is_punct("("):
+            # '(' declarator ')' — but '( )' or '(type' is a parameter
+            # list of an abstract function declarator.
+            if self._starts_type(1) or self._peek(1).is_punct(")"):
+                inner: _Declarator = _DName("", token.line)
+            else:
+                self._next()
+                inner = self._parse_declarator(allow_abstract)
+                self._expect(")")
+        elif token.type is TokenType.IDENT:
+            self._next()
+            inner = _DName(token.text, token.line)
+        elif allow_abstract:
+            inner = _DName("", token.line)
+        else:
+            raise self._error("expected declarator")
+
+        while True:
+            if self._accept("["):
+                length: Optional[int] = None
+                if not self._peek().is_punct("]"):
+                    length = self._parse_const_int()
+                self._expect("]")
+                inner = _DArray(inner, length)
+            elif self._accept("("):
+                params, variadic = self._parse_params()
+                self._expect(")")
+                inner = _DFunc(inner, params, variadic)
+            else:
+                return inner
+
+    def _parse_params(self) -> Tuple[List[ast.Param], bool]:
+        params: List[ast.Param] = []
+        variadic = False
+        if self._peek().is_punct(")"):
+            return params, variadic
+        if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+            self._next()
+            return params, variadic
+        while True:
+            if self._accept("..."):
+                variadic = True
+                break
+            base, _static, _const = self._parse_base_type()
+            declarator = self._parse_declarator(allow_abstract=True)
+            name, ctype = self._apply_declarator(declarator, base)
+            # Array parameters decay to pointers.
+            if isinstance(ctype, ArrayType):
+                ctype = PointerType(ctype.element)
+            if isinstance(ctype, FunctionType):
+                ctype = PointerType(ctype)
+            params.append(ast.Param(name, ctype, self._peek().line))
+            if not self._accept(","):
+                break
+        return params, variadic
+
+    def _apply_declarator(self, declarator: _Declarator,
+                          base: CType) -> Tuple[str, CType]:
+        if isinstance(declarator, _DName):
+            return declarator.name, base
+        if isinstance(declarator, _DPointer):
+            return self._apply_declarator(declarator.inner,
+                                          PointerType(base))
+        if isinstance(declarator, _DArray):
+            length = declarator.length if declarator.length is not None \
+                else 0
+            return self._apply_declarator(declarator.inner,
+                                          ArrayType(base, length))
+        if isinstance(declarator, _DFunc):
+            ftype = FunctionType(
+                base, tuple(p.ctype for p in declarator.params),
+                declarator.variadic)
+            name, ctype = self._apply_declarator(declarator.inner, ftype)
+            return name, ctype
+        raise self._error("bad declarator")
+
+    def _declarator_params(self, declarator: _Declarator
+                           ) -> Optional[List[ast.Param]]:
+        """Extract the outermost function parameter list, if this
+        declarator declares a function (not a function pointer)."""
+        if isinstance(declarator, _DFunc) and \
+                isinstance(declarator.inner, _DName):
+            return declarator.params
+        return None
+
+    def _parse_type_name(self) -> CType:
+        base, _static, _const = self._parse_base_type()
+        declarator = self._parse_declarator(allow_abstract=True)
+        _name, ctype = self._apply_declarator(declarator, base)
+        return ctype
+
+    def _parse_const_int(self) -> int:
+        expr = self._parse_conditional()
+        value = _const_eval(expr)
+        if value is None:
+            raise self._error("expected a constant expression")
+        return value
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, op=token.text,
+                              target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then = self.parse_expression()
+            self._expect(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond, then=then,
+                                   otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if token.type is TokenType.PUNCT and \
+                    token.text in _BINARY_LEVELS[level]:
+                self._next()
+                right = self._parse_binary(level + 1)
+                left = ast.Binary(line=token.line, op=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.text in (
+                "-", "!", "~", "*", "&", "+"):
+            self._next()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(line=token.line, op=token.text,
+                             operand=operand)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.text,
+                             operand=operand)
+        if token.is_keyword("sizeof"):
+            self._next()
+            if self._peek().is_punct("(") and self._starts_type(1):
+                self._expect("(")
+                ctype = self._parse_type_name()
+                self._expect(")")
+                return ast.SizeOf(line=token.line, target_type=ctype)
+            operand = self._parse_unary()
+            return ast.SizeOf(line=token.line, operand=operand)
+        if token.is_punct("(") and self._starts_type(1):
+            self._next()
+            ctype = self._parse_type_name()
+            self._expect(")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, target_type=ctype,
+                            operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                expr = ast.Call(line=token.line, func=expr, args=args)
+            elif token.is_punct("["):
+                self._next()
+                index = self.parse_expression()
+                self._expect("]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.is_punct("."):
+                self._next()
+                name = self._expect_ident().text
+                expr = ast.Member(line=token.line, base=expr, name=name)
+            elif token.is_punct("->"):
+                self._next()
+                name = self._expect_ident().text
+                expr = ast.Member(line=token.line, base=expr, name=name,
+                                  arrow=True)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._next()
+                expr = ast.Postfix(line=token.line, op=token.text,
+                                   operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._next()
+        if token.type is TokenType.NUMBER:
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.type is TokenType.CHAR:
+            return ast.CharLiteral(line=token.line, value=token.value)
+        if token.type is TokenType.STRING:
+            return ast.StringLiteral(line=token.line, value=token.text)
+        if token.type is TokenType.IDENT:
+            return ast.Ident(line=token.line, name=token.text)
+        if token.is_punct("("):
+            expr = self.parse_expression()
+            self._expect(")")
+            return expr
+        raise self._error(f"unexpected token {token.text!r}", token)
+
+    # -- statements --------------------------------------------------------------
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("if"):
+            self._next()
+            self._expect("(")
+            cond = self.parse_expression()
+            self._expect(")")
+            then = self._parse_statement()
+            otherwise = None
+            if self._accept("else"):
+                otherwise = self._parse_statement()
+            return ast.If(line=token.line, cond=cond, then=then,
+                          otherwise=otherwise)
+        if token.is_keyword("while"):
+            self._next()
+            self._expect("(")
+            cond = self.parse_expression()
+            self._expect(")")
+            body = self._parse_statement()
+            return ast.While(line=token.line, cond=cond, body=body)
+        if token.is_keyword("do"):
+            self._next()
+            body = self._parse_statement()
+            self._expect("while")
+            self._expect("(")
+            cond = self.parse_expression()
+            self._expect(")")
+            self._expect(";")
+            return ast.DoWhile(line=token.line, body=body, cond=cond)
+        if token.is_keyword("for"):
+            self._next()
+            self._expect("(")
+            init: Optional[ast.Stmt] = None
+            if not self._peek().is_punct(";"):
+                if self._starts_type():
+                    init = self._parse_declaration_statement()
+                else:
+                    init = ast.ExprStmt(line=token.line,
+                                        expr=self.parse_expression())
+                    self._expect(";")
+            else:
+                self._expect(";")
+            cond = None
+            if not self._peek().is_punct(";"):
+                cond = self.parse_expression()
+            self._expect(";")
+            step = None
+            if not self._peek().is_punct(")"):
+                step = self.parse_expression()
+            self._expect(")")
+            body = self._parse_statement()
+            return ast.For(line=token.line, init=init, cond=cond,
+                           step=step, body=body)
+        if token.is_keyword("return"):
+            self._next()
+            value = None
+            if not self._peek().is_punct(";"):
+                value = self.parse_expression()
+            self._expect(";")
+            return ast.Return(line=token.line, value=value)
+        if token.is_keyword("break"):
+            self._next()
+            self._expect(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._next()
+            self._expect(";")
+            return ast.Continue(line=token.line)
+        if token.is_keyword("goto"):
+            self._next()
+            label = self._expect_ident().text
+            self._expect(";")
+            return ast.Goto(line=token.line, label=label)
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("asm") or token.is_keyword("__asm__"):
+            self._next()
+            self._expect("(")
+            text_token = self._next()
+            if text_token.type is not TokenType.STRING:
+                raise self._error("asm() needs a string", text_token)
+            self._expect(")")
+            self._expect(";")
+            return ast.InlineAsm(line=token.line, text=text_token.text)
+        if token.type is TokenType.IDENT and self._peek(1).is_punct(":"):
+            self._next()
+            self._next()
+            statement = self._parse_statement()
+            return ast.LabelStmt(line=token.line, name=token.text,
+                                 statement=statement)
+        if self._starts_type():
+            return self._parse_declaration_statement()
+        if token.is_punct(";"):
+            self._next()
+            return ast.ExprStmt(line=token.line, expr=None)
+
+        expr = self.parse_expression()
+        self._expect(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_switch(self) -> ast.Stmt:
+        token = self._expect("switch")
+        self._expect("(")
+        cond = self.parse_expression()
+        self._expect(")")
+        self._expect("{")
+        cases: List[Tuple[Optional[int], List[ast.Stmt]]] = []
+        current: Optional[List[ast.Stmt]] = None
+        while not self._peek().is_punct("}"):
+            if self._accept("case"):
+                value = self._parse_const_int()
+                self._expect(":")
+                current = []
+                cases.append((value, current))
+            elif self._accept("default"):
+                self._expect(":")
+                current = []
+                cases.append((None, current))
+            else:
+                if current is None:
+                    raise self._error("statement before first case label")
+                current.append(self._parse_statement())
+        self._expect("}")
+        return ast.Switch(line=token.line, cond=cond, cases=cases)
+
+    def _parse_block(self) -> ast.Block:
+        token = self._expect("{")
+        statements: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().type is TokenType.EOF:
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return ast.Block(line=token.line, statements=statements)
+
+    def _parse_initializer(self) -> Union[ast.Expr, List[ast.Expr]]:
+        if self._accept("{"):
+            items: List[ast.Expr] = []
+            if not self._peek().is_punct("}"):
+                while True:
+                    items.append(self._parse_assignment())
+                    if not self._accept(","):
+                        break
+            self._expect("}")
+            return items
+        return self._parse_assignment()
+
+    def _parse_declaration_statement(self) -> ast.Stmt:
+        base, is_static, is_const = self._parse_base_type()
+        block = ast.Block(line=self._peek().line)
+        while True:
+            declarator = self._parse_declarator()
+            name, ctype = self._apply_declarator(declarator, base)
+            if not name:
+                raise self._error("declaration needs a name")
+            decl = ast.VarDecl(line=self._peek().line, name=name,
+                               ctype=ctype, is_static=is_static,
+                               is_const=is_const)
+            if self._accept("="):
+                decl.init = self._parse_initializer()
+                decl.ctype = _infer_array_length(decl.ctype, decl.init)
+            block.statements.append(decl)
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(block.statements) == 1:
+            return block.statements[0]
+        return block
+
+    # -- top level -------------------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while self._peek().type is not TokenType.EOF:
+            if self._peek().is_keyword("struct") and \
+                    self._peek(2).is_punct("{"):
+                self._parse_struct_definition()
+                continue
+            base, is_static, is_const = self._parse_base_type()
+            if self._accept(";"):
+                continue       # bare 'struct foo;' declaration
+            declarator = self._parse_declarator()
+            name, ctype = self._apply_declarator(declarator, base)
+            if isinstance(ctype, FunctionType) and self._peek().is_punct("{"):
+                params = self._declarator_params(declarator) or []
+                body = self._parse_block()
+                unit.functions.append(
+                    ast.FunctionDef(line=body.line, name=name,
+                                    ret=ctype.ret, params=params,
+                                    body=body, is_static=is_static))
+                continue
+            if isinstance(ctype, FunctionType):
+                # prototype; record as a declaration-only function
+                params = self._declarator_params(declarator) or []
+                unit.functions.append(
+                    ast.FunctionDef(line=self._peek().line, name=name,
+                                    ret=ctype.ret, params=params,
+                                    body=None, is_static=is_static))
+                self._expect(";")
+                continue
+            # global variable(s)
+            while True:
+                decl = ast.VarDecl(line=self._peek().line, name=name,
+                                   ctype=ctype, is_static=is_static,
+                                   is_const=is_const)
+                if self._accept("="):
+                    decl.init = self._parse_initializer()
+                    decl.ctype = _infer_array_length(decl.ctype, decl.init)
+                unit.globals.append(decl)
+                if not self._accept(","):
+                    break
+                declarator = self._parse_declarator()
+                name, ctype = self._apply_declarator(declarator, base)
+            self._expect(";")
+        return unit
+
+    def _parse_struct_definition(self) -> None:
+        self._expect("struct")
+        tag = self._expect_ident().text
+        if tag in self.structs and self.structs[tag].complete:
+            raise self._error(f"struct {tag} redefined")
+        struct = self.structs.setdefault(tag, StructType(tag))
+        self._expect("{")
+        while not self._peek().is_punct("}"):
+            base, _static, _const = self._parse_base_type()
+            while True:
+                declarator = self._parse_declarator()
+                name, ctype = self._apply_declarator(declarator, base)
+                if isinstance(ctype, StructType) and not ctype.complete:
+                    raise self._error(
+                        f"field {name!r} has incomplete type {ctype}")
+                struct.add_field(name, ctype, self._peek().line)
+                if not self._accept(","):
+                    break
+            self._expect(";")
+        self._expect("}")
+        self._expect(";")
+        struct.finish()
+
+
+def _const_eval(expr: ast.Expr) -> Optional[int]:
+    """Fold the constant expressions used in case labels and array sizes."""
+    if isinstance(expr, (ast.IntLiteral, ast.CharLiteral)):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_eval(expr.operand)
+        return None if inner is None else (-inner) & 0xFFFF
+    if isinstance(expr, ast.Unary) and expr.op == "~":
+        inner = _const_eval(expr.operand)
+        return None if inner is None else (~inner) & 0xFFFF
+    if isinstance(expr, ast.Binary):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right if right else None,
+                "%": lambda: left % right if right else None,
+                "<<": lambda: left << (right & 15),
+                ">>": lambda: left >> (right & 15),
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+            }[expr.op]() & 0xFFFF
+        except (KeyError, TypeError):
+            return None
+    return None
+
+
+def _infer_array_length(ctype: CType,
+                        init: Union[ast.Expr, List[ast.Expr]]) -> CType:
+    if isinstance(ctype, ArrayType) and ctype.length == 0:
+        if isinstance(init, list):
+            return ArrayType(ctype.element, len(init))
+        if isinstance(init, ast.StringLiteral):
+            return ArrayType(ctype.element, len(init.value) + 1)
+    return ctype
+
+
+def parse(source: str, filename: str = "<minic>") -> ast.TranslationUnit:
+    """Parse MiniC source into a translation unit.
+
+    The parser instance's ``structs`` table rides along on the returned
+    unit as ``unit.structs`` for sema's benefit.
+    """
+    parser = Parser(source, filename)
+    unit = parser.parse_unit()
+    unit.structs = parser.structs  # type: ignore[attr-defined]
+    return unit

@@ -1,0 +1,188 @@
+"""Hand-written assembly runtime for compiled MiniC.
+
+The MSP430 core has no multiply or divide instructions (the FR5969's
+MPY32 peripheral is not modeled), so the compiler calls these helpers.
+Contract: helpers clobber **R12-R15 only** and return results in R12 —
+that is what lets the code generator keep expression temporaries in
+R5-R11 across helper calls.
+
+Also here: ``__aft_check_index``, the Feature-Limited bounds-check
+helper.  The original Amulet toolchain implemented its array check
+out-of-line; the call/return overhead is why the paper's Table 1 shows
+Feature Limited with the *most* expensive memory accesses (41 cycles
+vs. 29/32 for the inlined MPU / Software-Only checks).
+"""
+
+from __future__ import annotations
+
+from repro.ports import DONE_PORT, FAULT_PORT
+
+RUNTIME_ASM = """
+        .text
+        .global __mulhi, __udivmod, __udivhi, __uremhi
+        .global __divhi, __remhi
+        .global __ashlhi, __ashrhi, __lshrhi
+        .global __aft_check_index
+
+; R12 * R13 -> R12 (low 16 bits; sign-agnostic)
+__mulhi:
+        MOV R12, R14
+        MOV #0, R12
+        TST R13
+        JEQ .mul_done
+.mul_loop:
+        BIT #1, R13
+        JEQ .mul_skip
+        ADD R14, R12
+.mul_skip:
+        RLA R14
+        CLRC
+        RRC R13
+        JNE .mul_loop
+.mul_done:
+        RET
+
+; unsigned R12 / R13 -> quotient R12, remainder R15
+; divide-by-zero yields quotient 0xFFFF, remainder = dividend
+__udivmod:
+        TST R13
+        JNE .div_ok
+        MOV R12, R15
+        MOV #0xFFFF, R12
+        RET
+.div_ok:
+        MOV #0, R15
+        MOV #16, R14
+.div_loop:
+        RLA R12
+        RLC R15
+        CMP R13, R15
+        JLO .div_skip
+        SUB R13, R15
+        BIS #1, R12
+.div_skip:
+        DEC R14
+        JNE .div_loop
+        RET
+
+__udivhi:
+        CALL #__udivmod
+        RET
+
+__uremhi:
+        CALL #__udivmod
+        MOV R15, R12
+        RET
+
+; signed division, C truncation toward zero
+__divhi:
+        MOV R12, R14
+        XOR R13, R14            ; sign of the quotient
+        PUSH R14
+        TST R12
+        JGE .divs_1
+        INV R12
+        INC R12
+.divs_1:
+        TST R13
+        JGE .divs_2
+        INV R13
+        INC R13
+.divs_2:
+        CALL #__udivmod
+        POP R14
+        TST R14
+        JGE .divs_done
+        INV R12
+        INC R12
+.divs_done:
+        RET
+
+; signed remainder: sign follows the dividend (C semantics)
+__remhi:
+        PUSH R12
+        TST R12
+        JGE .rems_1
+        INV R12
+        INC R12
+.rems_1:
+        TST R13
+        JGE .rems_2
+        INV R13
+        INC R13
+.rems_2:
+        CALL #__udivmod
+        MOV R15, R12
+        POP R14
+        TST R14
+        JGE .rems_done
+        INV R12
+        INC R12
+.rems_done:
+        RET
+
+; R12 << (R13 & 15) -> R12
+__ashlhi:
+        AND #15, R13
+        JEQ .shl_done
+.shl_loop:
+        RLA R12
+        DEC R13
+        JNE .shl_loop
+.shl_done:
+        RET
+
+; arithmetic R12 >> (R13 & 15) -> R12
+__ashrhi:
+        AND #15, R13
+        JEQ .shr_done
+.shr_loop:
+        RRA R12
+        DEC R13
+        JNE .shr_loop
+.shr_done:
+        RET
+
+; logical R12 >> (R13 & 15) -> R12
+__lshrhi:
+        AND #15, R13
+        JEQ .lshr_done
+.lshr_loop:
+        CLRC
+        RRC R12
+        DEC R13
+        JNE .lshr_loop
+.lshr_done:
+        RET
+
+; Feature-Limited array bounds check: index R12, length R13.
+; A negative index is a huge unsigned value, so one unsigned compare
+; covers both ends.  Faults never return.
+__aft_check_index:
+        CMP R13, R12
+        JHS .idx_fault
+        RET
+.idx_fault:
+        BR #__fault
+"""
+
+FAULT_STUB_ASM = f"""
+        .text
+        .global __fault
+
+; Standalone fault sink for bare-metal tests (the kernel installs its
+; own __fault with app logging instead).  Reports through the fault
+; port, halts through the done port, then parks the CPU.
+__fault:
+        MOV #1, &0x{FAULT_PORT:04X}
+        MOV #1, &0x{DONE_PORT:04X}
+.fault_spin:
+        JMP .fault_spin
+"""
+
+
+def runtime_asm(with_fault_stub: bool = True) -> str:
+    """The runtime library source; one copy links into every firmware."""
+    if with_fault_stub:
+        return RUNTIME_ASM + FAULT_STUB_ASM
+    return RUNTIME_ASM

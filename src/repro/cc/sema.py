@@ -1,0 +1,543 @@
+"""Semantic analysis for MiniC.
+
+Two responsibilities, both feeding the AFT:
+
+1. **Type checking & name resolution** — annotate every expression with
+   its C type, resolve identifiers to symbols, verify calls/members/
+   indexing, and mark lvalues.
+
+2. **Language restriction enforcement** — the paper compares language
+   profiles: *AmuletC* (no pointers, no recursion, no goto, no inline
+   assembly) against *full C* (everything but goto/asm).  The profile
+   drives which constructs are rejected.  Recursion is detected later by
+   the AFT's call-graph phase (it needs the whole-unit graph), so the
+   profile only records whether it is permitted.
+
+The analysis also enumerates what AFT phase 1 needs: every memory
+access (array index, pointer dereference), every call edge, and every
+API call, "on an app by app basis" (paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CompileError, RestrictionError
+from repro.cc import ast
+from repro.cc.symbols import (
+    ApiTable,
+    Scope,
+    Symbol,
+    SymbolKind,
+)
+from repro.cc.types import (
+    ArrayType,
+    CHAR,
+    CType,
+    FunctionType,
+    INT,
+    PointerType,
+    StructType,
+    UINT,
+    VOID,
+    assignable,
+    common_type,
+)
+
+
+@dataclass(frozen=True)
+class LanguageProfile:
+    """Which language features are admitted before instrumentation."""
+
+    name: str
+    allow_pointers: bool
+    allow_recursion: bool
+    allow_goto: bool = False
+    allow_asm: bool = False
+
+
+#: The original Amulet language: no pointers, no recursion (paper §1).
+AMULET_C = LanguageProfile("AmuletC", allow_pointers=False,
+                           allow_recursion=False)
+
+#: The paper's contribution targets: full C with pointers and recursion.
+FULL_C = LanguageProfile("C", allow_pointers=True, allow_recursion=True)
+
+
+@dataclass
+class SemaResult:
+    unit: ast.TranslationUnit
+    profile: LanguageProfile
+    globals_scope: Scope
+    # AFT phase-1 facts:
+    array_accesses: List[ast.Index] = field(default_factory=list)
+    pointer_derefs: List[ast.Expr] = field(default_factory=list)
+    fn_pointer_calls: List[ast.Call] = field(default_factory=list)
+    api_calls: List[Tuple[str, ast.Call]] = field(default_factory=list)
+    call_edges: List[Tuple[str, str]] = field(default_factory=list)
+    functions: Dict[str, Symbol] = field(default_factory=dict)
+
+    def callees_of(self, name: str) -> Set[str]:
+        return {callee for caller, callee in self.call_edges
+                if caller == name}
+
+
+class _Analyzer:
+    def __init__(self, unit: ast.TranslationUnit,
+                 profile: LanguageProfile,
+                 api: Optional[ApiTable] = None,
+                 filename: str = "<minic>"):
+        self.unit = unit
+        self.profile = profile
+        self.api = api if api is not None else ApiTable()
+        self.filename = filename
+        self.globals = Scope()
+        self.result = SemaResult(unit, profile, self.globals)
+        self.current_function: Optional[str] = None
+        self.current_return: CType = VOID
+        self.loop_depth = 0
+
+    # -- helpers ------------------------------------------------------------
+    def _error(self, message: str, line: int) -> CompileError:
+        return CompileError(message, line, 0, self.filename)
+
+    def _restricted(self, message: str, line: int) -> RestrictionError:
+        return RestrictionError(
+            f"{message} (not allowed in {self.profile.name})",
+            line, 0, self.filename)
+
+    def _check_type_allowed(self, ctype: CType, line: int) -> None:
+        if self.profile.allow_pointers:
+            return
+        probe = ctype
+        while isinstance(probe, ArrayType):
+            probe = probe.element
+        if isinstance(probe, PointerType):
+            raise self._restricted("pointer types", line)
+
+    # -- entry point -----------------------------------------------------------
+    def run(self) -> SemaResult:
+        # API functions and sysvars enter the global scope first, so an
+        # app cannot shadow or redefine them accidentally.
+        for api in self.api.functions.values():
+            self.globals.define(Symbol(
+                api.name, api.ctype, SymbolKind.API,
+                label=self.api.gate_symbol(api.name),
+                service_id=api.service_id))
+        for name, ctype in self.api.sysvars.items():
+            self.globals.define(Symbol(
+                name, ctype, SymbolKind.SYSVAR, is_const=True,
+                label=self.api.sysvar_symbol(name)))
+
+        # Predeclare all functions (C programs call forward).
+        for function in self.unit.functions:
+            ftype = FunctionType(function.ret,
+                                 tuple(p.ctype for p in function.params))
+            existing = self.globals.entries.get(function.name)
+            if existing is not None:
+                if existing.kind is not SymbolKind.FUNC:
+                    raise self._error(
+                        f"{function.name!r} conflicts with an API or "
+                        f"system symbol", function.line)
+                function.symbol = existing
+                continue
+            symbol = self.globals.define(Symbol(
+                function.name, ftype, SymbolKind.FUNC, function.line,
+                is_static=function.is_static, label=function.name))
+            function.symbol = symbol
+            self.result.functions[function.name] = symbol
+
+        for decl in self.unit.globals:
+            self._check_type_allowed(decl.ctype, decl.line)
+            # label stays None until the code generator mangles it
+            symbol = self.globals.define(Symbol(
+                decl.name, decl.ctype, SymbolKind.GLOBAL, decl.line,
+                is_static=decl.is_static, is_const=decl.is_const))
+            decl.symbol = symbol
+            self._check_global_init(decl)
+
+        for function in self.unit.functions:
+            if function.body is not None:
+                self._analyze_function(function)
+        return self.result
+
+    def _check_global_init(self, decl: ast.VarDecl) -> None:
+        if decl.init is None:
+            return
+        items = decl.init if isinstance(decl.init, list) else [decl.init]
+        for item in items:
+            if isinstance(item, ast.StringLiteral):
+                continue
+            from repro.cc.parser import _const_eval
+            if _const_eval(item) is None:
+                raise self._error(
+                    f"global {decl.name!r} initializer must be constant",
+                    decl.line)
+        if isinstance(decl.init, list):
+            if not isinstance(decl.ctype, (ArrayType, StructType)):
+                raise self._error(
+                    f"brace initializer on non-aggregate {decl.name!r}",
+                    decl.line)
+            if isinstance(decl.ctype, ArrayType) \
+                    and len(decl.init) > decl.ctype.length:
+                raise self._error(
+                    f"too many initializers for {decl.name!r}", decl.line)
+
+    # -- functions ---------------------------------------------------------------
+    def _analyze_function(self, function: ast.FunctionDef) -> None:
+        self.current_function = function.name
+        self.current_return = function.ret
+        scope = Scope(self.globals)
+        for param in function.params:
+            self._check_type_allowed(param.ctype, param.line)
+            symbol = Symbol(param.name, param.ctype, SymbolKind.PARAM,
+                            param.line)
+            scope.define(symbol)
+            param.symbol = symbol
+        self._stmt(function.body, scope)
+        self.current_function = None
+
+    # -- statements ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = Scope(scope)
+            for child in stmt.statements:
+                self._stmt(child, inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_type_allowed(stmt.ctype, stmt.line)
+            if stmt.ctype.is_void:
+                raise self._error(f"variable {stmt.name!r} has void type",
+                                  stmt.line)
+            if stmt.is_static:
+                raise self._error(
+                    "static locals are not supported; use a file-scope "
+                    "variable", stmt.line)
+            symbol = Symbol(stmt.name, stmt.ctype, SymbolKind.LOCAL,
+                            stmt.line, is_const=stmt.is_const)
+            scope.define(symbol)
+            stmt.symbol = symbol
+            if stmt.init is not None:
+                items = (stmt.init if isinstance(stmt.init, list)
+                         else [stmt.init])
+                for item in items:
+                    self._expr(item, scope)
+                if not isinstance(stmt.init, list) and \
+                        not isinstance(stmt.init, ast.StringLiteral):
+                    if not assignable(stmt.ctype, stmt.init.ctype):
+                        raise self._error(
+                            f"cannot initialize {stmt.ctype} with "
+                            f"{stmt.init.ctype}", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._scalar_expr(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._scalar_expr(stmt.cond, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._scalar_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._scalar_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, scope)
+                if self.current_return.is_void:
+                    raise self._error("return with a value in void "
+                                      "function", stmt.line)
+                if not assignable(self.current_return, stmt.value.ctype):
+                    raise self._error(
+                        f"cannot return {stmt.value.ctype} as "
+                        f"{self.current_return}", stmt.line)
+            elif not self.current_return.is_void:
+                raise self._error("return without a value", stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0 and isinstance(stmt, ast.Continue):
+                raise self._error("continue outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Goto):
+            if not self.profile.allow_goto:
+                raise self._restricted("goto statements", stmt.line)
+        elif isinstance(stmt, ast.LabelStmt):
+            self._stmt(stmt.statement, scope)
+        elif isinstance(stmt, ast.InlineAsm):
+            if not self.profile.allow_asm:
+                raise self._restricted("inline assembly", stmt.line)
+        elif isinstance(stmt, ast.Switch):
+            self._scalar_expr(stmt.cond, scope)
+            self.loop_depth += 1    # break works inside switch
+            for _value, body in stmt.cases:
+                for child in body:
+                    self._stmt(child, scope)
+            self.loop_depth -= 1
+        else:
+            raise self._error(f"unhandled statement {type(stmt).__name__}",
+                              stmt.line)
+
+    # -- expressions --------------------------------------------------------------------
+    def _scalar_expr(self, expr: ast.Expr, scope: Scope) -> None:
+        self._expr(expr, scope)
+        if not expr.ctype.decay().is_scalar:
+            raise self._error(
+                f"condition has non-scalar type {expr.ctype}", expr.line)
+
+    def _expr(self, expr: ast.Expr, scope: Scope) -> CType:
+        method = getattr(self, f"_expr_{type(expr).__name__.lower()}",
+                         None)
+        if method is None:
+            raise self._error(f"unhandled expression "
+                              f"{type(expr).__name__}", expr.line)
+        ctype = method(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_intliteral(self, expr: ast.IntLiteral, scope: Scope) -> CType:
+        return INT if expr.value <= 0x7FFF else UINT
+
+    def _expr_charliteral(self, expr: ast.CharLiteral,
+                          scope: Scope) -> CType:
+        return CHAR
+
+    def _expr_stringliteral(self, expr: ast.StringLiteral,
+                            scope: Scope) -> CType:
+        if not self.profile.allow_pointers:
+            raise self._restricted("string literals (pointers)", expr.line)
+        return PointerType(CHAR)
+
+    def _expr_ident(self, expr: ast.Ident, scope: Scope) -> CType:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise self._error(f"use of undeclared identifier "
+                              f"{expr.name!r}", expr.line)
+        expr.symbol = symbol
+        expr.is_lvalue = not symbol.is_function
+        return symbol.ctype
+
+    def _expr_unary(self, expr: ast.Unary, scope: Scope) -> CType:
+        operand_type = self._expr(expr.operand, scope)
+        if expr.op == "*":
+            if not self.profile.allow_pointers:
+                raise self._restricted("pointer dereference", expr.line)
+            decayed = operand_type.decay()
+            if not decayed.is_pointer:
+                raise self._error(f"cannot dereference {operand_type}",
+                                  expr.line)
+            if isinstance(decayed.target, (FunctionType,)):
+                expr.is_lvalue = False
+                return decayed.target
+            expr.is_lvalue = True
+            self.result.pointer_derefs.append(expr)
+            return decayed.target
+        if expr.op == "&":
+            if not self.profile.allow_pointers:
+                raise self._restricted("address-of", expr.line)
+            if not getattr(expr.operand, "is_lvalue", False) and \
+                    not isinstance(expr.operand.ctype, FunctionType):
+                raise self._error("address-of needs an lvalue", expr.line)
+            return PointerType(operand_type)
+        if expr.op in ("++", "--"):
+            if not getattr(expr.operand, "is_lvalue", False):
+                raise self._error(f"{expr.op} needs an lvalue", expr.line)
+            return operand_type.decay()
+        if expr.op == "!":
+            if not operand_type.decay().is_scalar:
+                raise self._error(f"cannot negate {operand_type}",
+                                  expr.line)
+            return INT
+        # - and ~
+        if not operand_type.is_integer:
+            raise self._error(f"cannot apply {expr.op} to {operand_type}",
+                              expr.line)
+        return common_type(operand_type, INT)
+
+    def _expr_postfix(self, expr: ast.Postfix, scope: Scope) -> CType:
+        operand_type = self._expr(expr.operand, scope)
+        if not getattr(expr.operand, "is_lvalue", False):
+            raise self._error(f"{expr.op} needs an lvalue", expr.line)
+        return operand_type.decay()
+
+    def _expr_binary(self, expr: ast.Binary, scope: Scope) -> CType:
+        left = self._expr(expr.left, scope).decay()
+        right = self._expr(expr.right, scope).decay()
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (left.is_scalar and right.is_scalar):
+                raise self._error(f"bad operands for {op}", expr.line)
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if left.is_pointer or right.is_pointer:
+                return INT
+            common_type(left, right)   # validates integer-ness
+            return INT
+        if op in ("+", "-"):
+            if left.is_pointer and right.is_integer:
+                return left
+            if op == "+" and left.is_integer and right.is_pointer:
+                return right
+            if op == "-" and left.is_pointer and right.is_pointer:
+                return INT
+            return common_type(left, right)
+        if not (left.is_integer and right.is_integer):
+            raise self._error(
+                f"bad operands for {op}: {left}, {right}", expr.line)
+        if op in ("<<", ">>"):
+            return common_type(left, INT)
+        return common_type(left, right)
+
+    def _expr_assign(self, expr: ast.Assign, scope: Scope) -> CType:
+        target_type = self._expr(expr.target, scope)
+        self._expr(expr.value, scope)
+        if not getattr(expr.target, "is_lvalue", False):
+            raise self._error("assignment target is not an lvalue",
+                              expr.line)
+        if isinstance(target_type, ArrayType):
+            raise self._error("cannot assign to an array", expr.line)
+        if isinstance(target_type, StructType):
+            raise self._error("struct assignment is not supported; "
+                              "assign fields individually", expr.line)
+        symbol = getattr(expr.target, "symbol", None)
+        if symbol is not None and symbol.kind is SymbolKind.SYSVAR:
+            raise self._error(
+                f"system variable {symbol.name!r} is read-only",
+                expr.line)
+        if expr.op == "=":
+            if not assignable(target_type, expr.value.ctype):
+                raise self._error(
+                    f"cannot assign {expr.value.ctype} to {target_type}",
+                    expr.line)
+        else:
+            base_op = expr.op[:-1]
+            if base_op in ("+", "-") and target_type.is_pointer:
+                if not expr.value.ctype.decay().is_integer:
+                    raise self._error("pointer += needs an integer",
+                                      expr.line)
+            elif not (target_type.is_integer
+                      and expr.value.ctype.decay().is_integer):
+                raise self._error(f"bad operands for {expr.op}", expr.line)
+        return target_type
+
+    def _expr_conditional(self, expr: ast.Conditional,
+                          scope: Scope) -> CType:
+        self._scalar_expr(expr.cond, scope)
+        then_type = self._expr(expr.then, scope).decay()
+        else_type = self._expr(expr.otherwise, scope).decay()
+        if then_type.is_pointer:
+            return then_type
+        if else_type.is_pointer:
+            return else_type
+        return common_type(then_type, else_type)
+
+    def _expr_call(self, expr: ast.Call, scope: Scope) -> CType:
+        func_type = self._expr(expr.func, scope)
+        decayed = func_type.decay()
+        if isinstance(decayed, PointerType) and \
+                isinstance(decayed.target, FunctionType):
+            ftype = decayed.target
+            is_indirect = True
+        elif isinstance(func_type, FunctionType):
+            ftype = func_type
+            is_indirect = not isinstance(expr.func, ast.Ident)
+        else:
+            raise self._error(f"cannot call {func_type}", expr.line)
+
+        if is_indirect and not self.profile.allow_pointers:
+            raise self._restricted("function pointers", expr.line)
+
+        if not ftype.variadic and len(expr.args) != len(ftype.params):
+            raise self._error(
+                f"call expects {len(ftype.params)} arguments, got "
+                f"{len(expr.args)}", expr.line)
+        for arg, param_type in zip(expr.args, ftype.params):
+            self._expr(arg, scope)
+            if not assignable(param_type, arg.ctype):
+                raise self._error(
+                    f"argument type {arg.ctype} incompatible with "
+                    f"{param_type}", arg.line)
+        for arg in expr.args[len(ftype.params):]:
+            self._expr(arg, scope)
+
+        # Record AFT facts.
+        if is_indirect:
+            self.result.fn_pointer_calls.append(expr)
+        elif isinstance(expr.func, ast.Ident):
+            callee = expr.func.symbol
+            if callee.kind is SymbolKind.API:
+                self.result.api_calls.append((callee.name, expr))
+            elif self.current_function is not None:
+                self.result.call_edges.append(
+                    (self.current_function, callee.name))
+        return ftype.ret
+
+    def _expr_index(self, expr: ast.Index, scope: Scope) -> CType:
+        base_type = self._expr(expr.base, scope)
+        index_type = self._expr(expr.index, scope)
+        if not index_type.decay().is_integer:
+            raise self._error(f"array index has type {index_type}",
+                              expr.line)
+        decayed = base_type.decay()
+        if not decayed.is_pointer:
+            raise self._error(f"cannot index {base_type}", expr.line)
+        expr.is_lvalue = True
+        if isinstance(base_type, ArrayType):
+            self.result.array_accesses.append(expr)
+        else:
+            if not self.profile.allow_pointers:
+                raise self._restricted("pointer indexing", expr.line)
+            self.result.pointer_derefs.append(expr)
+        return decayed.target
+
+    def _expr_member(self, expr: ast.Member, scope: Scope) -> CType:
+        base_type = self._expr(expr.base, scope)
+        if expr.arrow:
+            if not self.profile.allow_pointers:
+                raise self._restricted("-> access", expr.line)
+            decayed = base_type.decay()
+            if not (decayed.is_pointer
+                    and isinstance(decayed.target, StructType)):
+                raise self._error(f"-> on non-struct-pointer {base_type}",
+                                  expr.line)
+            struct = decayed.target
+            self.result.pointer_derefs.append(expr)
+        else:
+            if not isinstance(base_type, StructType):
+                raise self._error(f". on non-struct {base_type}",
+                                  expr.line)
+            struct = base_type
+        field_info = struct.field(expr.name, expr.line)
+        expr.is_lvalue = True
+        return field_info.ctype
+
+    def _expr_cast(self, expr: ast.Cast, scope: Scope) -> CType:
+        self._expr(expr.operand, scope)
+        self._check_type_allowed(expr.target_type, expr.line)
+        return expr.target_type
+
+    def _expr_sizeof(self, expr: ast.SizeOf, scope: Scope) -> CType:
+        if expr.operand is not None:
+            self._expr(expr.operand, scope)
+        return UINT
+
+
+def analyze(unit: ast.TranslationUnit,
+            profile: LanguageProfile = FULL_C,
+            api: Optional[ApiTable] = None,
+            filename: str = "<minic>") -> SemaResult:
+    """Type-check ``unit`` under ``profile``; returns the annotated facts."""
+    return _Analyzer(unit, profile, api, filename).run()

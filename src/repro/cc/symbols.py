@@ -1,0 +1,97 @@
+"""Symbol table for MiniC."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CompileError
+from repro.cc.types import CType, FunctionType
+
+
+class SymbolKind(enum.Enum):
+    GLOBAL = "global"        # module-level variable
+    LOCAL = "local"          # function-local variable
+    PARAM = "param"
+    FUNC = "func"            # function defined/declared in this unit
+    API = "api"              # approved OS API function (paper section 3)
+    SYSVAR = "sysvar"        # approved read-only system global
+
+
+@dataclass
+class Symbol:
+    name: str
+    ctype: CType
+    kind: SymbolKind
+    line: int = 0
+    is_static: bool = False
+    is_const: bool = False
+    # Filled by the code generator:
+    frame_offset: Optional[int] = None   # locals/params: offset from FP
+    label: Optional[str] = None          # globals/functions: asm label
+    service_id: Optional[int] = None     # API functions
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self.ctype, FunctionType)
+
+
+class Scope:
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.entries: Dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> Symbol:
+        if symbol.name in self.entries:
+            raise CompileError(
+                f"redefinition of {symbol.name!r}", symbol.line)
+        self.entries[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class ApiFunction:
+    """One entry in the approved system API.
+
+    ``service_id`` selects the kernel service behind the gate;
+    ``cost_cycles`` models the Python-side service work (the gate code
+    itself executes for real on the simulated CPU).
+    """
+
+    name: str
+    ctype: FunctionType
+    service_id: int
+    cost_cycles: int = 0
+    doc: str = ""
+
+
+@dataclass
+class ApiTable:
+    """The approved API surface handed to sema and the AFT."""
+
+    functions: Dict[str, ApiFunction] = field(default_factory=dict)
+    sysvars: Dict[str, CType] = field(default_factory=dict)
+
+    def add(self, api: ApiFunction) -> None:
+        self.functions[api.name] = api
+
+    def add_sysvar(self, name: str, ctype: CType) -> None:
+        self.sysvars[name] = ctype
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def gate_symbol(self, name: str) -> str:
+        return f"__api_{name}"
+
+    def sysvar_symbol(self, name: str) -> str:
+        return f"__os_{name}"

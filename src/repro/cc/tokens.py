@@ -1,0 +1,53 @@
+"""Token definitions for MiniC."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TokenType(enum.Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    CHAR = "char-literal"
+    STRING = "string-literal"
+    KEYWORD = "keyword"
+    PUNCT = "punctuator"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "int", "unsigned", "signed", "char", "void", "const", "static",
+    "struct", "sizeof",
+    "if", "else", "while", "do", "for", "return", "break", "continue",
+    "switch", "case", "default",
+    "goto", "asm", "__asm__",
+})
+
+# Multi-character punctuators, longest first so the lexer can greedily match.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    col: int
+    value: Optional[int] = None    # numeric value for NUMBER / CHAR
+
+    def is_punct(self, text: str) -> bool:
+        return self.type is TokenType.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.col})"

@@ -1,0 +1,232 @@
+"""MiniC type system.
+
+Sizes follow the MSP430 ABI: ``int``/``unsigned``/pointers are 2 bytes,
+``char`` is 1 byte and **unsigned** (the MSP430 byte instructions
+zero-extend into registers, and TI's compiler defaults char to unsigned;
+the reference interpreter matches).  There are no longs or floats —
+the paper's apps don't need them and the MCU has no FPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+
+
+class CType:
+    """Base class; concrete types below."""
+
+    size: int = 0
+    align: int = 1
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_pointer
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_signed(self) -> bool:
+        return isinstance(self, IntType) and self.signed
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay; identity for other types."""
+        if isinstance(self, ArrayType):
+            return PointerType(self.element)
+        return self
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    size: int = 0
+    align: int = 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    signed: bool = True
+    size: int = 2
+    align: int = 2
+
+    def __str__(self) -> str:
+        return "int" if self.signed else "unsigned"
+
+
+@dataclass(frozen=True)
+class CharType(CType):
+    size: int = 1
+    align: int = 1
+
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    target: CType = field(default_factory=VoidType)
+    size: int = 2
+    align: int = 2
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType = field(default_factory=IntType)
+    length: int = 0
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.length
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.element.align
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    ret: CType = field(default_factory=VoidType)
+    params: Tuple[CType, ...] = ()
+    variadic: bool = False
+    size: int = 0
+    align: int = 2
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.ret}({params})"
+
+
+@dataclass
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+class StructType(CType):
+    """A named struct with laid-out fields."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: Dict[str, StructField] = {}
+        self._size = 0
+        self.complete = False
+
+    def add_field(self, name: str, ctype: CType, line: int = 0) -> None:
+        if name in self.fields:
+            raise CompileError(f"duplicate field {name!r} in struct "
+                               f"{self.name}", line)
+        offset = self._size
+        if ctype.align > 1 and offset % ctype.align:
+            offset += ctype.align - offset % ctype.align
+        self.fields[name] = StructField(name, ctype, offset)
+        self._size = offset + ctype.size
+
+    def finish(self) -> None:
+        if self._size % 2:
+            self._size += 1      # tail padding to word alignment
+        self.complete = True
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self._size
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return 2
+
+    def field(self, name: str, line: int = 0) -> StructField:
+        if name not in self.fields:
+            raise CompileError(
+                f"struct {self.name} has no field {name!r}", line)
+        return self.fields[name]
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+INT = IntType(signed=True)
+UINT = IntType(signed=False)
+CHAR = CharType()
+VOID = VoidType()
+
+
+def common_type(left: CType, right: CType) -> CType:
+    """Usual arithmetic conversions, 16-bit flavoured: chars promote to
+    int; mixing signed and unsigned yields unsigned."""
+    left = left.decay()
+    right = right.decay()
+    if left.is_pointer:
+        return left
+    if right.is_pointer:
+        return right
+    if not (left.is_integer and right.is_integer):
+        raise CompileError(f"no common type for {left} and {right}")
+    left_signed = not isinstance(left, IntType) or left.signed
+    right_signed = not isinstance(right, IntType) or right.signed
+    # chars are unsigned but promote to (signed) int first, per C rules.
+    if isinstance(left, CharType):
+        left_signed = True
+    if isinstance(right, CharType):
+        right_signed = True
+    return INT if (left_signed and right_signed) else UINT
+
+
+def assignable(target: CType, value: CType) -> bool:
+    """Loose C assignment compatibility."""
+    target = target.decay()
+    value = value.decay()
+    if target.is_integer and value.is_integer:
+        return True
+    if target.is_pointer and value.is_pointer:
+        t, v = target.target, value.target
+        if isinstance(t, VoidType) or isinstance(v, VoidType):
+            return True
+        return _compatible(t, v)
+    if target.is_pointer and value.is_integer:
+        return True    # allowed with a warning in C89; apps use it
+    if isinstance(target, StructType) and target is value:
+        return True
+    if isinstance(target, FunctionType) and isinstance(value, FunctionType):
+        return True
+    if target.is_pointer and isinstance(value, FunctionType):
+        return True
+    return False
+
+
+def _compatible(a: CType, b: CType) -> bool:
+    if type(a) is not type(b):
+        return a.is_integer and b.is_integer and a.size == b.size
+    if isinstance(a, PointerType):
+        return _compatible(a.target, b.target)
+    if isinstance(a, StructType):
+        return a is b
+    if isinstance(a, FunctionType):
+        return True
+    return True

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``build``        run the AFT over one or more ``.mc`` app sources and
+                 write an Intel HEX firmware image plus a map file
+``run``          build (or reuse) a firmware and dispatch a handler
+``disasm``       disassemble an app or symbol from a built firmware
+``experiments``  regenerate the paper's tables and figures
+``suite``        simulate the nine-app wearable for N seconds
+
+Handlers default to every non-static function when ``--handlers`` is
+omitted, which is convenient for quick runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.asm import intelhex
+from repro.errors import ReproError
+
+_MODEL_NAMES = {
+    "none": IsolationModel.NO_ISOLATION,
+    "feature-limited": IsolationModel.FEATURE_LIMITED,
+    "software-only": IsolationModel.SOFTWARE_ONLY,
+    "mpu": IsolationModel.MPU,
+    "advanced-mpu": IsolationModel.ADVANCED_MPU,
+}
+
+
+def _model(name: str) -> IsolationModel:
+    try:
+        return _MODEL_NAMES[name]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown model {name!r}; pick from "
+            f"{', '.join(_MODEL_NAMES)}")
+
+
+def _default_handlers(source: str) -> List[str]:
+    """Every defined non-static function, via a quick parse."""
+    from repro.cc.parser import parse
+    unit = parse(source)
+    return [f.name for f in unit.functions
+            if f.body is not None and not f.is_static]
+
+
+def _load_apps(paths: List[str],
+               handlers: Optional[List[str]]) -> List[AppSource]:
+    apps = []
+    for path_text in paths:
+        path = Path(path_text)
+        source = path.read_text()
+        name = path.stem.replace("-", "_")
+        app_handlers = handlers if handlers else \
+            _default_handlers(source)
+        apps.append(AppSource(name, source, handlers=app_handlers))
+    return apps
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    pipeline = AftPipeline(args.model, shadow_stack=args.shadow_stack)
+    firmware = pipeline.build(_load_apps(args.sources, args.handlers))
+    hex_text = intelhex.encode_image(firmware.image)
+    output = Path(args.output)
+    output.write_text(hex_text)
+    print(f"wrote {output} "
+          f"({firmware.image.total_size()} bytes of firmware, "
+          f"model={firmware.model.display})")
+    if args.map:
+        map_path = output.with_suffix(".map")
+        lines = [pipeline.report.describe(), ""]
+        for app in firmware.app_list():
+            lines.append(app.summary())
+        lines.append("")
+        for name in sorted(firmware.image.symbols):
+            lines.append(f"0x{firmware.image.symbols[name]:04X} {name}")
+        map_path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {map_path}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.kernel.machine import AmuletMachine
+    apps = _load_apps(args.sources, None)
+    firmware = AftPipeline(args.model,
+                           shadow_stack=args.shadow_stack).build(apps)
+    machine = AmuletMachine(firmware)
+    app_name = args.app if args.app else apps[0].name
+    handler_args = [int(a, 0) for a in args.args]
+    result = machine.dispatch(app_name, args.handler, handler_args)
+    print(f"{app_name}.{args.handler}({', '.join(args.args)}) -> "
+          f"{result.return_value} "
+          f"[{result.cycles} cycles, {result.instructions} insns]")
+    if result.faulted:
+        print(f"FAULTED: {result.fault.describe()}")
+        return 1
+    if machine.services.log.words:
+        print(f"log: {machine.services.log.words}")
+    if machine.services.display.last_digits is not None:
+        print(f"display: {machine.services.display.last_digits}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.asm.disassembler import disassemble_range
+    from repro.kernel.machine import AmuletMachine
+    apps = _load_apps(args.sources, None)
+    firmware = AftPipeline(args.model).build(apps)
+    machine = AmuletMachine(firmware)
+    by_address = {v: k for k, v in
+                  sorted(firmware.image.symbols.items())}
+    for app in firmware.app_list():
+        print(f"; === app {app.name} "
+              f"(0x{app.code_lo:04X}-0x{app.code_hi:04X}) ===")
+        for address, insn in disassemble_range(
+                machine.cpu.memory, app.code_lo, app.code_hi):
+            if address in by_address:
+                print(f"{by_address[address]}:")
+            print(f"    0x{address:04X}:  {insn.render()}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_all
+    runs = 30 if args.quick else 200
+    samples = 16 if args.quick else 64
+    report = run_all(table1_runs=runs, figure3_runs=runs,
+                     arp_samples=samples)
+    print(report.render())
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.apps import MANIFESTS, load_suite
+    from repro.kernel.machine import AmuletMachine
+    from repro.kernel.scheduler import AppSchedule, Scheduler
+    firmware = AftPipeline(args.model).build(load_suite())
+    machine = AmuletMachine(firmware)
+    scheduler = Scheduler(machine)
+    for name, manifest in MANIFESTS.items():
+        scheduler.add_app(AppSchedule(
+            name, sources=manifest.sources_for(name)))
+    stats = scheduler.run(horizon_ms=args.seconds * 1000)
+    print(f"model={firmware.model.display} "
+          f"simulated={args.seconds}s events={stats.events_delivered} "
+          f"faults={stats.faults}")
+    for name in sorted(stats.per_app_cycles):
+        print(f"  {name:<14} {stats.per_app_cycles[name]:>12,} cycles "
+              f"({stats.per_app_events[name]} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Application Memory Isolation "
+                    "on Ultra-Low-Power MCUs' (USENIX ATC '18)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a firmware image")
+    build.add_argument("sources", nargs="+",
+                       help="MiniC app source files (.mc)")
+    build.add_argument("--model", type=_model, default="mpu")
+    build.add_argument("--handlers", nargs="*",
+                       help="exported handler names (default: all)")
+    build.add_argument("--output", "-o", default="firmware.hex")
+    build.add_argument("--map", action="store_true",
+                       help="also write a .map symbol file")
+    build.add_argument("--shadow-stack", action="store_true")
+    build.set_defaults(func=cmd_build)
+
+    run = sub.add_parser("run", help="build and dispatch a handler")
+    run.add_argument("sources", nargs="+")
+    run.add_argument("--model", type=_model, default="mpu")
+    run.add_argument("--app", help="app name (default: first source)")
+    run.add_argument("--handler", required=True)
+    run.add_argument("--args", nargs="*", default=[])
+    run.add_argument("--shadow-stack", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    disasm = sub.add_parser("disasm", help="disassemble built apps")
+    disasm.add_argument("sources", nargs="+")
+    disasm.add_argument("--model", type=_model, default="mpu")
+    disasm.set_defaults(func=cmd_disasm)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables/figures")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(func=cmd_experiments)
+
+    suite = sub.add_parser(
+        "suite", help="simulate the nine-app wearable")
+    suite.add_argument("--model", type=_model, default="mpu")
+    suite.add_argument("--seconds", type=int, default=5)
+    suite.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Shared exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch toolchain problems without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MemoryAccessError(ReproError):
+    """An access fell outside the simulated 64 KB address space or hit a
+    region that does not tolerate that kind of access (e.g. writing ROM)."""
+
+    def __init__(self, address: int, kind: str, reason: str = ""):
+        self.address = address
+        self.kind = kind
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"illegal {kind} at 0x{address:04X}{detail}")
+
+
+class MpuViolationError(ReproError):
+    """The MPU denied an access.  Normally converted into a CPU fault and
+    handled by the OS; raised directly only when no handler is installed."""
+
+    def __init__(self, address: int, kind: str, segment: int):
+        self.address = address
+        self.kind = kind
+        self.segment = segment
+        super().__init__(
+            f"MPU violation: {kind} at 0x{address:04X} in segment {segment}"
+        )
+
+
+class DecodeError(ReproError):
+    """A word stream could not be decoded into a valid instruction."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad operand combination)."""
+
+
+class AssemblerError(ReproError):
+    """Assembly-source problem; carries the offending line number."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<asm>"):
+        self.line = line
+        self.source = source
+        super().__init__(f"{source}:{line}: {message}" if line else message)
+
+
+class LinkError(ReproError):
+    """Symbol resolution or placement failed during linking."""
+
+
+class CompileError(ReproError):
+    """MiniC front-end error; carries source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 source: str = "<minic>"):
+        self.line = line
+        self.col = col
+        self.source = source
+        if line:
+            super().__init__(f"{source}:{line}:{col}: {message}")
+        else:
+            super().__init__(message)
+
+
+class RestrictionError(CompileError):
+    """A language feature is forbidden under the selected isolation model
+    (e.g. pointers under FeatureLimited, goto everywhere)."""
+
+
+class InterpreterError(ReproError):
+    """The reference interpreter hit an untrapped runtime error."""
+
+
+class ToolchainError(ReproError):
+    """AFT pipeline failure (phase ordering, missing sections, ...)."""
+
+
+class KernelError(ReproError):
+    """AmuletOS runtime misuse (unknown app, bad service id, ...)."""
+
+
+class AppFault(ReproError):
+    """An application triggered an isolation fault at run time.
+
+    Carries enough context for the FAULT handler to log app-specific
+    information, as described in paper section 3 ("Memory accesses").
+    """
+
+    def __init__(self, app: str, reason: str, address: int = 0, pc: int = 0):
+        self.app = app
+        self.reason = reason
+        self.address = address
+        self.pc = pc
+        super().__init__(
+            f"app {app!r} faulted: {reason} "
+            f"(addr=0x{address:04X}, pc=0x{pc:04X})"
+        )

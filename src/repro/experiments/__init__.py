@@ -1,0 +1,25 @@
+"""Experiment harnesses regenerating every table and figure in the
+paper's evaluation (section 4).
+
+* :mod:`repro.experiments.table1`  — Table 1: average cycle count for
+  basic memory-isolation operations (memory access, context switch)
+  under all four memory models.
+* :mod:`repro.experiments.figure2` — Figure 2: isolation overhead in
+  billions of cycles per week plus battery-lifetime impact for the
+  nine-app suite.
+* :mod:`repro.experiments.figure3` — Figure 3: percentage slowdown of
+  the benchmark apps (Activity Case 1/2, Quicksort) per model.
+* :mod:`repro.experiments.report`  — text rendering of all three.
+"""
+
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.code_size import CodeSizeResult, run_code_size
+
+__all__ = [
+    "Table1Result", "run_table1",
+    "Figure2Result", "run_figure2",
+    "Figure3Result", "run_figure3",
+    "CodeSizeResult", "run_code_size",
+]

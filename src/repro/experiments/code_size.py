@@ -1,0 +1,85 @@
+"""Extension experiment: code-size cost of each isolation method.
+
+The paper evaluates *time* and *energy*; the software-isolation
+literature it builds on (Harbor, t-kernel) also reports *flash
+footprint*, because inserted checks cost code bytes on parts with tens
+of kilobytes of program memory.  This experiment fills that column in
+for the paper's four methods: same apps, same AFT, measured app text
+bytes per model.
+
+Expected shape, by construction of the checks: NoIsolation smallest;
+MPU adds one compare+branch per checked site; SoftwareOnly two;
+FeatureLimited's out-of-line helper call is the *smallest* of the
+checked variants per site (3 instructions vs 4/8) — the inverse of its
+run-time ranking, a classic size/speed trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.aft.models import IsolationModel
+from repro.aft.phases import AftPipeline, AppSource
+from repro.apps.catalog import load_suite
+
+SIZE_MODELS = (
+    IsolationModel.NO_ISOLATION,
+    IsolationModel.FEATURE_LIMITED,
+    IsolationModel.MPU,
+    IsolationModel.SOFTWARE_ONLY,
+)
+
+
+@dataclass
+class CodeSizeResult:
+    #: app -> model -> code bytes
+    sizes: Dict[str, Dict[IsolationModel, int]] = field(
+        default_factory=dict)
+
+    def total(self, model: IsolationModel) -> int:
+        return sum(by_model[model] for by_model in self.sizes.values())
+
+    def overhead_percent(self, model: IsolationModel) -> float:
+        baseline = self.total(IsolationModel.NO_ISOLATION)
+        return 100.0 * (self.total(model) - baseline) / baseline
+
+    def render(self) -> str:
+        lines = [f"{'Application':<16}"
+                 + "".join(f"{m.display:>18}" for m in SIZE_MODELS)
+                 + "   (app code bytes)"]
+        for app, by_model in self.sizes.items():
+            row = f"{app:<16}"
+            for model in SIZE_MODELS:
+                row += f"{by_model[model]:>18}"
+            lines.append(row)
+        total_row = f"{'TOTAL':<16}"
+        for model in SIZE_MODELS:
+            total_row += f"{self.total(model):>18}"
+        lines.append(total_row)
+        overhead_row = f"{'overhead':<16}" + f"{'—':>18}"
+        for model in SIZE_MODELS[1:]:
+            overhead_row += f"{self.overhead_percent(model):>17.1f}%"
+        lines.append(overhead_row)
+        return "\n".join(lines)
+
+    def shape_holds(self) -> bool:
+        """No-isolation smallest; every isolating model costs bytes."""
+        baseline = self.total(IsolationModel.NO_ISOLATION)
+        return all(self.total(model) > baseline
+                   for model in SIZE_MODELS[1:])
+
+
+def run_code_size(apps: Optional[Sequence[AppSource]] = None,
+                  models: Sequence[IsolationModel] = SIZE_MODELS
+                  ) -> CodeSizeResult:
+    # Feature Limited must be able to build them, so the default corpus
+    # is the (pointer-free) nine-app suite.
+    sources = list(apps) if apps is not None else load_suite()
+    result = CodeSizeResult()
+    for model in models:
+        firmware = AftPipeline(model).build(sources)
+        for app in firmware.app_list():
+            result.sizes.setdefault(app.name, {})[model] = \
+                app.code_bytes
+    return result

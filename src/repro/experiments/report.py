@@ -1,0 +1,81 @@
+"""Render every experiment as a single text report, with the paper's
+numbers alongside for comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aft.models import IsolationModel
+from repro.experiments.code_size import CodeSizeResult, run_code_size
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    Table1Result,
+    run_table1,
+)
+
+
+@dataclass
+class FullReport:
+    table1: Table1Result
+    figure2: Figure2Result
+    figure3: Figure3Result
+    code_size: Optional[CodeSizeResult] = None
+
+    def render(self) -> str:
+        sections = []
+        sections.append("=" * 72)
+        sections.append("Table 1 — average cycle count for basic memory "
+                        "isolation operations")
+        sections.append("=" * 72)
+        sections.append(self.table1.render())
+        paper = "  |  ".join(
+            f"{m.display}: access {a}, switch {s}"
+            for m, (a, s) in PAPER_TABLE1.items())
+        sections.append(f"(paper: {paper})")
+        sections.append(
+            f"qualitative shape holds: {self.table1.shape_holds()}")
+        sections.append("")
+        sections.append("=" * 72)
+        sections.append("Figure 2 — weekly isolation overhead and "
+                        "battery impact, nine-app suite")
+        sections.append("=" * 72)
+        sections.append(self.figure2.render())
+        sections.append("")
+        sections.append(self.figure2.render_chart())
+        sections.append(
+            f"max battery impact (MPU / Software Only): "
+            f"{self.figure2.max_battery_impact():.3f}% "
+            f"(paper: < 0.5% for all apps) -> "
+            f"holds: {self.figure2.shape_holds()}")
+        sections.append("")
+        sections.append("=" * 72)
+        sections.append("Figure 3 — percentage slowdown per memory "
+                        "model, benchmark apps")
+        sections.append("=" * 72)
+        sections.append(self.figure3.render())
+        sections.append("")
+        sections.append(self.figure3.render_chart())
+        sections.append(
+            f"qualitative shape (MPU lowest everywhere; full ordering "
+            f"on Quicksort) holds: {self.figure3.shape_holds()}")
+        if self.code_size is not None:
+            sections.append("")
+            sections.append("=" * 72)
+            sections.append("Extension — flash footprint per memory "
+                            "model (not a paper artifact)")
+            sections.append("=" * 72)
+            sections.append(self.code_size.render())
+        return "\n".join(sections)
+
+
+def run_all(table1_runs: int = 100, figure3_runs: int = 100,
+            arp_samples: int = 32,
+            include_code_size: bool = True) -> FullReport:
+    table1 = run_table1(runs=table1_runs)
+    figure2 = run_figure2(table1=table1, arp_samples=arp_samples)
+    figure3 = run_figure3(runs=figure3_runs)
+    code_size = run_code_size() if include_code_size else None
+    return FullReport(table1, figure2, figure3, code_size)

@@ -1,0 +1,23 @@
+"""AmuletOS analogue: event-driven kernel for the simulated MCU.
+
+The kernel's *gate* code (register save/restore, stack switching, MPU
+reprogramming) is genuine simulated assembly so the paper's context-
+switch costs are measured in executed instructions; service *semantics*
+(what a sensor read returns) run in Python behind the memory-mapped
+service port, with a fixed modeled cycle cost per service.
+
+Import :class:`repro.kernel.machine.AmuletMachine` directly for the
+firmware + CPU + scheduler bundle (kept out of this namespace to avoid
+import cycles with the AFT, which builds kernel gates into firmware).
+"""
+
+from repro.kernel.layout import KernelLayout
+from repro.kernel.api import amulet_api_table, SERVICE_COSTS
+from repro.kernel.events import Event, EventType, EventQueue
+from repro.kernel.fault import FaultRecord, FaultLog
+
+__all__ = [
+    "KernelLayout", "amulet_api_table", "SERVICE_COSTS",
+    "Event", "EventType", "EventQueue",
+    "FaultRecord", "FaultLog",
+]

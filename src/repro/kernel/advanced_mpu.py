@@ -1,0 +1,146 @@
+"""Hypothetical "advanced MPU" for the paper's future-work ablation.
+
+Paper section 5: *"We envision extending our approach to work with more
+advanced MPUs ... MPUs that can protect all of memory and support 4 or
+more regions would negate the need for our compiler-inserted bounds
+checks."*
+
+This model covers **all** of memory (including SRAM and InfoMem) and
+expresses four effective regions while the current app runs:
+
+* below the app's code — no access (except the read-only OS-sysvar
+  window in SRAM)
+* app code — execute-only
+* app data/stack — read/write
+* above the app — no access
+
+It listens on the same MPU register addresses the gates already write,
+so context-switch cost is identical to the real-MPU configuration; only
+the *coverage* is idealized.  Configuration writes are not privileged
+in this model (a real part would gate them behind a privilege level);
+see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import MpuViolationError
+from repro.msp430.memory import EXECUTE, MemoryMap, READ, WRITE
+from repro.msp430.mpu import (
+    MPUCTL0,
+    MPUSAM,
+    MPUSEGB1,
+    MPUSEGB2,
+    MPUENA,
+    MPU_PASSWORD,
+)
+
+#: SAM value the gates write for an app configuration
+#: (seg1 --X, seg2 RW-, seg3 ---)
+_APP_SAM = 0b0100 | (0b0011 << 4) | (0b0000 << 8)
+
+
+class AdvancedMpu:
+    """Drop-in for :class:`repro.msp430.mpu.Mpu` with ideal coverage."""
+
+    def __init__(self) -> None:
+        self.ctl0 = 0
+        self.segb1 = 0
+        self.segb2 = 0
+        self.sam = 0xFFFF
+        #: the app's code base; provided by the machine at dispatch so
+        #: the fourth region (below-code no-access) is expressible.
+        self.code_lo = 0
+        #: read-only OS sysvar window (SRAM) the app may read
+        self.sysvar_window: Optional[Tuple[int, int]] = None
+        self.violation_address: Optional[int] = None
+        self.violation_kind: Optional[str] = None
+
+    def attach(self, memory) -> None:
+        memory.mpu = self
+        memory.add_io(MPUCTL0, read=lambda: self.ctl0,
+                      write=self._write_ctl0)
+        memory.add_io(MPUSEGB1, read=lambda: self.segb1,
+                      write=lambda a, v: self._write_config(
+                          a, v, "segb1"))
+        memory.add_io(MPUSEGB2, read=lambda: self.segb2,
+                      write=lambda a, v: self._write_config(
+                          a, v, "segb2"))
+        memory.add_io(MPUSAM, read=lambda: self.sam,
+                      write=lambda a, v: self._write_config(a, v,
+                                                            "sam"))
+        self._config_unlocked = False
+
+    def _write_ctl0(self, _addr: int, value: int) -> None:
+        if (value >> 8) == MPU_PASSWORD:
+            self.ctl0 = value & 0xFFFF
+            self._config_unlocked = True
+        elif self.enabled and self.app_mode:
+            # Unlike the real FR58xx MPU, this hypothetical part keeps
+            # its configuration privileged: a config write without the
+            # password from app context is itself a violation.
+            self.violation_address = _addr
+            self.violation_kind = WRITE
+            raise MpuViolationError(_addr, WRITE, segment=4)
+
+    def _write_config(self, addr: int, value: int, field: str) -> None:
+        if self.enabled and self.app_mode and not self._config_unlocked:
+            self.violation_address = addr
+            self.violation_kind = WRITE
+            raise MpuViolationError(addr, WRITE, segment=4)
+        setattr(self, field, value)
+        if field == "sam":
+            # a full reconfiguration ends the unlocked window
+            self._config_unlocked = False
+
+    def force_os_mode(self) -> None:
+        """Fault recovery: the gate's exit path never ran, so the
+        machine resets the MPU view directly (mirroring what its fault
+        handler would do on real hardware)."""
+        self.sam = 0xFFFF
+        self._config_unlocked = False
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.ctl0 & MPUENA)
+
+    @property
+    def app_mode(self) -> bool:
+        return (self.sam & 0x0FFF) == _APP_SAM
+
+    @property
+    def b1(self) -> int:
+        return (self.segb1 << 4) & 0xFFFF
+
+    @property
+    def b2(self) -> int:
+        return (self.segb2 << 4) & 0xFFFF
+
+    def check(self, address: int, kind: str) -> None:
+        if not self.enabled or not self.app_mode:
+            return
+        # Always let the configuration and kernel ports through: the
+        # gate instructions that *leave* app mode execute in app mode.
+        if 0x01F0 <= address <= 0x01F7 or MPUCTL0 <= address <= MPUSAM + 1:
+            return
+        allowed = self._allowed(address, kind)
+        if allowed:
+            return
+        self.violation_address = address
+        self.violation_kind = kind
+        raise MpuViolationError(address, kind, segment=4)
+
+    def _allowed(self, address: int, kind: str) -> bool:
+        b1, b2 = self.b1, self.b2
+        if kind == EXECUTE:
+            # code region plus the OS gates below it (a real advanced
+            # MPU would make the gate pages a fifth, X-only region).
+            return MemoryMap.FRAM_START <= address < b1
+        if kind == READ:
+            if b1 <= address < b2:
+                return True
+            window = self.sysvar_window
+            return window is not None and window[0] <= address < window[1]
+        # WRITE
+        return b1 <= address < b2

@@ -1,0 +1,90 @@
+"""Event model for the AmuletOS scheduler.
+
+AmuletOS "provides the core system services and an event-based
+scheduler that drives the apps' state machines, delivering events by
+calling the appropriate event-handler function with parameters
+representing the details of the event" (paper section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class EventType(enum.Enum):
+    TIMER = "timer"
+    CLOCK_TICK = "clock-tick"
+    ACCEL_SAMPLE = "accel-sample"
+    HR_SAMPLE = "hr-sample"
+    TEMP_SAMPLE = "temp-sample"
+    LIGHT_SAMPLE = "light-sample"
+    BUTTON = "button"
+    BATTERY = "battery"
+    APP_TIMER = "app-timer"       # armed via amulet_timer_set
+
+
+@dataclass(frozen=True)
+class Event:
+    """One deliverable event.
+
+    ``time`` is in milliseconds of simulated wall-clock.  ``args`` are
+    the (at most three) integer parameters passed to the handler in
+    R13-R15 by the dispatch gate.
+    """
+
+    time: int
+    app: str
+    handler: str
+    event_type: EventType
+    args: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) > 3:
+            raise ValueError("events carry at most 3 arguments")
+
+
+class EventQueue:
+    """A time-ordered queue; stable for same-timestamp events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, next(self._counter),
+                                    event))
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class PeriodicSource:
+    """A recurring event source (sensor sample, clock tick...)."""
+
+    app: str
+    handler: str
+    event_type: EventType
+    period_ms: int
+    args: Tuple[int, ...] = ()
+    phase_ms: int = 0
+
+    def events_until(self, end_ms: int) -> Iterator[Event]:
+        time = self.phase_ms
+        while time < end_ms:
+            yield Event(time, self.app, self.handler, self.event_type,
+                        self.args)
+            time += self.period_ms

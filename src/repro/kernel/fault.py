@@ -1,0 +1,56 @@
+"""Fault records and the FAULT log.
+
+Paper section 3, "Memory accesses": *"when the app attempts an invalid
+memory access, it jumps to a FAULT function to log app-specific
+information about the fault."*  Hardware (MPU) violations arrive as CPU
+faults; software-check violations arrive through the fault port.  Both
+end up here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class FaultOrigin(enum.Enum):
+    SOFTWARE_CHECK = "software-check"     # compiler-inserted check
+    MPU = "mpu-violation"                 # hardware segment violation
+    BUS = "bus-error"                     # unmapped / illegal access
+    API_POINTER = "api-pointer"           # bad pointer passed to the OS
+    RUNAWAY = "runaway"                   # cycle budget exhausted
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    app: Optional[str]
+    origin: FaultOrigin
+    pc: int
+    address: int
+    cycle: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        who = self.app if self.app else "<unknown app>"
+        return (f"FAULT[{self.origin.value}] app={who} "
+                f"pc=0x{self.pc:04X} addr=0x{self.address:04X} "
+                f"cycle={self.cycle}"
+                + (f" ({self.detail})" if self.detail else ""))
+
+
+@dataclass
+class FaultLog:
+    records: List[FaultRecord] = field(default_factory=list)
+
+    def log(self, record: FaultRecord) -> None:
+        self.records.append(record)
+
+    def for_app(self, app: str) -> List[FaultRecord]:
+        return [r for r in self.records if r.app == app]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

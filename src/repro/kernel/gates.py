@@ -1,0 +1,178 @@
+"""Context-switch gate generation (paper section 3, "Context Switches").
+
+*"We need to swap MPU configurations and change stacks on each
+transition, and we need to carefully handle application-provided
+pointers passed through API calls to the OS.  Furthermore, because each
+app, and the OS, has a separate stack segment, we need to change the
+stack pointer on every transition between the OS and an app."*
+
+Three gate flavours are generated per memory model:
+
+* ``__dispatch_<app>`` — OS→app event delivery: save the OS register
+  context, (separate-stack models) switch to the app's stack,
+  (MPU model) program the MPU with the app's segment config, call the
+  handler, then undo everything.  This is the "context switch" the
+  experiments measure.
+* ``__api_<fn>`` — app→OS API call: (MPU model) switch the MPU to the
+  OS config *first* (OS data is execute-only under the app config),
+  swap to the OS stack, ring the service port, and restore.
+* ``__fault`` — the software-check landing pad: force the OS MPU
+  config, report through the fault port, halt.
+
+The per-app MPU register values (``__mpu_<app>_segb1`` etc.) are
+absolute symbols defined by AFT phase 4 after placement — the gate code
+is emitted with placeholders exactly as the paper describes for its
+phase 2, and the linker patches them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aft.models import ModelConfig
+from repro.cc.symbols import ApiTable
+from repro.kernel.layout import KernelLayout
+from repro.msp430.mpu import (
+    MPUCTL0,
+    MPUSAM,
+    MPUSEGB1,
+    MPUSEGB2,
+    MPU_PASSWORD,
+    MPUENA,
+)
+from repro.ports import DONE_PORT, FAULT_PORT, SVC_PORT
+
+_MPU_ENABLE_WORD = (MPU_PASSWORD << 8) | MPUENA
+
+#: registers the dispatch gate saves/restores around a handler run
+_SAVED_REGS = ("R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11")
+
+
+def mpu_value_symbols(app_name: str) -> List[str]:
+    prefix = f"__mpu_{app_name}"
+    return [f"{prefix}_segb1", f"{prefix}_segb2", f"{prefix}_sam"]
+
+
+def _emit_mpu_config(lines: List[str], segb1: str, segb2: str,
+                     sam: str, via_memory: bool = False) -> None:
+    """Program the MPU.  ``via_memory`` reads the three values from OS
+    data slots instead of immediates (used on the API return path, which
+    is shared across apps)."""
+    amp = "&" if via_memory else "#"
+    lines.append(f"        MOV #{_MPU_ENABLE_WORD}, &0x{MPUCTL0:04X}")
+    lines.append(f"        MOV {amp}{segb1}, &0x{MPUSEGB1:04X}")
+    lines.append(f"        MOV {amp}{segb2}, &0x{MPUSEGB2:04X}")
+    lines.append(f"        MOV {amp}{sam}, &0x{MPUSAM:04X}")
+
+
+def generate_os_asm(app_names: Sequence[str], config: ModelConfig,
+                    api: ApiTable,
+                    layout: KernelLayout) -> str:
+    """The OS translation unit: gates, API stubs, fault sink, OS data."""
+    lines: List[str] = ["        .text"]
+    emits_mpu = config.uses_mpu or config.advanced_mpu
+
+    # ------------------------------------------------------------------ text
+    for app_id, app in enumerate(app_names):
+        lines.append(f"        .global __dispatch_{app}")
+        lines.append(f"__dispatch_{app}:")
+        for reg in _SAVED_REGS:
+            lines.append(f"        PUSH {reg}")
+        # Event bookkeeping a real AmuletOS scheduler performs: current
+        # app id, handler pointer, dispatch counter.
+        lines.append(f"        MOV #{app_id}, &__cur_app_id")
+        lines.append("        MOV R12, &__cur_handler")
+        lines.append("        ADD #1, &__dispatch_count")
+        if config.separate_stacks:
+            if emits_mpu:
+                # Record this app's MPU values so the shared API-return
+                # path can restore them.
+                b1, b2, sam = mpu_value_symbols(app)
+                lines.append(f"        MOV #{b1}, &__cur_segb1")
+                lines.append(f"        MOV #{b2}, &__cur_segb2")
+                lines.append(f"        MOV #{sam}, &__cur_sam")
+            lines.append("        MOV SP, &__os_sp_save")
+            lines.append(f"        MOV &__app_{app}_sp, SP")
+        if emits_mpu:
+            b1, b2, sam = mpu_value_symbols(app)
+            _emit_mpu_config(lines, b1, b2, sam)
+        # Handler arrives in R12, its arguments in R13-R15.
+        lines.append("        MOV R12, R11")
+        lines.append("        MOV R13, R12")
+        lines.append("        MOV R14, R13")
+        lines.append("        MOV R15, R14")
+        lines.append("        CALL R11")
+        if emits_mpu:
+            # Back to the OS config *before* touching OS data.
+            _emit_mpu_config(lines, "__mpu_os_segb1", "__mpu_os_segb2",
+                             "__mpu_os_sam")
+        if config.separate_stacks:
+            lines.append(f"        MOV SP, &__app_{app}_sp")
+            lines.append("        MOV &__os_sp_save, SP")
+        for reg in reversed(_SAVED_REGS):
+            lines.append(f"        POP {reg}")
+        lines.append(f"        MOV #1, &0x{DONE_PORT:04X}")
+        lines.append("        BR #__park")
+        lines.append("")
+
+    # API gate stubs, one per approved function.
+    for api_fn in api.functions.values():
+        stub = api.gate_symbol(api_fn.name)
+        lines.append(f"        .global {stub}")
+        lines.append(f"{stub}:")
+        if emits_mpu:
+            _emit_mpu_config(lines, "__mpu_os_segb1", "__mpu_os_segb2",
+                             "__mpu_os_sam")
+        if config.separate_stacks:
+            lines.append("        MOV SP, &__svc_app_sp")
+            lines.append("        MOV &__os_sp_save, SP")
+        lines.append(f"        MOV #{api_fn.service_id}, "
+                     f"&0x{SVC_PORT:04X}")
+        if config.separate_stacks:
+            lines.append("        MOV &__svc_app_sp, SP")
+        if emits_mpu:
+            _emit_mpu_config(lines, "__cur_segb1", "__cur_segb2",
+                             "__cur_sam", via_memory=True)
+        lines.append("        RET")
+        lines.append("")
+
+    # Fault sink for the compiler-inserted checks.
+    lines.append("        .global __fault")
+    lines.append("__fault:")
+    if emits_mpu:
+        _emit_mpu_config(lines, "__mpu_os_segb1", "__mpu_os_segb2",
+                         "__mpu_os_sam")
+    lines.append(f"        MOV #1, &0x{FAULT_PORT:04X}")
+    lines.append(f"        MOV #1, &0x{DONE_PORT:04X}")
+    lines.append("        .global __park")
+    lines.append("__park:")
+    lines.append("        JMP __park")
+    lines.append("")
+
+    # --------------------------------------------------------------- OS data
+    # Kernel slots and the approved system globals live in SRAM: the
+    # MPU cannot protect SRAM (a documented hardware limitation the
+    # paper lists), which here is a *feature* — apps can read approved
+    # sysvars under their own MPU configuration, where all of FRAM
+    # below them is execute-only.
+    lines.append("        .section .os.sram")
+    for slot in ("__os_sp_save", "__svc_app_sp", "__cur_app_id",
+                 "__cur_handler", "__dispatch_count", "__cur_segb1",
+                 "__cur_segb2", "__cur_sam"):
+        lines.append(f"        .global {slot}")
+        lines.append(f"{slot}:")
+        lines.append("        .word 0")
+    if config.separate_stacks:
+        for app in app_names:
+            lines.append(f"        .global __app_{app}_sp")
+            lines.append(f"__app_{app}_sp:")
+            lines.append(f"        .word __app_{app}_stack_top")
+
+    # Approved system globals, readable by every app.
+    for name in api.sysvars:
+        symbol = api.sysvar_symbol(name)
+        lines.append(f"        .global {symbol}")
+        lines.append(f"{symbol}:")
+        lines.append("        .word 0")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,40 @@
+"""Kernel memory-layout constants (paper Figure 1).
+
+* SRAM holds the AmuletOS stack.
+* Low FRAM holds OS code and data (and the context-switch gates).
+* High FRAM holds the apps, grouped per app: code, then stack, then
+  data, so one MPU boundary (B1) separates executable from writable
+  memory and a stack overflow walks into execute-only code and faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.msp430.memory import MemoryMap
+
+
+@dataclass(frozen=True)
+class KernelLayout:
+    """Addresses carving up the FR5969 map for the firmware build."""
+
+    #: OS stack: top of SRAM, growing down.
+    os_stack_top: int = MemoryMap.SRAM_END + 1
+    #: OS (code + data) region in low FRAM.
+    os_base: int = MemoryMap.FRAM_START
+    os_limit: int = 0x6FFF             # inclusive; apps start above
+    #: Application region in high FRAM.
+    app_base: int = 0x7000
+    app_limit: int = MemoryMap.FRAM_END
+
+    def validate(self) -> None:
+        if self.os_base % 16 or self.app_base % 16:
+            raise ValueError("region bases must be 16-byte aligned "
+                             "(MPU boundary granularity)")
+        if not (MemoryMap.FRAM_START <= self.os_base < self.os_limit
+                < self.app_base < self.app_limit
+                <= MemoryMap.FRAM_END):
+            raise ValueError("inconsistent kernel layout")
+
+
+DEFAULT_LAYOUT = KernelLayout()

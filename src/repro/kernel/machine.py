@@ -1,0 +1,215 @@
+"""AmuletMachine: firmware + CPU + MPU + services, ready to dispatch.
+
+The machine is the kernel's hardware-facing half: it loads a linked
+firmware image, wires the MPU and the service/done/fault ports, and
+exposes :meth:`dispatch` — deliver one event to one app handler by
+running the app's context-switch gate on the simulated CPU, exactly as
+the paper's AmuletOS does.
+
+Everything an experiment needs comes back in a :class:`DispatchResult`:
+cycles consumed (gate + handler + checks + services), fault records,
+and the CPU for further inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import KernelError
+from repro.aft.firmware import AppLayout, Firmware
+from repro.aft.shadowstack import initialize_shadow_stack
+from repro.kernel.advanced_mpu import AdvancedMpu
+from repro.kernel.fault import FaultLog, FaultOrigin, FaultRecord
+from repro.kernel.services import SensorEnvironment, ServiceRegistry
+from repro.msp430.cpu import Cpu, CpuFault, ExecutionLimitExceeded
+from repro.msp430.memory import MemoryMap
+from repro.msp430.mpu import Mpu
+from repro.msp430.timer import CycleTimer
+from repro.ports import DONE_PORT, FAULT_PORT, SVC_PORT
+
+
+@dataclass
+class DispatchResult:
+    app: str
+    handler: str
+    cycles: int
+    instructions: int
+    faulted: bool
+    fault: Optional[FaultRecord] = None
+    return_value: int = 0
+
+
+@dataclass
+class AppRuntimeState:
+    dispatches: int = 0
+    cycles: int = 0
+    faults: int = 0
+    disabled: bool = False
+
+
+class AmuletMachine:
+    def __init__(self, firmware: Firmware,
+                 env: Optional[SensorEnvironment] = None):
+        self.firmware = firmware
+        self.cpu = Cpu()
+        self.timer = CycleTimer(self.cpu)
+        self.timer.attach()
+        self.fault_log = FaultLog()
+        self.current_app: Optional[str] = None
+        self.scheduler = None            # set by Scheduler on attach
+        self.app_state: Dict[str, AppRuntimeState] = {
+            name: AppRuntimeState() for name in firmware.apps
+        }
+        self._pending_fault: Optional[FaultRecord] = None
+
+        firmware.image.load_into(self.cpu.memory)
+        # Reset the InfoMem shadow return-address stack (used when the
+        # firmware was built with shadow_stack=True; harmless
+        # otherwise — InfoMem is unused by default, paper footnote 3).
+        initialize_shadow_stack(self.cpu.memory)
+
+        config = firmware.config
+        self.mpu: Optional[object] = None
+        if config.uses_mpu:
+            mpu = Mpu()
+            mpu.attach(self.cpu.memory)
+            if firmware.os_mpu_config is not None:
+                mpu.configure(firmware.os_mpu_config)
+            self.mpu = mpu
+        elif config.advanced_mpu:
+            advanced = AdvancedMpu()
+            advanced.attach(self.cpu.memory)
+            advanced.sysvar_window = self._sysvar_window()
+            self.mpu = advanced
+
+        self.services = ServiceRegistry(self, env)
+        self.cpu.memory.add_io(SVC_PORT, write=self._on_service)
+        self.cpu.memory.add_io(DONE_PORT, write=self._on_done)
+        self.cpu.memory.add_io(FAULT_PORT, write=self._on_fault)
+
+    # -- wiring ---------------------------------------------------------------
+    def _sysvar_window(self) -> Optional[tuple]:
+        names = [self.firmware.api.sysvar_symbol(n)
+                 for n in self.firmware.api.sysvars]
+        addresses = [self.firmware.symbol(n) for n in names
+                     if self.firmware.image.has_symbol(n)]
+        if not addresses:
+            return None
+        return (min(addresses), max(addresses) + 2)
+
+    def _on_service(self, _addr: int, value: int) -> None:
+        self.services.dispatch(value)
+
+    def _on_done(self, _addr: int, _value: int) -> None:
+        self.cpu.halt()
+
+    def _on_fault(self, _addr: int, _value: int) -> None:
+        if self._pending_fault is None:
+            self._pending_fault = FaultRecord(
+                app=self.current_app, origin=FaultOrigin.SOFTWARE_CHECK,
+                pc=self.cpu.regs.pc, address=0, cycle=self.cpu.cycles,
+                detail="compiler-inserted check fired")
+        self.cpu.halt()
+
+    # -- fault reporting --------------------------------------------------------
+    def report_api_pointer_fault(self, address: int) -> None:
+        self._pending_fault = FaultRecord(
+            app=self.current_app, origin=FaultOrigin.API_POINTER,
+            pc=self.cpu.regs.pc, address=address,
+            cycle=self.cpu.cycles,
+            detail="app-provided pointer outside app region")
+        self.cpu.halt()
+
+    def current_app_layout(self) -> Optional[AppLayout]:
+        if self.current_app is None:
+            return None
+        return self.firmware.apps.get(self.current_app)
+
+    # -- sysvar maintenance --------------------------------------------------------
+    def set_sysvar(self, name: str, value: int) -> None:
+        symbol = self.firmware.api.sysvar_symbol(name)
+        address = self.firmware.symbol(symbol)
+        with self.cpu.memory.supervisor():
+            self.cpu.memory.write_word(address, value & 0xFFFF)
+
+    def read_sysvar(self, name: str) -> int:
+        symbol = self.firmware.api.sysvar_symbol(name)
+        address = self.firmware.symbol(symbol)
+        blob = self.cpu.memory.dump(address, 2)
+        return blob[0] | (blob[1] << 8)
+
+    # -- dispatch --------------------------------------------------------------------
+    def dispatch(self, app: str, handler: str,
+                 args: Sequence[int] = (),
+                 max_cycles: int = 20_000_000) -> DispatchResult:
+        if app not in self.firmware.apps:
+            raise KernelError(f"unknown app {app!r}")
+        state = self.app_state[app]
+        if state.disabled:
+            raise KernelError(f"app {app!r} is disabled after a fault")
+        if len(args) > 3:
+            raise KernelError("handlers take at most 3 arguments")
+
+        handler_address = self.firmware.handler_address(app, handler)
+        gate = self.firmware.dispatch_symbol(app)
+
+        self.current_app = app
+        self._pending_fault = None
+        cpu = self.cpu
+        cpu.halted = False
+        cpu.regs.pc = gate
+        cpu.regs.sp = self.firmware.layout.os_stack_top
+        cpu.regs.write(12, handler_address)
+        for index, value in enumerate(args):
+            cpu.regs.write(13 + index, value & 0xFFFF)
+
+        start_cycles = cpu.cycles
+        start_instructions = cpu.instructions
+        fault: Optional[FaultRecord] = None
+        try:
+            cpu.run(max_cycles=max_cycles)
+        except CpuFault as exc:
+            origin = (FaultOrigin.MPU
+                      if exc.kind.name == "MPU_VIOLATION"
+                      else FaultOrigin.BUS)
+            fault = FaultRecord(app=app, origin=origin, pc=exc.pc,
+                                address=exc.address, cycle=cpu.cycles,
+                                detail=exc.detail)
+            self.fault_log.log(fault)
+            self._recover_to_os()
+        except ExecutionLimitExceeded as exc:
+            fault = FaultRecord(app=app, origin=FaultOrigin.RUNAWAY,
+                                pc=cpu.regs.pc, address=0,
+                                cycle=cpu.cycles, detail=str(exc))
+            self.fault_log.log(fault)
+            self._recover_to_os()
+
+        if self._pending_fault is not None and fault is None:
+            fault = self._pending_fault
+            self.fault_log.log(fault)
+            self._recover_to_os()
+
+        cycles = cpu.cycles - start_cycles
+        state.dispatches += 1
+        state.cycles += cycles
+        if fault is not None:
+            state.faults += 1
+        self.current_app = None
+        return DispatchResult(
+            app=app, handler=handler, cycles=cycles,
+            instructions=cpu.instructions - start_instructions,
+            faulted=fault is not None, fault=fault,
+            return_value=cpu.regs.read(12))
+
+    def _recover_to_os(self) -> None:
+        """After a fault the gate's exit path never ran; restore the OS
+        view (MPU config) so the next dispatch starts clean."""
+        if isinstance(self.mpu, Mpu) and \
+                self.firmware.os_mpu_config is not None:
+            self.mpu.configure(self.firmware.os_mpu_config)
+        elif isinstance(self.mpu, AdvancedMpu):
+            self.mpu.force_os_mode()
+        # a fault mid-function leaves unbalanced shadow entries behind
+        initialize_shadow_stack(self.cpu.memory)
+        self.cpu.halted = True

@@ -1,0 +1,251 @@
+"""Python-side service handlers behind the service port.
+
+The gate assembly does the measured work (MPU/stack switching); these
+handlers implement what the service *returns*.  Each costs its modeled
+``SERVICE_COSTS`` cycles, added to the CPU's counter by the machine.
+
+Application-provided pointers (``amulet_read_accel``'s buffer, the
+display/log/storage buffers) are validated against the calling app's
+region before the OS touches them — paper section 3: *"we need to
+carefully handle application-provided pointers passed through API
+calls to the OS"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.kernel import api as api_ids
+from repro.kernel.fault import FaultOrigin
+from repro.msp430.memory import MemoryMap
+
+
+class SensorEnvironment:
+    """Deterministic synthetic sensor world.
+
+    The paper's workloads come from real wearables; we substitute
+    seeded synthetic signals that exercise the same code paths (see
+    DESIGN.md).  A linear congruential generator keeps runs reproducible
+    without Python's global RNG state.
+    """
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        self._state = seed & 0x7FFFFFFF or 1
+        self.time_ms = 0
+        self.battery_percent = 87
+        self.base_heart_rate = 72
+        self.base_temperature = 215     # tenths of a degree C
+        self.base_light = 300
+        self.steps = 0
+
+    def _rand(self) -> int:
+        self._state = (1103515245 * self._state + 12345) & 0x7FFFFFFF
+        return self._state >> 16
+
+    def rand16(self) -> int:
+        return self._rand() & 0xFFFF
+
+    def heart_rate(self) -> int:
+        return self.base_heart_rate + self._rand() % 9 - 4
+
+    def temperature(self) -> int:
+        return self.base_temperature + self._rand() % 7 - 3
+
+    def light(self) -> int:
+        return max(0, self.base_light + self._rand() % 101 - 50)
+
+    def accel_sample(self) -> Tuple[int, int, int]:
+        """Milli-g triple around 1 g on Z with noise, occasional spikes
+        (so activity/fall-detection code has something to chew on)."""
+        noise = lambda: self._rand() % 121 - 60
+        x, y, z = noise(), noise(), 1000 + noise()
+        if self._rand() % 50 == 0:       # movement burst
+            x += 900
+            z -= 700
+        return (x & 0xFFFF, y & 0xFFFF, z & 0xFFFF)
+
+
+@dataclass
+class DisplayState:
+    digits: List[int] = field(default_factory=list)
+    texts: List[str] = field(default_factory=list)
+
+    @property
+    def last_digits(self) -> Optional[int]:
+        return self.digits[-1] if self.digits else None
+
+
+@dataclass
+class LogState:
+    words: List[int] = field(default_factory=list)
+    buffers: List[bytes] = field(default_factory=list)
+
+
+class ServiceRegistry:
+    """Dispatches service-port writes to handlers."""
+
+    def __init__(self, machine, env: Optional[SensorEnvironment] = None):
+        self.machine = machine
+        self.env = env if env is not None else SensorEnvironment()
+        self.display = DisplayState()
+        self.log = LogState()
+        self.storage: Dict[int, bytes] = {}
+        self.vibrations = 0
+        self.app_timers: List[Tuple[str, int, int]] = []
+        self.calls: Dict[int, int] = {}
+        self._handlers: Dict[int, Callable[[], Optional[int]]] = {
+            api_ids.SVC_GET_BATTERY: self._get_battery,
+            api_ids.SVC_GET_HEART_RATE: self._get_heart_rate,
+            api_ids.SVC_READ_ACCEL: self._read_accel,
+            api_ids.SVC_GET_TEMPERATURE: self._get_temperature,
+            api_ids.SVC_GET_LIGHT: self._get_light,
+            api_ids.SVC_DISPLAY_DIGITS: self._display_digits,
+            api_ids.SVC_DISPLAY_TEXT: self._display_text,
+            api_ids.SVC_LOG_WORD: self._log_word,
+            api_ids.SVC_LOG_BUFFER: self._log_buffer,
+            api_ids.SVC_TIMER_SET: self._timer_set,
+            api_ids.SVC_GET_TIME: self._get_time,
+            api_ids.SVC_RAND: self._rand,
+            api_ids.SVC_GET_STEPS: self._get_steps,
+            api_ids.SVC_VIBRATE: self._vibrate,
+            api_ids.SVC_STORAGE_WRITE: self._storage_write,
+            api_ids.SVC_STORAGE_READ: self._storage_read,
+        }
+
+    # -- plumbing ------------------------------------------------------------
+    def _arg(self, index: int) -> int:
+        return self.machine.cpu.regs.read(12 + index)
+
+    def dispatch(self, service_id: int) -> None:
+        handler = self._handlers.get(service_id)
+        if handler is None:
+            raise KernelError(f"unknown service id {service_id}")
+        self.calls[service_id] = self.calls.get(service_id, 0) + 1
+        result = handler()
+        self.machine.cpu.cycles += api_ids.SERVICE_COSTS[service_id]
+        if result is not None:
+            self.machine.cpu.regs.write(12, result & 0xFFFF)
+
+    def _validate_pointer(self, address: int, size: int) -> bool:
+        """Is [address, address+size) inside the calling app's writable
+        region?  Shared-stack models also accept the (shared) SRAM
+        stack, where such buffers legitimately live."""
+        app = self.machine.current_app_layout()
+        if app is None:
+            return False
+        end = address + size
+        if app.seg_lo <= address and end <= app.seg_hi:
+            return True
+        if not self.machine.firmware.config.separate_stacks:
+            # Shared-stack models: app locals live on the SRAM stack.
+            if MemoryMap.SRAM_START <= address and \
+                    end <= MemoryMap.SRAM_END + 1:
+                return True
+        return False
+
+    def _checked_pointer(self, address: int, size: int) -> bool:
+        if self._validate_pointer(address, size):
+            return True
+        self.machine.report_api_pointer_fault(address)
+        return False
+
+    # -- handlers -------------------------------------------------------------
+    def _get_battery(self) -> int:
+        return self.env.battery_percent
+
+    def _get_heart_rate(self) -> int:
+        return self.env.heart_rate()
+
+    def _read_accel(self) -> None:
+        buffer = self._arg(0)
+        if not self._checked_pointer(buffer, 6):
+            return
+        x, y, z = self.env.accel_sample()
+        memory = self.machine.cpu.memory
+        with memory.supervisor():
+            memory.write_word(buffer, x)
+            memory.write_word(buffer + 2, y)
+            memory.write_word(buffer + 4, z)
+
+    def _get_temperature(self) -> int:
+        return self.env.temperature()
+
+    def _get_light(self) -> int:
+        return self.env.light()
+
+    def _display_digits(self) -> None:
+        self.display.digits.append(self._arg(0))
+
+    def _display_text(self) -> None:
+        address = self._arg(0)
+        text = self._read_cstring(address, limit=64)
+        if text is not None:
+            self.display.texts.append(text)
+
+    def _read_cstring(self, address: int, limit: int) -> Optional[str]:
+        memory = self.machine.cpu.memory
+        chars = []
+        for offset in range(limit):
+            if not self._validate_pointer(address + offset, 1):
+                self.machine.report_api_pointer_fault(address + offset)
+                return None
+            byte = memory.dump(address + offset, 1)[0]
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    def _log_word(self) -> None:
+        self.log.words.append(self._arg(0))
+
+    def _log_buffer(self) -> None:
+        address, length = self._arg(0), self._arg(1)
+        length = min(length, 128)
+        if not self._checked_pointer(address, max(length, 1)):
+            return
+        self.log.buffers.append(
+            self.machine.cpu.memory.dump(address, length))
+
+    def _timer_set(self) -> int:
+        event_id, ticks = self._arg(0), self._arg(1)
+        app = self.machine.current_app
+        self.app_timers.append((app, event_id, ticks))
+        if self.machine.scheduler is not None:
+            self.machine.scheduler.arm_app_timer(app, event_id, ticks)
+        return 0
+
+    def _get_time(self) -> int:
+        return self.env.time_ms & 0xFFFF
+
+    def _rand(self) -> int:
+        return self.env.rand16() & 0x7FFF
+
+    def _get_steps(self) -> int:
+        return self.env.steps & 0xFFFF
+
+    def _vibrate(self) -> None:
+        self.vibrations += 1
+
+    def _storage_write(self) -> int:
+        key, address, length = self._arg(0), self._arg(1), self._arg(2)
+        length = min(length, 128)
+        if not self._checked_pointer(address, max(length, 1)):
+            return 0xFFFF
+        self.storage[key] = self.machine.cpu.memory.dump(address, length)
+        return 0
+
+    def _storage_read(self) -> int:
+        key, address, length = self._arg(0), self._arg(1), self._arg(2)
+        blob = self.storage.get(key)
+        if blob is None:
+            return 0xFFFF
+        length = min(length, len(blob))
+        if not self._checked_pointer(address, max(length, 1)):
+            return 0xFFFF
+        memory = self.machine.cpu.memory
+        with memory.supervisor():
+            for offset in range(length):
+                memory.write_byte(address + offset, blob[offset])
+        return length

@@ -1,0 +1,46 @@
+"""Simulated TI MSP430FR5969-class microcontroller.
+
+The paper's prototype runs on an MSP430FR5969: a 16 MHz, 16-bit MCU with
+2 KB SRAM, ~48 KB FRAM, and the limited FRAM-family Memory Protection
+Unit.  This package provides a cycle-counted simulator of that part:
+
+* :mod:`repro.msp430.registers` -- register file and status flags
+* :mod:`repro.msp430.memory`    -- 64 KB bus with the FR5969 region map
+* :mod:`repro.msp430.mpu`       -- the 3-segment FRAM MPU
+* :mod:`repro.msp430.isa`       -- instruction and operand model
+* :mod:`repro.msp430.encoding`  -- binary instruction encoding
+* :mod:`repro.msp430.decoder`   -- binary decoding
+* :mod:`repro.msp430.cycles`    -- per-addressing-mode CPU cycle table
+* :mod:`repro.msp430.cpu`       -- fetch/decode/execute engine
+* :mod:`repro.msp430.timer`     -- Timer_A-style measurement timer
+"""
+
+from repro.msp430.registers import RegisterFile, Reg, SR
+from repro.msp430.memory import Memory, MemoryMap, Region
+from repro.msp430.mpu import Mpu, MpuConfig, SegmentPermissions
+from repro.msp430.isa import (
+    AddressingMode,
+    Operand,
+    Instruction,
+    Opcode,
+    reg,
+    imm,
+    indexed,
+    absolute,
+    symbolic,
+    indirect,
+    autoincrement,
+)
+from repro.msp430.cpu import Cpu, CpuFault, FaultKind
+from repro.msp430.timer import CycleTimer
+
+__all__ = [
+    "RegisterFile", "Reg", "SR",
+    "Memory", "MemoryMap", "Region",
+    "Mpu", "MpuConfig", "SegmentPermissions",
+    "AddressingMode", "Operand", "Instruction", "Opcode",
+    "reg", "imm", "indexed", "absolute", "symbolic", "indirect",
+    "autoincrement",
+    "Cpu", "CpuFault", "FaultKind",
+    "CycleTimer",
+]

@@ -1,0 +1,450 @@
+"""Fetch/decode/execute engine for the 16-bit MSP430 core.
+
+The engine is cycle-counted using the architectural tables in
+:mod:`repro.msp430.cycles`.  Memory-protection failures (bus errors on
+unmapped holes, MPU violations) surface as :class:`CpuFault`, which the
+kernel converts into the paper's ``FAULT()`` path.
+
+Asynchronous interrupts are not modeled: none of the paper's
+measurements involve interrupt latency, and the kernel delivers events
+by starting the CPU at a dispatch gate instead (see
+``repro.kernel.machine``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import (
+    DecodeError,
+    MemoryAccessError,
+    MpuViolationError,
+    ReproError,
+)
+from repro.msp430 import cycles as cyc
+from repro.msp430.decoder import decode
+from repro.msp430.isa import (
+    AddressingMode,
+    Instruction,
+    Opcode,
+    Operand,
+)
+from repro.msp430.memory import EXECUTE, Memory, READ, WRITE
+from repro.msp430.registers import Reg, RegisterFile, SR
+
+_M = AddressingMode
+
+
+class FaultKind(enum.Enum):
+    MPU_VIOLATION = "mpu-violation"
+    BUS_ERROR = "bus-error"
+    DECODE_ERROR = "decode-error"
+
+
+class CpuFault(ReproError):
+    """A synchronous fault raised while executing an instruction."""
+
+    def __init__(self, kind: FaultKind, pc: int, address: int,
+                 detail: str = ""):
+        self.kind = kind
+        self.pc = pc
+        self.address = address
+        self.detail = detail
+        super().__init__(
+            f"{kind.value} at pc=0x{pc:04X} addr=0x{address:04X}"
+            + (f": {detail}" if detail else "")
+        )
+
+
+@dataclass
+class _Location:
+    """Where an operand's result should be written back."""
+
+    kind: str                  # "reg" | "mem" | "none"
+    register: int = 0
+    address: int = 0
+
+
+class ExecutionLimitExceeded(ReproError):
+    """``run`` hit its cycle or instruction budget without halting."""
+
+
+class Cpu:
+    """The execution engine.
+
+    Attributes of interest:
+
+    * ``cycles`` -- architectural cycle counter (drives the experiments)
+    * ``instructions`` -- retired instruction count
+    * ``halted`` -- set by the kernel's DONE port or :meth:`halt`
+    """
+
+    def __init__(self, memory: Optional[Memory] = None):
+        self.memory = memory if memory is not None else Memory()
+        self.regs = RegisterFile()
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = False
+        self.trace_hook: Optional[Callable[[int, Instruction], None]] = None
+        # Raised mid-instruction by service handlers that must stop the
+        # world (used by the kernel fault path).
+        self._pending_fault: Optional[CpuFault] = None
+        # Decoded-instruction cache, keyed by 64-byte block then PC.
+        # Any memory write invalidates the blocks it touches (so
+        # self-modifying code and re-loads stay correct); firmware
+        # never self-modifies, so in practice every instruction decodes
+        # once.  Entries: pc -> (insn, size, cycles).
+        self._icache: dict = {}
+        self.memory.write_hook = self._on_memory_write
+
+    def _on_memory_write(self, address: int, _value: int) -> None:
+        if address < 0:
+            self._icache.clear()      # bulk load
+            return
+        # Entries are keyed by the block their *first* word is in, but
+        # an instruction can extend into the next block — so a write
+        # also invalidates the preceding block.
+        block = address >> 6
+        self._icache.pop(block, None)
+        self._icache.pop(block - 1, None)
+
+    # -- small helpers ------------------------------------------------------
+    def reset(self, pc: Optional[int] = None) -> None:
+        self.regs = RegisterFile()
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = False
+        if pc is None:
+            pc = self.memory.read_word(self.memory.map.RESET_VECTOR)
+        self.regs.pc = pc
+
+    def halt(self) -> None:
+        self.halted = True
+
+    def post_fault(self, fault: CpuFault) -> None:
+        """Queue a fault to be raised at the end of the current step."""
+        self._pending_fault = fault
+
+    # -- operand evaluation ------------------------------------------------
+    def _read_reg(self, n: int, byte: bool) -> int:
+        value = self.regs.read(n)
+        return value & 0xFF if byte else value
+
+    def _load(self, address: int, byte: bool) -> int:
+        if byte:
+            return self.memory.read_byte(address)
+        return self.memory.read_word(address)
+
+    def _store(self, location: _Location, value: int, byte: bool) -> None:
+        if location.kind == "reg":
+            # Byte operations clear the destination's high byte.
+            self.regs.write(location.register,
+                            value & 0xFF if byte else value & 0xFFFF)
+        elif location.kind == "mem":
+            if byte:
+                self.memory.write_byte(location.address, value)
+            else:
+                self.memory.write_word(location.address, value)
+
+    def _effective_address(self, op: Operand) -> int:
+        m = op.mode
+        if m is _M.INDEXED:
+            return (self.regs.read(op.register) + op.value) & 0xFFFF
+        if m in (_M.SYMBOLIC, _M.ABSOLUTE):
+            return op.value & 0xFFFF
+        if m in (_M.INDIRECT, _M.AUTOINCREMENT):
+            return self.regs.read(op.register)
+        raise ReproError(f"operand mode {m} has no address")
+
+    def _eval_source(self, op: Operand, byte: bool) -> int:
+        m = op.mode
+        if m is _M.REGISTER:
+            return self._read_reg(op.register, byte)
+        if m is _M.IMMEDIATE:
+            return op.value & (0xFF if byte else 0xFFFF)
+        address = self._effective_address(op)
+        value = self._load(address, byte)
+        if m is _M.AUTOINCREMENT:
+            step = 1 if byte else 2
+            self.regs.write(op.register,
+                            self.regs.read(op.register) + step)
+        return value
+
+    def _eval_dest(self, op: Operand, byte: bool,
+                   need_value: bool) -> Tuple[int, _Location]:
+        if op.mode is _M.REGISTER:
+            value = self._read_reg(op.register, byte) if need_value else 0
+            return value, _Location("reg", register=op.register)
+        address = self._effective_address(op)
+        value = self._load(address, byte) if need_value else 0
+        return value, _Location("mem", address=address)
+
+    # -- ALU ----------------------------------------------------------------
+    def _flags_add(self, src: int, dst: int, result: int,
+                   byte: bool) -> int:
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+        out = result & mask
+        self.regs.set_flag(SR.C, result > mask)
+        self.regs.set_flag(SR.V,
+                           bool(~(src ^ dst) & (src ^ out) & sign))
+        self.regs.set_nz(out, byte)
+        return out
+
+    def _flags_sub(self, src: int, dst: int, carry_in: int,
+                   byte: bool) -> int:
+        """dst - src (+ carry-1 for SUBC); C means *no borrow*."""
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+        result = dst + ((~src) & mask) + carry_in
+        out = result & mask
+        self.regs.set_flag(SR.C, result > mask)
+        self.regs.set_flag(SR.V,
+                           bool((dst ^ src) & (dst ^ out) & sign))
+        self.regs.set_nz(out, byte)
+        return out
+
+    def _logic_flags(self, out: int, byte: bool,
+                     overflow: bool = False) -> None:
+        self.regs.set_nz(out, byte)
+        self.regs.set_flag(SR.C, out != 0)
+        self.regs.set_flag(SR.V, overflow)
+
+    @staticmethod
+    def _dadd(src: int, dst: int, carry: int, byte: bool) -> Tuple[int, int]:
+        digits = 2 if byte else 4
+        out = 0
+        for i in range(digits):
+            d = ((src >> (4 * i)) & 0xF) + ((dst >> (4 * i)) & 0xF) + carry
+            if d > 9:
+                d -= 10
+                carry = 1
+            else:
+                carry = 0
+            out |= d << (4 * i)
+        return out, carry
+
+    # -- stack helpers ---------------------------------------------------------
+    def _push(self, value: int) -> None:
+        self.regs.sp = (self.regs.sp - 2) & 0xFFFF
+        self.memory.write_word(self.regs.sp, value)
+
+    def _pop(self) -> int:
+        value = self.memory.read_word(self.regs.sp)
+        self.regs.sp = (self.regs.sp + 2) & 0xFFFF
+        return value
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it (for tracing)."""
+        pc = self.regs.pc
+        block = self._icache.get(pc >> 6)
+        entry = block.get(pc) if block is not None else None
+        try:
+            if entry is None:
+                insn, size = decode(self.memory.fetch_word, pc)
+                insn_cycles = cyc.instruction_cycles(insn)
+                self._icache.setdefault(pc >> 6, {})[pc] = \
+                    (insn, size, insn_cycles)
+            else:
+                insn, size, insn_cycles = entry
+                # the decode is cached, but execute *permission* must
+                # be re-validated — the MPU config changes between
+                # context switches
+                self.memory._check(pc, EXECUTE)
+                if size > 2:
+                    self.memory._check(pc + size - 1, EXECUTE)
+        except MpuViolationError as exc:
+            raise CpuFault(FaultKind.MPU_VIOLATION, pc, exc.address,
+                           "instruction fetch") from exc
+        except MemoryAccessError as exc:
+            raise CpuFault(FaultKind.BUS_ERROR, pc, exc.address,
+                           "instruction fetch") from exc
+        except DecodeError as exc:
+            raise CpuFault(FaultKind.DECODE_ERROR, pc, pc,
+                           str(exc)) from exc
+
+        self.regs.pc = (pc + size) & 0xFFFF
+        if self.trace_hook is not None:
+            self.trace_hook(pc, insn)
+        try:
+            self._execute(insn)
+        except MpuViolationError as exc:
+            raise CpuFault(FaultKind.MPU_VIOLATION, pc, exc.address,
+                           exc.kind) from exc
+        except MemoryAccessError as exc:
+            raise CpuFault(FaultKind.BUS_ERROR, pc, exc.address,
+                           exc.kind) from exc
+
+        self.cycles += insn_cycles
+        self.instructions += 1
+        if self._pending_fault is not None:
+            fault, self._pending_fault = self._pending_fault, None
+            raise fault
+        return insn
+
+    def run(self, max_cycles: int = 10_000_000,
+            max_instructions: Optional[int] = None) -> int:
+        """Run until :attr:`halted`; returns cycles consumed by this call."""
+        start = self.cycles
+        budget_insns = (max_instructions if max_instructions is not None
+                        else max_cycles)  # instructions <= cycles always
+        executed = 0
+        while not self.halted:
+            self.step()
+            executed += 1
+            if self.cycles - start > max_cycles or executed > budget_insns:
+                raise ExecutionLimitExceeded(
+                    f"no halt after {self.cycles - start} cycles "
+                    f"({executed} instructions) from pc=0x{self.regs.pc:04X}"
+                )
+        return self.cycles - start
+
+    # -- per-opcode semantics ------------------------------------------------
+    def _execute(self, insn: Instruction) -> None:
+        value = insn.opcode.value
+        if value >= 0x2000:
+            self._execute_jump(insn)
+        elif value >= 0x1000:
+            self._execute_format2(insn)
+        else:
+            self._execute_format1(insn)
+
+    def _execute_jump(self, insn: Instruction) -> None:
+        r = self.regs
+        op = insn.opcode
+        sr = r.sr
+        if op is Opcode.JMP:
+            take = True
+        elif op is Opcode.JNE:
+            take = not sr & SR.Z
+        elif op is Opcode.JEQ:
+            take = bool(sr & SR.Z)
+        elif op is Opcode.JNC:
+            take = not sr & SR.C
+        elif op is Opcode.JC:
+            take = bool(sr & SR.C)
+        elif op is Opcode.JN:
+            take = bool(sr & SR.N)
+        elif op is Opcode.JGE:
+            take = bool(sr & SR.N) == bool(sr & SR.V)
+        else:  # JL
+            take = bool(sr & SR.N) != bool(sr & SR.V)
+        if take:
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
+
+    def _execute_format2(self, insn: Instruction) -> None:
+        op = insn.opcode
+        byte = insn.byte
+        r = self.regs
+
+        if op is Opcode.RETI:
+            r.sr = self._pop()
+            r.pc = self._pop()
+            return
+
+        if op is Opcode.PUSH:
+            value = self._eval_source(insn.src, byte)
+            # PUSH.B still decrements SP by 2 (hardware behaviour).
+            self._push(value & (0xFF if byte else 0xFFFF))
+            return
+
+        if op is Opcode.CALL:
+            if insn.src.mode in (_M.REGISTER, _M.IMMEDIATE):
+                target = self._eval_source(insn.src, byte=False)
+            else:
+                target = self._load(self._effective_address(insn.src),
+                                    byte=False)
+                if insn.src.mode is _M.AUTOINCREMENT:
+                    r.write(insn.src.register,
+                            r.read(insn.src.register) + 2)
+            self._push(r.pc)
+            r.pc = target
+            return
+
+        # RRA / RRC / SWPB / SXT read-modify-write their operand.
+        if insn.src.mode is _M.REGISTER:
+            value = self._read_reg(insn.src.register, byte)
+            location = _Location("reg", register=insn.src.register)
+        else:
+            address = self._effective_address(insn.src)
+            value = self._load(address, byte)
+            if insn.src.mode is _M.AUTOINCREMENT:
+                step = 1 if byte else 2
+                r.write(insn.src.register, r.read(insn.src.register) + step)
+            location = _Location("mem", address=address)
+
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+        if op is Opcode.RRA:
+            out = (value >> 1) | (value & sign)
+            r.set_flag(SR.C, bool(value & 1))
+            r.set_flag(SR.V, False)
+            r.set_nz(out, byte)
+        elif op is Opcode.RRC:
+            out = (value >> 1) | (sign if r.carry else 0)
+            r.set_flag(SR.C, bool(value & 1))
+            r.set_flag(SR.V, False)
+            r.set_nz(out, byte)
+        elif op is Opcode.SWPB:
+            out = ((value << 8) | (value >> 8)) & 0xFFFF
+        elif op is Opcode.SXT:
+            out = value & 0xFF
+            if out & 0x80:
+                out |= 0xFF00
+            r.set_nz(out, byte=False)
+            r.set_flag(SR.C, out != 0)
+            r.set_flag(SR.V, False)
+        else:  # pragma: no cover - decoder guarantees coverage
+            raise ReproError(f"unhandled format-II opcode {op}")
+        self._store(location, out & mask, byte)
+
+    def _execute_format1(self, insn: Instruction) -> None:
+        op = insn.opcode
+        byte = insn.byte
+        r = self.regs
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+
+        src = self._eval_source(insn.src, byte)
+        need_dst = op is not Opcode.MOV
+        dst, location = self._eval_dest(insn.dst, byte, need_dst)
+
+        if op is Opcode.MOV:
+            self._store(location, src, byte)
+            return
+        if op is Opcode.ADD:
+            out = self._flags_add(src, dst, src + dst, byte)
+        elif op is Opcode.ADDC:
+            out = self._flags_add(src, dst, src + dst + int(r.carry), byte)
+        elif op is Opcode.SUB:
+            out = self._flags_sub(src, dst, 1, byte)
+        elif op is Opcode.SUBC:
+            out = self._flags_sub(src, dst, int(r.carry), byte)
+        elif op is Opcode.CMP:
+            self._flags_sub(src, dst, 1, byte)
+            return
+        elif op is Opcode.DADD:
+            out, carry = self._dadd(src, dst, int(r.carry), byte)
+            r.set_flag(SR.C, bool(carry))
+            r.set_nz(out, byte)
+        elif op is Opcode.BIT:
+            out = src & dst
+            self._logic_flags(out, byte)
+            return
+        elif op is Opcode.BIC:
+            out = dst & ~src & mask
+        elif op is Opcode.BIS:
+            out = (dst | src) & mask
+        elif op is Opcode.XOR:
+            out = (dst ^ src) & mask
+            self._logic_flags(out, byte,
+                              overflow=bool(src & sign) and bool(dst & sign))
+        elif op is Opcode.AND:
+            out = dst & src & mask
+            self._logic_flags(out, byte)
+        else:  # pragma: no cover
+            raise ReproError(f"unhandled format-I opcode {op}")
+        self._store(location, out, byte)

@@ -1,0 +1,179 @@
+"""Debugging aids for the simulator: tracing, breakpoints,
+watchpoints, and call-stack reconstruction.
+
+The experiments never need these, but anyone porting an app to the
+platform does — this is the ``mspdebug``-shaped corner of the
+toolbox::
+
+    debugger = Debugger(cpu)
+    debugger.add_breakpoint(image.symbol("app_probe_on_event"))
+    debugger.run()
+    print(debugger.call_stack)
+    print(debugger.backtrace_text(image.symbols))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.msp430.cpu import Cpu
+from repro.msp430.isa import Instruction, Opcode
+from repro.msp430.memory import WRITE
+from repro.msp430.registers import Reg
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    pc: int
+    text: str
+
+
+@dataclass(frozen=True)
+class WatchHit:
+    address: int
+    kind: str
+    size: int
+    pc: int
+    cycle: int
+
+
+class BreakpointHit(Exception):
+    """Raised internally to stop the run loop at a breakpoint."""
+
+    def __init__(self, address: int):
+        self.address = address
+        super().__init__(f"breakpoint at 0x{address:04X}")
+
+
+class Debugger:
+    """Wraps a :class:`~repro.msp430.cpu.Cpu` with debug features.
+
+    Installing the debugger replaces the CPU's trace hook; only one
+    debugger per CPU at a time.
+    """
+
+    def __init__(self, cpu: Cpu, trace_depth: int = 64):
+        self.cpu = cpu
+        self.trace: Deque[TraceEntry] = deque(maxlen=trace_depth)
+        self.breakpoints: Set[int] = set()
+        self.watchpoints: Set[int] = set()
+        self.watch_hits: List[WatchHit] = []
+        #: (return address, callee address) pairs, innermost last
+        self.call_stack: List[Tuple[int, int]] = []
+        self._break_pending: Optional[int] = None
+        # resuming from a breakpoint must execute its instruction
+        # without immediately re-breaking
+        self._resume_guard: Optional[int] = None
+        cpu.trace_hook = self._on_instruction
+        cpu.memory.add_observer(self._on_access)
+
+    def detach(self) -> None:
+        self.cpu.trace_hook = None
+        self.cpu.memory.remove_observer(self._on_access)
+
+    # -- configuration ------------------------------------------------------
+    def add_breakpoint(self, address: int) -> None:
+        self.breakpoints.add(address & 0xFFFF)
+
+    def remove_breakpoint(self, address: int) -> None:
+        self.breakpoints.discard(address & 0xFFFF)
+
+    def add_watchpoint(self, address: int) -> None:
+        """Record (not stop) every write covering ``address``."""
+        self.watchpoints.add(address & 0xFFFF)
+
+    # -- hooks --------------------------------------------------------------
+    def _on_instruction(self, pc: int, insn: Instruction) -> None:
+        if pc in self.breakpoints and pc != self._resume_guard:
+            # stop *before* the instruction executes
+            raise BreakpointHit(pc)
+        self._resume_guard = None
+        self.trace.append(TraceEntry(pc, insn.render()))
+        self._track_calls(pc, insn)
+
+    def _track_calls(self, pc: int, insn: Instruction) -> None:
+        if insn.opcode is Opcode.CALL:
+            # callee resolved after execution; record the site and let
+            # the return address identify the frame
+            return_address = pc + insn.size_bytes()
+            self.call_stack.append((return_address, -1))
+            return
+        # RET is MOV @SP+, PC
+        if (insn.opcode is Opcode.MOV and insn.src is not None
+                and insn.dst is not None
+                and insn.dst.mode.name == "REGISTER"
+                and insn.dst.register == Reg.PC
+                and insn.src.mode.name == "AUTOINCREMENT"
+                and insn.src.register == Reg.SP):
+            if self.call_stack:
+                self.call_stack.pop()
+
+    def _on_access(self, address: int, kind: str, size: int) -> None:
+        if kind != WRITE or not self.watchpoints:
+            return
+        covered = {address & 0xFFFF}
+        if size == 2:
+            covered.add((address + 1) & 0xFFFF)
+        if covered & self.watchpoints:
+            self.watch_hits.append(WatchHit(
+                address=address, kind=kind, size=size,
+                pc=self.cpu.regs.pc, cycle=self.cpu.cycles))
+
+    # -- running --------------------------------------------------------------
+    def run(self, max_cycles: int = 10_000_000) -> Optional[int]:
+        """Run until a breakpoint, a halt, or the cycle budget.
+        Returns the breakpoint address, or None for other stops.
+        On a breakpoint the PC points *at* the unexecuted target."""
+        self._break_pending = None
+        self._resume_guard = self.cpu.regs.pc
+        self.cpu.halted = False
+        try:
+            self.cpu.run(max_cycles=max_cycles)
+        except BreakpointHit as hit:
+            self.cpu.regs.pc = hit.address
+            self._break_pending = hit.address
+            self.cpu.halted = True
+        return self._break_pending
+
+    def step_over(self) -> None:
+        """Execute one instruction (a CALL runs to its return)."""
+        self._resume_guard = self.cpu.regs.pc
+        depth = len(self.call_stack)
+        self.cpu.step()
+        while len(self.call_stack) > depth:
+            self.cpu.step()
+
+    # -- reporting --------------------------------------------------------------
+    def trace_text(self) -> str:
+        return "\n".join(f"0x{entry.pc:04X}: {entry.text}"
+                         for entry in self.trace)
+
+    def backtrace_text(self,
+                       symbols: Optional[Dict[str, int]] = None) -> str:
+        """Innermost-first backtrace, symbolized when possible."""
+        names: Dict[int, str] = {}
+        if symbols:
+            for name, value in symbols.items():
+                names.setdefault(value, name)
+
+        def describe(address: int) -> str:
+            if symbols:
+                best = None
+                for name, value in symbols.items():
+                    if value <= address and (
+                            best is None or value > best[1]):
+                        best = (name, value)
+                if best is not None:
+                    offset = address - best[1]
+                    return (best[0] if offset == 0
+                            else f"{best[0]}+0x{offset:X}")
+            return f"0x{address:04X}"
+
+        lines = [f"#0  pc={describe(self.cpu.regs.pc)}"]
+        for index, (return_address, _callee) in enumerate(
+                reversed(self.call_stack), start=1):
+            lines.append(
+                f"#{index}  return to {describe(return_address)}")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Binary encoding of MSP430 instructions.
+
+Instruction words are little-endian 16-bit values.  Encoding needs the
+instruction's own address because symbolic operands (``ADDR``) are stored
+PC-relative to their extension word.
+
+The constant generators are used automatically: source immediates of
+0, 1, 2, 4, 8 and -1 encode into R3/R2 mode bits with no extension word,
+exactly as the hardware assembler would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import EncodingError
+from repro.msp430.isa import (
+    AddressingMode,
+    Instruction,
+    Opcode,
+    Operand,
+)
+from repro.msp430.registers import Reg
+
+_M = AddressingMode
+
+# Immediate value -> (register, As bits) via constant generators.
+CG_ENCODINGS = {
+    0: (Reg.CG2, 0b00),
+    1: (Reg.CG2, 0b01),
+    2: (Reg.CG2, 0b10),
+    0xFFFF: (Reg.CG2, 0b11),
+    4: (Reg.SR, 0b10),
+    8: (Reg.SR, 0b11),
+}
+
+
+def _encode_source(op: Operand, ext_addr: int) -> Tuple[int, int, Optional[int]]:
+    """Return (As bits, register field, extension word or None)."""
+    m = op.mode
+    if m is _M.REGISTER:
+        return 0b00, op.register, None
+    if m is _M.INDEXED:
+        return 0b01, op.register, op.value & 0xFFFF
+    if m is _M.SYMBOLIC:
+        return 0b01, Reg.PC, (op.value - ext_addr) & 0xFFFF
+    if m is _M.ABSOLUTE:
+        return 0b01, Reg.SR, op.value & 0xFFFF
+    if m is _M.INDIRECT:
+        return 0b10, op.register, None
+    if m is _M.AUTOINCREMENT:
+        return 0b11, op.register, None
+    # IMMEDIATE
+    value = op.value & 0xFFFF
+    if op.symbol is None and value in CG_ENCODINGS:
+        register, as_bits = CG_ENCODINGS[value]
+        return as_bits, register, None
+    return 0b11, Reg.PC, value
+
+
+def _encode_dest(op: Operand, ext_addr: int) -> Tuple[int, int, Optional[int]]:
+    """Return (Ad bit, register field, extension word or None)."""
+    m = op.mode
+    if m is _M.REGISTER:
+        return 0, op.register, None
+    if m is _M.INDEXED:
+        return 1, op.register, op.value & 0xFFFF
+    if m is _M.SYMBOLIC:
+        return 1, Reg.PC, (op.value - ext_addr) & 0xFFFF
+    if m is _M.ABSOLUTE:
+        return 1, Reg.SR, op.value & 0xFFFF
+    raise EncodingError(f"illegal destination mode {m}")
+
+
+def encode(insn: Instruction, address: int = 0) -> List[int]:
+    """Encode one instruction into a list of 16-bit words.
+
+    ``address`` is where the first word will live; required for correct
+    PC-relative (symbolic) extension words.
+    """
+    op = insn.opcode
+    if op.is_jump:
+        return [op.value | (insn.offset & 0x3FF)]
+
+    bw = 1 if insn.byte else 0
+
+    if op is Opcode.RETI:
+        return [op.value]
+
+    if op.is_format2:
+        ext_addr = address + 2
+        as_bits, register, ext = _encode_source(insn.src, ext_addr)
+        word = op.value | (bw << 6) | (as_bits << 4) | register
+        return [word] if ext is None else [word, ext]
+
+    # Format I.  Source extension word (if any) precedes the destination's.
+    src_ext_addr = address + 2
+    as_bits, src_reg, src_ext = _encode_source(insn.src, src_ext_addr)
+    dst_ext_addr = address + 2 + (2 if src_ext is not None else 0)
+    ad_bit, dst_reg, dst_ext = _encode_dest(insn.dst, dst_ext_addr)
+    word = ((op.value << 12) | (src_reg << 8) | (ad_bit << 7)
+            | (bw << 6) | (as_bits << 4) | dst_reg)
+    words = [word]
+    if src_ext is not None:
+        words.append(src_ext)
+    if dst_ext is not None:
+        words.append(dst_ext)
+    return words
+
+
+def encode_bytes(insn: Instruction, address: int = 0) -> bytes:
+    """Encode to little-endian bytes."""
+    out = bytearray()
+    for word in encode(insn, address):
+        out.append(word & 0xFF)
+        out.append((word >> 8) & 0xFF)
+    return bytes(out)

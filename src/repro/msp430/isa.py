@@ -1,0 +1,287 @@
+"""Instruction-set model for the 16-bit MSP430 CPU core.
+
+Three instruction formats exist:
+
+* **Format I** (double operand): ``MOV``, ``ADD``, ``ADDC``, ``SUBC``,
+  ``SUB``, ``CMP``, ``DADD``, ``BIT``, ``BIC``, ``BIS``, ``XOR``, ``AND``.
+* **Format II** (single operand): ``RRC``, ``SWPB``, ``RRA``, ``SXT``,
+  ``PUSH``, ``CALL``, ``RETI``.
+* **Jumps**: ``JNE/JNZ``, ``JEQ/JZ``, ``JNC/JLO``, ``JC/JHS``, ``JN``,
+  ``JGE``, ``JL``, ``JMP`` with a signed 10-bit word offset.
+
+Everything else (``RET``, ``POP``, ``BR``, ``NOP``, ``CLR``, ``INC``, ...)
+is an *emulated* instruction: an assembler-level alias that expands to one
+of the above, usually exploiting the constant generators.  The assembler in
+:mod:`repro.asm.assembler` performs that expansion; the core ISA model here
+only knows the real formats.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EncodingError
+from repro.msp430.registers import Reg
+
+
+class Opcode(enum.Enum):
+    """All genuine (non-emulated) MSP430 instructions."""
+
+    # Format I -- value is the 4-bit major opcode.
+    MOV = 0x4
+    ADD = 0x5
+    ADDC = 0x6
+    SUBC = 0x7
+    SUB = 0x8
+    CMP = 0x9
+    DADD = 0xA
+    BIT = 0xB
+    BIC = 0xC
+    BIS = 0xD
+    XOR = 0xE
+    AND = 0xF
+
+    # Format II -- value is 0x1000 | (3-bit opcode << 7).
+    RRC = 0x1000
+    SWPB = 0x1080
+    RRA = 0x1100
+    SXT = 0x1180
+    PUSH = 0x1200
+    CALL = 0x1280
+    RETI = 0x1300
+
+    # Jumps -- value is 0x2000 | (3-bit condition << 10).
+    JNE = 0x2000
+    JEQ = 0x2400
+    JNC = 0x2800
+    JC = 0x2C00
+    JN = 0x3000
+    JGE = 0x3400
+    JL = 0x3800
+    JMP = 0x3C00
+
+    @property
+    def is_format1(self) -> bool:
+        return self.value <= 0xF
+
+    @property
+    def is_format2(self) -> bool:
+        return 0x1000 <= self.value < 0x2000
+
+    @property
+    def is_jump(self) -> bool:
+        return self.value >= 0x2000
+
+
+FORMAT1_OPCODES = frozenset(op for op in Opcode if op.is_format1)
+FORMAT2_OPCODES = frozenset(op for op in Opcode if op.is_format2)
+JUMP_OPCODES = frozenset(op for op in Opcode if op.is_jump)
+
+# Format-II instructions that never write their operand back.
+NO_WRITEBACK = frozenset({Opcode.PUSH, Opcode.CALL, Opcode.RETI})
+# Format-I instructions that only set flags (no destination write).
+FLAG_ONLY = frozenset({Opcode.CMP, Opcode.BIT})
+
+
+class AddressingMode(enum.Enum):
+    """The seven source / four destination addressing modes.
+
+    ``SYMBOLIC`` (``ADDR``, i.e. ``X(PC)``) and ``ABSOLUTE`` (``&ADDR``)
+    and ``IMMEDIATE`` (``#N``) are encodings of indexed / autoincrement
+    modes on PC/SR, but it is far clearer to model them distinctly.
+    """
+
+    REGISTER = "Rn"
+    INDEXED = "X(Rn)"
+    SYMBOLIC = "ADDR"
+    ABSOLUTE = "&ADDR"
+    INDIRECT = "@Rn"
+    AUTOINCREMENT = "@Rn+"
+    IMMEDIATE = "#N"
+
+
+# Modes legal as a Format-I destination (Ad is a single bit).
+DEST_MODES = frozenset({
+    AddressingMode.REGISTER,
+    AddressingMode.INDEXED,
+    AddressingMode.SYMBOLIC,
+    AddressingMode.ABSOLUTE,
+})
+
+# Immediates encodable via the constant generators (no extension word).
+CG_CONSTANTS = frozenset({0, 1, 2, 4, 8, 0xFFFF, -1})
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One instruction operand.
+
+    ``register`` is meaningful for register-relative modes; ``value``
+    holds the index offset, absolute address, symbolic target address, or
+    immediate constant.  ``symbol`` optionally names an unresolved symbol
+    whose address will be patched into ``value`` by the linker.
+    """
+
+    mode: AddressingMode
+    register: int = 0
+    value: int = 0
+    symbol: Optional[str] = None
+
+    def needs_extension_word(self, is_source: bool = True) -> bool:
+        """Does this operand occupy an extra instruction word?"""
+        m = self.mode
+        if m in (AddressingMode.INDEXED, AddressingMode.SYMBOLIC,
+                 AddressingMode.ABSOLUTE):
+            return True
+        if m is AddressingMode.IMMEDIATE:
+            # Constant-generator values encode without an extension word,
+            # but only when the operand is a source and has no relocation.
+            if not is_source:
+                raise EncodingError("immediate cannot be a destination")
+            if self.symbol is not None:
+                return True
+            return (self.value & 0xFFFF if self.value >= 0 else self.value) \
+                not in _cg_values()
+        return False
+
+    def render(self) -> str:
+        m = self.mode
+        if m is AddressingMode.REGISTER:
+            return Reg.name(self.register)
+        if m is AddressingMode.INDEXED:
+            base = self.symbol if self.symbol else str(_signed(self.value))
+            return f"{base}({Reg.name(self.register)})"
+        if m is AddressingMode.SYMBOLIC:
+            return self.symbol if self.symbol else f"0x{self.value:04X}"
+        if m is AddressingMode.ABSOLUTE:
+            inner = self.symbol if self.symbol else f"0x{self.value:04X}"
+            return f"&{inner}"
+        if m is AddressingMode.INDIRECT:
+            return f"@{Reg.name(self.register)}"
+        if m is AddressingMode.AUTOINCREMENT:
+            return f"@{Reg.name(self.register)}+"
+        inner = self.symbol if self.symbol else str(_signed(self.value))
+        return f"#{inner}"
+
+
+def _cg_values() -> frozenset:
+    return frozenset({0, 1, 2, 4, 8, 0xFFFF})
+
+
+def _signed(v: int) -> int:
+    v &= 0xFFFF
+    return v - 0x10000 if v & 0x8000 else v
+
+
+# -- operand constructors -------------------------------------------------
+
+def reg(n: int) -> Operand:
+    """Register direct: ``Rn``."""
+    return Operand(AddressingMode.REGISTER, register=n)
+
+
+def imm(value: int, symbol: Optional[str] = None) -> Operand:
+    """Immediate: ``#N``."""
+    return Operand(AddressingMode.IMMEDIATE, value=value & 0xFFFF
+                   if symbol is None else value, symbol=symbol)
+
+
+def indexed(offset: int, base: int, symbol: Optional[str] = None) -> Operand:
+    """Indexed: ``X(Rn)``."""
+    return Operand(AddressingMode.INDEXED, register=base,
+                   value=offset & 0xFFFF, symbol=symbol)
+
+
+def symbolic(address: int, symbol: Optional[str] = None) -> Operand:
+    """Symbolic (PC-relative encoded): ``ADDR``."""
+    return Operand(AddressingMode.SYMBOLIC, register=Reg.PC,
+                   value=address & 0xFFFF, symbol=symbol)
+
+
+def absolute(address: int, symbol: Optional[str] = None) -> Operand:
+    """Absolute: ``&ADDR``."""
+    return Operand(AddressingMode.ABSOLUTE, register=Reg.SR,
+                   value=address & 0xFFFF, symbol=symbol)
+
+
+def indirect(base: int) -> Operand:
+    """Register indirect: ``@Rn``."""
+    return Operand(AddressingMode.INDIRECT, register=base)
+
+
+def autoincrement(base: int) -> Operand:
+    """Register indirect with autoincrement: ``@Rn+``."""
+    return Operand(AddressingMode.AUTOINCREMENT, register=base)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded / to-be-encoded instruction.
+
+    For jumps, ``offset`` is the signed word offset (target = PC + 2 +
+    2*offset) and ``symbol`` optionally names the label it came from.
+    """
+
+    opcode: Opcode
+    byte: bool = False
+    src: Optional[Operand] = None
+    dst: Optional[Operand] = None
+    offset: int = 0
+    symbol: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        op = self.opcode
+        if op.is_format1:
+            if self.src is None or self.dst is None:
+                raise EncodingError(f"{op.name} needs src and dst")
+            if self.dst.mode not in DEST_MODES:
+                raise EncodingError(
+                    f"{op.name}: illegal destination mode {self.dst.mode}"
+                )
+        elif op.is_format2:
+            if op is Opcode.RETI:
+                if self.src is not None or self.dst is not None:
+                    raise EncodingError("RETI takes no operands")
+            elif self.src is None or self.dst is not None:
+                raise EncodingError(f"{op.name} takes exactly one operand")
+            if (self.byte and op in
+                    (Opcode.SWPB, Opcode.SXT, Opcode.CALL, Opcode.RETI)):
+                raise EncodingError(f"{op.name} has no byte form")
+        else:
+            if self.src is not None or self.dst is not None:
+                raise EncodingError(f"{op.name} takes only a jump offset")
+            if not -512 <= self.offset <= 511:
+                raise EncodingError(
+                    f"jump offset {self.offset} out of 10-bit range"
+                )
+
+    def size_words(self) -> int:
+        """Total encoded size in 16-bit words (1..3)."""
+        words = 1
+        if self.src is not None:
+            words += int(self.src.needs_extension_word(is_source=True))
+        if self.dst is not None:
+            words += int(self.dst.needs_extension_word(is_source=False))
+        return words
+
+    def size_bytes(self) -> int:
+        return 2 * self.size_words()
+
+    def render(self) -> str:
+        """Assembly text for listings and the disassembler."""
+        suffix = ".B" if self.byte else ""
+        name = f"{self.opcode.name}{suffix}"
+        if self.opcode.is_jump:
+            target = self.symbol if self.symbol else f"$%+d" % (
+                2 + 2 * self.offset)
+            return f"{name} {target}"
+        if self.opcode is Opcode.RETI:
+            return name
+        if self.opcode.is_format2:
+            return f"{name} {self.src.render()}"
+        return f"{name} {self.src.render()}, {self.dst.render()}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

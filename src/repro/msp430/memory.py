@@ -1,0 +1,279 @@
+"""64 KB memory bus with the MSP430FR5969 region map.
+
+Figure 1 of the paper draws the map this simulator implements:
+
+====================  =================  ==========================
+Address range         Region             Notes
+====================  =================  ==========================
+0x0000 - 0x0FFF       peripheral regs    not protectable by the MPU
+0x1000 - 0x17FF       bootstrap loader   ROM
+0x1800 - 0x19FF       InfoMem            512 B FRAM, MPU segment 0
+0x1A00 - 0x1AFF       device descriptor  ROM
+0x1B00 - 0x1BFF       *no memory*
+0x1C00 - 0x23FF       SRAM (2 KB)        OS stack lives here
+0x2400 - 0x43FF       *no memory*
+0x4400 - 0xFF7F       main FRAM          OS + apps (MPU segments 1-3)
+0xFF80 - 0xFFFF       interrupt vectors  top of FRAM
+====================  =================  ==========================
+
+Accesses to unmapped holes raise :class:`~repro.errors.MemoryAccessError`
+— on real hardware they trigger a vacant-memory-access reset.  Word
+accesses ignore bit 0 of the address, as the hardware does.
+
+The bus supports memory-mapped I/O handlers (the MPU registers and the
+kernel's service/done ports use them) and access-observer hooks used by
+the profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MemoryAccessError
+
+READ = "read"
+WRITE = "write"
+EXECUTE = "execute"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One contiguous region of the address space."""
+
+    name: str
+    start: int
+    end: int              # inclusive
+    readable: bool = True
+    writable: bool = True
+    executable: bool = True
+    present: bool = True
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address <= self.end
+
+    def allows(self, kind: str) -> bool:
+        if not self.present:
+            return False
+        if kind == READ:
+            return self.readable
+        if kind == WRITE:
+            return self.writable
+        return self.executable
+
+
+class MemoryMap:
+    """The FR5969 region layout, plus named landmarks."""
+
+    PERIPH_START = 0x0000
+    PERIPH_END = 0x0FFF
+    BSL_START = 0x1000
+    BSL_END = 0x17FF
+    INFOMEM_START = 0x1800
+    INFOMEM_END = 0x19FF
+    DEVDESC_START = 0x1A00
+    DEVDESC_END = 0x1AFF
+    HOLE1_START = 0x1B00
+    HOLE1_END = 0x1BFF
+    SRAM_START = 0x1C00
+    SRAM_END = 0x23FF
+    HOLE2_START = 0x2400
+    HOLE2_END = 0x43FF
+    FRAM_START = 0x4400
+    FRAM_END = 0xFF7F
+    VECTORS_START = 0xFF80
+    VECTORS_END = 0xFFFF
+
+    RESET_VECTOR = 0xFFFE
+
+    def __init__(self) -> None:
+        self.regions: List[Region] = [
+            Region("peripherals", self.PERIPH_START, self.PERIPH_END,
+                   executable=False),
+            Region("bsl", self.BSL_START, self.BSL_END, writable=False),
+            Region("infomem", self.INFOMEM_START, self.INFOMEM_END,
+                   executable=False),
+            Region("devdesc", self.DEVDESC_START, self.DEVDESC_END,
+                   writable=False, executable=False),
+            Region("hole1", self.HOLE1_START, self.HOLE1_END, present=False),
+            Region("sram", self.SRAM_START, self.SRAM_END),
+            Region("hole2", self.HOLE2_START, self.HOLE2_END, present=False),
+            Region("fram", self.FRAM_START, self.FRAM_END),
+            Region("vectors", self.VECTORS_START, self.VECTORS_END),
+        ]
+        # O(1) lookup: every region boundary is 128-byte aligned, so a
+        # 512-entry page table covers the space exactly.
+        self.page_table: List[Region] = []
+        for page in range(512):
+            address = page << 7
+            self.page_table.append(next(
+                r for r in self.regions if r.contains(address)))
+
+    def region_at(self, address: int) -> Region:
+        if not 0 <= address <= 0xFFFF:
+            raise MemoryAccessError(address, READ, "outside 64 KB space")
+        return self.page_table[address >> 7]
+
+    @classmethod
+    def in_main_fram(cls, address: int) -> bool:
+        """Is ``address`` in the MPU-coverable main FRAM (incl. vectors)?"""
+        return cls.FRAM_START <= address <= cls.VECTORS_END
+
+    @classmethod
+    def in_infomem(cls, address: int) -> bool:
+        return cls.INFOMEM_START <= address <= cls.INFOMEM_END
+
+
+ReadHandler = Callable[[int], int]
+WriteHandler = Callable[[int, int], None]
+Observer = Callable[[int, str, int], None]
+
+
+class Memory:
+    """The simulated bus.
+
+    Checks, in order: region presence/attributes, MPU (if attached and
+    enabled), then performs the access.  I/O handlers intercept word
+    accesses to registered addresses before touching backing storage.
+    """
+
+    def __init__(self, memory_map: Optional[MemoryMap] = None):
+        self.map = memory_map if memory_map is not None else MemoryMap()
+        self._bytes = bytearray(0x10000)
+        self.mpu = None  # set by Cpu / kernel; avoids circular import
+        self._io_read: Dict[int, ReadHandler] = {}
+        self._io_write: Dict[int, WriteHandler] = {}
+        self._observers: List[Observer] = []
+        # When True, region/MPU checks are bypassed (loader, debugger).
+        self._supervisor_depth = 0
+        # Invoked with the written address so the CPU can invalidate
+        # its decoded-instruction cache (self-modifying code, loaders).
+        self.write_hook: Optional[WriteHandler] = None
+
+    # -- configuration -----------------------------------------------------
+    def add_io(self, address: int,
+               read: Optional[ReadHandler] = None,
+               write: Optional[WriteHandler] = None) -> None:
+        """Register a memory-mapped I/O word at ``address``."""
+        if address & 1:
+            raise ValueError("I/O ports must be word aligned")
+        if read is not None:
+            self._io_read[address] = read
+        if write is not None:
+            self._io_write[address] = write
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    # -- supervisor (unchecked) access --------------------------------------
+    class _Supervisor:
+        def __init__(self, memory: "Memory"):
+            self._memory = memory
+
+        def __enter__(self) -> "Memory":
+            self._memory._supervisor_depth += 1
+            return self._memory
+
+        def __exit__(self, *exc) -> None:
+            self._memory._supervisor_depth -= 1
+
+    def supervisor(self) -> "Memory._Supervisor":
+        """Context manager for loader/debugger access that skips checks."""
+        return Memory._Supervisor(self)
+
+    # -- checks --------------------------------------------------------------
+    def _check(self, address: int, kind: str) -> None:
+        if self._supervisor_depth:
+            return
+        if not 0 <= address <= 0xFFFF:
+            raise MemoryAccessError(address, kind, "outside 64 KB space")
+        region = self.map.page_table[address >> 7]
+        if not region.allows(kind):
+            reason = ("no memory" if not region.present
+                      else f"{region.name} is not {kind[:-1]}able"
+                      if kind != EXECUTE else
+                      f"{region.name} is not executable")
+            raise MemoryAccessError(address, kind, reason)
+        if self.mpu is not None:
+            self.mpu.check(address, kind)
+
+    def _notify(self, address: int, kind: str, size: int) -> None:
+        for observer in self._observers:
+            observer(address, kind, size)
+
+    # -- byte access -----------------------------------------------------------
+    def read_byte(self, address: int, kind: str = READ) -> int:
+        address &= 0xFFFF
+        self._check(address, kind)
+        self._notify(address, kind, 1)
+        base = address & ~1
+        if base in self._io_read:
+            word = self._io_read[base]() & 0xFFFF
+            return (word >> 8) & 0xFF if address & 1 else word & 0xFF
+        return self._bytes[address]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= 0xFFFF
+        self._check(address, WRITE)
+        self._notify(address, WRITE, 1)
+        base = address & ~1
+        if base in self._io_write:
+            # Byte writes to I/O ports write the low byte, high byte zero,
+            # matching MSP430 peripheral semantics.
+            self._io_write[base](base, value & 0xFF)
+            return
+        self._bytes[address] = value & 0xFF
+        if self.write_hook is not None:
+            self.write_hook(address, value)
+
+    # -- word access ------------------------------------------------------------
+    def read_word(self, address: int, kind: str = READ) -> int:
+        # Every region and MPU boundary is at least 16-byte aligned,
+        # so an even-aligned word never spans a boundary: one check
+        # covers both bytes.
+        address &= 0xFFFE
+        self._check(address, kind)
+        if self._observers:
+            self._notify(address, kind, 2)
+        if address in self._io_read:
+            return self._io_read[address]() & 0xFFFF
+        return self._bytes[address] | (self._bytes[address + 1] << 8)
+
+    def write_word(self, address: int, value: int) -> None:
+        address &= 0xFFFE
+        self._check(address, WRITE)
+        self._notify(address, WRITE, 2)
+        if address in self._io_write:
+            self._io_write[address](address, value & 0xFFFF)
+            return
+        self._bytes[address] = value & 0xFF
+        self._bytes[address + 1] = (value >> 8) & 0xFF
+        if self.write_hook is not None:
+            self.write_hook(address, value)
+
+    def fetch_word(self, address: int) -> int:
+        """Instruction fetch: a word read with execute permission."""
+        return self.read_word(address, kind=EXECUTE)
+
+    # -- bulk helpers (loader) ----------------------------------------------------
+    def load(self, address: int, blob: bytes) -> None:
+        """Loader write, bypassing permission checks."""
+        end = address + len(blob)
+        if end > 0x10000:
+            raise MemoryAccessError(end, WRITE, "load past end of memory")
+        self._bytes[address:end] = blob
+        if self.write_hook is not None:
+            self.write_hook(-1, 0)     # bulk write: full invalidation
+
+    def dump(self, address: int, length: int) -> bytes:
+        """Debugger read, bypassing permission checks."""
+        return bytes(self._bytes[address:address + length])
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        self._bytes[address:address + length] = \
+            bytes([value & 0xFF]) * length
+        if self.write_hook is not None:
+            self.write_hook(-1, 0)     # bulk write: full invalidation

@@ -1,0 +1,154 @@
+"""MSP430 register file.
+
+The CPU has sixteen 16-bit registers.  Four have dedicated roles:
+
+* R0 / PC  -- program counter (always even)
+* R1 / SP  -- stack pointer (always even)
+* R2 / SR  -- status register, doubles as constant generator CG1
+* R3 / CG2 -- constant generator only; reads as 0 in register mode
+
+Status-register flag layout follows the MSP430 family user's guide:
+C (bit 0), Z (bit 1), N (bit 2), GIE (bit 3), CPUOFF (bit 4), V (bit 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class Reg:
+    """Symbolic register numbers."""
+
+    PC = 0
+    SP = 1
+    SR = 2
+    CG2 = 3
+    R0, R1, R2, R3 = 0, 1, 2, 3
+    R4, R5, R6, R7 = 4, 5, 6, 7
+    R8, R9, R10, R11 = 8, 9, 10, 11
+    R12, R13, R14, R15 = 12, 13, 14, 15
+
+    NAMES = (
+        "PC", "SP", "SR", "CG2",
+        "R4", "R5", "R6", "R7",
+        "R8", "R9", "R10", "R11",
+        "R12", "R13", "R14", "R15",
+    )
+
+    @staticmethod
+    def name(number: int) -> str:
+        return Reg.NAMES[number]
+
+
+class SR:
+    """Status-register flag bits."""
+
+    C = 1 << 0
+    Z = 1 << 1
+    N = 1 << 2
+    GIE = 1 << 3
+    CPUOFF = 1 << 4
+    V = 1 << 8
+
+    ALL_FLAGS = C | Z | N | V
+
+
+MASK16 = 0xFFFF
+MASK8 = 0xFF
+
+
+class RegisterFile:
+    """Sixteen 16-bit registers with flag helpers.
+
+    Values are always stored masked to 16 bits.  PC and SP writes are
+    forced even, matching hardware (bit 0 of PC/SP is not implemented).
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: List[int] = [0] * 16
+
+    def read(self, n: int) -> int:
+        return self._regs[n]
+
+    def write(self, n: int, value: int) -> None:
+        value &= MASK16
+        if n in (Reg.PC, Reg.SP):
+            value &= ~1
+        self._regs[n] = value
+
+    # -- dedicated-register conveniences ---------------------------------
+    @property
+    def pc(self) -> int:
+        return self._regs[Reg.PC]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.write(Reg.PC, value)
+
+    @property
+    def sp(self) -> int:
+        return self._regs[Reg.SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.write(Reg.SP, value)
+
+    @property
+    def sr(self) -> int:
+        return self._regs[Reg.SR]
+
+    @sr.setter
+    def sr(self, value: int) -> None:
+        self._regs[Reg.SR] = value & MASK16
+
+    # -- flags ------------------------------------------------------------
+    def get_flag(self, bit: int) -> bool:
+        return bool(self._regs[Reg.SR] & bit)
+
+    def set_flag(self, bit: int, on: bool) -> None:
+        if on:
+            self._regs[Reg.SR] |= bit
+        else:
+            self._regs[Reg.SR] &= ~bit & MASK16
+
+    @property
+    def carry(self) -> bool:
+        return self.get_flag(SR.C)
+
+    @property
+    def zero(self) -> bool:
+        return self.get_flag(SR.Z)
+
+    @property
+    def negative(self) -> bool:
+        return self.get_flag(SR.N)
+
+    @property
+    def overflow(self) -> bool:
+        return self.get_flag(SR.V)
+
+    def set_nz(self, value: int, byte: bool = False) -> None:
+        """Set N and Z from a result value (already masked)."""
+        sign = 0x80 if byte else 0x8000
+        self.set_flag(SR.N, bool(value & sign))
+        self.set_flag(SR.Z, value == 0)
+
+    # -- misc ---------------------------------------------------------------
+    def snapshot(self) -> List[int]:
+        return list(self._regs)
+
+    def restore(self, values: List[int]) -> None:
+        if len(values) != 16:
+            raise ValueError("register snapshot must have 16 entries")
+        self._regs = [v & MASK16 for v in values]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._regs)
+
+    def __repr__(self) -> str:
+        cells = ", ".join(
+            f"{Reg.name(i)}=0x{v:04X}" for i, v in enumerate(self._regs)
+        )
+        return f"RegisterFile({cells})"

@@ -1,0 +1,26 @@
+"""Memory-mapped port addresses shared by the runtime, kernel and tools.
+
+These live in otherwise-unused peripheral-register space (which the
+MSP430's MPU cannot protect — one of the hardware limitations the paper
+lists).  The kernel registers I/O handlers at these addresses; bare
+test harnesses may map them too.
+"""
+
+#: Writing a service id here invokes the kernel service dispatcher.
+SVC_PORT = 0x01F0
+
+#: Any write halts the CPU (the kernel's "dispatch finished" signal).
+DONE_PORT = 0x01F2
+
+#: Writing a code here reports a software-detected isolation fault
+#: (the compiler-inserted checks jump to code that writes this port).
+FAULT_PORT = 0x01F4
+
+#: ARP counting instrumentation: the profiler's counting build writes a
+#: site-kind code here at every would-be-checked location.
+COUNT_PORT = 0x01F6
+
+#: site-kind codes written to COUNT_PORT
+COUNT_DATA_ACCESS = 1
+COUNT_FN_POINTER = 2
+COUNT_RETURN = 3

@@ -1,0 +1,25 @@
+"""The Amulet Resource Profiler (ARP) and its companions.
+
+* :mod:`repro.profiler.arp` — counts memory accesses and context
+  switches per handler by running a *counting build* of each app
+  (instrumentation at every would-be-checked site).
+* :mod:`repro.profiler.arpview` — combines ARP counts with manifest
+  event rates and per-operation overheads to extrapolate weekly
+  isolation overhead per app and model (the Figure 2 methodology).
+* :mod:`repro.profiler.energy` — converts cycles to Joules and battery
+  lifetime impact.
+"""
+
+from repro.profiler.arp import ArpProfiler, HandlerCounts, ArpProfile
+from repro.profiler.arpview import (
+    ArpView,
+    OperationOverheads,
+    WeeklyOverhead,
+)
+from repro.profiler.energy import EnergyModel
+
+__all__ = [
+    "ArpProfiler", "HandlerCounts", "ArpProfile",
+    "ArpView", "OperationOverheads", "WeeklyOverhead",
+    "EnergyModel",
+]

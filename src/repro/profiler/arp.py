@@ -1,0 +1,160 @@
+"""ARP: count memory accesses and context switches per handler.
+
+Paper section 4.1: *"We use the Amulet Resource Profiler (ARP) and the
+ARP-view tool to count the number of memory accesses and context
+switches per state and transition, per application."*
+
+Implementation: the apps are rebuilt once with a **counting policy** —
+instead of bounds checks, every would-be-checked site (array access,
+pointer dereference, function-pointer call, return) writes a site-kind
+code to a count port the profiler watches.  Each handler is then
+dispatched many times with live sensor arguments, and the counts are
+averaged.  API calls (context switches) are counted at the service
+port.  Timing of the counting build is irrelevant — only the counts
+leave this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.aft.models import _AppCheckPolicy
+from repro.aft.phases import AftPipeline, AppSource
+from repro.aft.models import IsolationModel
+from repro.kernel.events import Event, EventType
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.scheduler import AppSchedule, Scheduler
+from repro.apps.manifests import AppManifest
+from repro.ports import (
+    COUNT_DATA_ACCESS,
+    COUNT_FN_POINTER,
+    COUNT_PORT,
+    COUNT_RETURN,
+)
+
+
+class CountingPolicy(_AppCheckPolicy):
+    """Emits a count-port write wherever a check would go."""
+
+    name = "counting"
+
+    def data_pointer_check(self, gen, reg: str, is_write: bool) -> None:
+        gen.emit(f"MOV #{COUNT_DATA_ACCESS}, &0x{COUNT_PORT:04X}")
+
+    def fn_pointer_check(self, gen, reg: str) -> None:
+        gen.emit(f"MOV #{COUNT_FN_POINTER}, &0x{COUNT_PORT:04X}")
+
+    def return_check(self, gen) -> None:
+        if gen.function.name in self.entry_points:
+            return
+        gen.emit(f"MOV #{COUNT_RETURN}, &0x{COUNT_PORT:04X}")
+
+    # Feature-Limited's array check covers the same *sites* as the
+    # pointer models' data check in these (pointer-free) apps, so one
+    # data-access count serves every model.
+
+
+@dataclass
+class HandlerCounts:
+    """Average per-invocation counts for one handler."""
+
+    handler: str
+    samples: int = 0
+    data_accesses: float = 0.0
+    fn_pointer_calls: float = 0.0
+    returns: float = 0.0
+    api_calls: float = 0.0
+
+    @property
+    def memory_accesses(self) -> float:
+        return self.data_accesses
+
+    @property
+    def context_switches(self) -> float:
+        """One dispatch plus one OS round trip per API call."""
+        return 1.0 + self.api_calls
+
+
+@dataclass
+class ArpProfile:
+    app: str
+    handlers: Dict[str, HandlerCounts] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"ARP profile for {self.app}:"]
+        for counts in self.handlers.values():
+            lines.append(
+                f"  {counts.handler}: mem={counts.memory_accesses:.1f} "
+                f"api={counts.api_calls:.2f} "
+                f"switches={counts.context_switches:.2f} "
+                f"(n={counts.samples})")
+        return "\n".join(lines)
+
+
+class ArpProfiler:
+    """Builds the counting firmware once and profiles handlers."""
+
+    def __init__(self, apps: Sequence[AppSource]):
+        pipeline = AftPipeline(
+            IsolationModel.NO_ISOLATION,
+            policy_factory=lambda name, entries: CountingPolicy(
+                name, entries))
+        self.firmware = pipeline.build(list(apps))
+        self.machine = AmuletMachine(self.firmware)
+        self._counters = {COUNT_DATA_ACCESS: 0, COUNT_FN_POINTER: 0,
+                          COUNT_RETURN: 0}
+        self.machine.cpu.memory.add_io(COUNT_PORT, write=self._on_count)
+        self._scheduler = Scheduler(self.machine)
+
+    def _on_count(self, _addr: int, value: int) -> None:
+        if value in self._counters:
+            self._counters[value] += 1
+
+    def _reset_counters(self) -> None:
+        for key in self._counters:
+            self._counters[key] = 0
+
+    def _api_calls_delta(self, before: Dict[int, int]) -> int:
+        after = self.machine.services.calls
+        return sum(after.get(k, 0) for k in after) - \
+            sum(before.values())
+
+    def profile_handler(self, app: str, handler: str,
+                        event_type: EventType,
+                        samples: int = 64) -> HandlerCounts:
+        """Dispatch ``handler`` repeatedly with live sensor args."""
+        counts = HandlerCounts(handler)
+        env = self.machine.services.env
+        scheduler = self._scheduler
+        for index in range(samples):
+            self._reset_counters()
+            calls_before = dict(self.machine.services.calls)
+            event = Event(time=index, app=app, handler=handler,
+                          event_type=event_type)
+            args = scheduler._sample_args(event)
+            result = self.machine.dispatch(app, handler, args)
+            if result.faulted:
+                raise RuntimeError(
+                    f"counting build faulted in {app}.{handler}: "
+                    f"{result.fault.describe()}")
+            counts.samples += 1
+            counts.data_accesses += self._counters[COUNT_DATA_ACCESS]
+            counts.fn_pointer_calls += self._counters[COUNT_FN_POINTER]
+            counts.returns += self._counters[COUNT_RETURN]
+            counts.api_calls += self._api_calls_delta(calls_before)
+        if counts.samples:
+            counts.data_accesses /= counts.samples
+            counts.fn_pointer_calls /= counts.samples
+            counts.returns /= counts.samples
+            counts.api_calls /= counts.samples
+        return counts
+
+    def profile_app(self, manifest: AppManifest,
+                    samples: int = 64) -> ArpProfile:
+        profile = ArpProfile(manifest.name)
+        for rate in manifest.rates:
+            profile.handlers[rate.handler] = self.profile_handler(
+                manifest.name, rate.handler, rate.event_type,
+                samples=samples)
+        return profile

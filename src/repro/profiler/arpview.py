@@ -1,0 +1,74 @@
+"""ARP-view: weekly overhead extrapolation (Figure 2 methodology).
+
+Combines three ingredients, exactly as paper section 4.1 describes:
+
+1. ARP counts — memory accesses and context switches per handler
+   invocation (:mod:`repro.profiler.arp`);
+2. event rates — how often each handler fires, from the app manifest;
+3. per-operation overheads — the *extra* cycles each memory model pays
+   per memory access and per context switch, taken from the Table 1
+   microbenchmark (:mod:`repro.experiments.table1`).
+
+The product, summed over handlers and a week of events, is the
+isolation overhead in cycles/week; the energy model converts it to a
+battery-lifetime impact percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.aft.models import IsolationModel
+from repro.apps.manifests import AppManifest
+from repro.profiler.arp import ArpProfile
+from repro.profiler.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class OperationOverheads:
+    """Extra cycles vs. No Isolation for one memory model."""
+
+    model: IsolationModel
+    per_memory_access: float
+    per_context_switch: float
+
+
+@dataclass
+class WeeklyOverhead:
+    app: str
+    model: IsolationModel
+    cycles_per_week: float
+    battery_impact_percent: float
+    memory_access_cycles: float
+    context_switch_cycles: float
+
+    @property
+    def billions_of_cycles(self) -> float:
+        return self.cycles_per_week / 1e9
+
+
+class ArpView:
+    def __init__(self, energy: Optional[EnergyModel] = None):
+        self.energy = energy if energy is not None else EnergyModel()
+
+    def weekly_overhead(self, profile: ArpProfile,
+                        manifest: AppManifest,
+                        overheads: OperationOverheads) -> WeeklyOverhead:
+        mem_cycles = 0.0
+        switch_cycles = 0.0
+        for rate in manifest.rates:
+            counts = profile.handlers[rate.handler]
+            events = rate.events_per_week
+            mem_cycles += (events * counts.memory_accesses
+                           * overheads.per_memory_access)
+            switch_cycles += (events * counts.context_switches
+                              * overheads.per_context_switch)
+        total = mem_cycles + switch_cycles
+        return WeeklyOverhead(
+            app=profile.app, model=overheads.model,
+            cycles_per_week=total,
+            battery_impact_percent=self.energy.battery_impact_percent(
+                total),
+            memory_access_cycles=mem_cycles,
+            context_switch_cycles=switch_cycles)

@@ -1,0 +1,57 @@
+"""Energy model: cycles → Joules → battery-lifetime impact.
+
+Parameters follow the MSP430FR5969 datasheet and the Amulet platform
+paper:
+
+* active current ≈ 100 µA/MHz at 3.0 V → at 16 MHz the CPU draws
+  1.6 mA while executing; one cycle costs (1.6 mA × 3.0 V) / 16 MHz =
+  0.3 nJ.
+* an Amulet-class device carries a ~110 mAh battery (≈ 1188 J at 3 V)
+  and targets roughly two weeks of battery life, giving a weekly energy
+  budget of ≈ 594 J.
+
+Battery-lifetime impact of an overhead is the fraction of the weekly
+budget it consumes — the right-hand axis of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    cpu_mhz: float = 16.0
+    active_ua_per_mhz: float = 100.0
+    supply_volts: float = 3.0
+    battery_mah: float = 110.0
+    target_lifetime_weeks: float = 2.0
+
+    @property
+    def active_current_a(self) -> float:
+        return self.active_ua_per_mhz * self.cpu_mhz * 1e-6
+
+    @property
+    def joules_per_cycle(self) -> float:
+        power_watts = self.active_current_a * self.supply_volts
+        return power_watts / (self.cpu_mhz * 1e6)
+
+    @property
+    def battery_joules(self) -> float:
+        return self.battery_mah * 1e-3 * 3600.0 * self.supply_volts
+
+    @property
+    def weekly_budget_joules(self) -> float:
+        return self.battery_joules / self.target_lifetime_weeks
+
+    def cycles_to_joules(self, cycles: float) -> float:
+        return cycles * self.joules_per_cycle
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.cpu_mhz * 1e6)
+
+    def battery_impact_percent(self, overhead_cycles_per_week: float
+                               ) -> float:
+        """Share of the weekly energy budget burned by the overhead."""
+        overhead_j = self.cycles_to_joules(overhead_cycles_per_week)
+        return 100.0 * overhead_j / self.weekly_budget_joules

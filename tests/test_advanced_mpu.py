@@ -1,0 +1,124 @@
+"""The hypothetical advanced MPU (section-5 ablation model)."""
+
+import pytest
+
+from repro.errors import MpuViolationError
+from repro.kernel.advanced_mpu import AdvancedMpu, _APP_SAM
+from repro.msp430.memory import Memory
+from repro.msp430.mpu import (
+    MPUCTL0,
+    MPUSAM,
+    MPUSEGB1,
+    MPUSEGB2,
+)
+
+
+def app_mode_system(b1=0x8000, b2=0x9000):
+    memory = Memory()
+    mpu = AdvancedMpu()
+    mpu.attach(memory)
+    memory.write_word(MPUCTL0, 0xA501)
+    memory.write_word(MPUSEGB1, b1 >> 4)
+    memory.write_word(MPUSEGB2, b2 >> 4)
+    memory.write_word(MPUSAM, _APP_SAM)
+    return memory, mpu
+
+
+class TestModes:
+    def test_disabled_allows_everything(self):
+        memory = Memory()
+        mpu = AdvancedMpu()
+        mpu.attach(memory)
+        memory.write_word(0x2000, 1)     # SRAM write, no complaint
+
+    def test_os_mode_allows_everything(self):
+        memory, mpu = app_mode_system()
+        memory.write_word(MPUCTL0, 0xA501)
+        memory.write_word(MPUSAM, 0xFFFF)     # back to OS mode
+        memory.write_word(0x2000, 1)
+        memory.write_word(0x9800, 1)
+
+    def test_app_mode_detection(self):
+        _memory, mpu = app_mode_system()
+        assert mpu.app_mode
+        mpu.force_os_mode()
+        assert not mpu.app_mode
+
+
+class TestAppModeRules:
+    def test_data_region_read_write(self):
+        memory, _mpu = app_mode_system()
+        memory.write_word(0x8800, 42)
+        assert memory.read_word(0x8800) == 42
+
+    def test_sram_write_denied(self):
+        """Unlike the real MPU, the advanced part covers SRAM."""
+        memory, _mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x2000, 1)
+
+    def test_sram_read_denied_outside_sysvar_window(self):
+        memory, _mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.read_word(0x2000)
+
+    def test_sysvar_window_read_only(self):
+        memory, mpu = app_mode_system()
+        mpu.sysvar_window = (0x1C00, 0x1C10)
+        memory.read_word(0x1C04)
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x1C04, 1)
+
+    def test_infomem_denied(self):
+        memory, _mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x1800, 1)
+
+    def test_execute_above_b1_denied(self):
+        memory, _mpu = app_mode_system()
+        memory.load(0x8800, b"\x03\x43")
+        with pytest.raises(MpuViolationError):
+            memory.fetch_word(0x8800)
+
+    def test_execute_below_b1_allowed(self):
+        memory, _mpu = app_mode_system()
+        memory.load(0x5000, b"\x03\x43")
+        assert memory.fetch_word(0x5000) == 0x4303
+
+    def test_above_b2_fully_denied(self):
+        memory, _mpu = app_mode_system()
+        for op in (lambda: memory.read_word(0x9800),
+                   lambda: memory.write_word(0x9800, 1),
+                   lambda: memory.fetch_word(0x9800)):
+            with pytest.raises(MpuViolationError):
+                op()
+
+    def test_violation_recorded(self):
+        memory, mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x9800, 1)
+        assert mpu.violation_address == 0x9800
+        assert mpu.violation_kind == "write"
+
+
+class TestPrivilegedConfiguration:
+    def test_password_write_allowed_from_app_mode(self):
+        memory, mpu = app_mode_system()
+        memory.write_word(MPUCTL0, 0xA501)      # gates do this
+        memory.write_word(MPUSAM, 0xFFFF)       # completes reconfig
+        assert not mpu.app_mode
+
+    def test_unpassworded_ctl0_write_faults_in_app_mode(self):
+        memory, _mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.write_word(MPUCTL0, 0x0000)
+
+    def test_boundary_write_without_unlock_faults(self):
+        memory, _mpu = app_mode_system()
+        with pytest.raises(MpuViolationError):
+            memory.write_word(MPUSEGB1, 0x100)
+
+    def test_kernel_ports_always_accessible(self):
+        from repro.ports import DONE_PORT
+        memory, _mpu = app_mode_system()
+        memory.write_word(DONE_PORT, 1)    # no violation

@@ -1,0 +1,164 @@
+"""AFT phase-1 analyses: call graph, recursion, stack depth, access
+enumeration."""
+
+import pytest
+
+from repro.aft.access import enumerate_accesses
+from repro.aft.callgraph import build_call_graph
+from repro.aft.stackdepth import (
+    DEFAULT_RECURSIVE_STACK,
+    estimate_stack,
+)
+from repro.cc.parser import parse
+from repro.cc.sema import FULL_C, analyze
+from repro.kernel.api import amulet_api_table
+
+
+def graph_of(source):
+    return build_call_graph(analyze(parse(source), FULL_C,
+                                    amulet_api_table()))
+
+
+class TestCallGraph:
+    def test_simple_edges(self):
+        graph = graph_of("""
+            int leaf(void) { return 1; }
+            int top(void) { return leaf(); }
+        """)
+        assert graph.callees("top") == {"leaf"}
+        assert graph.find_cycle() is None
+
+    def test_direct_recursion_cycle(self):
+        graph = graph_of("int f(int n) { if (n) return f(n-1); "
+                         "return 0; }")
+        assert graph.find_cycle() == ["f", "f"]
+
+    def test_mutual_recursion_cycle(self):
+        graph = graph_of("""
+            int b(int n);
+            int a(int n) { return b(n); }
+            int b(int n) { return a(n); }
+        """)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"a", "b"}
+
+    def test_address_taken_excludes_direct_callees(self):
+        graph = graph_of("""
+            int used(void) { return 1; }
+            int called(void) { return 2; }
+            int main(void) {
+                int (*fp)(void) = used;
+                return called() + fp();
+            }
+        """)
+        assert "used" in graph.address_taken
+        assert "called" not in graph.address_taken
+
+    def test_indirect_call_adds_conservative_edges(self):
+        graph = graph_of("""
+            int target(void) { return 1; }
+            int caller(void) {
+                int (*fp)(void) = target;
+                return fp();
+            }
+        """)
+        assert "target" in graph.callees("caller")
+
+    def test_indirect_recursion_detected(self):
+        graph = graph_of("""
+            int spin(void);
+            int helper(void) { return 0; }
+            int spin(void) {
+                int (*fp)(void) = spin;
+                return fp();
+            }
+        """)
+        assert graph.find_cycle() is not None
+
+    def test_reachability(self):
+        graph = graph_of("""
+            int a(void) { return 1; }
+            int b(void) { return a(); }
+            int c(void) { return 2; }
+        """)
+        assert graph.reachable_from(["b"]) == {"a", "b"}
+
+
+class TestStackDepth:
+    def test_leaf_only(self):
+        graph = graph_of("int f(void) { return 1; }")
+        estimate = estimate_stack(graph, {"f": 8}, ["f"])
+        assert estimate.exact
+        assert estimate.bytes_needed >= 8
+        assert estimate.bytes_needed % 16 == 0
+
+    def test_chain_adds_frames(self):
+        graph = graph_of("""
+            int leaf(void) { return 1; }
+            int mid(void) { return leaf(); }
+            int top(void) { return mid(); }
+        """)
+        frames = {"leaf": 10, "mid": 20, "top": 30}
+        single = estimate_stack(graph, {"leaf": 10}, ["leaf"])
+        chained = estimate_stack(graph, frames, ["top"])
+        assert chained.bytes_needed > single.bytes_needed
+        assert chained.per_function["top"] > \
+            chained.per_function["leaf"]
+
+    def test_recursion_falls_back_to_default(self):
+        graph = graph_of("int f(int n) { if (n) return f(n-1); "
+                         "return 0; }")
+        estimate = estimate_stack(graph, {"f": 8}, ["f"])
+        assert estimate.recursive
+        assert estimate.bytes_needed == DEFAULT_RECURSIVE_STACK
+
+    def test_custom_recursive_default(self):
+        graph = graph_of("int f(int n) { if (n) return f(n-1); "
+                         "return 0; }")
+        estimate = estimate_stack(graph, {"f": 8}, ["f"],
+                                  default_recursive=1024)
+        assert estimate.bytes_needed == 1024
+
+    def test_widest_entry_point_wins(self):
+        graph = graph_of("""
+            int deep3(void) { return 1; }
+            int deep2(void) { return deep3(); }
+            int deep1(void) { return deep2(); }
+            int shallow(void) { return 2; }
+        """)
+        frames = {"deep1": 20, "deep2": 20, "deep3": 20, "shallow": 4}
+        both = estimate_stack(graph, frames, ["shallow", "deep1"])
+        only_shallow = estimate_stack(graph, frames, ["shallow"])
+        assert both.bytes_needed > only_shallow.bytes_needed
+
+
+class TestAccessEnumeration:
+    def test_counts_by_kind(self):
+        sema = analyze(parse("""
+            int arr[4];
+            int helper(int *p) { return *p + p[1]; }
+            int top(int i) {
+                int (*fp)(int *) = helper;
+                arr[i] = i;
+                amulet_log_word(arr[i]);
+                return fp(arr) + helper(arr);
+            }
+        """), FULL_C, amulet_api_table())
+        report = enumerate_accesses(sema)
+        helper = report.functions["helper"]
+        top = report.functions["top"]
+        assert helper.pointer_derefs == 2
+        assert top.array_accesses == 2
+        assert top.fn_pointer_calls == 1
+        assert top.direct_calls == 1
+        assert top.api_calls == 1
+        assert helper.returns == 1
+        assert report.total_api_calls == 1
+        assert ("top", "amulet_log_word") in report.api_call_names
+
+    def test_checked_sites(self):
+        sema = analyze(parse(
+            "int f(int *p) { return *p; }"), FULL_C)
+        report = enumerate_accesses(sema)
+        assert report.functions["f"].checked_sites == 2  # deref + ret

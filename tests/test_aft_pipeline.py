@@ -1,0 +1,273 @@
+"""AFT pipeline: the four phases, placement, boundary symbols, and the
+per-model firmware differences."""
+
+import pytest
+
+from repro.errors import RestrictionError, ToolchainError
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.aft.models import boundary_symbols, model_config
+from repro.asm.disassembler import disassemble_range
+from repro.kernel.machine import AmuletMachine
+from repro.msp430.memory import MemoryMap
+
+SIMPLE = """
+int state = 0;
+int scratch[4];
+int on_event(int arg) {
+    scratch[arg & 3] = arg;
+    state += arg;
+    return state;
+}
+"""
+
+POINTERY = """
+int data[4];
+int on_event(int arg) {
+    int *p = data;
+    p[arg & 3] = arg;
+    return *p;
+}
+"""
+
+RECURSIVE = """
+int on_event(int n) {
+    if (n <= 0) return 0;
+    return n + on_event(n - 1);
+}
+"""
+
+
+def build(model, sources=None):
+    sources = sources if sources is not None else [
+        AppSource("alpha", SIMPLE, ["on_event"]),
+        AppSource("beta", POINTERY, ["on_event"]),
+    ]
+    return AftPipeline(model).build(sources)
+
+
+class TestPhase1:
+    def test_duplicate_app_names_rejected(self):
+        with pytest.raises(ToolchainError, match="duplicate"):
+            build(IsolationModel.MPU, [
+                AppSource("x", SIMPLE, ["on_event"]),
+                AppSource("x", SIMPLE, ["on_event"]),
+            ])
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ToolchainError):
+            AftPipeline(IsolationModel.MPU).build([])
+
+    def test_unknown_handler_rejected(self):
+        with pytest.raises(ToolchainError, match="handler"):
+            build(IsolationModel.MPU,
+                  [AppSource("x", SIMPLE, ["missing"])])
+
+    def test_feature_limited_rejects_pointers(self):
+        with pytest.raises(RestrictionError):
+            build(IsolationModel.FEATURE_LIMITED,
+                  [AppSource("x", POINTERY, ["on_event"])])
+
+    def test_feature_limited_rejects_recursion(self):
+        with pytest.raises(RestrictionError, match="recursion"):
+            build(IsolationModel.FEATURE_LIMITED,
+                  [AppSource("x", RECURSIVE, ["on_event"])])
+
+    def test_mpu_allows_recursion(self):
+        firmware = build(IsolationModel.MPU,
+                         [AppSource("x", RECURSIVE, ["on_event"])])
+        assert firmware.apps["x"].stack_estimate.recursive
+
+    def test_bad_app_name_rejected(self):
+        with pytest.raises(ToolchainError):
+            AppSource("__bad", SIMPLE, ["on_event"])
+
+
+class TestPlacement:
+    def test_apps_live_in_high_fram(self):
+        firmware = build(IsolationModel.MPU)
+        for app in firmware.apps.values():
+            assert app.code_lo >= firmware.layout.app_base
+            assert app.seg_hi <= firmware.layout.app_limit + 1
+
+    def test_code_below_stack_below_data(self):
+        """Paper: the stack tops out just under the data and grows
+        down into execute-only code on overflow."""
+        firmware = build(IsolationModel.MPU)
+        for app in firmware.apps.values():
+            assert app.code_hi <= app.seg_lo        # code below stack
+            assert app.seg_lo < app.stack_top       # stack non-empty
+            assert app.stack_top <= app.seg_hi      # data above stack
+
+    def test_boundaries_are_16_byte_aligned(self):
+        firmware = build(IsolationModel.MPU)
+        for app in firmware.apps.values():
+            assert app.seg_lo % 16 == 0
+            assert app.seg_hi % 16 == 0
+            assert app.code_lo % 16 == 0
+
+    def test_apps_do_not_overlap(self):
+        firmware = build(IsolationModel.MPU)
+        ordered = firmware.app_list()
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.seg_hi <= second.code_lo
+
+    def test_boundary_symbols_resolve(self):
+        firmware = build(IsolationModel.SOFTWARE_ONLY)
+        for name, app in firmware.apps.items():
+            bounds = boundary_symbols(name)
+            assert firmware.symbol(bounds.code_lo) == app.code_lo
+            assert firmware.symbol(bounds.code_hi) == app.code_hi
+            assert firmware.symbol(bounds.seg_lo) == app.seg_lo
+            assert firmware.symbol(bounds.seg_hi) == app.seg_hi
+
+    def test_shared_stack_models_have_empty_stack_sections(self):
+        firmware = build(IsolationModel.NO_ISOLATION)
+        for app in firmware.apps.values():
+            assert app.stack_bytes == 0
+
+    def test_separate_stack_models_allocate_stacks(self):
+        firmware = build(IsolationModel.MPU)
+        for app in firmware.apps.values():
+            assert app.stack_bytes >= 32
+            assert app.stack_bytes % 16 == 0
+
+    def test_recursive_app_gets_default_stack(self):
+        firmware = build(IsolationModel.MPU, [
+            AppSource("r", RECURSIVE, ["on_event"],
+                      recursive_stack=256)])
+        assert firmware.apps["r"].stack_bytes == 256
+
+
+class TestMpuConfigs:
+    def test_app_config_matches_paper_figure1(self):
+        firmware = build(IsolationModel.MPU)
+        for app in firmware.apps.values():
+            config = app.mpu_config
+            assert config.b1 == app.seg_lo
+            assert config.b2 == app.seg_hi
+            assert config.seg1.render() == "--X"
+            assert config.seg2.render() == "RW-"
+            assert config.seg3.render() == "---"
+
+    def test_os_config(self):
+        firmware = build(IsolationModel.MPU)
+        config = firmware.os_mpu_config
+        assert config.seg1.render() == "--X"
+        assert config.seg2.render() == "RW-"
+        assert config.seg3.render() == "RW-"
+        assert config.b2 == firmware.layout.app_base
+
+    def test_non_mpu_models_have_no_config(self):
+        firmware = build(IsolationModel.SOFTWARE_ONLY)
+        assert firmware.os_mpu_config is None
+        for app in firmware.apps.values():
+            assert app.mpu_config is None
+
+
+class TestCheckInsertion:
+    def _count_boundary_compares(self, model, source):
+        pipeline = AftPipeline(model)
+        pipeline.build([AppSource("probe", source, ["on_event"])])
+        build = pipeline.report.apps["probe"]
+        asm = build.unit.asm
+        bounds = boundary_symbols("probe")
+        return {
+            "seg_lo": asm.count(f"#{bounds.seg_lo}"),
+            "seg_hi": asm.count(f"#{bounds.seg_hi}"),
+            "code_lo": asm.count(f"#{bounds.code_lo}"),
+            "code_hi": asm.count(f"#{bounds.code_hi}"),
+            "helper": asm.count("__aft_check_index"),
+        }
+
+    def test_no_isolation_inserts_nothing(self):
+        counts = self._count_boundary_compares(
+            IsolationModel.NO_ISOLATION, POINTERY)
+        assert all(v == 0 for v in counts.values())
+
+    def test_mpu_inserts_lower_checks_only(self):
+        """The paper's core asymmetry: MPU needs half the checks."""
+        counts = self._count_boundary_compares(
+            IsolationModel.MPU, POINTERY)
+        assert counts["seg_lo"] > 0
+        assert counts["seg_hi"] == 0
+        assert counts["code_hi"] == 0
+
+    def test_software_only_inserts_both_bounds(self):
+        counts = self._count_boundary_compares(
+            IsolationModel.SOFTWARE_ONLY, POINTERY)
+        assert counts["seg_lo"] > 0
+        assert counts["seg_hi"] == counts["seg_lo"]
+
+    def test_mpu_has_half_the_data_checks_of_software_only(self):
+        mpu = self._count_boundary_compares(IsolationModel.MPU,
+                                            POINTERY)
+        sw = self._count_boundary_compares(
+            IsolationModel.SOFTWARE_ONLY, POINTERY)
+        assert (sw["seg_lo"] + sw["seg_hi"]) == \
+            2 * (mpu["seg_lo"] + mpu["seg_hi"])
+
+    def test_feature_limited_uses_helper(self):
+        counts = self._count_boundary_compares(
+            IsolationModel.FEATURE_LIMITED, SIMPLE)
+        assert counts["helper"] > 0
+        assert counts["seg_lo"] == 0
+
+    def test_fn_pointer_checks(self):
+        source = """
+        int cb(int v) { return v; }
+        int on_event(int arg) {
+            int (*fp)(int) = cb;
+            return fp(arg);
+        }
+        """
+        mpu = self._count_boundary_compares(IsolationModel.MPU, source)
+        sw = self._count_boundary_compares(
+            IsolationModel.SOFTWARE_ONLY, source)
+        assert mpu["code_lo"] > 0 and mpu["code_hi"] == 0
+        assert sw["code_lo"] > 0 and sw["code_hi"] > 0
+
+    def test_entry_points_skip_return_check(self):
+        source = """
+        int inner(int v) { return v * 2; }
+        int on_event(int arg) { return inner(arg); }
+        """
+        pipeline = AftPipeline(IsolationModel.MPU)
+        pipeline.build([AppSource("probe", source, ["on_event"])])
+        asm = pipeline.report.apps["probe"].unit.asm
+        bounds = boundary_symbols("probe")
+        # exactly one return check (inner's), none for the handler
+        assert asm.count(f"CMP #{bounds.code_lo}, 2(R4)") == 1
+
+
+class TestFirmwareQueries:
+    def test_handler_addresses_inside_code(self):
+        firmware = build(IsolationModel.MPU)
+        for name, app in firmware.apps.items():
+            address = firmware.handler_address(name, "on_event")
+            assert app.code_lo <= address < app.code_hi
+
+    def test_unknown_handler_raises(self):
+        firmware = build(IsolationModel.MPU)
+        with pytest.raises(KeyError):
+            firmware.handler_address("alpha", "nope")
+
+    def test_app_of_address(self):
+        firmware = build(IsolationModel.MPU)
+        alpha = firmware.apps["alpha"]
+        assert firmware.app_of_address(alpha.code_lo) == "alpha"
+        assert firmware.app_of_address(0x4400) is None
+
+    def test_report_describe(self):
+        pipeline = AftPipeline(IsolationModel.MPU)
+        pipeline.build([AppSource("alpha", SIMPLE, ["on_event"])])
+        text = pipeline.report.describe()
+        assert "alpha" in text and "stack=" in text
+
+    def test_code_sections_disassemble(self):
+        """Every byte the AFT placed as code decodes as instructions."""
+        firmware = build(IsolationModel.MPU)
+        machine = AmuletMachine(firmware)
+        for app in firmware.apps.values():
+            listing = disassemble_range(machine.cpu.memory,
+                                        app.code_lo, app.code_hi)
+            assert listing

@@ -1,0 +1,102 @@
+"""The approved API table and the assembly runtime library."""
+
+import pytest
+
+from repro.cc.runtime import FAULT_STUB_ASM, RUNTIME_ASM, runtime_asm
+from repro.cc.symbols import ApiTable
+from repro.kernel.api import SERVICE_COSTS, amulet_api_table
+
+
+class TestApiTable:
+    def test_every_function_has_a_cost(self):
+        table = amulet_api_table()
+        for api in table.functions.values():
+            assert api.service_id in SERVICE_COSTS
+            assert api.cost_cycles == SERVICE_COSTS[api.service_id]
+
+    def test_service_ids_unique(self):
+        table = amulet_api_table()
+        ids = [a.service_id for a in table.functions.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_gate_symbols(self):
+        table = amulet_api_table()
+        assert table.gate_symbol("amulet_rand") == "__api_amulet_rand"
+        assert table.sysvar_symbol("amulet_wall_minutes") == \
+            "__os_amulet_wall_minutes"
+
+    def test_contains(self):
+        table = amulet_api_table()
+        assert "amulet_get_battery" in table
+        assert "amulet_format_disk" not in table
+
+    def test_sysvars_declared(self):
+        table = amulet_api_table()
+        assert set(table.sysvars) == {
+            "amulet_uptime_seconds", "amulet_wall_minutes",
+            "amulet_battery_percent"}
+
+    def test_empty_table_usable(self):
+        table = ApiTable()
+        assert "anything" not in table
+
+
+class TestRuntimeAsm:
+    def test_all_helpers_exported(self):
+        for helper in ("__mulhi", "__udivmod", "__udivhi", "__uremhi",
+                       "__divhi", "__remhi", "__ashlhi", "__ashrhi",
+                       "__lshrhi", "__aft_check_index"):
+            assert f"{helper}:" in RUNTIME_ASM
+
+    def test_fault_stub_optional(self):
+        assert "__fault:" in runtime_asm(with_fault_stub=True)
+        assert "__fault:" not in runtime_asm(with_fault_stub=False)
+
+    def test_runtime_assembles_standalone(self):
+        from repro.asm.assembler import assemble
+        obj = assemble(runtime_asm(), "runtime")
+        assert obj.sections[".text"].size > 100
+        # only __fault's ports and nothing else unresolved
+        assert obj.undefined_symbols() == []
+
+    def test_helpers_clobber_only_r12_to_r15(self):
+        """The private-ABI contract the code generator relies on:
+        execute each helper with sentinel values in R4-R11 and verify
+        they survive."""
+        from repro.asm.assembler import assemble
+        from repro.asm.linker import Linker, LinkScript
+        from repro.msp430.cpu import Cpu
+        from repro.msp430.memory import MemoryMap
+
+        harness = """
+        .text
+        .global __start
+__start:
+        CALL #{helper}
+        MOV #1, &0x01F2
+.spin:  JMP .spin
+"""
+        for helper in ("__mulhi", "__divhi", "__remhi", "__udivhi",
+                       "__uremhi", "__ashlhi", "__ashrhi", "__lshrhi"):
+            script = LinkScript()
+            script.region("fram", MemoryMap.FRAM_START,
+                          MemoryMap.FRAM_END)
+            script.place_rule("*", "fram")
+            image = (Linker(script)
+                     .place([assemble(runtime_asm(), "rt"),
+                             assemble(harness.format(helper=helper),
+                                      "h")])
+                     .resolve())
+            cpu = Cpu()
+            image.load_into(cpu.memory)
+            cpu.memory.add_io(0x01F2, write=lambda a, v: cpu.halt())
+            cpu.regs.pc = image.symbol("__start")
+            cpu.regs.sp = 0x2400
+            for reg in range(4, 12):
+                cpu.regs.write(reg, 0x1000 + reg)
+            cpu.regs.write(12, 1234)
+            cpu.regs.write(13, 7)
+            cpu.run(max_cycles=100_000)
+            for reg in range(4, 12):
+                assert cpu.regs.read(reg) == 0x1000 + reg, \
+                    f"{helper} clobbered R{reg}"

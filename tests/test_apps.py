@@ -1,0 +1,204 @@
+"""The application suite: every app builds under every applicable
+model and behaves sensibly when driven with events."""
+
+import pytest
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.apps import (
+    BENCHMARK_NAMES,
+    MANIFESTS,
+    SUITE_NAMES,
+    app_source,
+    load_benchmarks,
+    load_suite,
+)
+from repro.kernel.events import EventType, PeriodicSource
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.scheduler import AppSchedule, Scheduler
+
+ALL_MODELS = (IsolationModel.NO_ISOLATION,
+              IsolationModel.FEATURE_LIMITED,
+              IsolationModel.SOFTWARE_ONLY,
+              IsolationModel.MPU,
+              IsolationModel.ADVANCED_MPU)
+
+
+class TestCatalog:
+    def test_suite_has_nine_apps(self):
+        assert len(SUITE_NAMES) == 9
+        assert set(SUITE_NAMES) == set(MANIFESTS)
+
+    def test_benchmarks_present(self):
+        assert set(BENCHMARK_NAMES) == {"activity", "quicksort",
+                                        "synthetic"}
+
+    def test_sources_load(self):
+        for name in SUITE_NAMES + BENCHMARK_NAMES:
+            assert len(app_source(name)) > 100
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(FileNotFoundError):
+            app_source("ghost")
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+class TestSuiteBuilds:
+    def test_full_suite_builds(self, model):
+        firmware = AftPipeline(model).build(load_suite())
+        assert len(firmware.apps) == 9
+
+    def test_benchmarks_build(self, model):
+        firmware = AftPipeline(model).build(load_benchmarks())
+        assert len(firmware.apps) == 3
+
+
+def machine_for(names, model=IsolationModel.MPU):
+    firmware = AftPipeline(model).build(load_suite(names))
+    return AmuletMachine(firmware)
+
+
+class TestAppBehaviour:
+    def test_clock_rolls_minutes(self):
+        machine = machine_for(["clock"])
+        for second in range(61):
+            machine.dispatch("clock", "on_second", [second])
+        assert machine.services.display.last_digits == 1   # 00:01
+
+    def test_pedometer_counts_steps_on_alternating_magnitudes(self):
+        machine = machine_for(["pedometer"])
+        # alternate high/low magnitude to trigger rising/falling edges
+        for i in range(120):
+            if (i // 6) % 2 == 0:
+                machine.dispatch("pedometer", "on_accel",
+                                 [900, 900, 900])
+            else:
+                machine.dispatch("pedometer", "on_accel", [10, 10, 50])
+        machine.dispatch("pedometer", "on_minute", [0])
+        steps_shown = machine.services.display.last_digits
+        assert steps_shown > 0
+
+    def test_hr_smoothing_and_display(self):
+        machine = machine_for(["hr"])
+        for _ in range(10):
+            machine.dispatch("hr", "on_hr_sample", [80])
+        machine.dispatch("hr", "on_display", [0])
+        assert machine.services.display.last_digits == 80
+
+    def test_hr_rejects_glitches(self):
+        machine = machine_for(["hr"])
+        machine.dispatch("hr", "on_hr_sample", [80])
+        machine.dispatch("hr", "on_hr_sample", [999])   # glitch
+        machine.dispatch("hr", "on_display", [0])
+        assert machine.services.display.last_digits == 80
+
+    def test_hrlog_flush_writes_compact_record(self):
+        machine = machine_for(["hrlog"])
+        for bpm in (70, 80, 90):
+            machine.dispatch("hrlog", "on_hr_sample", [bpm])
+        machine.dispatch("hrlog", "on_flush", [1])
+        assert machine.services.log.words == [80, 70, 90, 3]
+
+    def test_batterymeter_alarm_on_low_battery(self):
+        machine = machine_for(["batterymeter"])
+        for _ in range(3):
+            machine.dispatch("batterymeter", "on_battery", [10])
+        assert machine.services.vibrations >= 1
+        assert machine.services.log.words
+
+    def test_temperature_logs_out_of_range(self):
+        machine = machine_for(["temperature"])
+        for _ in range(8):
+            machine.dispatch("temperature", "on_temp", [300])  # hot
+        assert machine.services.log.words
+
+    def test_sun_daylight_accumulates(self):
+        machine = machine_for(["sun"])
+        for _ in range(6):
+            machine.dispatch("sun", "on_light", [800])
+        machine.dispatch("sun", "on_show", [0])
+        assert machine.services.display.last_digits == 0   # <1 minute
+        for _ in range(20):
+            machine.dispatch("sun", "on_light", [800])
+        machine.dispatch("sun", "on_show", [0])
+        assert machine.services.display.last_digits >= 2
+
+    def test_rest_nudges_after_still_period(self):
+        machine = machine_for(["rest"])
+        for minute in range(46):
+            machine.dispatch("rest", "on_minute", [minute])
+        assert machine.services.vibrations >= 1
+
+    def test_falldetection_flags_impact_then_stillness(self):
+        machine = machine_for(["falldetection"])
+        for _ in range(32):                       # baseline
+            machine.dispatch("falldetection", "on_accel",
+                             [10, 10, 1000])
+        machine.dispatch("falldetection", "on_accel",
+                         [3000, 3000, 3000])      # impact
+        for _ in range(30):                       # stillness
+            machine.dispatch("falldetection", "on_accel", [5, 5, 300])
+        # one more sample triggers the ALERT state transition
+        machine.dispatch("falldetection", "on_accel", [5, 5, 300])
+        assert machine.services.vibrations >= 1
+        assert machine.services.log.words
+
+
+class TestBenchmarkApps:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_quicksort_sorts_under_every_model(self, model):
+        firmware = AftPipeline(model).build(
+            load_benchmarks(["quicksort"]))
+        machine = AmuletMachine(firmware)
+        result = machine.dispatch("quicksort", "quicksort_run", [42])
+        assert not result.faulted
+        assert result.return_value == 1    # verified sorted
+
+    def test_quicksort_results_identical_across_models(self):
+        outcomes = set()
+        for model in ALL_MODELS:
+            firmware = AftPipeline(model).build(
+                load_benchmarks(["quicksort"]))
+            machine = AmuletMachine(firmware)
+            machine.dispatch("quicksort", "quicksort_run", [7])
+            data_addr = firmware.symbol("app_quicksort_qs_data")
+            outcomes.add(machine.cpu.memory.dump(data_addr, 256))
+        assert len(outcomes) == 1
+
+    def test_activity_classifier_is_deterministic(self):
+        values = []
+        for _ in range(2):
+            machine = AmuletMachine(AftPipeline(
+                IsolationModel.MPU).build(load_benchmarks(["activity"])))
+            machine.dispatch("activity", "act_init", [0])
+            r = machine.dispatch("activity", "activity_case2", [55])
+            values.append(r.return_value)
+        assert values[0] == values[1]
+        assert 0 <= values[0] < 4
+
+    def test_synthetic_benchmarks_run(self):
+        machine = AmuletMachine(AftPipeline(
+            IsolationModel.MPU).build(load_benchmarks(["synthetic"])))
+        for handler, arg in (("bench_mem", 32), ("bench_mem_read", 32),
+                             ("bench_nop", 32), ("bench_switch", 4),
+                             ("bench_empty", 0)):
+            result = machine.dispatch("synthetic", handler, [arg])
+            assert not result.faulted
+
+
+class TestWeekSimulationSlice:
+    @pytest.mark.parametrize("model",
+                             (IsolationModel.FEATURE_LIMITED,
+                              IsolationModel.MPU,
+                              IsolationModel.SOFTWARE_ONLY))
+    def test_suite_runs_one_simulated_second(self, model):
+        firmware = AftPipeline(model).build(load_suite())
+        machine = AmuletMachine(firmware)
+        scheduler = Scheduler(machine)
+        for name, manifest in MANIFESTS.items():
+            scheduler.add_app(AppSchedule(
+                name, sources=manifest.sources_for(name)))
+        stats = scheduler.run(horizon_ms=1000)
+        assert stats.faults == 0
+        assert stats.events_delivered > 50     # 32 Hz fall detection...
+        assert set(stats.per_app_events) >= {"falldetection",
+                                             "pedometer", "clock"}

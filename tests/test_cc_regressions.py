@@ -1,0 +1,221 @@
+"""Targeted compiler edge cases and regression guards."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc.execution import run_compiled
+from repro.cc.interp import Interpreter
+from repro.cc.parser import parse
+from repro.cc.sema import FULL_C, analyze
+
+
+def run(source, fn="main", args=()):
+    return run_compiled(source, fn, args).value
+
+
+def agree(source, fn="main", args=()):
+    interp = Interpreter(analyze(parse(source), FULL_C))
+    expected = interp.call(fn, list(args))
+    actual = run(source, fn, args)
+    assert actual == expected
+    return actual
+
+
+class TestEdgeCases:
+    def test_sizeof_array_parameter_decays(self):
+        assert run("int f(int a[8]) { return sizeof a; }"
+                   "int main(void) { int b[8]; return f(b); }") == 2
+
+    def test_unary_minus_on_unsigned(self):
+        assert run("unsigned main(void) { unsigned u = 1; "
+                   "return -u; }") == 0xFFFF
+
+    def test_char_comparison_promotes(self):
+        # 200 as char stays 200 (unsigned byte), compares > 100 as int
+        assert agree("int main(void) { char c = 200; "
+                     "return c > 100; }") == 1
+
+    def test_cast_truncates_to_byte(self):
+        assert agree("int main(void) { int v = 0x1FF; "
+                     "return (char)v; }") == 0xFF
+
+    def test_pointer_cast_roundtrip(self):
+        assert agree("""
+            int main(void) {
+                int x = 77;
+                char *c = (char *)&x;
+                int *back = (int *)c;
+                return *back;
+            }
+        """) == 77
+
+    def test_byte_pointer_walks_word(self):
+        assert agree("""
+            int main(void) {
+                int x = 0x1234;
+                char *c = (char *)&x;
+                return c[0] * 1000 + c[1];    /* little endian */
+            }
+        """) == 0x34 * 1000 + 0x12
+
+    def test_address_of_array_element(self):
+        assert agree("""
+            int a[5];
+            int main(void) {
+                int *p = &a[2];
+                *p = 9;
+                return a[2] + (p - a);
+            }
+        """) == 11
+
+    def test_nested_struct_array_mix(self):
+        assert agree("""
+            struct item { int key; int vals[3]; };
+            struct item table[2];
+            int main(void) {
+                table[1].key = 5;
+                table[1].vals[2] = 7;
+                return table[1].key + table[1].vals[2];
+            }
+        """) == 12
+
+    def test_assignment_value_chains(self):
+        assert agree("""
+            int main(void) {
+                int a;
+                int b;
+                int c;
+                a = b = c = 4;
+                return a + b + c;
+            }
+        """) == 12
+
+    def test_compound_on_array_element(self):
+        assert agree("""
+            int a[3] = {1, 2, 3};
+            int main(void) {
+                a[1] += 10;
+                a[2] <<= 2;
+                return a[1] + a[2];
+            }
+        """) == 24
+
+    def test_conditional_as_argument(self):
+        assert agree("""
+            int pick(int v) { return v * 2; }
+            int main(void) {
+                int x = 3;
+                return pick(x > 2 ? 10 : 20);
+            }
+        """) == 20
+
+    def test_expression_statement_side_effects_only(self):
+        assert agree("""
+            int g = 0;
+            int bump(void) { g++; return g; }
+            int main(void) { bump(); bump(); return g; }
+        """) == 2
+
+    def test_empty_function_returns(self):
+        assert run("void noop(void) { }"
+                   "int main(void) { noop(); return 3; }") == 3
+
+    def test_modulo_powers_of_two_pattern(self):
+        assert agree("""
+            int main(void) {
+                int h = 0;
+                int i;
+                for (i = 0; i < 20; i++) h = (h + 7) % 12;
+                return h;
+            }
+        """)
+
+    def test_many_locals(self):
+        decls = "".join(f"int v{i} = {i};" for i in range(30))
+        total = "+".join(f"v{i}" for i in range(30))
+        assert run(f"int main(void) {{ {decls} return {total}; }}") \
+            == sum(range(30))
+
+    def test_while_with_complex_condition(self):
+        assert agree("""
+            int main(void) {
+                int i = 0;
+                int j = 10;
+                while (i < 5 && j > 6 || i == 0) {
+                    i++;
+                    j--;
+                }
+                return i * 100 + j;
+            }
+        """)
+
+    def test_chained_comparisons_are_left_assoc(self):
+        # (1 < 2) < 3 -> 1 < 3 -> 1
+        assert agree("int main(void) { return 1 < 2 < 3; }") == 1
+
+
+class TestMultiAppMangling:
+    def test_same_function_names_across_apps(self):
+        from repro.aft import AftPipeline, AppSource, IsolationModel
+        from repro.kernel.machine import AmuletMachine
+        source_a = """
+        int helper(void) { return 10; }
+        int on_e(int x) { return helper() + x; }
+        """
+        source_b = """
+        int helper(void) { return 20; }
+        int on_e(int x) { return helper() + x; }
+        """
+        firmware = AftPipeline(IsolationModel.MPU).build([
+            AppSource("alpha", source_a, ["on_e"]),
+            AppSource("beta", source_b, ["on_e"]),
+        ])
+        machine = AmuletMachine(firmware)
+        assert machine.dispatch("alpha", "on_e", [1]).return_value == 11
+        assert machine.dispatch("beta", "on_e", [1]).return_value == 21
+
+    def test_same_global_names_across_apps(self):
+        from repro.aft import AftPipeline, AppSource, IsolationModel
+        from repro.kernel.machine import AmuletMachine
+        source = """
+        int state = %d;
+        int on_e(int x) { state += x; return state; }
+        """
+        firmware = AftPipeline(IsolationModel.MPU).build([
+            AppSource("one", source % 100, ["on_e"]),
+            AppSource("two", source % 200, ["on_e"]),
+        ])
+        machine = AmuletMachine(firmware)
+        assert machine.dispatch("one", "on_e", [1]).return_value == 101
+        assert machine.dispatch("two", "on_e", [1]).return_value == 201
+        assert machine.dispatch("one", "on_e", [1]).return_value == 102
+
+
+class TestDiagnostics:
+    def test_error_carries_file_and_line(self):
+        with pytest.raises(CompileError) as info:
+            run_compiled("int f(void) {\n  return ghost;\n}", "f")
+        assert ":2:" in str(info.value)
+
+    def test_too_complex_call_reported_not_miscompiled(self):
+        # 5-arg call nested deeper than the register pool must raise,
+        # never silently corrupt
+        args = ", ".join("1" for _ in range(5))
+        deep = "a"
+        for _ in range(8):
+            deep = f"(a + {deep})"
+        source = f"""
+            int six(int a, int b, int c, int d, int e) {{ return a; }}
+            int main(void) {{
+                int a = 1;
+                return {deep} + six({args});
+            }}
+        """
+        # either compiles correctly or raises CompileError; both OK,
+        # silent wrong answers are not.
+        try:
+            value = run(source)
+        except CompileError:
+            return
+        interp = Interpreter(analyze(parse(source), FULL_C))
+        assert value == interp.call("main")

@@ -1,0 +1,65 @@
+"""Code-size experiment mechanics (fast, two-app corpus)."""
+
+import pytest
+
+from repro.aft import AppSource, IsolationModel
+from repro.experiments.code_size import run_code_size
+
+APPS = [
+    AppSource("alpha", """
+        int win[8];
+        int total;
+        int on_e(int i) {
+            win[i & 7] = i;
+            total += win[i & 7];
+            return total;
+        }
+    """, ["on_e"]),
+    AppSource("beta", """
+        int grid[16];
+        int on_e(int i) {
+            int j;
+            for (j = 0; j < 16; j++) grid[j] = i + j;
+            return grid[i & 15];
+        }
+    """, ["on_e"]),
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_code_size(apps=APPS)
+
+
+class TestCodeSize:
+    def test_every_model_measured(self, result):
+        for by_model in result.sizes.values():
+            assert len(by_model) == 4
+
+    def test_baseline_smallest(self, result):
+        assert result.shape_holds()
+
+    def test_software_only_largest(self, result):
+        totals = {model: result.total(model)
+                  for model in result.sizes["alpha"]}
+        assert max(totals, key=totals.get) is \
+            IsolationModel.SOFTWARE_ONLY
+
+    def test_overhead_percent_positive(self, result):
+        for model in (IsolationModel.FEATURE_LIMITED,
+                      IsolationModel.MPU,
+                      IsolationModel.SOFTWARE_ONLY):
+            assert result.overhead_percent(model) > 0
+
+    def test_software_only_doubles_mpu_check_bytes(self, result):
+        """SW adds upper+lower where MPU adds lower only, so SW's size
+        *overhead* is roughly twice MPU's on check-dense code."""
+        baseline = result.total(IsolationModel.NO_ISOLATION)
+        mpu_extra = result.total(IsolationModel.MPU) - baseline
+        sw_extra = result.total(IsolationModel.SOFTWARE_ONLY) - baseline
+        assert 1.5 <= sw_extra / mpu_extra <= 2.5
+
+    def test_render(self, result):
+        text = result.render()
+        assert "TOTAL" in text
+        assert "alpha" in text and "beta" in text

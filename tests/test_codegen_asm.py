@@ -1,0 +1,162 @@
+"""Code generator output properties: inspected at the assembly-text
+level (complementing the execution tests)."""
+
+import pytest
+
+from repro.cc.codegen import CheckPolicy, compile_unit
+from repro.cc.sema import AMULET_C
+from repro.errors import CompileError
+
+
+class TestStructure:
+    def test_sections_named_as_configured(self):
+        unit = compile_unit("int g; int f(void) { return g; }",
+                            text_section=".app.x.text",
+                            data_section=".app.x.data",
+                            label_prefix="app_x_")
+        assert ".section .app.x.text" in unit.asm
+        assert ".section .app.x.data" in unit.asm
+
+    def test_label_prefix_applied_everywhere(self):
+        unit = compile_unit("""
+            int counter;
+            int helper(void) { return counter; }
+            int entry(void) { return helper(); }
+        """, label_prefix="app_probe_")
+        assert "app_probe_helper:" in unit.asm
+        assert "app_probe_counter:" in unit.asm
+        assert "CALL #app_probe_helper" in unit.asm
+        assert "&app_probe_counter" in unit.asm
+
+    def test_static_symbols_not_exported(self):
+        unit = compile_unit("""
+            static int hidden = 1;
+            static int shy(void) { return hidden; }
+            int open_fn(void) { return shy(); }
+        """)
+        assert ".global shy" not in unit.asm
+        assert ".global hidden" not in unit.asm
+        assert ".global open_fn" in unit.asm
+
+    def test_prologue_epilogue_pairing(self):
+        unit = compile_unit("int f(int a) { return a; }")
+        lines = [l.strip() for l in unit.asm.splitlines()]
+        assert "PUSH R4" in lines
+        assert "MOV SP, R4" in lines
+        assert "MOV R4, SP" in lines
+        assert "POP R4" in lines
+        assert "RET" in lines
+
+    def test_callee_saved_registers_balanced(self):
+        unit = compile_unit("""
+            int f(int a, int b, int c) {
+                return (a * b + c) * (a - b) * (c + 1) * (a + 2);
+            }
+        """)
+        pushes = unit.asm.count("PUSH R")
+        pops = unit.asm.count("POP R")
+        assert pushes == pops
+
+    def test_frame_sizes_recorded(self):
+        unit = compile_unit("""
+            int small(void) { return 1; }
+            int big(void) { int a[20]; a[0] = 1; return a[0]; }
+        """)
+        assert unit.frame_sizes["big"] > unit.frame_sizes["small"]
+
+    def test_string_literals_deduplicated(self):
+        unit = compile_unit("""
+            char *a = "shared";
+            char *b = "shared";
+            char *c = "different";
+        """)
+        assert unit.asm.count('"shared"') == 1
+        assert unit.string_count == 2
+
+    def test_mul_by_constant_power_of_two_uses_shifts(self):
+        unit = compile_unit("int f(int x) { return x * 16; }")
+        assert "__mulhi" not in unit.asm
+        assert unit.asm.count("RLA") >= 4
+
+    def test_division_uses_signed_helper_for_ints(self):
+        unit = compile_unit("int f(int x) { return x / 3; }")
+        assert "__divhi" in unit.asm
+
+    def test_division_uses_unsigned_helper_for_unsigned(self):
+        unit = compile_unit("unsigned f(unsigned x) { return x / 3; }")
+        assert "__udivhi" in unit.asm
+        assert "#__divhi" not in unit.asm
+
+    def test_byte_ops_for_char(self):
+        unit = compile_unit("""
+            char c;
+            char f(char v) { c = v; return c; }
+        """)
+        assert "MOV.B" in unit.asm
+
+
+class TestCheckPolicyHooks:
+    class RecordingPolicy(CheckPolicy):
+        def __init__(self):
+            self.calls = []
+
+        def data_pointer_check(self, gen, reg, is_write):
+            self.calls.append(("data", is_write))
+
+        def fn_pointer_check(self, gen, reg):
+            self.calls.append(("fn", None))
+
+        def array_index_check(self, gen, reg, length):
+            self.calls.append(("array", length))
+
+        def return_check(self, gen):
+            self.calls.append(("return", gen.function.name))
+
+    def test_hooks_fire_at_expected_sites(self):
+        policy = self.RecordingPolicy()
+        compile_unit("""
+            int arr[6];
+            int cb(int v) { return v; }
+            int f(int *p, int i) {
+                int (*fp)(int) = cb;
+                *p = arr[i];
+                return fp(i);
+            }
+        """, checks=policy)
+        kinds = [c[0] for c in policy.calls]
+        assert kinds.count("array") == 1
+        assert kinds.count("fn") == 1
+        assert ("data", True) in policy.calls      # *p write
+        assert ("array", 6) in policy.calls
+        assert ("return", "cb") in policy.calls
+        assert ("return", "f") in policy.calls
+
+    def test_write_vs_read_flag(self):
+        policy = self.RecordingPolicy()
+        compile_unit("int f(int *p) { *p = *p + 1; return 0; }",
+                     checks=policy)
+        flags = [w for kind, w in policy.calls if kind == "data"]
+        assert True in flags and False in flags
+
+    def test_direct_scalar_access_not_checked(self):
+        policy = self.RecordingPolicy()
+        compile_unit("""
+            int g;
+            int f(int a) { g = a; return g + a; }
+        """, checks=policy)
+        data_calls = [c for c in policy.calls if c[0] == "data"]
+        assert data_calls == []
+
+
+class TestAmuletCCodegen:
+    def test_array_code_compiles_under_amuletc(self):
+        unit = compile_unit("""
+            int win[8];
+            int f(int i) { win[i & 7] = i; return win[0]; }
+        """, profile=AMULET_C)
+        assert "f:" in unit.asm
+
+    def test_internal_errors_have_positions(self):
+        with pytest.raises(CompileError) as info:
+            compile_unit("int f(void) { return *; }")
+        assert "minic" in str(info.value)

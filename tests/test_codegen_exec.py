@@ -1,0 +1,346 @@
+"""Code generator correctness: compiled programs run on the simulator
+and must produce the same results as the reference semantics."""
+
+import pytest
+
+from repro.cc.execution import BareMachine, run_compiled
+from repro.cc.codegen import compile_unit
+
+
+def run(source, fn="main", args=()):
+    return run_compiled(source, fn, args).value
+
+
+def run_signed(source, fn="main", args=()):
+    return run_compiled(source, fn, args).signed_value
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert run("int main(void){ return (3+4)*5 - 6/2; }") == 32
+
+    def test_signed_division(self):
+        assert run_signed("int main(void){ int a = -17; "
+                          "return a / 5; }") == -3
+
+    def test_signed_modulo(self):
+        assert run_signed("int main(void){ int a = -17; "
+                          "return a % 5; }") == -2
+
+    def test_unsigned_division(self):
+        assert run("int main(void){ unsigned a = 50000; "
+                   "return a / 7; }") == 50000 // 7
+
+    def test_unsigned_modulo(self):
+        assert run("int main(void){ unsigned a = 50000; "
+                   "return a % 7; }") == 50000 % 7
+
+    def test_multiply_wraps(self):
+        assert run("int main(void){ unsigned a = 300; "
+                   "return a * a; }") == (300 * 300) & 0xFFFF
+
+    def test_multiply_by_power_of_two_strength_reduced(self):
+        unit = compile_unit("int f(int x) { return x * 8; }")
+        assert "__mulhi" not in unit.asm
+        assert run("int main(void){ return 5 * 8; }") == 40
+
+    def test_divide_by_zero_returns_all_ones(self):
+        # documented runtime behaviour (C leaves it undefined)
+        assert run("int main(void){ int z = 0; return 5 / z; }") \
+            == 0xFFFF
+
+    def test_negation_and_complement(self):
+        assert run_signed("int main(void){ int a = 13; "
+                          "return -a + ~a; }") == -13 + ~13
+
+    def test_shifts_constant_and_variable(self):
+        assert run("int main(void){ int a = 3; int n = 4; "
+                   "return (a << 2) + (a << n) + (48 >> 2); }") == \
+            12 + 48 + 12
+
+    def test_arithmetic_right_shift_signed(self):
+        assert run_signed("int main(void){ int a = -64; "
+                          "return a >> 3; }") == -8
+
+    def test_logical_right_shift_unsigned(self):
+        assert run("int main(void){ unsigned a = 0x8000; "
+                   "return a >> 3; }") == 0x1000
+
+
+class TestControlFlow:
+    def test_if_chain(self):
+        source = """
+            int grade(int n) {
+                if (n >= 90) return 4;
+                else if (n >= 80) return 3;
+                else if (n >= 70) return 2;
+                return 0;
+            }
+            int main(void) { return grade(95)*100 + grade(85)*10
+                                    + grade(50); }
+        """
+        assert run(source) == 430
+
+    def test_while_and_for(self):
+        assert run("""
+            int main(void) {
+                int s = 0;
+                int i = 0;
+                while (i < 5) { s += i; i++; }
+                for (i = 0; i < 5; i++) s += i;
+                return s;
+            }
+        """) == 20
+
+    def test_do_while(self):
+        assert run("int main(void){ int i=0; do { i++; } "
+                   "while (i < 7); return i; }") == 7
+
+    def test_break_continue(self):
+        assert run("""
+            int main(void) {
+                int s = 0;
+                int i;
+                for (i = 0; i < 100; i++) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    s += i;
+                }
+                return s;
+            }
+        """) == 1 + 3 + 5 + 7 + 9
+
+    def test_switch(self):
+        source = """
+            int pick(int n) {
+                switch (n) {
+                  case 1: return 10;
+                  case 2: return 20;
+                  default: return 99;
+                }
+            }
+            int main(void) { return pick(1) + pick(2) + pick(5); }
+        """
+        assert run(source) == 129
+
+    def test_switch_fallthrough(self):
+        source = """
+            int pick(int n) {
+                int r = 0;
+                switch (n) {
+                  case 1: r += 1;
+                  case 2: r += 2; break;
+                  default: r = 99;
+                }
+                return r;
+            }
+            int main(void) { return pick(1)*10 + pick(2); }
+        """
+        assert run(source) == 32
+
+    def test_logical_short_circuit(self):
+        source = """
+            int calls;
+            int bump(void) { calls++; return 1; }
+            int main(void) {
+                int a = 0 && bump();
+                int b = 1 || bump();
+                return calls * 100 + a * 10 + b;
+            }
+        """
+        assert run(source) == 1
+
+    def test_ternary(self):
+        assert run("int main(void){ int a = 7; "
+                   "return a > 5 ? a * 2 : a - 1; }") == 14
+
+    def test_nested_loops(self):
+        assert run("""
+            int main(void) {
+                int total = 0;
+                int i;
+                int j;
+                for (i = 0; i < 4; i++)
+                    for (j = 0; j < 4; j++)
+                        if (i != j) total += i * j;
+                return total;
+            }
+        """) == sum(i * j for i in range(4) for j in range(4)
+                    if i != j)
+
+
+class TestSignedUnsignedComparisons:
+    def test_signed(self):
+        assert run("int main(void){ int a = -1; return a < 1; }") == 1
+
+    def test_unsigned(self):
+        assert run("int main(void){ unsigned a = 0xFFFF; "
+                   "return a > 1; }") == 1
+
+    def test_greater_and_le(self):
+        assert run("int main(void){ int a = 5; int b = 5; "
+                   "return (a > b)*100 + (a >= b)*10 + (a <= b); }") \
+            == 11
+
+    def test_mixed_sign_comparison_is_unsigned(self):
+        # -1 compared against unsigned 1 behaves as 0xFFFF > 1
+        assert run("int main(void){ int a = -1; unsigned b = 1; "
+                   "return a > b; }") == 1
+
+
+class TestDataAccess:
+    def test_global_arrays_and_pointers(self):
+        assert run("""
+            int data[6] = {5, 4, 3, 2, 1, 0};
+            int main(void) {
+                int *p = data + 1;
+                p[2] = 40;
+                return data[3] + *p;
+            }
+        """) == 44
+
+    def test_local_array_initializer(self):
+        assert run("""
+            int main(void) {
+                int a[4] = {1, 2};
+                return a[0] + a[1] + a[2] + a[3];
+            }
+        """) == 3
+
+    def test_char_buffers(self):
+        assert run("""
+            char buf[4];
+            int main(void) {
+                buf[0] = 'x';
+                buf[1] = buf[0] + 1;
+                return buf[0] + buf[1];
+            }
+        """) == 120 + 121
+
+    def test_char_string_local(self):
+        assert run("""
+            int main(void) {
+                char s[3] = "ab";
+                return s[0] + s[1] + s[2];
+            }
+        """) == 97 + 98
+
+    def test_struct_fields(self):
+        assert run("""
+            struct point { int x; int y; char tag; };
+            struct point g;
+            int main(void) {
+                struct point *p = &g;
+                g.x = 3;
+                p->y = 4;
+                p->tag = 'z';
+                return g.x + g.y + p->tag;
+            }
+        """) == 3 + 4 + 122
+
+    def test_array_of_structs(self):
+        assert run("""
+            struct cell { int v; int w; };
+            struct cell grid[4];
+            int main(void) {
+                int i;
+                for (i = 0; i < 4; i++) {
+                    grid[i].v = i;
+                    grid[i].w = i * 10;
+                }
+                return grid[2].v + grid[3].w;
+            }
+        """) == 32
+
+    def test_pointer_to_local(self):
+        assert run("""
+            void set(int *out, int v) { *out = v; }
+            int main(void) {
+                int x = 0;
+                set(&x, 42);
+                return x;
+            }
+        """) == 42
+
+    def test_global_string_pointer(self):
+        assert run("""
+            char *greeting = "hey";
+            int main(void) { return greeting[0] + greeting[2]; }
+        """) == ord("h") + ord("y")
+
+    def test_increments_on_memory(self):
+        assert run("""
+            int g = 5;
+            int main(void) {
+                int a[2] = {1, 2};
+                g++;
+                ++g;
+                a[0]--;
+                return g * 10 + a[0] + a[1]++ + a[1];
+            }
+        """) == 70 + 0 + 2 + 3
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run("""
+            int fib(int n) { if (n < 2) return n;
+                             return fib(n-1) + fib(n-2); }
+            int main(void) { return fib(12); }
+        """) == 144
+
+    def test_mutual_recursion(self):
+        assert run("""
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1;
+                                 return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) return 0;
+                                return is_even(n - 1); }
+            int main(void) { return is_even(10)*10 + is_odd(7); }
+        """) == 11
+
+    def test_five_arguments_spill_to_stack(self):
+        assert run("""
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b*2 + c*3 + d*4 + e*5 + f*6;
+            }
+            int main(void) { return sum6(1, 2, 3, 4, 5, 6); }
+        """) == 1 + 4 + 9 + 16 + 25 + 36
+
+    def test_function_pointer_call(self):
+        assert run("""
+            int twice(int x) { return 2 * x; }
+            int apply(int (*f)(int), int v) { return f(v); }
+            int main(void) { return apply(twice, 21); }
+        """) == 42
+
+    def test_function_pointer_table(self):
+        assert run("""
+            int add(int a, int b) { return a + b; }
+            int sub(int a, int b) { return a - b; }
+            int main(void) {
+                int (*ops[2])(int, int);
+                ops[0] = add;
+                ops[1] = sub;
+                return ops[0](30, 12) + ops[1](30, 12);
+            }
+        """) == 60
+
+    def test_char_parameter(self):
+        assert run("""
+            int promote(char c) { return c + 1; }
+            int main(void) { return promote(200); }
+        """) == 201
+
+    def test_deep_expression_spills(self):
+        # deeper than the 7-register pool: exercises spill/revive
+        expr = "+".join(f"(a{i} * 2)" for i in range(10))
+        decls = "".join(f"int a{i} = {i + 1};" for i in range(10))
+        source = ("int main(void) { " + decls +
+                  " return ((((((((" + expr + "))))))));}")
+        assert run(source) == sum(2 * (i + 1) for i in range(10))
+
+    def test_right_leaning_expression_tree(self):
+        source = ("int main(void){ int a = 1; return "
+                  + "a+(" * 9 + "a" + ")" * 9 + "; }")
+        assert run(source) == 10

@@ -1,0 +1,346 @@
+"""CPU execution semantics: ALU flags, stack ops, jumps, faults."""
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.msp430.cpu import Cpu, CpuFault, ExecutionLimitExceeded, \
+    FaultKind
+from repro.msp430.encoding import encode_bytes
+from repro.msp430.isa import (
+    Instruction,
+    Opcode,
+    absolute,
+    autoincrement,
+    imm,
+    indexed,
+    indirect,
+    reg,
+)
+from repro.msp430.registers import Reg, SR
+
+CODE = 0x4400
+
+
+def run_program(cpu, *insns, start=CODE):
+    address = start
+    for insn in insns:
+        blob = encode_bytes(insn, address)
+        cpu.memory.load(address, blob)
+        address += len(blob)
+    cpu.regs.pc = start
+    for _ in insns:
+        cpu.step()
+    return cpu
+
+
+@pytest.fixture
+def cpu():
+    c = Cpu()
+    c.regs.sp = 0x2400
+    return c
+
+
+class TestMovAndArithmetic:
+    def test_mov_immediate(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0x1234),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0x1234
+
+    def test_add_sets_carry_on_wrap(self, cpu):
+        cpu.regs.write(5, 0xFFFF)
+        run_program(cpu, Instruction(Opcode.ADD, src=imm(1),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0
+        assert cpu.regs.carry and cpu.regs.zero
+
+    def test_add_signed_overflow(self, cpu):
+        cpu.regs.write(5, 0x7FFF)
+        run_program(cpu, Instruction(Opcode.ADD, src=imm(1),
+                                     dst=reg(5)))
+        assert cpu.regs.overflow and cpu.regs.negative
+
+    def test_sub_carry_means_no_borrow(self, cpu):
+        cpu.regs.write(5, 10)
+        cpu.regs.write(6, 3)
+        run_program(cpu, Instruction(Opcode.SUB, src=reg(6),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 7
+        assert cpu.regs.carry          # no borrow
+
+    def test_sub_borrow_clears_carry(self, cpu):
+        cpu.regs.write(5, 3)
+        cpu.regs.write(6, 10)
+        run_program(cpu, Instruction(Opcode.SUB, src=reg(6),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == (3 - 10) & 0xFFFF
+        assert not cpu.regs.carry
+
+    def test_addc_uses_carry(self, cpu):
+        cpu.regs.set_flag(SR.C, True)
+        cpu.regs.write(5, 10)
+        run_program(cpu, Instruction(Opcode.ADDC, src=imm(0),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 11
+
+    def test_cmp_does_not_write(self, cpu):
+        cpu.regs.write(5, 42)
+        run_program(cpu, Instruction(Opcode.CMP, src=imm(42),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 42
+        assert cpu.regs.zero
+
+    def test_dadd_bcd(self, cpu):
+        cpu.regs.write(5, 0x0199)
+        cpu.regs.set_flag(SR.C, False)
+        run_program(cpu, Instruction(Opcode.DADD, src=imm(1),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0x0200
+
+    def test_byte_op_clears_high_byte(self, cpu):
+        cpu.regs.write(5, 0xFFFF)
+        run_program(cpu, Instruction(Opcode.MOV, byte=True,
+                                     src=imm(0x12), dst=reg(5)))
+        assert cpu.regs.read(5) == 0x0012
+
+
+class TestLogic:
+    def test_and_sets_carry_when_nonzero(self, cpu):
+        cpu.regs.write(5, 0b1100)
+        run_program(cpu, Instruction(Opcode.AND, src=imm(0b0100),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0b0100
+        assert cpu.regs.carry and not cpu.regs.zero
+
+    def test_bit_only_flags(self, cpu):
+        cpu.regs.write(5, 0b1000)
+        run_program(cpu, Instruction(Opcode.BIT, src=imm(0b0111),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0b1000
+        assert cpu.regs.zero
+
+    def test_bis_bic(self, cpu):
+        cpu.regs.write(5, 0b1010)
+        run_program(cpu,
+                    Instruction(Opcode.BIS, src=imm(0b0101), dst=reg(5)),
+                    Instruction(Opcode.BIC, src=imm(0b0011), dst=reg(5)))
+        assert cpu.regs.read(5) == 0b1100
+
+    def test_xor_overflow_when_both_negative(self, cpu):
+        cpu.regs.write(5, 0x8000)
+        cpu.regs.write(6, 0x8001)
+        run_program(cpu, Instruction(Opcode.XOR, src=reg(6),
+                                     dst=reg(5)))
+        assert cpu.regs.overflow
+
+
+class TestShifts:
+    def test_rra_arithmetic(self, cpu):
+        cpu.regs.write(5, 0x8002)
+        run_program(cpu, Instruction(Opcode.RRA, src=reg(5)))
+        assert cpu.regs.read(5) == 0xC001
+        assert not cpu.regs.carry
+
+    def test_rrc_through_carry(self, cpu):
+        cpu.regs.set_flag(SR.C, True)
+        cpu.regs.write(5, 0x0001)
+        run_program(cpu, Instruction(Opcode.RRC, src=reg(5)))
+        assert cpu.regs.read(5) == 0x8000
+        assert cpu.regs.carry
+
+    def test_swpb(self, cpu):
+        cpu.regs.write(5, 0x1234)
+        run_program(cpu, Instruction(Opcode.SWPB, src=reg(5)))
+        assert cpu.regs.read(5) == 0x3412
+
+    def test_sxt(self, cpu):
+        cpu.regs.write(5, 0x0080)
+        run_program(cpu, Instruction(Opcode.SXT, src=reg(5)))
+        assert cpu.regs.read(5) == 0xFF80
+        assert cpu.regs.negative
+
+
+class TestStackAndCalls:
+    def test_push_decrements_sp(self, cpu):
+        cpu.regs.write(5, 0xBEEF)
+        run_program(cpu, Instruction(Opcode.PUSH, src=reg(5)))
+        assert cpu.regs.sp == 0x23FE
+        assert cpu.memory.read_word(0x23FE) == 0xBEEF
+
+    def test_call_pushes_return_address(self, cpu):
+        insn = Instruction(Opcode.CALL, src=imm(0x5000))
+        cpu.memory.load(CODE, encode_bytes(insn, CODE))
+        cpu.regs.pc = CODE
+        cpu.step()
+        assert cpu.regs.pc == 0x5000
+        assert cpu.memory.read_word(cpu.regs.sp) == CODE + 4
+
+    def test_call_ret_roundtrip(self, cpu):
+        # CALL #0x5000 ; (at 0x5000) MOV @SP+, PC
+        call = Instruction(Opcode.CALL, src=imm(0x5000))
+        ret = Instruction(Opcode.MOV, src=autoincrement(Reg.SP),
+                          dst=reg(Reg.PC))
+        cpu.memory.load(CODE, encode_bytes(call, CODE))
+        cpu.memory.load(0x5000, encode_bytes(ret, 0x5000))
+        cpu.regs.pc = CODE
+        cpu.step()
+        cpu.step()
+        assert cpu.regs.pc == CODE + 4
+        assert cpu.regs.sp == 0x2400
+
+    def test_reti_restores_sr_and_pc(self, cpu):
+        cpu.regs.sp = 0x23FC
+        cpu.memory.write_word(0x23FC, 0x000F)   # saved SR
+        cpu.memory.write_word(0x23FE, 0x4800)   # saved PC
+        run_program(cpu, Instruction(Opcode.RETI))
+        assert cpu.regs.pc == 0x4800
+        assert cpu.regs.sr == 0x000F
+
+
+class TestJumps:
+    def _jump_taken(self, cpu, opcode, flags):
+        for bit, value in flags.items():
+            cpu.regs.set_flag(bit, value)
+        insn = Instruction(opcode, offset=4)
+        cpu.memory.load(CODE, encode_bytes(insn, CODE))
+        cpu.regs.pc = CODE
+        cpu.step()
+        return cpu.regs.pc == CODE + 2 + 8
+
+    def test_jeq(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JEQ, {SR.Z: True})
+
+    def test_jne_not_taken_when_zero(self, cpu):
+        assert not self._jump_taken(cpu, Opcode.JNE, {SR.Z: True})
+
+    def test_jc(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JC, {SR.C: True})
+
+    def test_jn(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JN, {SR.N: True})
+
+    def test_jge_on_n_equals_v(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JGE,
+                                {SR.N: True, SR.V: True})
+
+    def test_jl_on_n_differs_v(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JL,
+                                {SR.N: True, SR.V: False})
+
+    def test_jmp_always(self, cpu):
+        assert self._jump_taken(cpu, Opcode.JMP, {})
+
+
+class TestMemoryOperands:
+    def test_absolute_store_load(self, cpu):
+        run_program(cpu,
+                    Instruction(Opcode.MOV, src=imm(0x55AA),
+                                dst=absolute(0x8000)),
+                    Instruction(Opcode.MOV, src=absolute(0x8000),
+                                dst=reg(7)))
+        assert cpu.regs.read(7) == 0x55AA
+
+    def test_indexed_addressing(self, cpu):
+        cpu.regs.write(4, 0x8000)
+        cpu.memory.write_word(0x8004, 0x77)
+        run_program(cpu, Instruction(Opcode.MOV, src=indexed(4, 4),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0x77
+
+    def test_autoincrement_advances(self, cpu):
+        cpu.regs.write(6, 0x8000)
+        cpu.memory.write_word(0x8000, 0x11)
+        run_program(cpu, Instruction(Opcode.MOV, src=autoincrement(6),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0x11
+        assert cpu.regs.read(6) == 0x8002
+
+    def test_autoincrement_byte_advances_by_one(self, cpu):
+        cpu.regs.write(6, 0x8000)
+        cpu.memory.write_byte(0x8000, 0x22)
+        run_program(cpu, Instruction(Opcode.MOV, byte=True,
+                                     src=autoincrement(6), dst=reg(5)))
+        assert cpu.regs.read(6) == 0x8001
+
+
+class TestFaults:
+    def test_bus_error_becomes_cpu_fault(self, cpu):
+        insn = Instruction(Opcode.MOV, src=absolute(0x3000),
+                           dst=reg(5))
+        cpu.memory.load(CODE, encode_bytes(insn, CODE))
+        cpu.regs.pc = CODE
+        with pytest.raises(CpuFault) as info:
+            cpu.step()
+        assert info.value.kind is FaultKind.BUS_ERROR
+        assert info.value.address == 0x3000
+        assert info.value.pc == CODE
+
+    def test_fetch_from_hole_faults(self, cpu):
+        cpu.regs.pc = 0x3000
+        with pytest.raises(CpuFault) as info:
+            cpu.step()
+        assert info.value.kind is FaultKind.BUS_ERROR
+
+    def test_decode_error_faults(self, cpu):
+        cpu.memory.load(CODE, b"\x00\x00")
+        cpu.regs.pc = CODE
+        with pytest.raises(CpuFault) as info:
+            cpu.step()
+        assert info.value.kind is FaultKind.DECODE_ERROR
+
+    def test_run_limit(self, cpu):
+        # JMP $ (offset -2... offset -1 jumps to itself: pc+2-2)
+        insn = Instruction(Opcode.JMP, offset=-1)
+        cpu.memory.load(CODE, encode_bytes(insn, CODE))
+        cpu.regs.pc = CODE
+        with pytest.raises(ExecutionLimitExceeded):
+            cpu.run(max_cycles=1000)
+
+    def test_halt_stops_run(self, cpu):
+        cpu.memory.load(CODE, encode_bytes(
+            Instruction(Opcode.JMP, offset=-1), CODE))
+        cpu.regs.pc = CODE
+
+        def stop(addr, insn):
+            cpu.halt()
+
+        cpu.trace_hook = stop
+        cpu.run(max_cycles=1000)
+        assert cpu.halted
+
+
+class TestCycleCounting:
+    def test_register_mov_is_one_cycle(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=reg(4),
+                                     dst=reg(5)))
+        assert cpu.cycles == 1
+
+    def test_cg_immediate_is_register_timing(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0),
+                                     dst=reg(5)))
+        assert cpu.cycles == 1
+
+    def test_big_immediate_is_two_cycles(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0x1234),
+                                     dst=reg(5)))
+        assert cpu.cycles == 2
+
+    def test_mov_to_memory_discount(self, cpu):
+        # #N -> &EDE is 5 cycles; MOV/BIT/CMP save one on this family
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0x1234),
+                                     dst=absolute(0x8000)))
+        assert cpu.cycles == 4
+
+    def test_add_to_memory_full_cost(self, cpu):
+        run_program(cpu, Instruction(Opcode.ADD, src=imm(0x1234),
+                                     dst=absolute(0x8000)))
+        assert cpu.cycles == 5
+
+    def test_jump_two_cycles(self, cpu):
+        run_program(cpu, Instruction(Opcode.JMP, offset=0))
+        assert cpu.cycles == 2
+
+    def test_reset_uses_reset_vector(self, cpu):
+        cpu.memory.load(0xFFFE, b"\x00\x50")
+        cpu.reset()
+        assert cpu.regs.pc == 0x5000
+        assert cpu.cycles == 0

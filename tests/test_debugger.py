@@ -1,0 +1,146 @@
+"""Debugger: breakpoints, tracing, watchpoints, call stacks."""
+
+import pytest
+
+from repro.cc.codegen import compile_unit
+from repro.cc.execution import BareMachine
+from repro.msp430.debug import Debugger
+
+SOURCE = """
+int hits = 0;
+
+int inner(int v) {
+    hits = hits + v;
+    return hits;
+}
+
+int middle(int v) {
+    return inner(v) + inner(v);
+}
+
+int main(void) {
+    return middle(3) + middle(4);
+}
+"""
+
+
+@pytest.fixture
+def setup():
+    unit = compile_unit(SOURCE)
+    machine = BareMachine(unit)
+    image = machine._link_for("main")
+    from repro.msp430.cpu import Cpu
+    cpu = Cpu()
+    image.load_into(cpu.memory)
+    from repro.ports import DONE_PORT
+    cpu.memory.add_io(DONE_PORT, write=lambda a, v: cpu.halt())
+    cpu.regs.pc = image.symbol("__start")
+    cpu.regs.sp = 0x2400
+    debugger = Debugger(cpu)
+    return cpu, image, debugger
+
+
+class TestBreakpoints:
+    def test_stops_at_breakpoint(self, setup):
+        cpu, image, debugger = setup
+        target = image.symbol("inner")
+        debugger.add_breakpoint(target)
+        hit = debugger.run()
+        assert hit == target
+        assert cpu.regs.pc == target
+
+    def test_resume_hits_again(self, setup):
+        cpu, image, debugger = setup
+        target = image.symbol("inner")
+        debugger.add_breakpoint(target)
+        hits = 0
+        while debugger.run() == target:
+            hits += 1
+        assert hits == 4        # inner called twice per middle call
+
+    def test_remove_breakpoint(self, setup):
+        cpu, image, debugger = setup
+        target = image.symbol("inner")
+        debugger.add_breakpoint(target)
+        debugger.run()
+        debugger.remove_breakpoint(target)
+        assert debugger.run() is None     # runs to completion
+        # main = middle(3) + middle(4) with accumulating hits:
+        # 3,6 then 10,14 -> middle values 9 and 24 -> 33
+        assert cpu.regs.read(12) == 33
+
+    def test_run_to_completion_returns_result(self, setup):
+        cpu, _image, debugger = setup
+        assert debugger.run() is None
+        # main = middle(3) + middle(4); hits accumulates 3,3,4,4
+        assert cpu.regs.read(12) == (3 + 6) + (10 + 14)
+
+
+class TestTracing:
+    def test_trace_records_recent_instructions(self, setup):
+        _cpu, image, debugger = setup
+        debugger.add_breakpoint(image.symbol("inner"))
+        debugger.run()
+        text = debugger.trace_text()
+        # break-before semantics: the last traced instruction is the
+        # CALL into the breakpoint target
+        assert f"CALL #{image.symbol('inner')}" in \
+            text.splitlines()[-1]
+
+    def test_trace_depth_bounded(self, setup):
+        _cpu, _image, debugger = setup
+        debugger.run()
+        assert len(debugger.trace) <= 64
+
+
+class TestCallStack:
+    def test_backtrace_inside_inner(self, setup):
+        cpu, image, debugger = setup
+        debugger.add_breakpoint(image.symbol("inner"))
+        debugger.run()
+        assert len(debugger.call_stack) == 3   # start->main->middle->inner
+        text = debugger.backtrace_text(image.symbols)
+        assert "inner" in text
+        assert "middle" in text.replace("+0x", "")  # symbolized frames
+
+    def test_stack_unwinds_after_return(self, setup):
+        cpu, image, debugger = setup
+        debugger.add_breakpoint(image.symbol("inner"))
+        debugger.run()
+        depth_inside = len(debugger.call_stack)
+        debugger.remove_breakpoint(image.symbol("inner"))
+        debugger.run()
+        assert len(debugger.call_stack) < depth_inside
+
+    def test_step_over_call(self, setup):
+        cpu, image, debugger = setup
+        debugger.add_breakpoint(image.symbol("middle"))
+        debugger.run()
+        depth = len(debugger.call_stack)
+        # step through middle's body; step_over must not descend
+        for _ in range(40):
+            debugger.step_over()
+            assert len(debugger.call_stack) <= depth
+            if len(debugger.call_stack) < depth:
+                break
+
+
+class TestWatchpoints:
+    def test_watchpoint_records_writes(self, setup):
+        cpu, image, debugger = setup
+        hits_address = image.symbol("hits")
+        debugger.add_watchpoint(hits_address)
+        debugger.run()
+        assert len(debugger.watch_hits) == 4
+        assert all(h.address == hits_address
+                   for h in debugger.watch_hits)
+        cycles = [h.cycle for h in debugger.watch_hits]
+        assert cycles == sorted(cycles)
+
+    def test_detach_stops_observing(self, setup):
+        cpu, image, debugger = setup
+        debugger.add_watchpoint(image.symbol("hits"))
+        debugger.detach()
+        cpu.halted = False
+        cpu.run(max_cycles=100_000)
+        assert debugger.watch_hits == []

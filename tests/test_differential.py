@@ -1,0 +1,282 @@
+"""Differential testing: the compiled simulator execution must agree
+with the reference interpreter on randomly generated programs.
+
+This is the compiler's strongest correctness evidence: hypothesis
+builds arbitrary expression trees and small statement programs over a
+fixed set of variables, and any divergence between
+``Interpreter`` (Python semantics oracle) and the full
+compile → assemble → link → simulate pipeline is a bug.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, \
+    strategies as st
+
+from repro.errors import InterpreterError
+from repro.cc.execution import run_compiled
+from repro.cc.interp import Interpreter
+from repro.cc.parser import parse
+from repro.cc.sema import FULL_C, analyze
+
+_SETTINGS = dict(max_examples=40, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+_INT_VARS = ("a", "b", "c")
+_UNSIGNED_VARS = ("u", "v")
+
+
+def _interp(source, fn="main", args=()):
+    result = analyze(parse(source), FULL_C)
+    # modest step budget: runaway generated programs get rejected fast
+    return Interpreter(result, max_steps=300_000).call(fn, list(args))
+
+
+def _compiled(source, fn="main", args=()):
+    return run_compiled(source, fn, args).value
+
+
+def assert_agreement(source, fn="main", args=()):
+    try:
+        expected = _interp(source, fn, args)
+    except InterpreterError:
+        # generated program doesn't terminate (or divides by zero in a
+        # way the guards missed): not a compiler-correctness question
+        assume(False)
+        return
+    actual = _compiled(source, fn, args)
+    assert actual == expected, (
+        f"divergence: interp={expected} compiled={actual}\n{source}")
+
+
+# -- expression generation -------------------------------------------------
+
+_BINOPS_SAFE = ("+", "-", "*", "&", "|", "^", "==", "!=", "<", ">",
+                "<=", ">=", "&&", "||")
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return str(draw(st.integers(0, 200)))
+        if choice == 1:
+            return draw(st.sampled_from(_INT_VARS))
+        return draw(st.sampled_from(_UNSIGNED_VARS))
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        op = draw(st.sampled_from(_BINOPS_SAFE))
+        left = draw(int_expr(depth=depth + 1))
+        right = draw(int_expr(depth=depth + 1))
+        return f"({left} {op} {right})"
+    if kind == 1:
+        op = draw(st.sampled_from(("-", "~", "!")))
+        inner = draw(int_expr(depth=depth + 1))
+        return f"({op}{inner})"
+    if kind == 2:
+        # division guarded against zero
+        left = draw(int_expr(depth=depth + 1))
+        right = draw(int_expr(depth=depth + 1))
+        op = draw(st.sampled_from(("/", "%")))
+        return f"({left} {op} (({right}) | 1))"
+    if kind == 3:
+        # shift with bounded count
+        left = draw(int_expr(depth=depth + 1))
+        count = draw(st.integers(0, 15))
+        op = draw(st.sampled_from(("<<", ">>")))
+        return f"({left} {op} {count})"
+    if kind == 4:
+        cond = draw(int_expr(depth=depth + 1))
+        a = draw(int_expr(depth=depth + 1))
+        b = draw(int_expr(depth=depth + 1))
+        return f"(({cond}) ? ({a}) : ({b}))"
+    inner = draw(int_expr(depth=depth + 1))
+    return f"((int)({inner}))"
+
+
+class TestExpressionDifferential:
+    @given(expr=int_expr(),
+           a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF),
+           c=st.integers(0, 0xFFFF), u=st.integers(0, 0xFFFF),
+           v=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_expressions_agree(self, expr, a, b, c, u, v):
+        source = f"""
+            int a; int b; int c;
+            unsigned u; unsigned v;
+            int main(int p, int q, int r, int s) {{
+                a = p; b = q; c = r; u = s; v = p ^ q;
+                return {expr};
+            }}
+        """
+        assert_agreement(source, args=(a, b, c, u))
+
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=4,
+                           max_size=4),
+           shift=st.integers(0, 15))
+    @settings(**_SETTINGS)
+    def test_mixed_char_arithmetic(self, values, shift):
+        source = f"""
+            char cbuf[4];
+            int main(int p, int q, int r, int s) {{
+                cbuf[0] = p; cbuf[1] = q; cbuf[2] = r; cbuf[3] = s;
+                return (cbuf[0] + cbuf[1] * cbuf[2] - cbuf[3])
+                     ^ (cbuf[0] << {shift % 8});
+            }}
+        """
+        assert_agreement(source, args=tuple(values))
+
+
+# -- statement-level generation ---------------------------------------------
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(st.integers(0, 5 if depth < 2 else 2))
+    target = draw(st.sampled_from(_INT_VARS))
+    if kind == 0:
+        expr = draw(int_expr(depth=2))
+        op = draw(st.sampled_from(("=", "+=", "-=", "^=", "|=", "&=")))
+        return f"{target} {op} {expr};"
+    if kind == 1:
+        expr = draw(int_expr(depth=3))
+        return f"acc += {expr};"
+    if kind == 2:
+        return draw(st.sampled_from(
+            [f"{target}++;", f"{target}--;", f"++{target};"]))
+    if kind == 3:
+        cond = draw(int_expr(depth=3))
+        then = draw(statements(depth=depth + 1))
+        other = draw(statements(depth=depth + 1))
+        return f"if ({cond}) {{ {then} }} else {{ {other} }}"
+    # loops use a per-nesting-depth counter so nested loops cannot
+    # reset each other's induction variable (which would not terminate)
+    if kind == 4:
+        counter = f"i{depth}"
+        body = draw(statements(depth=depth + 1))
+        return (f"for ({counter} = 0; {counter} < "
+                f"{draw(st.integers(1, 5))}; {counter}++) {{ {body} }}")
+    counter = f"j{depth}"
+    body = draw(statements(depth=depth + 1))
+    return (f"{counter} = 0; while ({counter} < "
+            f"{draw(st.integers(1, 4))}) {{ {body} {counter}++; }}")
+
+
+class TestProgramDifferential:
+    @given(stmts=st.lists(statements(), min_size=1, max_size=6),
+           a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_programs_agree(self, stmts, a, b):
+        body = "\n                ".join(stmts)
+        counters = "".join(f"int i{d} = 0; int j{d} = 0;"
+                           for d in range(3))
+        source = f"""
+            int a; int b; int c;
+            unsigned u; unsigned v;
+            int main(int p, int q) {{
+                int acc = 0;
+                {counters}
+                a = p; b = q; c = p + q; u = p; v = q;
+                {body}
+                return acc + a + b * 3 + c * 5 + (int)u + (int)v;
+            }}
+        """
+        assert_agreement(source, args=(a, b))
+
+    @given(data=st.lists(st.integers(0, 0xFFFF), min_size=6,
+                         max_size=6))
+    @settings(**_SETTINGS)
+    def test_array_sort_agree(self, data):
+        loads = "".join(f"d[{i}] = {v};" for i, v in enumerate(data))
+        source = f"""
+            int d[6];
+            int main(void) {{
+                int i;
+                int j;
+                int t;
+                {loads}
+                for (i = 0; i < 6; i++)
+                    for (j = i + 1; j < 6; j++)
+                        if (d[j] < d[i]) {{
+                            t = d[i]; d[i] = d[j]; d[j] = t;
+                        }}
+                return d[0] ^ (d[1] + d[2]) ^ (d[5] - d[3]) ^ d[4];
+            }}
+        """
+        assert_agreement(source)
+
+    @given(n=st.integers(0, 10), seed=st.integers(0, 0xFFFF))
+    @settings(max_examples=15, deadline=None)
+    def test_recursive_functions_agree(self, n, seed):
+        source = """
+            int mix(int n, int s) {
+                if (n <= 0) return s;
+                return mix(n - 1, s * 3 + n) ^ n;
+            }
+            int main(int n, int s) { return mix(n, s); }
+        """
+        assert_agreement(source, args=(n, seed))
+
+    @given(values=st.lists(st.integers(0, 0x7FFF), min_size=2,
+                           max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_pointer_walks_agree(self, values):
+        stores = "".join(f"buf[{i}] = {v};"
+                         for i, v in enumerate(values))
+        source = f"""
+            int buf[8];
+            int main(void) {{
+                int *p = buf;
+                int *end = buf + {len(values)};
+                int acc = 0;
+                {stores}
+                while (p < end) {{
+                    acc += *p;
+                    acc ^= p[0] >> 1;
+                    p++;
+                }}
+                return acc + (end - buf);
+            }}
+        """
+        assert_agreement(source)
+
+
+class TestRuntimeHelperProperties:
+    """Direct properties of the assembly runtime helpers."""
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_multiply_matches_python(self, a, b):
+        source = "unsigned main(unsigned a, unsigned b) { return a * b; }"
+        assert _compiled(source, args=(a, b)) == (a * b) & 0xFFFF
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(1, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_unsigned_divmod_matches_python(self, a, b):
+        q = _compiled("unsigned main(unsigned a, unsigned b) "
+                      "{ return a / b; }", args=(a, b))
+        r = _compiled("unsigned main(unsigned a, unsigned b) "
+                      "{ return a % b; }", args=(a, b))
+        assert q == a // b
+        assert r == a % b
+        assert (q * b + r) & 0xFFFF == a
+
+    @given(a=st.integers(-0x8000, 0x7FFF),
+           b=st.integers(-0x8000, 0x7FFF).filter(lambda v: v != 0))
+    @settings(**_SETTINGS)
+    def test_signed_division_truncates_toward_zero(self, a, b):
+        q = _compiled("int main(int a, int b) { return a / b; }",
+                      args=(a & 0xFFFF, b & 0xFFFF))
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert q == expected & 0xFFFF
+
+    @given(a=st.integers(-0x8000, 0x7FFF),
+           b=st.integers(-0x8000, 0x7FFF).filter(lambda v: v != 0))
+    @settings(**_SETTINGS)
+    def test_signed_remainder_identity(self, a, b):
+        q = _compiled("int main(int a, int b) { return a / b; }",
+                      args=(a & 0xFFFF, b & 0xFFFF))
+        r = _compiled("int main(int a, int b) { return a % b; }",
+                      args=(a & 0xFFFF, b & 0xFFFF))
+        assert (q * (b & 0xFFFF) + r) & 0xFFFF == a & 0xFFFF

@@ -1,0 +1,90 @@
+"""Error hierarchy and shared port constants."""
+
+import pytest
+
+from repro import errors
+from repro import ports
+
+
+class TestErrorHierarchy:
+    def test_all_are_repro_errors(self):
+        for name in ("MemoryAccessError", "MpuViolationError",
+                     "DecodeError", "EncodingError", "AssemblerError",
+                     "LinkError", "CompileError", "RestrictionError",
+                     "InterpreterError", "ToolchainError",
+                     "KernelError", "AppFault"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_restriction_is_compile_error(self):
+        assert issubclass(errors.RestrictionError, errors.CompileError)
+
+    def test_memory_access_error_message(self):
+        error = errors.MemoryAccessError(0x1B00, "write", "no memory")
+        assert "0x1B00" in str(error)
+        assert "no memory" in str(error)
+        assert error.address == 0x1B00
+
+    def test_mpu_violation_carries_context(self):
+        error = errors.MpuViolationError(0x9000, "read", 3)
+        assert error.segment == 3
+        assert "segment 3" in str(error)
+
+    def test_compile_error_position_format(self):
+        error = errors.CompileError("boom", 12, 5, "app.mc")
+        assert str(error) == "app.mc:12:5: boom"
+
+    def test_compile_error_without_position(self):
+        assert str(errors.CompileError("boom")) == "boom"
+
+    def test_assembler_error_position(self):
+        error = errors.AssemblerError("bad", 7, "x.s")
+        assert str(error) == "x.s:7: bad"
+
+    def test_app_fault_message(self):
+        fault = errors.AppFault("pedometer", "stray pointer",
+                                address=0x2000, pc=0x7100)
+        assert "pedometer" in str(fault)
+        assert "0x2000" in str(fault)
+
+
+class TestPorts:
+    def test_ports_word_aligned_and_distinct(self):
+        values = [ports.SVC_PORT, ports.DONE_PORT, ports.FAULT_PORT,
+                  ports.COUNT_PORT]
+        assert len(set(values)) == len(values)
+        assert all(v % 2 == 0 for v in values)
+
+    def test_ports_live_in_peripheral_space(self):
+        from repro.msp430.memory import MemoryMap
+        for value in (ports.SVC_PORT, ports.DONE_PORT,
+                      ports.FAULT_PORT, ports.COUNT_PORT):
+            assert MemoryMap.PERIPH_START <= value \
+                <= MemoryMap.PERIPH_END
+
+    def test_ports_clear_of_mpu_registers(self):
+        from repro.msp430 import mpu
+        mpu_regs = {mpu.MPUCTL0, mpu.MPUCTL1, mpu.MPUSEGB1,
+                    mpu.MPUSEGB2, mpu.MPUSAM}
+        kernel_ports = {ports.SVC_PORT, ports.DONE_PORT,
+                        ports.FAULT_PORT, ports.COUNT_PORT}
+        assert not (mpu_regs & kernel_ports)
+
+    def test_count_codes_distinct(self):
+        codes = {ports.COUNT_DATA_ACCESS, ports.COUNT_FN_POINTER,
+                 ports.COUNT_RETURN}
+        assert len(codes) == 3
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        assert repro.__version__
+        from repro import AftPipeline, AppSource, IsolationModel
+        assert IsolationModel.MPU.display == "MPU"
+
+    def test_model_display_names(self):
+        from repro import IsolationModel
+        names = {m.display for m in IsolationModel}
+        assert "No Isolation" in names
+        assert "Feature Limited" in names

@@ -1,0 +1,106 @@
+"""The bare-metal execution harness and the disassembler."""
+
+import pytest
+
+from repro.asm.disassembler import disassemble, listing
+from repro.cc.codegen import compile_unit
+from repro.cc.execution import BareMachine, run_compiled
+from repro.msp430.encoding import encode_bytes
+from repro.msp430.isa import Instruction, Opcode, imm, reg
+
+
+class TestHarness:
+    def test_run_compiled_returns_metrics(self):
+        result = run_compiled("int main(void) { return 7; }", "main")
+        assert result.value == 7
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert not result.faulted
+
+    def test_signed_view(self):
+        result = run_compiled("int main(void) { return -5; }", "main")
+        assert result.value == 0xFFFB
+        assert result.signed_value == -5
+
+    def test_args_passed_in_registers(self):
+        result = run_compiled(
+            "int main(int a, int b, int c, int d) "
+            "{ return a + b*10 + c*100 + d*1000; }",
+            "main", [1, 2, 3, 4])
+        assert result.value == 4321
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_compiled("int main(void) { return 0; }", "main",
+                         [1, 2, 3, 4, 5])
+
+    def test_machine_reusable_across_entries(self):
+        unit = compile_unit("""
+            int twice(int x) { return 2 * x; }
+            int thrice(int x) { return 3 * x; }
+        """)
+        machine = BareMachine(unit)
+        assert machine.run("twice", [5]).value == 10
+        assert machine.run("thrice", [5]).value == 15
+        assert machine.run("twice", [6]).value == 12
+
+    def test_fault_port_sets_flag(self):
+        # division helper faults are not wired in bare mode, but the
+        # FL index-check helper jumps to the bundled __fault stub
+        from repro.aft.models import FeatureLimitedPolicy
+        unit = compile_unit(
+            "int a[4]; int main(int i) { return a[i]; }",
+            checks=FeatureLimitedPolicy("main_app"))
+        machine = BareMachine(unit)
+        good = machine.run("main", [2])
+        assert not good.faulted
+        bad = machine.run("main", [9])
+        assert bad.faulted
+
+
+class TestDisassembler:
+    def test_round_trip_listing(self):
+        insns = [
+            Instruction(Opcode.MOV, src=imm(5), dst=reg(10)),
+            Instruction(Opcode.ADD, src=reg(10), dst=reg(11)),
+            Instruction(Opcode.PUSH, src=reg(11)),
+        ]
+        blob = b""
+        address = 0x4400
+        for insn in insns:
+            blob += encode_bytes(insn, address + len(blob))
+        decoded = disassemble(blob, 0x4400)
+        assert [i.opcode for _a, i in decoded] == \
+            [Opcode.MOV, Opcode.ADD, Opcode.PUSH]
+        assert decoded[0][0] == 0x4400
+
+    def test_listing_includes_symbols(self):
+        insn = Instruction(Opcode.MOV, src=imm(5), dst=reg(10))
+        blob = encode_bytes(insn, 0x4400)
+        text = listing(blob, 0x4400, symbols={"entry": 0x4400})
+        assert "entry:" in text
+        assert "MOV" in text
+
+    def test_compiled_function_disassembles_fully(self):
+        unit = compile_unit("""
+            int gcd(int a, int b) {
+                while (b != 0) { int t = a % b; a = b; b = t; }
+                return a;
+            }
+        """)
+        result = run_compiled("""
+            int gcd(int a, int b) {
+                while (b != 0) { int t = a % b; a = b; b = t; }
+                return a;
+            }
+            int main(void) { return gcd(48, 36); }
+        """, "main")
+        assert result.value == 12
+        image = result.image
+        # disassemble the unit's text section in place
+        for _owner, section in image.placed:
+            if section.name == ".text" and section.size:
+                blob = result.cpu.memory.dump(section.address,
+                                              section.size)
+                assert disassemble(blob, section.address)
+                break

@@ -1,0 +1,158 @@
+"""Gate generation and kernel service internals."""
+
+import pytest
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.aft.models import model_config
+from repro.kernel.api import amulet_api_table
+from repro.kernel.gates import generate_os_asm, mpu_value_symbols
+from repro.kernel.layout import DEFAULT_LAYOUT, KernelLayout
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.services import SensorEnvironment
+
+
+def gates_for(model, apps=("alpha", "beta")):
+    return generate_os_asm(list(apps), model_config(model),
+                           amulet_api_table(), DEFAULT_LAYOUT)
+
+
+class TestGateGeneration:
+    def test_dispatch_gate_per_app(self):
+        asm = gates_for(IsolationModel.MPU)
+        assert "__dispatch_alpha:" in asm
+        assert "__dispatch_beta:" in asm
+
+    def test_api_stub_per_function(self):
+        asm = gates_for(IsolationModel.MPU)
+        for name in amulet_api_table().functions:
+            assert f"__api_{name}:" in asm
+
+    def test_mpu_model_reprograms_mpu(self):
+        asm = gates_for(IsolationModel.MPU)
+        assert "&0x05A0" in asm                      # MPUCTL0
+        assert "__mpu_alpha_segb1" in asm
+        assert "__mpu_os_sam" in asm
+
+    def test_no_isolation_gates_have_no_mpu_or_stack_swap(self):
+        asm = gates_for(IsolationModel.NO_ISOLATION)
+        assert "&0x05A0" not in asm
+        assert "__os_sp_save" not in asm.split(".data")[0] \
+            or "MOV SP, &__os_sp_save" not in asm
+
+    def test_software_only_swaps_stacks_without_mpu(self):
+        asm = gates_for(IsolationModel.SOFTWARE_ONLY)
+        assert "MOV SP, &__os_sp_save" in asm
+        assert "&0x05A0" not in asm
+        assert "__app_alpha_sp" in asm
+
+    def test_sysvars_emitted_in_sram_section(self):
+        asm = gates_for(IsolationModel.MPU)
+        sram_part = asm.split(".os.sram")[1]
+        assert "__os_amulet_uptime_seconds:" in sram_part
+
+    def test_fault_sink_present(self):
+        asm = gates_for(IsolationModel.MPU)
+        assert "__fault:" in asm
+
+    def test_mpu_value_symbols(self):
+        assert mpu_value_symbols("x") == [
+            "__mpu_x_segb1", "__mpu_x_segb2", "__mpu_x_sam"]
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            KernelLayout(app_base=0x7001).validate()
+        DEFAULT_LAYOUT.validate()
+
+
+class TestGateCycleAccounting:
+    """The paper's context-switch ordering must hold at the gate level:
+    NoIso == FeatureLimited < SoftwareOnly < MPU."""
+
+    APP = "int on_e(int x) { return x; }"
+
+    def _dispatch_cycles(self, model):
+        firmware = AftPipeline(model).build(
+            [AppSource("probe", self.APP, ["on_e"])])
+        machine = AmuletMachine(firmware)
+        machine.dispatch("probe", "on_e", [1])     # warm (FRAM state)
+        return machine.dispatch("probe", "on_e", [1]).cycles
+
+    def test_context_switch_ordering(self):
+        noiso = self._dispatch_cycles(IsolationModel.NO_ISOLATION)
+        fl = self._dispatch_cycles(IsolationModel.FEATURE_LIMITED)
+        sw = self._dispatch_cycles(IsolationModel.SOFTWARE_ONLY)
+        mpu = self._dispatch_cycles(IsolationModel.MPU)
+        assert noiso == fl
+        assert noiso < sw < mpu
+
+
+class TestSensorEnvironment:
+    def test_deterministic_given_seed(self):
+        a = SensorEnvironment(seed=7)
+        b = SensorEnvironment(seed=7)
+        assert [a.heart_rate() for _ in range(5)] == \
+            [b.heart_rate() for _ in range(5)]
+        assert a.accel_sample() == b.accel_sample()
+
+    def test_different_seeds_differ(self):
+        a = SensorEnvironment(seed=1)
+        b = SensorEnvironment(seed=2)
+        assert [a.rand16() for _ in range(4)] != \
+            [b.rand16() for _ in range(4)]
+
+    def test_heart_rate_plausible(self):
+        env = SensorEnvironment()
+        for _ in range(100):
+            assert 60 <= env.heart_rate() <= 90
+
+    def test_accel_z_dominated_by_gravity(self):
+        env = SensorEnvironment(seed=3)
+        zs = [env.accel_sample()[2] for _ in range(50)]
+        signed = [z - 0x10000 if z & 0x8000 else z for z in zs]
+        assert sum(300 < z < 1700 for z in signed) > 40
+
+
+class TestServicePointerValidation:
+    def _machine(self, model=IsolationModel.MPU):
+        firmware = AftPipeline(model).build([AppSource(
+            "probe", "int on_e(int x) { return x; }", ["on_e"])])
+        return AmuletMachine(firmware)
+
+    def test_pointer_inside_app_region_accepted(self):
+        machine = self._machine()
+        app = machine.firmware.apps["probe"]
+        machine.current_app = "probe"
+        assert machine.services._validate_pointer(app.seg_lo + 4, 6)
+
+    def test_pointer_outside_rejected(self):
+        machine = self._machine()
+        machine.current_app = "probe"
+        assert not machine.services._validate_pointer(0x4400, 6)
+
+    def test_pointer_spanning_boundary_rejected(self):
+        machine = self._machine()
+        app = machine.firmware.apps["probe"]
+        machine.current_app = "probe"
+        assert not machine.services._validate_pointer(
+            app.seg_hi - 2, 6)
+
+    def test_no_current_app_rejects(self):
+        machine = self._machine()
+        machine.current_app = None
+        assert not machine.services._validate_pointer(0x9000, 2)
+
+    def test_shared_stack_model_accepts_sram(self):
+        machine = self._machine(IsolationModel.NO_ISOLATION)
+        machine.current_app = "probe"
+        assert machine.services._validate_pointer(0x2300, 6)
+
+    def test_separate_stack_model_rejects_sram(self):
+        machine = self._machine(IsolationModel.MPU)
+        machine.current_app = "probe"
+        assert not machine.services._validate_pointer(0x2300, 6)
+
+    def test_unknown_service_id_raises(self):
+        from repro.errors import KernelError
+        machine = self._machine()
+        with pytest.raises(KernelError):
+            machine.services.dispatch(0xFF)

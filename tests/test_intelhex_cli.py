@@ -1,0 +1,160 @@
+"""Intel HEX export/import and the command-line interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import intelhex
+from repro.asm.intelhex import HexFormatError
+from repro.cli import main
+
+
+class TestIntelHex:
+    def test_known_record(self):
+        # canonical example: 16 bytes of zeros at 0x0100
+        text = intelhex.encode([(0x0100, bytes(16))])
+        first = text.splitlines()[0]
+        assert first == ":10010000000000000000000000000000000000" \
+                        "00EF"
+
+    def test_eof_record(self):
+        text = intelhex.encode([])
+        assert text.strip() == ":00000001FF"
+
+    def test_roundtrip_simple(self):
+        segments = [(0x4400, b"\x01\x02\x03"), (0x8000, b"\xAA" * 40)]
+        decoded = intelhex.decode_to_segments(
+            intelhex.encode(segments))
+        assert decoded == segments
+
+    @given(segments=st.lists(
+        st.tuples(st.integers(0, 0xF000).map(lambda a: a & 0xFFF0),
+                  st.binary(min_size=1, max_size=64)),
+        min_size=0, max_size=4, unique_by=lambda s: s[0]))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, segments):
+        # keep segments disjoint: space them out by index
+        spaced = [((0x1000 * i + addr % 0x800) & 0xFFF0, blob)
+                  for i, (addr, blob) in enumerate(segments)]
+        decoded = dict(intelhex.decode(intelhex.encode(spaced)))
+        expected = {}
+        for addr, blob in spaced:
+            for i, b in enumerate(blob):
+                expected[addr + i] = b
+        assert decoded == expected
+
+    def test_checksum_validation(self):
+        text = intelhex.encode([(0x100, b"\x01")])
+        corrupted = text.replace(":01010000", ":01010100", 1)
+        with pytest.raises(HexFormatError, match="checksum"):
+            intelhex.decode(corrupted)
+
+    def test_missing_eof(self):
+        with pytest.raises(HexFormatError, match="end-of-file"):
+            intelhex.decode(":0101000001FD\n")
+
+    def test_bad_start_code(self):
+        with pytest.raises(HexFormatError, match="':'"):
+            intelhex.decode("0101000001FD\n:00000001FF")
+
+    def test_image_export_and_reload(self):
+        from repro.aft import AftPipeline, AppSource, IsolationModel
+        from repro.msp430.memory import Memory
+        firmware = AftPipeline(IsolationModel.MPU).build([AppSource(
+            "app", "int on_e(int x) { return x + 1; }", ["on_e"])])
+        text = intelhex.encode_image(firmware.image)
+        memory = Memory()
+        loaded = intelhex.load_hex_into(memory, text)
+        assert loaded == firmware.image.total_size()
+        # spot-check: the handler bytes match
+        handler = firmware.handler_address("app", "on_e")
+        direct = Memory()
+        firmware.image.load_into(direct)
+        assert memory.dump(handler, 16) == direct.dump(handler, 16)
+
+
+APP_SOURCE = """
+int total = 0;
+int on_tick(int step) {
+    total += step;
+    return total;
+}
+"""
+
+EVIL_SOURCE = """
+int on_tick(int step) {
+    int *p = (int *)0x2000;
+    return *p;
+}
+"""
+
+
+@pytest.fixture
+def app_file(tmp_path):
+    path = tmp_path / "counter.mc"
+    path.write_text(APP_SOURCE)
+    return path
+
+
+class TestCli:
+    def test_build_writes_hex_and_map(self, app_file, tmp_path,
+                                      capsys):
+        output = tmp_path / "fw.hex"
+        rc = main(["build", str(app_file), "--model", "mpu",
+                   "-o", str(output), "--map"])
+        assert rc == 0
+        assert output.exists()
+        assert intelhex.decode(output.read_text())
+        map_text = (tmp_path / "fw.map").read_text()
+        assert "counter" in map_text
+        assert "__dispatch_counter" in map_text
+
+    def test_run_dispatches_handler(self, app_file, capsys):
+        rc = main(["run", str(app_file), "--handler", "on_tick",
+                   "--args", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-> 5" in out
+
+    def test_run_reports_fault_with_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "evil.mc"
+        path.write_text(EVIL_SOURCE)
+        rc = main(["run", str(path), "--handler", "on_tick",
+                   "--args", "0"])
+        assert rc == 1
+        assert "FAULTED" in capsys.readouterr().out
+
+    def test_disasm_lists_instructions(self, app_file, capsys):
+        rc = main(["disasm", str(app_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "app counter" in out
+        assert "PUSH R4" in out
+
+    def test_feature_limited_build_rejects_pointers(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "evil.mc"
+        path.write_text(EVIL_SOURCE)
+        rc = main(["build", str(path), "--model", "feature-limited",
+                   "-o", str(tmp_path / "x.hex")])
+        assert rc == 2
+        assert "pointer" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        rc = main(["build", str(tmp_path / "nope.mc")])
+        assert rc == 2
+
+    def test_unknown_model_rejected(self, app_file):
+        with pytest.raises(SystemExit):
+            main(["build", str(app_file), "--model", "bogus"])
+
+    def test_suite_command(self, capsys):
+        rc = main(["suite", "--seconds", "1", "--model", "mpu"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events=" in out
+        assert "pedometer" in out
+
+    def test_shadow_stack_flag(self, app_file, tmp_path):
+        rc = main(["build", str(app_file), "--shadow-stack",
+                   "-o", str(tmp_path / "s.hex")])
+        assert rc == 0

@@ -1,0 +1,238 @@
+"""Reference interpreter semantics."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.cc.interp import Interpreter, _to_signed, _truncdiv, \
+    _truncmod
+from repro.cc.parser import parse
+from repro.cc.sema import FULL_C, analyze
+
+
+def run(source, fn="main", args=(), host_api=None):
+    result = analyze(parse(source), FULL_C)
+    interp = Interpreter(result, host_api=host_api)
+    return interp.call(fn, list(args))
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert _to_signed(0x8000) == -32768
+        assert _to_signed(0x7FFF) == 32767
+        assert _to_signed(0xFFFF) == -1
+
+    def test_truncdiv_toward_zero(self):
+        assert _truncdiv(7, 2) == 3
+        assert _truncdiv(-7, 2) == -3
+        assert _truncdiv(7, -2) == -3
+        assert _truncdiv(-7, -2) == 3
+
+    def test_truncmod_sign_follows_dividend(self):
+        assert _truncmod(7, 3) == 1
+        assert _truncmod(-7, 3) == -1
+        assert _truncmod(7, -3) == 1
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        assert run("int main(void){ return (3+4)*5 - 6/2; }") == 32
+
+    def test_signed_wraparound(self):
+        assert run("int main(void){ int x = 32767; x = x + 1; "
+                   "return x < 0; }") == 1
+
+    def test_unsigned_comparison(self):
+        assert run("int main(void){ unsigned a = 60000; "
+                   "return a > 1; }") == 1
+
+    def test_signed_comparison(self):
+        assert run("int main(void){ int a = -5; return a < 1; }") == 1
+
+    def test_recursion(self):
+        assert run("""
+            int fact(int n) { if (n < 2) return 1;
+                              return n * fact(n - 1); }
+            int main(void) { return fact(6); }
+        """) == 720
+
+    def test_globals_persist(self):
+        source = """
+            int counter;
+            int bump(void) { counter++; return counter; }
+            int main(void) { bump(); bump(); return bump(); }
+        """
+        assert run(source) == 3
+
+    def test_array_init_and_sum(self):
+        assert run("""
+            int main(void) {
+                int a[5] = {1, 2, 3, 4, 5};
+                int s = 0;
+                int i;
+                for (i = 0; i < 5; i++) s += a[i];
+                return s;
+            }
+        """) == 15
+
+    def test_partial_array_init_zero_fills(self):
+        assert run("""
+            int main(void) {
+                int a[4] = {9};
+                return a[0] + a[1] + a[2] + a[3];
+            }
+        """) == 9
+
+    def test_pointer_walk(self):
+        assert run("""
+            int main(void) {
+                int a[3] = {10, 20, 30};
+                int *p = a;
+                p++;
+                return *p + p[1];
+            }
+        """) == 50
+
+    def test_pointer_difference(self):
+        assert run("""
+            int main(void) {
+                int a[8];
+                int *p = &a[6];
+                int *q = &a[2];
+                return p - q;
+            }
+        """) == 4
+
+    def test_char_is_unsigned_byte(self):
+        assert run("int main(void){ char c = 255; c++; "
+                   "return c; }") == 0
+
+    def test_string_literal(self):
+        assert run("""
+            int main(void) {
+                char *s = "AB";
+                return s[0] + s[1] + s[2];
+            }
+        """) == 65 + 66
+
+    def test_struct_via_pointer(self):
+        assert run("""
+            struct pair { int a; int b; };
+            int main(void) {
+                struct pair p;
+                struct pair *pp = &p;
+                p.a = 7;
+                pp->b = 8;
+                return p.a * pp->b;
+            }
+        """) == 56
+
+    def test_function_pointer_dispatch(self):
+        assert run("""
+            int inc(int x) { return x + 1; }
+            int dbl(int x) { return x * 2; }
+            int main(void) {
+                int (*ops[2])(int);
+                ops[0] = inc;
+                ops[1] = dbl;
+                return ops[0](10) + ops[1](10);
+            }
+        """) == 31
+
+    def test_switch_fallthrough(self):
+        source = """
+            int pick(int n) {
+                int r = 0;
+                switch (n) {
+                  case 1: r += 1;
+                  case 2: r += 2; break;
+                  case 3: r += 3; break;
+                  default: r = 99;
+                }
+                return r;
+            }
+            int main(void) { return pick(1)*100 + pick(3)*10 + pick(8); }
+        """
+        assert run(source) == 3 * 100 + 3 * 10 + 99
+
+    def test_ternary_and_logic(self):
+        assert run("int main(void){ int a = 5; "
+                   "return (a > 3 ? 10 : 20) + (a && 0) + (0 || 2); }"
+                   ) == 11
+
+    def test_compound_assignment_on_pointer(self):
+        assert run("""
+            int main(void) {
+                int a[4] = {1, 2, 3, 4};
+                int *p = a;
+                p += 2;
+                return *p;
+            }
+        """) == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError, match="zero"):
+            run("int main(void){ int z = 0; return 5 / z; }")
+
+    def test_step_budget_stops_infinite_loop(self):
+        result = analyze(parse("int main(void){ while (1) {} "
+                               "return 0; }"), FULL_C)
+        interp = Interpreter(result, max_steps=1000)
+        with pytest.raises(InterpreterError, match="budget"):
+            interp.call("main")
+
+    def test_host_api(self):
+        from repro.kernel.api import amulet_api_table
+        result = analyze(parse(
+            "int main(void) { return amulet_get_battery() + 1; }"),
+            FULL_C, amulet_api_table())
+        interp = Interpreter(result,
+                             host_api={"amulet_get_battery":
+                                       lambda: 80})
+        assert interp.call("main") == 81
+
+    def test_missing_host_api_raises(self):
+        from repro.kernel.api import amulet_api_table
+        result = analyze(parse(
+            "int main(void) { return amulet_get_battery(); }"),
+            FULL_C, amulet_api_table())
+        with pytest.raises(InterpreterError, match="host handler"):
+            Interpreter(result).call("main")
+
+    def test_do_while(self):
+        assert run("""
+            int main(void) {
+                int i = 0;
+                int n = 0;
+                do { n += 10; i++; } while (i < 3);
+                return n;
+            }
+        """) == 30
+
+    def test_break_and_continue(self):
+        assert run("""
+            int main(void) {
+                int s = 0;
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i == 3) continue;
+                    if (i == 6) break;
+                    s += i;
+                }
+                return s;
+            }
+        """) == 0 + 1 + 2 + 4 + 5
+
+    def test_shift_semantics(self):
+        assert run("int main(void){ int a = -16; "
+                   "return (a >> 2) + ((unsigned)a >> 12); }") == \
+            ((-16 >> 2) + (((-16) & 0xFFFF) >> 12)) & 0xFFFF
+
+    def test_sizeof(self):
+        assert run("""
+            struct s { int a; char b; };
+            int main(void) {
+                int arr[6];
+                return sizeof(int) + sizeof(char) + sizeof(struct s)
+                     + sizeof arr + sizeof(int *);
+            }
+        """) == 2 + 1 + 4 + 12 + 2

@@ -1,0 +1,216 @@
+"""Instruction model, binary encoding, and decode round-trips
+(including a hypothesis property test over the whole instruction
+space)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, EncodingError
+from repro.msp430.decoder import decode_bytes
+from repro.msp430.encoding import CG_ENCODINGS, encode, encode_bytes
+from repro.msp430.isa import (
+    AddressingMode,
+    FORMAT1_OPCODES,
+    FORMAT2_OPCODES,
+    Instruction,
+    JUMP_OPCODES,
+    Opcode,
+    Operand,
+    absolute,
+    autoincrement,
+    imm,
+    indexed,
+    indirect,
+    reg,
+    symbolic,
+)
+from repro.msp430.registers import Reg
+
+
+class TestInstructionModel:
+    def test_format1_requires_both_operands(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.MOV, src=reg(4))
+
+    def test_format1_rejects_immediate_destination(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.ADD, src=reg(4), dst=imm(5))
+
+    def test_format2_takes_one_operand(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.PUSH, src=reg(4), dst=reg(5))
+
+    def test_reti_takes_none(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.RETI, src=reg(4))
+
+    def test_swpb_has_no_byte_form(self):
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.SWPB, byte=True, src=reg(4))
+
+    def test_jump_offset_range(self):
+        Instruction(Opcode.JMP, offset=511)
+        Instruction(Opcode.JMP, offset=-512)
+        with pytest.raises(EncodingError):
+            Instruction(Opcode.JMP, offset=512)
+
+    def test_size_words(self):
+        assert Instruction(Opcode.MOV, src=reg(4),
+                           dst=reg(5)).size_words() == 1
+        assert Instruction(Opcode.MOV, src=imm(0x1234),
+                           dst=reg(5)).size_words() == 2
+        assert Instruction(Opcode.MOV, src=imm(0x1234),
+                           dst=absolute(0x4400)).size_words() == 3
+
+    def test_cg_immediates_are_one_word(self):
+        for value in (0, 1, 2, 4, 8, 0xFFFF):
+            insn = Instruction(Opcode.MOV, src=imm(value), dst=reg(5))
+            assert insn.size_words() == 1
+
+    def test_symboled_immediate_always_extends(self):
+        insn = Instruction(Opcode.MOV, src=imm(0, symbol="x"),
+                           dst=reg(5))
+        assert insn.size_words() == 2
+
+    def test_render(self):
+        insn = Instruction(Opcode.ADD, src=imm(5), dst=reg(9))
+        assert insn.render() == "ADD #5, R9"
+        insn = Instruction(Opcode.MOV, byte=True,
+                           src=indirect(7), dst=reg(8))
+        assert insn.render() == "MOV.B @R7, R8"
+
+
+class TestEncodingKnownValues:
+    """Golden encodings cross-checked against the MSP430 ISA manual."""
+
+    def test_mov_register(self):
+        # MOV R4, R5 -> 0x4405
+        assert encode(Instruction(Opcode.MOV, src=reg(4),
+                                  dst=reg(5))) == [0x4405]
+
+    def test_nop_encoding(self):
+        # canonical NOP is MOV R3, R3 -> 0x4303
+        assert encode(Instruction(Opcode.MOV, src=reg(3),
+                                  dst=reg(3))) == [0x4303]
+
+    def test_ret_encoding(self):
+        # RET is MOV @SP+, PC -> 0x4130
+        assert encode(Instruction(Opcode.MOV, src=autoincrement(Reg.SP),
+                                  dst=reg(Reg.PC))) == [0x4130]
+
+    def test_add_immediate_cg(self):
+        # ADD #1, R5 uses CG2=01 -> 0x5315
+        assert encode(Instruction(Opcode.ADD, src=imm(1),
+                                  dst=reg(5))) == [0x5315]
+
+    def test_push_register(self):
+        # PUSH R11 -> 0x120B
+        assert encode(Instruction(Opcode.PUSH,
+                                  src=reg(11))) == [0x120B]
+
+    def test_call_immediate(self):
+        # CALL #0x4400 -> 0x12B0 0x4400
+        assert encode(Instruction(Opcode.CALL,
+                                  src=imm(0x4400))) == [0x12B0, 0x4400]
+
+    def test_jmp(self):
+        # JMP $+2 (offset 0) -> 0x3C00
+        assert encode(Instruction(Opcode.JMP, offset=0)) == [0x3C00]
+
+    def test_jnz_negative_offset(self):
+        words = encode(Instruction(Opcode.JNE, offset=-1))
+        assert words == [0x2000 | 0x3FF]
+
+    def test_symbolic_is_pc_relative(self):
+        insn = Instruction(Opcode.MOV, src=symbolic(0x4500), dst=reg(5))
+        words = encode(insn, address=0x4400)
+        # extension word sits at 0x4402; stored value target-extaddr
+        assert words[1] == (0x4500 - 0x4402) & 0xFFFF
+
+    def test_reti(self):
+        assert encode(Instruction(Opcode.RETI)) == [0x1300]
+
+
+def _operand_strategy(source: bool):
+    regs = st.integers(min_value=4, max_value=15)
+    choices = [
+        st.builds(reg, regs),
+        st.builds(indexed, st.integers(0, 0xFFFF), regs),
+        st.builds(absolute, st.integers(0, 0xFFFF)),
+        st.builds(symbolic, st.integers(0x100, 0xFF00).map(
+            lambda v: v & 0xFFFE)),
+    ]
+    if source:
+        choices += [
+            st.builds(indirect, regs),
+            st.builds(autoincrement, regs),
+            st.builds(imm, st.integers(0, 0xFFFF)),
+        ]
+    return st.one_of(*choices)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["f1", "f2", "jump"]))
+    if kind == "jump":
+        opcode = draw(st.sampled_from(sorted(JUMP_OPCODES,
+                                             key=lambda o: o.value)))
+        return Instruction(opcode, offset=draw(
+            st.integers(min_value=-512, max_value=511)))
+    if kind == "f2":
+        opcode = draw(st.sampled_from(sorted(FORMAT2_OPCODES,
+                                             key=lambda o: o.value)))
+        if opcode is Opcode.RETI:
+            return Instruction(opcode)
+        byte = draw(st.booleans()) and opcode not in (
+            Opcode.SWPB, Opcode.SXT, Opcode.CALL)
+        src = draw(_operand_strategy(source=True))
+        if opcode not in (Opcode.PUSH, Opcode.CALL) and \
+                src.mode is AddressingMode.IMMEDIATE:
+            src = reg(4)    # shifts cannot take immediates
+        return Instruction(opcode, byte=byte, src=src)
+    opcode = draw(st.sampled_from(sorted(FORMAT1_OPCODES,
+                                         key=lambda o: o.value)))
+    return Instruction(opcode, byte=draw(st.booleans()),
+                       src=draw(_operand_strategy(source=True)),
+                       dst=draw(_operand_strategy(source=False)))
+
+
+class TestRoundTrip:
+    @given(insn=instructions(),
+           address=st.integers(0, 0x7FF0).map(lambda v: v & 0xFFFE))
+    @settings(max_examples=300, deadline=None)
+    def test_encode_decode_roundtrip(self, insn, address):
+        blob = encode_bytes(insn, address)
+        decoded, size = decode_bytes(blob, address)
+        assert size == len(blob)
+        assert decoded.opcode is insn.opcode
+        assert decoded.byte == insn.byte
+        assert decoded.offset == insn.offset
+        for original, parsed in ((insn.src, decoded.src),
+                                 (insn.dst, decoded.dst)):
+            if original is None:
+                assert parsed is None
+                continue
+            assert parsed.mode is original.mode
+            if original.mode in (AddressingMode.REGISTER,
+                                 AddressingMode.INDIRECT,
+                                 AddressingMode.AUTOINCREMENT,
+                                 AddressingMode.INDEXED):
+                assert parsed.register == original.register
+            if original.mode in (AddressingMode.INDEXED,
+                                 AddressingMode.ABSOLUTE,
+                                 AddressingMode.SYMBOLIC):
+                assert parsed.value == original.value
+            if original.mode is AddressingMode.IMMEDIATE:
+                assert parsed.value == original.value & 0xFFFF
+
+    def test_decode_bad_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode_bytes(b"\x00\x00", 0)
+
+    def test_decode_truncated_raises(self):
+        blob = encode_bytes(Instruction(Opcode.MOV, src=imm(0x1234),
+                                        dst=reg(5)))
+        with pytest.raises(DecodeError):
+            decode_bytes(blob[:2], 0)

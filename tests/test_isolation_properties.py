@@ -1,0 +1,103 @@
+"""Property-based isolation invariants.
+
+For every generated address, an app that dereferences it must fault
+exactly when the (word-aligned) access falls outside its own
+data/stack region — the paper's memory-isolation definition, verified
+over the whole address space by hypothesis.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.kernel.machine import AmuletMachine
+
+PROBE = """
+int keep = 0;
+int on_write(int address) {
+    int *p = (int *)address;
+    *p = 0x55;
+    return 0;
+}
+int on_read(int address) {
+    int *p = (int *)address;
+    keep = *p;
+    return keep;
+}
+"""
+
+_SETTINGS = dict(max_examples=80, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_machine(model):
+    firmware = AftPipeline(model).build(
+        [AppSource("probe", PROBE, ["on_write", "on_read"]),
+         AppSource("neighbor", "int n_data[16]; int on_e(int x) "
+                               "{ n_data[x & 15] = x; return x; }",
+                   ["on_e"])])
+    return firmware, AmuletMachine(firmware)
+
+
+@pytest.fixture(scope="module")
+def mpu_setup():
+    return build_machine(IsolationModel.MPU)
+
+
+@pytest.fixture(scope="module")
+def sw_setup():
+    return build_machine(IsolationModel.SOFTWARE_ONLY)
+
+
+def in_own_region(firmware, address):
+    app = firmware.apps["probe"]
+    aligned = address & ~1
+    return app.seg_lo <= aligned and aligned + 2 <= app.seg_hi
+
+
+class TestWriteInvariant:
+    @given(address=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_mpu_write_faults_iff_outside_region(self, mpu_setup,
+                                                 address):
+        firmware, machine = mpu_setup
+        result = machine.dispatch("probe", "on_write", [address])
+        assert result.faulted == (not in_own_region(firmware, address))
+
+    @given(address=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_software_only_write_faults_iff_outside(self, sw_setup,
+                                                    address):
+        firmware, machine = sw_setup
+        result = machine.dispatch("probe", "on_write", [address])
+        assert result.faulted == (not in_own_region(firmware, address))
+
+    @given(address=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_read_faults_iff_outside(self, mpu_setup, address):
+        firmware, machine = mpu_setup
+        result = machine.dispatch("probe", "on_read", [address])
+        assert result.faulted == (not in_own_region(firmware, address))
+
+    @given(address=st.integers(0, 0xFFFF))
+    @settings(**_SETTINGS)
+    def test_neighbor_state_never_corrupted(self, mpu_setup, address):
+        firmware, machine = mpu_setup
+        machine.dispatch("neighbor", "on_e", [3])
+        machine.dispatch("probe", "on_write", [address])
+        check = machine.dispatch("neighbor", "on_e", [3])
+        assert not check.faulted
+        assert check.return_value == 3
+
+
+class TestInRegionWritesSucceed:
+    @given(offset=st.integers(0, 60))
+    @settings(**_SETTINGS)
+    def test_own_data_always_writable(self, mpu_setup, offset):
+        firmware, machine = mpu_setup
+        app = firmware.apps["probe"]
+        address = (app.stack_top + offset * 2) % (app.seg_hi - 2)
+        if address < app.seg_lo:
+            address = app.seg_lo
+        result = machine.dispatch("probe", "on_write", [address & ~1])
+        assert not result.faulted

@@ -1,0 +1,178 @@
+"""AmuletMachine: dispatch, services, sysvars, fault plumbing."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.kernel.fault import FaultOrigin
+from repro.kernel.machine import AmuletMachine
+
+APP = """
+int total = 0;
+int window[8];
+
+int on_tick(int a, int b, int c) {
+    total += a + b * 2 + c * 3;
+    window[total & 7] = total;
+    return total;
+}
+
+int on_api_probe(int unused) {
+    amulet_display_digits(321);
+    amulet_log_word(7);
+    amulet_vibrate(1);
+    return amulet_get_battery();
+}
+
+unsigned on_sysvar(int unused) {
+    return amulet_uptime_seconds;
+}
+
+int on_accel_api(int unused) {
+    int buf[3];
+    amulet_read_accel(buf);
+    return buf[0] + buf[1] + buf[2];
+}
+
+int on_storage(int unused) {
+    char blob[4];
+    int got;
+    blob[0] = 'a'; blob[1] = 'b'; blob[2] = 'c'; blob[3] = 'd';
+    amulet_storage_write(9, blob, 4);
+    blob[0] = 0; blob[1] = 0;
+    got = amulet_storage_read(9, blob, 4);
+    return got * 1000 + blob[0] + blob[3];
+}
+
+int on_timer_arm(int unused) {
+    return amulet_timer_set(5, 100);
+}
+"""
+
+HANDLERS = ["on_tick", "on_api_probe", "on_sysvar", "on_accel_api",
+            "on_storage", "on_timer_arm"]
+
+
+@pytest.fixture(params=[IsolationModel.NO_ISOLATION,
+                        IsolationModel.MPU])
+def machine(request):
+    firmware = AftPipeline(request.param).build(
+        [AppSource("probe", APP, HANDLERS)])
+    return AmuletMachine(firmware)
+
+
+class TestDispatch:
+    def test_handler_args_and_result(self, machine):
+        result = machine.dispatch("probe", "on_tick", [1, 2, 3])
+        assert result.return_value == 1 + 4 + 9
+        assert not result.faulted
+        assert result.cycles > 0
+
+    def test_state_persists_across_dispatches(self, machine):
+        machine.dispatch("probe", "on_tick", [1, 0, 0])
+        result = machine.dispatch("probe", "on_tick", [1, 0, 0])
+        assert result.return_value == 2
+
+    def test_unknown_app_rejected(self, machine):
+        with pytest.raises(KernelError):
+            machine.dispatch("ghost", "on_tick")
+
+    def test_too_many_args_rejected(self, machine):
+        with pytest.raises(KernelError):
+            machine.dispatch("probe", "on_tick", [1, 2, 3, 4])
+
+    def test_app_state_accounting(self, machine):
+        machine.dispatch("probe", "on_tick", [1, 1, 1])
+        machine.dispatch("probe", "on_tick", [1, 1, 1])
+        state = machine.app_state["probe"]
+        assert state.dispatches == 2
+        assert state.cycles > 0
+        assert state.faults == 0
+
+
+class TestServices:
+    def test_display_and_log_and_vibrate(self, machine):
+        result = machine.dispatch("probe", "on_api_probe", [0])
+        services = machine.services
+        assert services.display.last_digits == 321
+        assert services.log.words == [7]
+        assert services.vibrations == 1
+        assert result.return_value == services.env.battery_percent
+
+    def test_service_costs_accounted(self, machine):
+        before = machine.cpu.cycles
+        machine.dispatch("probe", "on_api_probe", [0])
+        elapsed = machine.cpu.cycles - before
+        from repro.kernel.api import (SERVICE_COSTS, SVC_DISPLAY_DIGITS,
+                                      SVC_GET_BATTERY, SVC_LOG_WORD,
+                                      SVC_VIBRATE)
+        modeled = (SERVICE_COSTS[SVC_DISPLAY_DIGITS]
+                   + SERVICE_COSTS[SVC_LOG_WORD]
+                   + SERVICE_COSTS[SVC_VIBRATE]
+                   + SERVICE_COSTS[SVC_GET_BATTERY])
+        assert elapsed > modeled
+
+    def test_accel_pointer_api(self, machine):
+        result = machine.dispatch("probe", "on_accel_api", [0])
+        assert not result.faulted
+        # x + y + z of a ~1g sample is nonzero
+        assert result.return_value != 0
+
+    def test_storage_roundtrip(self, machine):
+        result = machine.dispatch("probe", "on_storage", [0])
+        assert not result.faulted
+        assert result.return_value == 4 * 1000 + ord("a") + ord("d")
+
+    def test_service_call_counting(self, machine):
+        machine.dispatch("probe", "on_api_probe", [0])
+        from repro.kernel.api import SVC_LOG_WORD
+        assert machine.services.calls[SVC_LOG_WORD] == 1
+
+
+class TestSysvars:
+    def test_sysvar_read_from_app(self, machine):
+        machine.set_sysvar("amulet_uptime_seconds", 1234)
+        result = machine.dispatch("probe", "on_sysvar", [0])
+        assert result.return_value == 1234
+        assert machine.read_sysvar("amulet_uptime_seconds") == 1234
+
+
+class TestFaultPlumbing:
+    def test_disabled_app_rejected(self, machine):
+        machine.app_state["probe"].disabled = True
+        with pytest.raises(KernelError, match="disabled"):
+            machine.dispatch("probe", "on_tick", [0, 0, 0])
+
+    def test_runaway_handler_faults(self):
+        firmware = AftPipeline(IsolationModel.MPU).build([
+            AppSource("spin", "int on_spin(int x) { while (1) {} "
+                              "return 0; }", ["on_spin"])])
+        machine = AmuletMachine(firmware)
+        result = machine.dispatch("spin", "on_spin", [0],
+                                  max_cycles=10_000)
+        assert result.faulted
+        assert result.fault.origin is FaultOrigin.RUNAWAY
+
+    def test_fault_log_records_app(self):
+        evil = "int on_evil(int x) { return *(int *)0x2000; }"
+        firmware = AftPipeline(IsolationModel.MPU).build(
+            [AppSource("evil", evil, ["on_evil"])])
+        machine = AmuletMachine(firmware)
+        result = machine.dispatch("evil", "on_evil", [0])
+        assert result.faulted
+        assert machine.fault_log.for_app("evil")
+        record = machine.fault_log.records[-1]
+        assert "evil" in record.describe()
+
+    def test_machine_recovers_after_fault(self):
+        source = """
+        int on_good(int x) { return x + 1; }
+        int on_evil(int x) { return *(int *)0x2000; }
+        """
+        firmware = AftPipeline(IsolationModel.MPU).build(
+            [AppSource("mixed", source, ["on_good", "on_evil"])])
+        machine = AmuletMachine(firmware)
+        assert machine.dispatch("mixed", "on_evil", [0]).faulted
+        good = machine.dispatch("mixed", "on_good", [10])
+        assert not good.faulted
+        assert good.return_value == 11

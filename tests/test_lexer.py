@@ -1,0 +1,77 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc.lexer import tokenize
+from repro.cc.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int foo while whilefoo")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[2].type is TokenType.KEYWORD
+        assert tokens[3].type is TokenType.IDENT
+
+    def test_decimal_hex_octal_binary(self):
+        tokens = tokenize("10 0x1F 017 0b101")
+        assert [t.value for t in tokens[:-1]] == [10, 31, 15, 5]
+
+    def test_unsigned_suffix_accepted(self):
+        assert tokenize("42u")[0].value == 42
+        assert tokenize("42U")[0].value == 42
+
+    def test_literal_too_big_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("70000")
+
+    def test_char_literals(self):
+        assert tokenize("'A'")[0].value == 65
+        assert tokenize(r"'\n'")[0].value == 10
+        assert tokenize(r"'\0'")[0].value == 0
+        assert tokenize(r"'\x41'")[0].value == 0x41
+
+    def test_string_literal_with_escapes(self):
+        token = tokenize(r'"a\tb"')[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "a\tb"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"oops')
+
+    def test_multichar_punctuators_greedy(self):
+        assert texts("a <<= b >> c >= d") == \
+            ["a", "<<=", "b", ">>", "c", ">=", "d"]
+        assert texts("x->y") == ["x", "->", "y"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_comments(self):
+        assert texts("a // line\n b /* block\nstill */ c") == \
+            ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_stray_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a $ b")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF

@@ -1,0 +1,159 @@
+"""Linker: placement, symbol resolution, relocation application."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.asm.assembler import assemble
+from repro.asm.linker import Image, Linker, LinkScript, MemoryRegion, \
+    link
+
+
+def script():
+    s = LinkScript()
+    s.region("low", 0x4400, 0x6FFF)
+    s.region("high", 0x7000, 0xFF7F)
+    s.place_rule(".app.*", "high")
+    s.place_rule("*", "low")
+    return s
+
+
+class TestMemoryRegion:
+    def test_bump_allocation(self):
+        region = MemoryRegion("r", 0x4400, 0x44FF)
+        assert region.allocate(16) == 0x4400
+        assert region.allocate(16) == 0x4410
+        assert region.used == 32
+
+    def test_alignment(self):
+        region = MemoryRegion("r", 0x4402, 0x44FF)
+        assert region.allocate(4, align=16) == 0x4410
+
+    def test_overflow_raises(self):
+        region = MemoryRegion("r", 0x4400, 0x4407)
+        with pytest.raises(LinkError):
+            region.allocate(16)
+
+
+class TestPlacement:
+    def test_rules_route_sections(self):
+        obj = assemble(".text\nNOP\n.section .app.foo.text\nNOP")
+        linker = Linker(script()).place([obj])
+        assert obj.sections[".text"].address == 0x4400
+        assert obj.sections[".app.foo.text"].address == 0x7000
+
+    def test_no_rule_raises(self):
+        s = LinkScript()
+        s.region("low", 0x4400, 0x6FFF)
+        s.place_rule(".text", "low")
+        obj = assemble(".section .weird\n.word 1")
+        with pytest.raises(LinkError):
+            Linker(s).place([obj])
+
+    def test_section_alignment_respected(self):
+        obj1 = assemble(".text\nNOP")          # 2 bytes at 0x4400
+        obj2 = assemble(".text\nNOP")
+        obj2.sections[".text"].align = 16
+        Linker(script()).place([obj1, obj2])
+        assert obj2.sections[".text"].address == 0x4410
+
+
+class TestSymbolResolution:
+    def test_cross_object_global(self):
+        a = assemble(".global shared\nshared: NOP", "a")
+        b = assemble("CALL #shared", "b")
+        image = link([a, b], script())
+        assert image.symbol("shared") == 0x4400
+
+    def test_local_symbols_do_not_collide(self):
+        a = assemble("local: NOP\nJMP local", "a")
+        b = assemble("local: NOP\nNOP\nJMP local", "b")
+        image = link([a, b], script())    # no duplicate error
+        assert image.total_size() == 10
+
+    def test_duplicate_globals_raise(self):
+        a = assemble(".global x\nx: NOP", "a")
+        b = assemble(".global x\nx: NOP", "b")
+        with pytest.raises(LinkError):
+            link([a, b], script())
+
+    def test_undefined_symbol_raises(self):
+        obj = assemble("CALL #missing")
+        with pytest.raises(LinkError):
+            link([obj], script())
+
+    def test_extra_symbols_provided_by_caller(self):
+        obj = assemble("MOV #__bound, R5")
+        image = link([obj], script(), {"__bound": 0x8000})
+        # extension word patched with the absolute value
+        assert image.segments[0][1][2:4] == b"\x00\x80"
+
+    def test_local_beats_global(self):
+        a = assemble(".global name\nname: NOP", "a")
+        b = assemble("NOP\nname: NOP\nJMP name", "b")
+        image = link([a, b], script())
+        # b's jump resolves to its own 'name' (no range error and the
+        # offset encodes backwards by one word)
+        assert image.symbols["name"] == 0x4400
+
+
+class TestRelocationApplication:
+    def test_abs16(self):
+        a = assemble(".global var\n.data\nvar: .word 7", "a")
+        b = assemble("MOV &var, R5", "b")
+        image = link([b, a], script())
+        var_address = image.symbol("var")
+        blob = dict(image.segments)
+        code = [seg for addr, seg in image.segments if addr == 0x4400][0]
+        assert code[2] | (code[3] << 8) == var_address
+
+    def test_jump10_forward_and_back(self):
+        obj = assemble("""
+start:  JMP fwd
+        NOP
+fwd:    JMP start
+""")
+        image = link([obj], script())
+        code = image.segments[0][1]
+        w0 = code[0] | (code[1] << 8)
+        w2 = code[4] | (code[5] << 8)
+        assert w0 & 0x3FF == 1            # skip one word forward
+        assert w2 & 0x3FF == (-3) & 0x3FF  # back three words
+
+    def test_jump10_out_of_range(self):
+        obj = assemble("JMP far\n.space 2048\nfar: NOP")
+        with pytest.raises(LinkError):
+            link([obj], script())
+
+    def test_pcrel16_symbolic(self):
+        obj = assemble("MOV data, R5\ndata: .word 0xAAAA")
+        image = link([obj], script())
+        code = image.segments[0][1]
+        ext = code[2] | (code[3] << 8)
+        # value + P = target: P = 0x4402, target = 0x4404
+        assert (ext + 0x4402) & 0xFFFF == 0x4404
+
+    def test_image_loads_into_memory(self):
+        from repro.msp430.memory import Memory
+        obj = assemble(".data\n.word 0x1234")
+        image = link([obj], script())
+        memory = Memory()
+        image.load_into(memory)
+        address = image.segments[0][0]
+        assert memory.read_word(address) == 0x1234
+
+
+class TestImageQueries:
+    def test_section_bounds(self):
+        obj = assemble(".section .app.x.text\nNOP\nNOP\n"
+                       ".section .app.x.data\n.word 1")
+        image = link([obj], script())
+        lo, hi = image.section_bounds(lambda n: n.startswith(".app.x."))
+        assert lo == 0x7000
+        assert hi == 0x7006
+
+    def test_missing_symbol_raises(self):
+        obj = assemble("NOP")
+        image = link([obj], script())
+        with pytest.raises(LinkError):
+            image.symbol("ghost")
+        assert not image.has_symbol("ghost")

@@ -1,0 +1,163 @@
+"""MPU model: registers, segments, permissions, violations."""
+
+import pytest
+
+from repro.errors import MemoryAccessError, MpuViolationError
+from repro.msp430.memory import EXECUTE, Memory, READ, WRITE
+from repro.msp430.mpu import (
+    MPUCTL0,
+    MPUCTL1,
+    MPUSAM,
+    MPUSEGB1,
+    MPUSEGB2,
+    Mpu,
+    MpuConfig,
+    SEG1IFG,
+    SEG3IFG,
+    SegmentPermissions,
+)
+
+
+def make_system():
+    memory = Memory()
+    mpu = Mpu()
+    mpu.attach(memory)
+    return memory, mpu
+
+
+def app_config(b1=0x8000, b2=0x9000):
+    return MpuConfig(
+        b1=b1, b2=b2,
+        seg1=SegmentPermissions.parse("--X"),
+        seg2=SegmentPermissions.parse("RW-"),
+        seg3=SegmentPermissions.parse("---"))
+
+
+class TestSegmentPermissions:
+    def test_parse_render_roundtrip(self):
+        for text in ("RWX", "R--", "-W-", "--X", "---", "RW-"):
+            assert SegmentPermissions.parse(text).render() == text
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            SegmentPermissions.parse("RW")
+
+    def test_bits_roundtrip(self):
+        perms = SegmentPermissions(True, False, True)
+        assert SegmentPermissions.from_bits(perms.to_bits()) == perms
+
+
+class TestMpuConfig:
+    def test_boundaries_must_be_aligned(self):
+        with pytest.raises(ValueError):
+            MpuConfig(b1=0x8001, b2=0x9000,
+                      seg1=SegmentPermissions(), seg2=SegmentPermissions(),
+                      seg3=SegmentPermissions())
+
+    def test_boundaries_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            MpuConfig(b1=0x9000, b2=0x8000,
+                      seg1=SegmentPermissions(), seg2=SegmentPermissions(),
+                      seg3=SegmentPermissions())
+
+    def test_register_writes_cover_all_registers(self):
+        writes = dict(app_config().register_writes())
+        assert set(writes) == {MPUCTL0, MPUSEGB1, MPUSEGB2, MPUSAM}
+        assert writes[MPUSEGB1] == 0x8000 >> 4
+        assert writes[MPUCTL0] >> 8 == 0xA5
+
+
+class TestEnforcement:
+    def test_disabled_mpu_allows_everything(self):
+        memory, _mpu = make_system()
+        memory.write_word(0x9800, 1)    # would be seg3 if enabled
+
+    def test_seg3_no_access(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        with pytest.raises(MpuViolationError):
+            memory.read_word(0x9800)
+        assert mpu.ctl1 & SEG3IFG
+
+    def test_seg2_read_write_ok_execute_denied(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        memory.write_word(0x8800, 42)
+        assert memory.read_word(0x8800) == 42
+        with pytest.raises(MpuViolationError):
+            memory.fetch_word(0x8800)
+
+    def test_seg1_execute_only(self):
+        memory, mpu = make_system()
+        memory.load(0x5000, b"\x03\x43")    # NOP encoding
+        mpu.configure(app_config())
+        assert memory.fetch_word(0x5000) == 0x4303
+        with pytest.raises(MpuViolationError):
+            memory.read_word(0x5000)
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x5000, 0)
+        assert mpu.ctl1 & SEG1IFG
+
+    def test_sram_never_protected(self):
+        """The paper's key hardware limitation: the MPU cannot protect
+        SRAM (or peripherals) — that is why the compiler must insert
+        the lower-bound check."""
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        memory.write_word(0x1C00, 0x1234)       # SRAM: allowed
+        assert memory.read_word(0x1C00) == 0x1234
+        memory.write_word(0x0200, 7)            # peripherals: allowed
+
+    def test_violation_records_address_and_kind(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        with pytest.raises(MpuViolationError):
+            memory.write_word(0x9802, 1)
+        assert mpu.violation_address == 0x9802
+        assert mpu.violation_kind == WRITE
+
+    def test_segment_of(self):
+        _memory, mpu = make_system()
+        mpu.configure(app_config())
+        assert mpu.segment_of(0x4400) == 1
+        assert mpu.segment_of(0x8000) == 2
+        assert mpu.segment_of(0x9000) == 3
+        assert mpu.segment_of(0x1800) == 0       # InfoMem
+        assert mpu.segment_of(0x1C00) is None    # SRAM uncovered
+
+
+class TestRegisterSemantics:
+    def test_password_required(self):
+        memory, _mpu = make_system()
+        with pytest.raises(MemoryAccessError):
+            memory.write_word(MPUCTL0, 0x0001)   # missing 0xA5 password
+
+    def test_correct_password_accepted(self):
+        memory, mpu = make_system()
+        memory.write_word(MPUCTL0, 0xA501)
+        assert mpu.enabled
+
+    def test_lock_freezes_configuration(self):
+        memory, mpu = make_system()
+        memory.write_word(MPUSEGB1, 0x800)
+        memory.write_word(MPUCTL0, 0xA503)       # enable + lock
+        memory.write_word(MPUSEGB1, 0x900)       # ignored
+        assert mpu.segb1 == 0x800
+        assert mpu.locked
+
+    def test_ctl1_flags_cleared_by_writing_zero(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        with pytest.raises(MpuViolationError):
+            memory.read_word(0x9800)
+        assert mpu.ctl1
+        mpu.disable()
+        memory.write_word(MPUCTL1, 0)
+        assert mpu.ctl1 == 0
+
+    def test_registers_readable_through_bus(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        mpu.disable()
+        assert memory.read_word(MPUSEGB1) == 0x8000 >> 4
+        assert memory.read_word(MPUSAM) == app_config().sam_value()

@@ -1,0 +1,241 @@
+"""AST optimizer: folding, identities, pruning — and the property
+that optimization never changes observable behaviour."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cc import ast
+from repro.cc.codegen import compile_unit
+from repro.cc.execution import BareMachine, run_compiled
+from repro.cc.optimize import optimize_unit
+from repro.cc.parser import parse
+
+
+def optimized_main_body(source):
+    unit = optimize_unit(parse(source))
+    main = next(f for f in unit.functions if f.name == "main")
+    return main.body
+
+
+def run_optimized(source, fn="main", args=()):
+    unit = compile_unit(source, optimize=True)
+    return BareMachine(unit).run(fn, args).value
+
+
+def run_plain(source, fn="main", args=()):
+    return run_compiled(source, fn, args).value
+
+
+class TestFolding:
+    def test_arithmetic_folds_to_literal(self):
+        body = optimized_main_body(
+            "int main(void) { return (3 + 4) * 5 - 6 / 2; }")
+        value = body.statements[0].value
+        assert isinstance(value, ast.IntLiteral)
+        assert value.value == 32
+
+    def test_signed_division_folds_correctly(self):
+        body = optimized_main_body(
+            "int main(void) { return -17 / 5; }")
+        assert body.statements[0].value.value == (-3) & 0xFFFF
+
+    def test_division_by_zero_not_folded(self):
+        body = optimized_main_body("int main(void) { return 5 / 0; }")
+        assert isinstance(body.statements[0].value, ast.Binary)
+
+    def test_comparisons_fold_signed(self):
+        body = optimized_main_body(
+            "int main(void) { return -1 < 1; }")
+        assert body.statements[0].value.value == 1
+
+    def test_shift_folds_with_masked_count(self):
+        body = optimized_main_body(
+            "int main(void) { return 1 << 17; }")
+        assert body.statements[0].value.value == 2   # 17 & 15 = 1
+
+    def test_unary_folds(self):
+        body = optimized_main_body(
+            "int main(void) { return -(3) + ~0 + !5; }")
+        assert body.statements[0].value.value == (-3 - 1 + 0) & 0xFFFF
+
+    def test_ternary_folds(self):
+        body = optimized_main_body(
+            "int main(void) { return 1 ? 10 : 20; }")
+        assert body.statements[0].value.value == 10
+
+    def test_cast_folds(self):
+        body = optimized_main_body(
+            "int main(void) { return (char)0x1FF; }")
+        assert body.statements[0].value.value == 0xFF
+
+
+class TestIdentities:
+    def test_add_zero_removed(self):
+        body = optimized_main_body(
+            "int main(int x) { return x + 0; }")
+        assert isinstance(body.statements[0].value, ast.Ident)
+
+    def test_mul_one_removed(self):
+        body = optimized_main_body(
+            "int main(int x) { return x * 1; }")
+        assert isinstance(body.statements[0].value, ast.Ident)
+
+    def test_mul_zero_folds_when_pure(self):
+        body = optimized_main_body(
+            "int main(int x) { return x * 0; }")
+        assert body.statements[0].value.value == 0
+
+    def test_mul_zero_kept_when_side_effects(self):
+        body = optimized_main_body("""
+            int g;
+            int bump(void) { g++; return g; }
+            int main(void) { return bump() * 0; }
+        """)
+        # the call must survive
+        assert isinstance(body.statements[0].value, ast.Binary)
+
+    def test_short_circuit_constants(self):
+        body = optimized_main_body(
+            "int main(int x) { return (0 && x) + (1 || x); }")
+        assert body.statements[0].value.value == 1
+
+
+class TestPruning:
+    def test_if_true_keeps_then(self):
+        body = optimized_main_body("""
+            int main(void) {
+                if (1) return 10;
+                else return 20;
+            }
+        """)
+        assert isinstance(body.statements[0], ast.Return)
+        assert body.statements[0].value.value == 10
+
+    def test_if_false_keeps_else(self):
+        body = optimized_main_body("""
+            int main(void) {
+                if (2 < 1) { return 10; }
+                return 20;
+            }
+        """)
+        assert body.statements[0].value.value == 20
+
+    def test_while_false_removed(self):
+        body = optimized_main_body("""
+            int main(void) {
+                while (0) { return 99; }
+                return 1;
+            }
+        """)
+        assert len(body.statements) == 1
+
+    def test_pure_expression_statement_removed(self):
+        body = optimized_main_body("""
+            int main(int x) {
+                x + 3;
+                return x;
+            }
+        """)
+        assert len(body.statements) == 1
+
+    def test_impure_expression_statement_kept(self):
+        body = optimized_main_body("""
+            int g;
+            int main(void) {
+                g++;
+                return g;
+            }
+        """)
+        assert len(body.statements) == 2
+
+    def test_for_false_keeps_init_effects(self):
+        source = """
+            int g = 5;
+            int main(void) {
+                for (g = 9; 0; g++) { }
+                return g;
+            }
+        """
+        assert run_optimized(source) == 9
+
+    def test_dead_branch_code_is_absent(self):
+        unit = compile_unit("""
+            int main(void) {
+                if (0) { return 1234; }
+                return 1;
+            }
+        """, optimize=True)
+        assert "#1234" not in unit.asm
+
+    def test_folded_arithmetic_needs_no_helpers(self):
+        unit = compile_unit(
+            "int main(void) { return 100 * 25 / 5; }", optimize=True)
+        assert "__mulhi" not in unit.asm
+        assert "__divhi" not in unit.asm
+
+
+class TestSemanticsPreserved:
+    CASES = [
+        ("int main(void) { return (3 + 4) * 5; }", ()),
+        ("int main(int x) { return x * 0 + (1 ? x : 9); }", (7,)),
+        ("""int g;
+            int bump(void) { g += 3; return g; }
+            int main(void) { return bump() * 0 + g; }""", ()),
+        ("""int main(int x) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < 4; i++) {
+                    if (1) acc += x; else acc -= 99;
+                    while (0) acc = 7;
+                }
+                return acc + (0 && x) + (x || 1);
+            }""", (5,)),
+        ("""int main(int n) {
+                switch (2 - 1) {
+                  case 1: n += 10; break;
+                  case 2: n += 99; break;
+                }
+                return n;
+            }""", (3,)),
+    ]
+
+    @pytest.mark.parametrize("source,args", CASES)
+    def test_optimized_matches_plain(self, source, args):
+        assert run_optimized(source, args=args) == \
+            run_plain(source, args=args)
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF),
+           k=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mixed_program_property(self, a, b, k):
+        source = f"""
+            int main(int a, int b) {{
+                int acc = {k} * 3 + 1;
+                if ({k} > 25) acc += a; else acc += b;
+                acc += (a + 0) * 1 + (b ^ 0);
+                return acc + ({k} % 7);
+            }}
+        """
+        assert run_optimized(source, args=(a, b)) == \
+            run_plain(source, args=(a, b))
+
+    def test_optimized_apps_still_behave(self):
+        """The whole nine-app suite builds and runs with the optimizer
+        enabled at the AFT layer (via compile_unit equivalence)."""
+        from repro.apps.catalog import app_source
+        from repro.kernel.api import amulet_api_table
+        for name in ("pedometer", "hr", "clock"):
+            unit = compile_unit(app_source(name),
+                                api=amulet_api_table(), optimize=True)
+            assert unit.asm
+
+
+class TestFixedPoint:
+    def test_cascading_folds_converge(self):
+        body = optimized_main_body(
+            "int main(void) { return ((1 + 1) * (2 + 2)) > 7 "
+            "? (3 * 3) : (4 * 4); }")
+        value = body.statements[0].value
+        assert isinstance(value, ast.IntLiteral)
+        assert value.value == 9

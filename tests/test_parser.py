@@ -1,0 +1,266 @@
+"""MiniC parser: declarations, declarators, statements, expressions."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc import ast
+from repro.cc.parser import parse
+from repro.cc.types import (
+    ArrayType,
+    CharType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+)
+
+
+def first_function(source):
+    return parse(source).functions[0]
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x = 5;")
+        decl = unit.globals[0]
+        assert decl.name == "x"
+        assert isinstance(decl.ctype, IntType)
+        assert decl.init.value == 5
+
+    def test_unsigned(self):
+        unit = parse("unsigned u;")
+        assert not unit.globals[0].ctype.signed
+
+    def test_bare_unsigned_means_unsigned_int(self):
+        unit = parse("unsigned x; signed y;")
+        assert not unit.globals[0].ctype.signed
+        assert unit.globals[1].ctype.signed
+
+    def test_array_with_length(self):
+        unit = parse("int a[10];")
+        assert isinstance(unit.globals[0].ctype, ArrayType)
+        assert unit.globals[0].ctype.length == 10
+
+    def test_array_length_inferred_from_init(self):
+        unit = parse("int a[] = {1, 2, 3};")
+        assert unit.globals[0].ctype.length == 3
+
+    def test_char_array_from_string(self):
+        unit = parse('char s[] = "hi";')
+        assert unit.globals[0].ctype.length == 3   # includes NUL
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b = 2, c;")
+        assert [d.name for d in unit.globals] == ["a", "b", "c"]
+
+    def test_pointer_declarator(self):
+        unit = parse("int *p;")
+        assert isinstance(unit.globals[0].ctype, PointerType)
+
+    def test_array_of_pointers(self):
+        unit = parse("int *a[3];")
+        ctype = unit.globals[0].ctype
+        assert isinstance(ctype, ArrayType)
+        assert isinstance(ctype.element, PointerType)
+
+    def test_function_pointer_declarator(self):
+        unit = parse("int (*fp)(int, int);")
+        ctype = unit.globals[0].ctype
+        assert isinstance(ctype, PointerType)
+        assert isinstance(ctype.target, FunctionType)
+        assert len(ctype.target.params) == 2
+
+    def test_struct_definition_and_use(self):
+        unit = parse("""
+            struct point { int x; int y; };
+            struct point origin;
+        """)
+        ctype = unit.globals[0].ctype
+        assert isinstance(ctype, StructType)
+        assert ctype.size == 4
+        assert ctype.field("y").offset == 2
+
+    def test_struct_field_alignment(self):
+        unit = parse("struct s { char c; int i; }; struct s v;")
+        struct = unit.globals[0].ctype
+        assert struct.field("i").offset == 2
+        assert struct.size == 4
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(CompileError):
+            parse("struct s { int a; }; struct s { int b; };")
+
+    def test_function_definition(self):
+        fn = first_function("int add(int a, int b) { return a + b; }")
+        assert fn.name == "add"
+        assert len(fn.params) == 2
+        assert fn.body is not None
+
+    def test_void_param_list(self):
+        fn = first_function("int f(void) { return 0; }")
+        assert fn.params == []
+
+    def test_prototype_without_body(self):
+        unit = parse("int f(int);")
+        assert unit.functions[0].body is None
+
+
+class TestStatements:
+    def _body(self, stmts):
+        return first_function(f"void f(void) {{ {stmts} }}").body
+
+    def test_if_else(self):
+        body = self._body("if (1) ; else ;")
+        assert isinstance(body.statements[0], ast.If)
+        assert body.statements[0].otherwise is not None
+
+    def test_while(self):
+        assert isinstance(self._body("while (1) ;").statements[0],
+                          ast.While)
+
+    def test_do_while(self):
+        assert isinstance(self._body("do ; while (0);").statements[0],
+                          ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        stmt = self._body("for (int i = 0; i < 3; i++) ;").statements[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_for_empty_clauses(self):
+        stmt = self._body("for (;;) break;").statements[0]
+        assert stmt.init is None and stmt.cond is None \
+            and stmt.step is None
+
+    def test_break_continue_return(self):
+        body = self._body("while(1) { break; continue; } return;")
+        inner = body.statements[0].body
+        assert isinstance(inner.statements[0], ast.Break)
+        assert isinstance(inner.statements[1], ast.Continue)
+        assert isinstance(body.statements[1], ast.Return)
+
+    def test_goto_parses(self):
+        body = self._body("goto out; out: ;")
+        assert isinstance(body.statements[0], ast.Goto)
+        assert isinstance(body.statements[1], ast.LabelStmt)
+
+    def test_inline_asm_parses(self):
+        body = self._body('asm("NOP");')
+        assert isinstance(body.statements[0], ast.InlineAsm)
+        assert body.statements[0].text == "NOP"
+
+    def test_switch_with_fallthrough_groups(self):
+        stmt = self._body("""
+            switch (x) {
+              case 1: y = 1; break;
+              case 2: y = 2;
+              case 3: y = 3; break;
+              default: y = 0;
+            }
+        """.replace("x", "1").replace("y = ", "1 + ")).statements[0]
+        assert isinstance(stmt, ast.Switch)
+        values = [v for v, _body in stmt.cases]
+        assert values == [1, 2, 3, None]
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(CompileError):
+            self._body("switch (1) { 1 + 1; case 1: ; }")
+
+    def test_local_declarations_split(self):
+        body = self._body("int a = 1, b = 2;")
+        assert isinstance(body.statements[0], ast.Block)
+        names = [d.name for d in body.statements[0].statements]
+        assert names == ["a", "b"]
+
+
+class TestExpressions:
+    def _expr(self, text):
+        fn = first_function(f"int f(int x) {{ return {text}; }}")
+        return fn.body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = self._expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_logical_lowest(self):
+        expr = self._expr("1 == 2 && 3 < 4")
+        assert expr.op == "&&"
+
+    def test_ternary(self):
+        expr = self._expr("x ? 1 : 2")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        fn = first_function("void f(void) { int a; int b; a = b = 1; }")
+        stmt = fn.body.statements[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_unary_chain(self):
+        expr = self._expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_postfix_and_prefix(self):
+        expr = self._expr("x++")
+        assert isinstance(expr, ast.Postfix)
+        expr = self._expr("++x")
+        assert isinstance(expr, ast.Unary)
+
+    def test_call_with_args(self):
+        expr = self._expr("f(1, 2, 3)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_index_and_member_chain(self):
+        fn = first_function("""
+            struct s { int v; };
+            int f(void) { struct s a[2]; return a[1].v; }
+        """.strip())
+        # functions[0] is f
+        value = fn.body.statements[1].value
+        assert isinstance(value, ast.Member)
+        assert isinstance(value.base, ast.Index)
+
+    def test_arrow(self):
+        expr = self._expr("((struct s *)x)->v") if False else None
+        fn = first_function("""
+            struct s { int v; };
+            int f(struct s *p) { return p->v; }
+        """.strip())
+        value = fn.body.statements[0].value
+        assert isinstance(value, ast.Member)
+        assert value.arrow
+
+    def test_cast(self):
+        expr = self._expr("(char)x")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.target_type, CharType)
+
+    def test_cast_to_pointer(self):
+        expr = self._expr("(int *)x")
+        assert isinstance(expr.target_type, PointerType)
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(self._expr("sizeof(int)"), ast.SizeOf)
+        assert isinstance(self._expr("sizeof x"), ast.SizeOf)
+
+    def test_parenthesized(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_missing_semicolon_reports_error(self):
+        with pytest.raises(CompileError):
+            parse("int f(void) { return 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse("int f(void) { return 1;")

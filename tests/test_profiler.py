@@ -1,0 +1,179 @@
+"""ARP counting, ARP-view extrapolation, and the energy model."""
+
+import pytest
+
+from repro.aft.models import IsolationModel
+from repro.aft.phases import AppSource
+from repro.apps.manifests import (
+    AppManifest,
+    HandlerRate,
+    MANIFESTS,
+    MS_PER_WEEK,
+)
+from repro.kernel.events import EventType
+from repro.profiler.arp import ArpProfiler
+from repro.profiler.arpview import ArpView, OperationOverheads
+from repro.profiler.energy import EnergyModel
+
+PROBE = """
+int data[16];
+int hits = 0;
+
+int on_three_accesses(int arg) {
+    data[0] = arg;          /* 1 */
+    data[1] = data[0] + 1;  /* 2 reads+writes at two sites... */
+    hits++;
+    return data[1];
+}
+
+int on_api_twice(int arg) {
+    amulet_log_word(arg);
+    amulet_vibrate(1);
+    return 0;
+}
+
+int on_variable(int arg) {
+    int i;
+    for (i = 0; i < (arg & 7); i++) {
+        data[i] = i;
+    }
+    return 0;
+}
+"""
+
+HANDLERS = ["on_three_accesses", "on_api_twice", "on_variable"]
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return ArpProfiler([AppSource("probe", PROBE, HANDLERS)])
+
+
+class TestArpCounts:
+    def test_fixed_access_count(self, profiler):
+        counts = profiler.profile_handler("probe", "on_three_accesses",
+                                          EventType.TIMER, samples=4)
+        # data[0] store, data[0] load, data[1] store, data[1] load = 4
+        assert counts.memory_accesses == 4
+        assert counts.api_calls == 0
+        assert counts.context_switches == 1.0
+
+    def test_api_calls_counted(self, profiler):
+        counts = profiler.profile_handler("probe", "on_api_twice",
+                                          EventType.TIMER, samples=4)
+        assert counts.api_calls == 2
+        assert counts.context_switches == 3.0
+
+    def test_variable_path_averages(self, profiler):
+        counts = profiler.profile_handler("probe", "on_variable",
+                                          EventType.ACCEL_SAMPLE,
+                                          samples=32)
+        # loop runs (arg & 7) times; average over live samples
+        assert 0 < counts.memory_accesses < 8
+
+    def test_profile_app_covers_manifest(self):
+        manifest = AppManifest("probe", "Probe", (
+            HandlerRate("on_three_accesses", EventType.TIMER, 1000),
+            HandlerRate("on_api_twice", EventType.TIMER, 5000),
+        ))
+        profiler = ArpProfiler([AppSource("probe", PROBE, HANDLERS)])
+        profile = profiler.profile_app(manifest, samples=4)
+        assert set(profile.handlers) == {"on_three_accesses",
+                                         "on_api_twice"}
+        assert "mem=" in profile.describe()
+
+
+class TestArpView:
+    def test_weekly_math(self):
+        manifest = AppManifest("probe", "Probe", (
+            HandlerRate("h", EventType.TIMER, 1000),))
+        from repro.profiler.arp import ArpProfile, HandlerCounts
+        profile = ArpProfile("probe")
+        counts = HandlerCounts("h", samples=1)
+        counts.data_accesses = 10.0
+        counts.api_calls = 1.0
+        profile.handlers["h"] = counts
+        overheads = OperationOverheads(IsolationModel.MPU,
+                                       per_memory_access=6.0,
+                                       per_context_switch=50.0)
+        view = ArpView()
+        weekly = view.weekly_overhead(profile, manifest, overheads)
+        events = MS_PER_WEEK // 1000
+        assert weekly.memory_access_cycles == events * 10 * 6.0
+        assert weekly.context_switch_cycles == events * 2 * 50.0
+        assert weekly.cycles_per_week == (weekly.memory_access_cycles
+                                          + weekly.context_switch_cycles)
+        assert weekly.billions_of_cycles == \
+            weekly.cycles_per_week / 1e9
+
+    def test_battery_impact_consistent_with_energy_model(self):
+        energy = EnergyModel()
+        manifest = AppManifest("p", "P", (
+            HandlerRate("h", EventType.TIMER, 1000),))
+        from repro.profiler.arp import ArpProfile, HandlerCounts
+        profile = ArpProfile("p")
+        counts = HandlerCounts("h", samples=1)
+        counts.data_accesses = 100.0
+        profile.handlers["h"] = counts
+        overheads = OperationOverheads(IsolationModel.MPU, 10.0, 0.0)
+        weekly = ArpView(energy).weekly_overhead(profile, manifest,
+                                                 overheads)
+        expected = energy.battery_impact_percent(
+            weekly.cycles_per_week)
+        assert weekly.battery_impact_percent == pytest.approx(expected)
+
+
+class TestEnergyModel:
+    def test_cycle_energy_magnitude(self):
+        energy = EnergyModel()
+        # 100 µA/MHz at 3 V -> 0.3 nJ per cycle
+        assert energy.joules_per_cycle == pytest.approx(0.3e-9)
+
+    def test_battery_joules(self):
+        energy = EnergyModel()
+        assert energy.battery_joules == pytest.approx(
+            0.110 * 3600 * 3.0, rel=1e-6)
+
+    def test_weekly_budget(self):
+        energy = EnergyModel(target_lifetime_weeks=2.0)
+        assert energy.weekly_budget_joules == pytest.approx(
+            energy.battery_joules / 2)
+
+    def test_battery_impact_scales_linearly(self):
+        energy = EnergyModel()
+        one = energy.battery_impact_percent(1e9)
+        two = energy.battery_impact_percent(2e9)
+        assert two == pytest.approx(2 * one)
+
+    def test_paper_scale_sanity(self):
+        """Figure 2's heaviest app shows ~3e9 cycles/week of overhead
+        and stays under 0.5 % battery impact — the default parameters
+        must reproduce that relationship."""
+        energy = EnergyModel()
+        assert energy.battery_impact_percent(3e9) < 0.5
+
+    def test_seconds_conversion(self):
+        energy = EnergyModel()
+        assert energy.cycles_to_seconds(16_000_000) == \
+            pytest.approx(1.0)
+
+
+class TestManifests:
+    def test_all_suite_apps_have_manifests(self):
+        assert len(MANIFESTS) == 9
+
+    def test_rates_positive(self):
+        for manifest in MANIFESTS.values():
+            for rate in manifest.rates:
+                assert rate.period_ms > 0
+                assert rate.events_per_week > 0
+
+    def test_accel_apps_are_busiest(self):
+        fall = MANIFESTS["falldetection"].events_per_week()["on_accel"]
+        clock = MANIFESTS["clock"].events_per_week()["on_second"]
+        assert fall > 10 * clock
+
+    def test_sources_for_creates_periodic_sources(self):
+        sources = MANIFESTS["hr"].sources_for("hr")
+        assert {s.handler for s in sources} == {"on_hr_sample",
+                                                "on_display"}

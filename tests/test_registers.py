@@ -1,0 +1,77 @@
+"""Register-file behaviour."""
+
+import pytest
+
+from repro.msp430.registers import Reg, RegisterFile, SR
+
+
+class TestRegisterFile:
+    def test_starts_zeroed(self):
+        regs = RegisterFile()
+        assert all(regs.read(i) == 0 for i in range(16))
+
+    def test_write_masks_to_16_bits(self):
+        regs = RegisterFile()
+        regs.write(Reg.R5, 0x12345)
+        assert regs.read(Reg.R5) == 0x2345
+
+    def test_pc_forced_even(self):
+        regs = RegisterFile()
+        regs.pc = 0x4401
+        assert regs.pc == 0x4400
+
+    def test_sp_forced_even(self):
+        regs = RegisterFile()
+        regs.sp = 0x23FF
+        assert regs.sp == 0x23FE
+
+    def test_general_register_keeps_odd_values(self):
+        regs = RegisterFile()
+        regs.write(Reg.R10, 0x1235)
+        assert regs.read(Reg.R10) == 0x1235
+
+    def test_flag_set_and_clear(self):
+        regs = RegisterFile()
+        regs.set_flag(SR.C, True)
+        assert regs.carry
+        regs.set_flag(SR.C, False)
+        assert not regs.carry
+
+    def test_set_nz_word(self):
+        regs = RegisterFile()
+        regs.set_nz(0x8000)
+        assert regs.negative and not regs.zero
+        regs.set_nz(0)
+        assert regs.zero and not regs.negative
+
+    def test_set_nz_byte_sign(self):
+        regs = RegisterFile()
+        regs.set_nz(0x80, byte=True)
+        assert regs.negative
+
+    def test_snapshot_restore_roundtrip(self):
+        regs = RegisterFile()
+        for i in range(16):
+            regs.write(i, i * 0x101)
+        snap = regs.snapshot()
+        regs.write(Reg.R7, 0xDEAD)
+        regs.restore(snap)
+        assert regs.read(Reg.R7) == 7 * 0x101
+
+    def test_restore_rejects_short_list(self):
+        regs = RegisterFile()
+        with pytest.raises(ValueError):
+            regs.restore([0] * 15)
+
+    def test_flags_live_in_sr(self):
+        regs = RegisterFile()
+        regs.set_flag(SR.C, True)
+        regs.set_flag(SR.V, True)
+        assert regs.sr & SR.C
+        assert regs.sr & SR.V
+
+    def test_reg_names(self):
+        assert Reg.name(0) == "PC"
+        assert Reg.name(1) == "SP"
+        assert Reg.name(2) == "SR"
+        assert Reg.name(15) == "R15"

@@ -1,0 +1,185 @@
+"""Event queue, scheduler, restart policies, app timers."""
+
+import pytest
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.kernel.events import Event, EventQueue, EventType, \
+    PeriodicSource
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.scheduler import (
+    AppSchedule,
+    RestartPolicy,
+    Scheduler,
+)
+
+COUNTER_APP = """
+int ticks = 0;
+int on_tick(int arg) { ticks++; return ticks; }
+int on_faulty(int arg) {
+    int *p = (int *)0x2000;
+    return *p;
+}
+int on_arm(int arg) { return amulet_timer_set(7, 50); }
+int on_timer(int event_id) { ticks += 100; return event_id; }
+"""
+
+HANDLERS = ["on_tick", "on_faulty", "on_arm", "on_timer"]
+
+
+def make_scheduler(policy=RestartPolicy.DISABLE):
+    firmware = AftPipeline(IsolationModel.MPU).build(
+        [AppSource("app", COUNTER_APP, HANDLERS)])
+    machine = AmuletMachine(firmware)
+    return Scheduler(machine, policy=policy), machine
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(Event(30, "a", "h", EventType.TIMER))
+        queue.push(Event(10, "a", "h", EventType.TIMER))
+        queue.push(Event(20, "a", "h", EventType.TIMER))
+        assert [queue.pop().time for _ in range(3)] == [10, 20, 30]
+
+    def test_stable_for_equal_times(self):
+        queue = EventQueue()
+        queue.push(Event(5, "a", "first", EventType.TIMER))
+        queue.push(Event(5, "a", "second", EventType.TIMER))
+        assert queue.pop().handler == "first"
+        assert queue.pop().handler == "second"
+
+    def test_too_many_args_rejected(self):
+        with pytest.raises(ValueError):
+            Event(0, "a", "h", EventType.TIMER, (1, 2, 3, 4))
+
+    def test_periodic_source_expansion(self):
+        source = PeriodicSource("a", "h", EventType.TIMER,
+                                period_ms=100)
+        events = list(source.events_until(350))
+        assert [e.time for e in events] == [0, 100, 200, 300]
+
+    def test_periodic_source_phase(self):
+        source = PeriodicSource("a", "h", EventType.TIMER,
+                                period_ms=100, phase_ms=7)
+        assert list(source.events_until(200))[0].time == 7
+
+
+class TestScheduling:
+    def test_run_delivers_periodic_events(self):
+        scheduler, machine = make_scheduler()
+        scheduler.add_app(AppSchedule("app", sources=[
+            PeriodicSource("app", "on_tick", EventType.TIMER, 100)]))
+        stats = scheduler.run(horizon_ms=1000)
+        assert stats.events_delivered == 10
+        assert stats.per_app_events["app"] == 10
+        assert stats.per_app_cycles["app"] > 0
+
+    def test_unknown_app_rejected(self):
+        scheduler, _machine = make_scheduler()
+        with pytest.raises(Exception):
+            scheduler.add_app(AppSchedule("ghost"))
+
+    def test_max_events_bound(self):
+        scheduler, _machine = make_scheduler()
+        scheduler.add_app(AppSchedule("app", sources=[
+            PeriodicSource("app", "on_tick", EventType.TIMER, 10)]))
+        stats = scheduler.run(horizon_ms=1000, max_events=5)
+        assert stats.events_delivered == 5
+
+    def test_app_timer_round_trip(self):
+        """amulet_timer_set arms an APP_TIMER event delivered later."""
+        scheduler, machine = make_scheduler()
+        scheduler.add_app(AppSchedule(
+            "app",
+            sources=[PeriodicSource("app", "on_arm",
+                                    EventType.TIMER, 10_000)],
+            timer_handler="on_timer"))
+        scheduler.run(horizon_ms=5000)
+        # on_arm at t=1ms..., timer fires 50ms later adding 100
+        ticks_addr = machine.firmware.symbol("app_app_ticks")
+        blob = machine.cpu.memory.dump(ticks_addr, 2)
+        assert blob[0] | (blob[1] << 8) == 100
+
+    def test_trace_collection(self):
+        scheduler, _machine = make_scheduler()
+        scheduler.keep_trace = True
+        scheduler.add_app(AppSchedule("app", sources=[
+            PeriodicSource("app", "on_tick", EventType.TIMER, 100)]))
+        scheduler.run(horizon_ms=300)
+        assert len(scheduler.trace) == 3
+        assert scheduler.trace[0].handler == "on_tick"
+
+
+class TestRestartPolicies:
+    def _faulting_schedule(self, scheduler):
+        scheduler.add_app(AppSchedule("app", sources=[
+            PeriodicSource("app", "on_faulty", EventType.TIMER, 100),
+        ]))
+
+    def test_disable_policy_drops_after_fault(self):
+        scheduler, machine = make_scheduler(RestartPolicy.DISABLE)
+        self._faulting_schedule(scheduler)
+        stats = scheduler.run(horizon_ms=1000)
+        assert stats.faults == 1
+        assert stats.events_delivered == 1
+        assert stats.events_dropped == 9
+        assert machine.app_state["app"].disabled
+
+    def test_continue_policy_keeps_delivering(self):
+        scheduler, _machine = make_scheduler(RestartPolicy.CONTINUE)
+        self._faulting_schedule(scheduler)
+        stats = scheduler.run(horizon_ms=500)
+        assert stats.events_delivered == 5
+        assert stats.faults == 5
+
+    def test_restart_after_cooldown(self):
+        scheduler, machine = make_scheduler(RestartPolicy.RESTART_AFTER)
+        scheduler.restart_cooldown_ms = 250
+        self._faulting_schedule(scheduler)
+        stats = scheduler.run(horizon_ms=1000)
+        # fault at ~1ms, suspended ~250ms, fault again, ...
+        assert 1 < stats.events_delivered < 10
+        assert stats.events_dropped > 0
+
+    def test_fault_log_accumulates(self):
+        scheduler, machine = make_scheduler(RestartPolicy.CONTINUE)
+        self._faulting_schedule(scheduler)
+        scheduler.run(horizon_ms=300)
+        assert len(machine.fault_log) == 3
+
+
+class TestSensorArgSampling:
+    def test_accel_events_carry_three_args(self):
+        firmware = AftPipeline(IsolationModel.MPU).build([
+            AppSource("acc", """
+                int mag = 0;
+                int on_accel(int x, int y, int z) {
+                    mag = x + y + z;
+                    return mag;
+                }
+            """, ["on_accel"])])
+        machine = AmuletMachine(firmware)
+        scheduler = Scheduler(machine)
+        scheduler.add_app(AppSchedule("acc", sources=[
+            PeriodicSource("acc", "on_accel", EventType.ACCEL_SAMPLE,
+                           50)]))
+        scheduler.keep_trace = True
+        scheduler.run(horizon_ms=200)
+        # z ~ 1000 milli-g, so the magnitudes are nonzero and vary
+        values = [r.return_value for r in scheduler.trace]
+        assert all(v != 0 for v in values)
+
+    def test_clock_tick_carries_seconds(self):
+        firmware = AftPipeline(IsolationModel.MPU).build([
+            AppSource("clk", """
+                int last = -1;
+                int on_second(int now) { last = now; return now; }
+            """, ["on_second"])])
+        machine = AmuletMachine(firmware)
+        scheduler = Scheduler(machine)
+        scheduler.add_app(AppSchedule("clk", sources=[
+            PeriodicSource("clk", "on_second", EventType.CLOCK_TICK,
+                           1000)]))
+        scheduler.keep_trace = True
+        scheduler.run(horizon_ms=3500)
+        assert [r.return_value for r in scheduler.trace] == [0, 1, 2, 3]

@@ -1,0 +1,218 @@
+"""Semantic analysis: type checking, restrictions, AFT facts."""
+
+import pytest
+
+from repro.errors import CompileError, RestrictionError
+from repro.cc.parser import parse
+from repro.cc.sema import AMULET_C, FULL_C, analyze
+from repro.cc.symbols import SymbolKind
+from repro.kernel.api import amulet_api_table
+
+
+def check(source, profile=FULL_C, api=None):
+    return analyze(parse(source), profile, api)
+
+
+class TestTypeChecking:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("int f(void) { return ghost; }")
+
+    def test_call_arity(self):
+        with pytest.raises(CompileError, match="expects 2"):
+            check("int g(int a, int b) { return a; }"
+                  "int f(void) { return g(1); }")
+
+    def test_call_non_function(self):
+        with pytest.raises(CompileError, match="cannot call"):
+            check("int x; int f(void) { return x(); }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            check("int f(int a) { (a + 1) = 2; return 0; }")
+
+    def test_assign_to_array(self):
+        with pytest.raises(CompileError, match="array"):
+            check("int a[3]; int b[3];"
+                  "void f(void) { a = b; }")
+
+    def test_struct_assignment_rejected(self):
+        with pytest.raises(CompileError, match="struct assignment"):
+            check("struct s { int x; };"
+                  "struct s a; struct s b;"
+                  "void f(void) { a = b; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError, match="dereference"):
+            check("int f(int a) { return *a; }")
+
+    def test_index_non_array(self):
+        with pytest.raises(CompileError, match="cannot index"):
+            check("int f(int a) { return a[0]; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(CompileError):
+            check("int f(int a) { return a.x; }")
+
+    def test_unknown_struct_field(self):
+        with pytest.raises(CompileError, match="no field"):
+            check("struct s { int x; }; struct s v;"
+                  "int f(void) { return v.y; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(CompileError):
+            check("void f(void) { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError):
+            check("int f(void) { return; }")
+
+    def test_void_variable(self):
+        with pytest.raises(CompileError, match="void"):
+            check("void f(void) { void v; }")
+
+    def test_static_local_rejected(self):
+        with pytest.raises(CompileError, match="static"):
+            check("void f(void) { static int v; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue"):
+            check("void f(void) { continue; }")
+
+    def test_global_init_must_be_constant(self):
+        with pytest.raises(CompileError, match="constant"):
+            check("int g(void) { return 1; } int x = g();")
+
+    def test_redefinition(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            check("int x; int x;")
+
+    def test_char_promotes_in_arithmetic(self):
+        result = check("int f(char c) { return c + 1; }")
+        fn = result.unit.functions[0]
+        expr = fn.body.statements[0].value
+        assert str(expr.ctype) == "int"
+
+    def test_pointer_plus_int(self):
+        result = check("int f(int *p) { return *(p + 2); }")
+        assert result.pointer_derefs
+
+    def test_pointer_difference_is_int(self):
+        check("int f(int *a, int *b) { return a - b; }")
+
+    def test_shadowing_in_inner_scope(self):
+        check("int x; int f(void) { int x = 1; { int x = 2; } "
+              "return x; }")
+
+
+class TestRestrictions:
+    def test_amuletc_rejects_pointer_declaration(self):
+        with pytest.raises(RestrictionError, match="pointer"):
+            check("int *p;", AMULET_C)
+
+    def test_amuletc_rejects_dereference(self):
+        with pytest.raises(RestrictionError):
+            check("int f(int p) { return *(int*)p; }", AMULET_C)
+
+    def test_amuletc_rejects_address_of(self):
+        with pytest.raises(RestrictionError):
+            check("int f(void) { int x; return (int)&x; }", AMULET_C)
+
+    def test_amuletc_rejects_function_pointers(self):
+        with pytest.raises(RestrictionError):
+            check("int g(void){return 1;}"
+                  "int f(void) { int (*fp)(void) = g; return fp(); }",
+                  AMULET_C)
+
+    def test_amuletc_rejects_string_literals(self):
+        with pytest.raises(RestrictionError):
+            check('int f(void) { "hi"; return 0; }', AMULET_C)
+
+    def test_amuletc_allows_arrays(self):
+        result = check("int a[4]; int f(int i) { return a[i]; }",
+                       AMULET_C)
+        assert len(result.array_accesses) == 1
+
+    def test_goto_rejected_everywhere(self):
+        for profile in (AMULET_C, FULL_C):
+            with pytest.raises(RestrictionError, match="goto"):
+                check("void f(void) { goto x; x: ; }", profile)
+
+    def test_inline_asm_rejected_everywhere(self):
+        for profile in (AMULET_C, FULL_C):
+            with pytest.raises(RestrictionError, match="assembly"):
+                check('void f(void) { asm("NOP"); }', profile)
+
+    def test_full_c_allows_pointers_and_recursion(self):
+        check("int fact(int n) { if (n < 2) return 1; "
+              "return n * fact(n - 1); }", FULL_C)
+
+
+class TestApiIntegration:
+    def test_api_call_recorded(self):
+        api = amulet_api_table()
+        result = check("void f(void) { amulet_log_word(3); }", FULL_C,
+                       api)
+        assert [name for name, _ in result.api_calls] == \
+            ["amulet_log_word"]
+
+    def test_unknown_api_rejected(self):
+        api = amulet_api_table()
+        with pytest.raises(CompileError, match="undeclared"):
+            check("void f(void) { amulet_reboot(); }", FULL_C, api)
+
+    def test_api_arity_checked(self):
+        api = amulet_api_table()
+        with pytest.raises(CompileError, match="expects"):
+            check("void f(void) { amulet_log_word(); }", FULL_C, api)
+
+    def test_sysvar_readable(self):
+        api = amulet_api_table()
+        result = check(
+            "unsigned f(void) { return amulet_uptime_seconds; }",
+            FULL_C, api)
+        assert result.unit.functions[0].body is not None
+
+    def test_sysvar_write_rejected(self):
+        api = amulet_api_table()
+        with pytest.raises(CompileError, match="read-only"):
+            check("void f(void) { amulet_uptime_seconds = 3; }",
+                  FULL_C, api)
+
+    def test_app_cannot_redefine_api_name(self):
+        api = amulet_api_table()
+        with pytest.raises(CompileError, match="conflicts"):
+            check("int amulet_get_battery(void) { return 0; }",
+                  FULL_C, api)
+
+    def test_sysvars_usable_without_pointers(self):
+        api = amulet_api_table()
+        check("unsigned f(void) { return amulet_wall_minutes; }",
+              AMULET_C, api)
+
+
+class TestAftFacts:
+    def test_call_edges(self):
+        result = check("""
+            int leaf(void) { return 1; }
+            int mid(void) { return leaf() + leaf(); }
+            int top(void) { return mid(); }
+        """)
+        assert ("mid", "leaf") in result.call_edges
+        assert ("top", "mid") in result.call_edges
+        assert result.callees_of("top") == {"mid"}
+
+    def test_fn_pointer_calls_recorded(self):
+        result = check("""
+            int one(void) { return 1; }
+            int f(void) { int (*fp)(void) = one; return fp(); }
+        """)
+        assert len(result.fn_pointer_calls) == 1
+
+    def test_deref_and_array_counts(self):
+        result = check("""
+            int a[4];
+            int f(int *p, int i) { return *p + a[i] + p[2]; }
+        """)
+        assert len(result.pointer_derefs) == 2   # *p and p[2]
+        assert len(result.array_accesses) == 1   # a[i]

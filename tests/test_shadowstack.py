@@ -1,0 +1,172 @@
+"""Shadow return-address stack (paper section 5 / footnote 3).
+
+The bounds-based return check (MPU model) only verifies the return
+address lies *within the app's code* — a stack smash that redirects a
+return to a different function of the same app slips through (a
+ROP-style, in-region hijack).  The shadow stack requires an exact
+match, so it catches that too.  These tests demonstrate both halves.
+"""
+
+import pytest
+
+from repro.aft import AftPipeline, AppSource, IsolationModel
+from repro.aft.shadowstack import (
+    SHADOW_BASE,
+    SHADOW_SP_ADDRESS,
+    initialize_shadow_stack,
+)
+from repro.kernel.fault import FaultOrigin
+from repro.kernel.machine import AmuletMachine
+
+WELL_BEHAVED = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int on_run(int n) { return fib(n); }
+"""
+
+# smash_me overwrites its own on-stack return address with the address
+# of gadget() — which lies inside the app's code region, so the plain
+# lower-bound return check cannot object.
+HIJACK = """
+int hijacked = 0;
+
+void gadget(void) {
+    hijacked = 1;
+    while (1) { }
+}
+
+int smash_me(int target) {
+    int local = 0;
+    int *p = &local;
+    p[3] = target;        /* local at -4(R4) (param homed at -2);
+                             return address lives at +2(R4) */
+    return local;
+}
+
+int on_attack(int unused) {
+    int (*g)(void) = gadget;
+    return smash_me((int)g);
+}
+"""
+
+
+def build(model, source, handlers, shadow):
+    firmware = AftPipeline(model, shadow_stack=shadow).build(
+        [AppSource("probe", source, handlers)])
+    return firmware, AmuletMachine(firmware)
+
+
+class TestFunctionalTransparency:
+    @pytest.mark.parametrize("model", (IsolationModel.MPU,
+                                       IsolationModel.SOFTWARE_ONLY,
+                                       IsolationModel.NO_ISOLATION))
+    def test_recursion_still_correct(self, model):
+        _fw, machine = build(model, WELL_BEHAVED, ["on_run"],
+                             shadow=True)
+        result = machine.dispatch("probe", "on_run", [10])
+        assert not result.faulted
+        assert result.return_value == 55
+
+    def test_shadow_pointer_balanced_after_dispatch(self):
+        _fw, machine = build(IsolationModel.MPU, WELL_BEHAVED,
+                             ["on_run"], shadow=True)
+        machine.dispatch("probe", "on_run", [8])
+        memory = machine.cpu.memory
+        assert memory.dump(SHADOW_SP_ADDRESS, 2) == \
+            bytes([SHADOW_BASE & 0xFF, SHADOW_BASE >> 8])
+
+    def test_repeated_dispatches_stay_balanced(self):
+        _fw, machine = build(IsolationModel.MPU, WELL_BEHAVED,
+                             ["on_run"], shadow=True)
+        for n in (3, 7, 11):
+            result = machine.dispatch("probe", "on_run", [n])
+            assert not result.faulted
+
+    def test_shadow_costs_cycles(self):
+        _fw, plain = build(IsolationModel.MPU, WELL_BEHAVED,
+                           ["on_run"], shadow=False)
+        _fw2, shadowed = build(IsolationModel.MPU, WELL_BEHAVED,
+                               ["on_run"], shadow=True)
+        base = plain.dispatch("probe", "on_run", [10]).cycles
+        hardened = shadowed.dispatch("probe", "on_run", [10]).cycles
+        assert hardened > base
+
+
+class TestHijackDefense:
+    def _hijack_flag(self, machine):
+        address = machine.firmware.symbol("app_probe_hijacked")
+        blob = machine.cpu.memory.dump(address, 2)
+        return blob[0] | (blob[1] << 8)
+
+    def test_in_region_hijack_succeeds_without_shadow(self):
+        """The bounds check alone misses the in-region redirect: the
+        gadget runs (then the app is reaped as a runaway)."""
+        _fw, machine = build(IsolationModel.MPU, HIJACK,
+                             ["on_attack"], shadow=False)
+        result = machine.dispatch("probe", "on_attack", [0],
+                                  max_cycles=50_000)
+        assert self._hijack_flag(machine) == 1      # gadget executed!
+        assert result.faulted                        # only as a runaway
+        assert result.fault.origin is FaultOrigin.RUNAWAY
+
+    def test_shadow_stack_stops_the_hijack(self):
+        _fw, machine = build(IsolationModel.MPU, HIJACK,
+                             ["on_attack"], shadow=True)
+        result = machine.dispatch("probe", "on_attack", [0],
+                                  max_cycles=50_000)
+        assert result.faulted
+        assert result.fault.origin is FaultOrigin.SOFTWARE_CHECK
+        assert self._hijack_flag(machine) == 0      # never ran
+
+    def test_out_of_region_return_still_blocked_without_shadow(self):
+        """Sanity: the plain bounds check does stop *out-of-region*
+        return targets."""
+        source = HIJACK.replace("return smash_me((int)g);",
+                                "return smash_me(0x4400);")
+        _fw, machine = build(IsolationModel.MPU, source,
+                             ["on_attack"], shadow=False)
+        result = machine.dispatch("probe", "on_attack", [0],
+                                  max_cycles=50_000)
+        assert result.faulted
+        assert self._hijack_flag(machine) == 0
+
+    def test_fault_recovery_resets_shadow(self):
+        firmware, machine = build(IsolationModel.MPU, HIJACK,
+                                  ["on_attack"], shadow=True)
+        machine.dispatch("probe", "on_attack", [0], max_cycles=50_000)
+        memory = machine.cpu.memory
+        assert memory.dump(SHADOW_SP_ADDRESS, 2) == \
+            bytes([SHADOW_BASE & 0xFF, SHADOW_BASE >> 8])
+
+
+class TestMpuInteraction:
+    def test_infomem_writable_only_with_shadow(self):
+        fw_plain, _m = build(IsolationModel.MPU, WELL_BEHAVED,
+                             ["on_run"], shadow=False)
+        fw_shadow, _m2 = build(IsolationModel.MPU, WELL_BEHAVED,
+                               ["on_run"], shadow=True)
+        assert fw_plain.apps["probe"].mpu_config.info.render() == "---"
+        assert fw_shadow.apps["probe"].mpu_config.info.render() == \
+            "RW-"
+
+    def test_app_pointer_into_infomem_still_blocked(self):
+        """Only the inserted prologue/epilogue may touch InfoMem; an
+        app-held pointer to it is below D_i and faults."""
+        source = """
+        int on_attack(int x) {
+            int *p = (int *)0x1802;
+            *p = 0xBAD;               /* forge a shadow entry? no. */
+            return 0;
+        }
+        """
+        _fw, machine = build(IsolationModel.MPU, source,
+                             ["on_attack"], shadow=True)
+        assert machine.dispatch("probe", "on_attack", [0]).faulted
+
+    def test_initialize_helper(self):
+        from repro.msp430.memory import Memory
+        memory = Memory()
+        initialize_shadow_stack(memory)
+        assert memory.read_word(SHADOW_SP_ADDRESS) == SHADOW_BASE

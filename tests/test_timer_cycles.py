@@ -1,0 +1,117 @@
+"""Cycle table details and the measurement timer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.msp430.cpu import Cpu
+from repro.msp430.cycles import instruction_cycles
+from repro.msp430.encoding import encode_bytes
+from repro.msp430.isa import (
+    Instruction,
+    Opcode,
+    absolute,
+    autoincrement,
+    imm,
+    indexed,
+    indirect,
+    reg,
+)
+from repro.msp430.registers import Reg
+from repro.msp430.timer import CycleTimer
+
+
+class TestCycleTable:
+    @pytest.mark.parametrize("insn,expected", [
+        # format I, from the family user's guide
+        (Instruction(Opcode.MOV, src=reg(4), dst=reg(5)), 1),
+        (Instruction(Opcode.MOV, src=reg(4), dst=reg(0)), 2),
+        (Instruction(Opcode.MOV, src=indirect(4), dst=reg(5)), 2),
+        (Instruction(Opcode.MOV, src=autoincrement(4), dst=reg(5)), 2),
+        (Instruction(Opcode.MOV, src=indexed(2, 4), dst=reg(5)), 3),
+        (Instruction(Opcode.MOV, src=absolute(0x8000), dst=reg(5)), 3),
+        (Instruction(Opcode.ADD, src=reg(4),
+                     dst=indexed(2, 5)), 4),
+        (Instruction(Opcode.ADD, src=indexed(2, 4),
+                     dst=indexed(4, 5)), 6),
+        # MOV to memory: one cycle less
+        (Instruction(Opcode.MOV, src=reg(4), dst=indexed(2, 5)), 3),
+        (Instruction(Opcode.CMP, src=absolute(0x8000),
+                     dst=absolute(0x8002)), 5),
+        # constant generator: register timing
+        (Instruction(Opcode.ADD, src=imm(1), dst=reg(5)), 1),
+        (Instruction(Opcode.ADD, src=imm(8), dst=reg(5)), 1),
+        (Instruction(Opcode.ADD, src=imm(3), dst=reg(5)), 2),
+        # format II
+        (Instruction(Opcode.RRA, src=reg(5)), 1),
+        (Instruction(Opcode.RRA, src=indexed(0, 5)), 4),
+        (Instruction(Opcode.PUSH, src=reg(5)), 3),
+        (Instruction(Opcode.PUSH, src=imm(0x1234)), 4),
+        (Instruction(Opcode.CALL, src=reg(5)), 4),
+        (Instruction(Opcode.CALL, src=imm(0x4400)), 5),
+        (Instruction(Opcode.RETI), 5),
+        # jumps
+        (Instruction(Opcode.JMP, offset=3), 2),
+        (Instruction(Opcode.JEQ, offset=-3), 2),
+    ])
+    def test_known_cycle_counts(self, insn, expected):
+        assert instruction_cycles(insn) == expected
+
+    def test_ret_is_three_cycles(self):
+        ret = Instruction(Opcode.MOV, src=autoincrement(Reg.SP),
+                          dst=reg(Reg.PC))
+        assert instruction_cycles(ret) == 3
+
+
+class TestCycleTimer:
+    def _cpu_with_timer(self):
+        cpu = Cpu()
+        cpu.regs.sp = 0x2400
+        timer = CycleTimer(cpu)
+        timer.attach()
+        return cpu, timer
+
+    def test_counter_quantizes_to_16(self):
+        cpu, timer = self._cpu_with_timer()
+        cpu.cycles = 15
+        assert timer.read_counter() == 0
+        cpu.cycles = 16
+        assert timer.read_counter() == 1
+        cpu.cycles = 47
+        assert timer.read_counter() == 2
+
+    def test_counter_readable_from_firmware(self):
+        cpu, timer = self._cpu_with_timer()
+        cpu.cycles = 64
+        insn = Instruction(Opcode.MOV, src=absolute(timer.address),
+                           dst=reg(5))
+        cpu.memory.load(0x4400, encode_bytes(insn, 0x4400))
+        cpu.regs.pc = 0x4400
+        cpu.step()
+        assert cpu.regs.read(5) == 4
+
+    def test_measure_exact_and_quantized(self):
+        cpu, timer = self._cpu_with_timer()
+        with timer.measure() as m:
+            cpu.cycles += 100
+        assert m.cycles == 100
+        assert m.measured_cycles == 96    # floor to 16-cycle ticks
+
+    @given(start=st.integers(0, 2_000_000),
+           elapsed=st.integers(0, 1_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_measurement_error_bounded_by_precision(self, start,
+                                                    elapsed):
+        """Property: the 16-cycle timer never errs by more than two
+        quantization steps, including across counter wraparound."""
+        cpu, timer = self._cpu_with_timer()
+        cpu.cycles = start
+        with timer.measure() as m:
+            cpu.cycles += elapsed
+        assert abs(m.measured_cycles - elapsed) < 2 * timer.divider
+
+    def test_wraparound_handled(self):
+        cpu, timer = self._cpu_with_timer()
+        cpu.cycles = 16 * 0xFFFF    # counter at max
+        with timer.measure() as m:
+            cpu.cycles += 320
+        assert m.measured_cycles == 320

@@ -1,0 +1,154 @@
+"""Unit tests: the MiniC type system and the object-file model."""
+
+import pytest
+
+from repro.errors import CompileError, LinkError
+from repro.asm.objfile import ObjectFile, Relocation, RelocType, \
+    Section
+from repro.cc.types import (
+    CHAR,
+    ArrayType,
+    FunctionType,
+    INT,
+    PointerType,
+    StructType,
+    UINT,
+    VOID,
+    assignable,
+    common_type,
+)
+
+
+class TestTypeSizes:
+    def test_scalar_sizes(self):
+        assert INT.size == 2
+        assert UINT.size == 2
+        assert CHAR.size == 1
+        assert VOID.size == 0
+        assert PointerType(INT).size == 2
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 20
+        assert ArrayType(CHAR, 5).size == 5
+        assert ArrayType(ArrayType(INT, 3), 2).size == 12
+
+    def test_struct_layout_and_padding(self):
+        struct = StructType("s")
+        struct.add_field("c", CHAR)
+        struct.add_field("i", INT)       # aligned up to offset 2
+        struct.add_field("c2", CHAR)     # offset 4
+        struct.finish()
+        assert struct.field("c").offset == 0
+        assert struct.field("i").offset == 2
+        assert struct.field("c2").offset == 4
+        assert struct.size == 6          # padded to word
+
+    def test_struct_duplicate_field(self):
+        struct = StructType("s")
+        struct.add_field("x", INT)
+        with pytest.raises(CompileError):
+            struct.add_field("x", INT)
+
+    def test_struct_unknown_field(self):
+        struct = StructType("s")
+        struct.finish()
+        with pytest.raises(CompileError):
+            struct.field("nope")
+
+    def test_struct_identity_equality(self):
+        a = StructType("same")
+        b = StructType("same")
+        assert a == a
+        assert a != b
+
+
+class TestDecayAndConversions:
+    def test_array_decays_to_pointer(self):
+        decayed = ArrayType(INT, 4).decay()
+        assert isinstance(decayed, PointerType)
+        assert decayed.target is INT
+
+    def test_scalar_decay_identity(self):
+        assert INT.decay() is INT
+
+    def test_common_type_promotions(self):
+        assert common_type(CHAR, CHAR) == INT
+        assert common_type(INT, INT) == INT
+        assert common_type(INT, UINT) == UINT
+        assert common_type(CHAR, UINT) == UINT
+
+    def test_common_type_pointer_wins(self):
+        assert common_type(PointerType(INT), INT).is_pointer
+
+    def test_assignable_rules(self):
+        assert assignable(INT, CHAR)
+        assert assignable(PointerType(INT), PointerType(INT))
+        assert assignable(PointerType(VOID), PointerType(INT))
+        assert assignable(PointerType(INT), PointerType(VOID))
+        assert assignable(PointerType(INT), INT)   # with warning in C
+        assert not assignable(
+            StructType("a"), INT)
+
+    def test_function_type_render(self):
+        ftype = FunctionType(INT, (INT, PointerType(CHAR)))
+        assert str(ftype) == "int(int, char*)"
+
+
+class TestSection:
+    def test_append_word_little_endian(self):
+        section = Section(".t")
+        offset = section.append_word(0x1234)
+        assert offset == 0
+        assert bytes(section.data) == b"\x34\x12"
+
+    def test_read_write_word(self):
+        section = Section(".t")
+        section.append_word(0)
+        section.write_word(0, 0xBEEF)
+        assert section.read_word(0) == 0xBEEF
+
+    def test_align_to(self):
+        section = Section(".t")
+        section.append_byte(1)
+        section.align_to(4)
+        assert section.size == 4
+
+
+class TestObjectFile:
+    def test_sections_created_on_demand(self):
+        obj = ObjectFile("o")
+        first = obj.section(".text")
+        again = obj.section(".text")
+        assert first is again
+
+    def test_duplicate_symbol_rejected(self):
+        obj = ObjectFile("o")
+        obj.define("x", ".text", 0)
+        with pytest.raises(LinkError):
+            obj.define("x", ".text", 2)
+
+    def test_globals_listing(self):
+        obj = ObjectFile("o")
+        obj.define("a", ".text", 0, is_global=True)
+        obj.define("b", ".text", 2)
+        assert [s.name for s in obj.globals()] == ["a"]
+
+    def test_undefined_symbols_deduplicated(self):
+        obj = ObjectFile("o")
+        section = obj.section(".text")
+        section.relocations.append(
+            Relocation(0, RelocType.ABS16, "ghost"))
+        section.relocations.append(
+            Relocation(2, RelocType.ABS16, "ghost"))
+        assert obj.undefined_symbols() == ["ghost"]
+
+    def test_total_size(self):
+        obj = ObjectFile("o")
+        obj.section(".a").append_bytes(b"1234")
+        obj.section(".b").append_bytes(b"56")
+        assert obj.total_size() == 6
+
+    def test_absolute_symbol(self):
+        obj = ObjectFile("o")
+        symbol = obj.define("CONST", None, 0x42)
+        assert symbol.is_absolute
