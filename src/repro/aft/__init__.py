@@ -27,9 +27,10 @@ from repro.aft.models import (
 )
 from repro.aft.phases import AftPipeline, AppSource, AftReport
 from repro.aft.firmware import Firmware, AppLayout
+from repro.aft.cache import build_firmware
 
 __all__ = [
     "IsolationModel", "ModelConfig", "model_config", "boundary_symbols",
     "AftPipeline", "AppSource", "AftReport",
-    "Firmware", "AppLayout",
+    "Firmware", "AppLayout", "build_firmware",
 ]

@@ -1,0 +1,131 @@
+"""Content-addressed firmware build cache.
+
+Running the paper's experiment suite rebuilds the same handful of
+(application set, isolation model) firmwares dozens of times — the AFT
+is deterministic, so every rebuild after the first is wasted work.
+:func:`build_firmware` keys each build by a SHA-256 over
+
+* every app's name, source text, handler list, and recursive-stack
+  default,
+* the isolation model plus the pipeline flags that change codegen
+  (``shadow_stack``, ``optimize``), and
+* the **toolchain version** — a content hash over the toolchain's own
+  Python sources, so editing the compiler, assembler, linker, or
+  kernel templates invalidates every cached image automatically.
+
+Two layers:
+
+* an in-process dict returning the *same* :class:`Firmware` object
+  (machines only read firmware, so sharing is safe), and
+* an optional on-disk pickle layer under ``.cache/firmware/`` at the
+  repo root, shared across processes — this is what makes the
+  parallel experiment runner's worker processes cheap.
+
+Environment knobs: ``REPRO_NO_CACHE=1`` disables both layers,
+``REPRO_CACHE_DIR`` overrides the on-disk location.  Builds that use a
+custom ``policy_factory`` (e.g. the ARP profiler's counting policies)
+must not use this module — the factory is arbitrary code and cannot be
+part of a content key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.aft.firmware import Firmware
+from repro.aft.models import IsolationModel
+from repro.aft.phases import AftPipeline, AppSource
+
+#: packages whose sources constitute "the toolchain" for cache keying
+_TOOLCHAIN_PACKAGES = ("aft", "asm", "cc", "kernel", "msp430")
+
+_memory_cache: Dict[str, Firmware] = {}
+
+
+@lru_cache(maxsize=1)
+def toolchain_version() -> str:
+    """Content hash of the toolchain's own sources, once per process."""
+    digest = hashlib.sha256()
+    root = Path(__file__).resolve().parent.parent
+    for package in _TOOLCHAIN_PACKAGES:
+        for path in sorted((root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def cache_key(model: IsolationModel, apps: Sequence[AppSource],
+              shadow_stack: bool = False,
+              optimize: bool = False) -> str:
+    digest = hashlib.sha256()
+    digest.update(toolchain_version().encode())
+    digest.update(repr((model.name, shadow_stack, optimize)).encode())
+    for app in apps:
+        digest.update(repr((app.name, app.source, tuple(app.handlers),
+                            app.recursive_stack)).encode())
+    return digest.hexdigest()
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    # src/repro/aft/cache.py -> repo root is three levels above src/
+    return Path(__file__).resolve().parents[3] / ".cache" / "firmware"
+
+
+def _cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true")
+
+
+def build_firmware(model: IsolationModel,
+                   apps: Sequence[AppSource],
+                   shadow_stack: bool = False,
+                   optimize: bool = False,
+                   persist: bool = True) -> Firmware:
+    """Build (or fetch a cached) firmware for ``apps`` under ``model``.
+
+    Byte-identical to ``AftPipeline(model, ...).build(apps)`` — the
+    pipeline is deterministic and the key covers all of its inputs.
+    ``persist=False`` keeps the result out of the on-disk layer.
+    """
+    if not _cache_enabled():
+        return AftPipeline(model, shadow_stack=shadow_stack,
+                           optimize=optimize).build(apps)
+
+    key = cache_key(model, apps, shadow_stack, optimize)
+    firmware = _memory_cache.get(key)
+    if firmware is not None:
+        return firmware
+
+    disk_path = cache_dir() / f"{key}.pkl"
+    if persist and disk_path.exists():
+        try:
+            with disk_path.open("rb") as fh:
+                firmware = pickle.load(fh)
+        except Exception:
+            firmware = None           # stale/corrupt entry: rebuild
+    if firmware is None:
+        firmware = AftPipeline(model, shadow_stack=shadow_stack,
+                               optimize=optimize).build(apps)
+        if persist:
+            try:
+                disk_path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = disk_path.with_suffix(".tmp%d" % os.getpid())
+                with tmp.open("wb") as fh:
+                    pickle.dump(firmware, fh)
+                tmp.replace(disk_path)  # atomic: safe under fan-out
+            except Exception:
+                pass                  # unpicklable or read-only FS
+    _memory_cache[key] = firmware
+    return firmware
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process layer (tests use this)."""
+    _memory_cache.clear()

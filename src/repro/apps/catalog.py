@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -14,8 +15,9 @@ SUITE_NAMES = tuple(sorted(MANIFESTS))
 BENCHMARK_NAMES = tuple(sorted(BENCHMARK_HANDLERS))
 
 
+@lru_cache(maxsize=None)
 def app_source(name: str) -> str:
-    """Raw MiniC source text for a named app."""
+    """Raw MiniC source text for a named app (read once per process)."""
     path = _SOURCES_DIR / f"{name}.mc"
     if not path.exists():
         raise FileNotFoundError(f"no app source {name!r} in "

@@ -128,20 +128,21 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.report import run_all
+    from repro.experiments.parallel import run_all_parallel
     runs = 30 if args.quick else 200
     samples = 16 if args.quick else 64
-    report = run_all(table1_runs=runs, figure3_runs=runs,
-                     arp_samples=samples)
+    report = run_all_parallel(args.jobs, table1_runs=runs,
+                              figure3_runs=runs, arp_samples=samples)
     print(report.render())
     return 0
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.aft.cache import build_firmware
     from repro.apps import MANIFESTS, load_suite
     from repro.kernel.machine import AmuletMachine
     from repro.kernel.scheduler import AppSchedule, Scheduler
-    firmware = AftPipeline(args.model).build(load_suite())
+    firmware = build_firmware(args.model, load_suite())
     machine = AmuletMachine(firmware)
     scheduler = Scheduler(machine)
     for name, manifest in MANIFESTS.items():
@@ -193,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables/figures")
     experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiment cells across N processes "
+             "(default 1 = serial; results are identical)")
     experiments.set_defaults(func=cmd_experiments)
 
     suite = sub.add_parser(

@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.aft.cache import build_firmware
 from repro.aft.models import IsolationModel
-from repro.aft.phases import AftPipeline, AppSource
+from repro.aft.phases import AppSource
 from repro.apps.catalog import load_suite
 
 SIZE_MODELS = (
@@ -70,6 +71,13 @@ class CodeSizeResult:
                    for model in SIZE_MODELS[1:])
 
 
+def measure_model(model: IsolationModel,
+                  sources: Sequence[AppSource]) -> Dict[str, int]:
+    """One code-size cell: app code bytes for a single model build."""
+    firmware = build_firmware(model, sources)
+    return {app.name: app.code_bytes for app in firmware.app_list()}
+
+
 def run_code_size(apps: Optional[Sequence[AppSource]] = None,
                   models: Sequence[IsolationModel] = SIZE_MODELS
                   ) -> CodeSizeResult:
@@ -78,8 +86,6 @@ def run_code_size(apps: Optional[Sequence[AppSource]] = None,
     sources = list(apps) if apps is not None else load_suite()
     result = CodeSizeResult()
     for model in models:
-        firmware = AftPipeline(model).build(sources)
-        for app in firmware.app_list():
-            result.sizes.setdefault(app.name, {})[model] = \
-                app.code_bytes
+        for name, size in measure_model(model, sources).items():
+            result.sizes.setdefault(name, {})[model] = size
     return result

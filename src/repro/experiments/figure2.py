@@ -19,7 +19,7 @@ from repro.aft.models import IsolationModel
 from repro.apps.catalog import SUITE_NAMES, load_suite
 from repro.apps.manifests import MANIFESTS
 from repro.experiments.table1 import Table1Result, run_table1
-from repro.profiler.arp import ArpProfiler
+from repro.profiler.arp import ArpProfile, ArpProfiler
 from repro.profiler.arpview import ArpView, OperationOverheads, \
     WeeklyOverhead
 from repro.profiler.energy import EnergyModel
@@ -100,21 +100,40 @@ def overheads_from_table1(table1: Table1Result
     return out
 
 
+def profile_suite(apps: Sequence[str] = SUITE_NAMES,
+                  arp_samples: int = 48) -> Dict[str, "ArpProfile"]:
+    """ARP profiles for every app, in suite order.
+
+    This is one *sequential* unit of work: the profiler's machine
+    draws live sensor arguments from a single seeded LCG environment,
+    so each app's samples depend on how many draws the apps before it
+    consumed.  Splitting it per app would change the numbers — the
+    parallel runner therefore schedules this whole chain as one cell,
+    concurrent with the (independent) Table 1 model cells."""
+    profiler = ArpProfiler(load_suite(apps))
+    return {app: profiler.profile_app(MANIFESTS[app],
+                                      samples=arp_samples)
+            for app in apps}
+
+
 def run_figure2(apps: Sequence[str] = SUITE_NAMES,
                 table1: Optional[Table1Result] = None,
                 table1_runs: int = 50,
                 arp_samples: int = 48,
-                energy: Optional[EnergyModel] = None) -> Figure2Result:
+                energy: Optional[EnergyModel] = None,
+                profiles: Optional[Dict[str, "ArpProfile"]] = None
+                ) -> Figure2Result:
     if table1 is None:
         table1 = run_table1(runs=table1_runs)
     per_op = overheads_from_table1(table1)
     view = ArpView(energy)
 
-    profiler = ArpProfiler(load_suite(apps))
+    if profiles is None:
+        profiles = profile_suite(apps, arp_samples)
     result = Figure2Result(table1=table1)
     for app in apps:
         manifest = MANIFESTS[app]
-        profile = profiler.profile_app(manifest, samples=arp_samples)
+        profile = profiles[app]
         result.overheads[app] = {}
         for model in FIGURE2_MODELS:
             result.overheads[app][model] = view.weekly_overhead(

@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.aft.cache import build_firmware
 from repro.aft.models import IsolationModel
-from repro.aft.phases import AftPipeline
 from repro.apps.catalog import load_benchmarks
 from repro.kernel.machine import AmuletMachine
 
@@ -98,6 +98,34 @@ class Figure3Result:
         return qs_mpu < qs_sw < qs_fl
 
 
+def measure_model(model: IsolationModel,
+                  runs: int = 200) -> Dict[str, float]:
+    """One Figure 3 cell: average cycles per case for one model.
+
+    The machine (and therefore app state) is shared across the cases
+    *within* a model — ``act_init`` seeds the activity app once — so
+    the model, not the (case, model) pair, is the independent unit the
+    parallel runner fans out."""
+    firmware = build_firmware(
+        model, load_benchmarks(["activity", "quicksort"]))
+    machine = AmuletMachine(firmware)
+    machine.dispatch("activity", "act_init", [0])
+    cycles: Dict[str, float] = {}
+    for label, app, handler in CASES:
+        total = 0
+        for run in range(runs):
+            with machine.timer.measure() as measurement:
+                outcome = machine.dispatch(app, handler,
+                                           [run * 37 + 11])
+            if outcome.faulted:
+                raise RuntimeError(
+                    f"{app}.{handler} faulted under "
+                    f"{model.display}: {outcome.fault.describe()}")
+            total += measurement.measured_cycles
+        cycles[label] = total / runs
+    return cycles
+
+
 def run_figure3(models: Sequence[IsolationModel] = DEFAULT_MODELS,
                 runs: int = 200) -> Figure3Result:
     result = Figure3Result(runs=runs)
@@ -105,20 +133,6 @@ def run_figure3(models: Sequence[IsolationModel] = DEFAULT_MODELS,
         result.cycles[label] = {}
 
     for model in models:
-        firmware = AftPipeline(model).build(
-            load_benchmarks(["activity", "quicksort"]))
-        machine = AmuletMachine(firmware)
-        machine.dispatch("activity", "act_init", [0])
-        for label, app, handler in CASES:
-            total = 0
-            for run in range(runs):
-                with machine.timer.measure() as measurement:
-                    outcome = machine.dispatch(app, handler,
-                                               [run * 37 + 11])
-                if outcome.faulted:
-                    raise RuntimeError(
-                        f"{app}.{handler} faulted under "
-                        f"{model.display}: {outcome.fault.describe()}")
-                total += measurement.measured_cycles
-            result.cycles[label][model] = total / runs
+        for label, avg in measure_model(model, runs).items():
+            result.cycles[label][model] = avg
     return result

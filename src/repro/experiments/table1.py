@@ -25,8 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.aft.cache import build_firmware
 from repro.aft.models import IsolationModel
-from repro.aft.phases import AftPipeline
 from repro.apps.catalog import load_benchmarks
 from repro.kernel.machine import AmuletMachine
 
@@ -121,38 +121,47 @@ def _measure_loop(machine: AmuletMachine, handler: str,
     return total / runs
 
 
+def measure_model(model: IsolationModel, runs: int = 200,
+                  loop_iterations: int = 64) -> ModelCosts:
+    """One Table 1 cell: all three costs for a single model.
+
+    Independent of every other model's cell (fresh firmware, fresh
+    machine, explicit arguments — no shared sensor state), so the
+    parallel runner fans these out across processes."""
+    firmware = build_firmware(model, load_benchmarks(["synthetic"]))
+    machine = AmuletMachine(firmware)
+
+    dispatch_cost = _measure_loop(machine, "bench_empty", 0, runs)
+    mem_total = _measure_loop(machine, "bench_mem",
+                              loop_iterations, runs)
+    nop_total = _measure_loop(machine, "bench_nop",
+                              loop_iterations, runs)
+    switch_total = _measure_loop(machine, "bench_switch",
+                                 loop_iterations, runs)
+
+    # Per memory access: average cycles of one accessing loop
+    # iteration (address computation + check + store + loop
+    # bookkeeping) — the same granularity the paper's synthetic
+    # app reports (23 cycles for a no-isolation access).
+    per_access = mem_total / loop_iterations
+    # Context switch: the full gate round trip for an event.
+    context_switch = dispatch_cost
+    # API round trip: per-iteration extra of the API-calling loop
+    # over the register loop (includes the modeled service cost,
+    # identical across models).
+    api_round_trip = (switch_total - nop_total) / loop_iterations
+
+    return ModelCosts(
+        model=model,
+        memory_access=per_access,
+        context_switch=context_switch,
+        api_round_trip=api_round_trip)
+
+
 def run_table1(models: Sequence[IsolationModel] = DEFAULT_MODELS,
                runs: int = 200,
                loop_iterations: int = 64) -> Table1Result:
     result = Table1Result(runs=runs, loop_iterations=loop_iterations)
     for model in models:
-        firmware = AftPipeline(model).build(
-            load_benchmarks(["synthetic"]))
-        machine = AmuletMachine(firmware)
-
-        dispatch_cost = _measure_loop(machine, "bench_empty", 0, runs)
-        mem_total = _measure_loop(machine, "bench_mem",
-                                  loop_iterations, runs)
-        nop_total = _measure_loop(machine, "bench_nop",
-                                  loop_iterations, runs)
-        switch_total = _measure_loop(machine, "bench_switch",
-                                     loop_iterations, runs)
-
-        # Per memory access: average cycles of one accessing loop
-        # iteration (address computation + check + store + loop
-        # bookkeeping) — the same granularity the paper's synthetic
-        # app reports (23 cycles for a no-isolation access).
-        per_access = mem_total / loop_iterations
-        # Context switch: the full gate round trip for an event.
-        context_switch = dispatch_cost
-        # API round trip: per-iteration extra of the API-calling loop
-        # over the register loop (includes the modeled service cost,
-        # identical across models).
-        api_round_trip = (switch_total - nop_total) / loop_iterations
-
-        result.costs[model] = ModelCosts(
-            model=model,
-            memory_access=per_access,
-            context_switch=context_switch,
-            api_round_trip=api_round_trip)
+        result.costs[model] = measure_model(model, runs, loop_iterations)
     return result

@@ -53,12 +53,28 @@ class AdvancedMpu:
         #: the fourth region (below-code no-access) is expressible.
         self.code_lo = 0
         #: read-only OS sysvar window (SRAM) the app may read
-        self.sysvar_window: Optional[Tuple[int, int]] = None
+        self._sysvar_window: Optional[Tuple[int, int]] = None
         self.violation_address: Optional[int] = None
         self.violation_kind: Optional[str] = None
+        self._memory = None
+
+    @property
+    def sysvar_window(self) -> Optional[Tuple[int, int]]:
+        return self._sysvar_window
+
+    @sysvar_window.setter
+    def sysvar_window(self, window: Optional[Tuple[int, int]]) -> None:
+        self._sysvar_window = window
+        self._config_changed()
+
+    def _config_changed(self) -> None:
+        if self._memory is not None:
+            self._memory.invalidate_permissions()
 
     def attach(self, memory) -> None:
         memory.mpu = self
+        self._memory = memory
+        memory.invalidate_permissions()
         memory.add_io(MPUCTL0, read=lambda: self.ctl0,
                       write=self._write_ctl0)
         memory.add_io(MPUSEGB1, read=lambda: self.segb1,
@@ -76,6 +92,7 @@ class AdvancedMpu:
         if (value >> 8) == MPU_PASSWORD:
             self.ctl0 = value & 0xFFFF
             self._config_unlocked = True
+            self._config_changed()
         elif self.enabled and self.app_mode:
             # Unlike the real FR58xx MPU, this hypothetical part keeps
             # its configuration privileged: a config write without the
@@ -93,6 +110,7 @@ class AdvancedMpu:
         if field == "sam":
             # a full reconfiguration ends the unlocked window
             self._config_unlocked = False
+        self._config_changed()
 
     def force_os_mode(self) -> None:
         """Fault recovery: the gate's exit path never ran, so the
@@ -100,6 +118,7 @@ class AdvancedMpu:
         handler would do on real hardware)."""
         self.sam = 0xFFFF
         self._config_unlocked = False
+        self._config_changed()
 
     @property
     def enabled(self) -> bool:
@@ -116,6 +135,44 @@ class AdvancedMpu:
     @property
     def b2(self) -> int:
         return (self.segb2 << 4) & 0xFFFF
+
+    def permission_signature(self) -> tuple:
+        """Hashable summary of everything :meth:`check` depends on;
+        keys the bus's memoized per-configuration bitmaps."""
+        return ("advanced", self.ctl0 & MPUENA, self.sam & 0x0FFF,
+                self.segb1, self.segb2, self._sysvar_window)
+
+    def permission_overlay(self):
+        """Flat per-address allowed-bits map mirroring :meth:`check`:
+        deny everywhere, then OR in each grant the check logic has
+        (ports, configuration registers, X-only code, RW data, the
+        read-only sysvar window)."""
+        if not self.enabled or not self.app_mode:
+            return None
+        from repro.msp430.memory import (
+            OR_TABLES, PERM_R, PERM_W, PERM_X, MemoryMap as _Map,
+        )
+        overlay = bytearray(0x10000)
+
+        def grant(start: int, end: int, bits: int) -> None:
+            start = min(max(start, 0), 0x10000)
+            end = min(max(end, start), 0x10000)
+            if end > start:
+                overlay[start:end] = \
+                    overlay[start:end].translate(OR_TABLES[bits])
+
+        # kernel ports and the MPU's own registers pass every kind
+        grant(0x01F0, 0x01F8, PERM_R | PERM_W | PERM_X)
+        grant(MPUCTL0, MPUSAM + 2, PERM_R | PERM_W | PERM_X)
+        # code region (plus OS gates below it): execute-only
+        grant(_Map.FRAM_START, self.b1, PERM_X)
+        # data/stack region: read/write
+        grant(self.b1, self.b2, PERM_R | PERM_W)
+        # OS sysvar window: read-only
+        if self._sysvar_window is not None:
+            grant(self._sysvar_window[0], self._sysvar_window[1],
+                  PERM_R)
+        return bytes(overlay)
 
     def check(self, address: int, kind: str) -> None:
         if not self.enabled or not self.app_mode:

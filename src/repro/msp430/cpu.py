@@ -9,13 +9,21 @@ Asynchronous interrupts are not modeled: none of the paper's
 measurements involve interrupt latency, and the kernel delivers events
 by starting the CPU at a dispatch gate instead (see
 ``repro.kernel.machine``).
+
+Execution is driven by a precomputed dispatch table keyed by
+:class:`~repro.msp430.isa.Opcode` — one handler method per opcode,
+bound once per CPU instance — instead of if/elif chains, and operand
+writeback uses plain ``(register, address)`` integers (``-1`` meaning
+"not this kind") so the register fast path allocates nothing per step.
+Decoded instructions are cached per 64-byte block; any memory write
+invalidates the blocks it touches, so self-modifying code and
+firmware reloads stay correct.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import (
     DecodeError,
@@ -31,7 +39,7 @@ from repro.msp430.isa import (
     Opcode,
     Operand,
 )
-from repro.msp430.memory import EXECUTE, Memory, READ, WRITE
+from repro.msp430.memory import EXECUTE, Memory, PERM_X, READ, WRITE
 from repro.msp430.registers import Reg, RegisterFile, SR
 
 _M = AddressingMode
@@ -56,15 +64,6 @@ class CpuFault(ReproError):
             f"{kind.value} at pc=0x{pc:04X} addr=0x{address:04X}"
             + (f": {detail}" if detail else "")
         )
-
-
-@dataclass
-class _Location:
-    """Where an operand's result should be written back."""
-
-    kind: str                  # "reg" | "mem" | "none"
-    register: int = 0
-    address: int = 0
 
 
 class ExecutionLimitExceeded(ReproError):
@@ -95,9 +94,17 @@ class Cpu:
         # Any memory write invalidates the blocks it touches (so
         # self-modifying code and re-loads stay correct); firmware
         # never self-modifies, so in practice every instruction decodes
-        # once.  Entries: pc -> (insn, size, cycles).
+        # once.  Entries: pc -> (insn, size, cycles, handler, thunk)
+        # where thunk is a specialized register-only closure or None.
         self._icache: dict = {}
-        self.memory.write_hook = self._on_memory_write
+        # Chained (not clobbered): the profiler's and debugger's own
+        # write hooks coexist with the icache invalidator.
+        self.memory.add_write_hook(self._on_memory_write)
+        # Per-opcode handler methods, bound once.
+        self._dispatch: Dict[Opcode, Callable[[Instruction], None]] = {
+            opcode: getattr(self, name)
+            for opcode, name in _HANDLER_NAMES.items()
+        }
 
     def _on_memory_write(self, address: int, _value: int) -> None:
         if address < 0:
@@ -137,16 +144,17 @@ class Cpu:
             return self.memory.read_byte(address)
         return self.memory.read_word(address)
 
-    def _store(self, location: _Location, value: int, byte: bool) -> None:
-        if location.kind == "reg":
+    def _store(self, register: int, address: int, value: int,
+               byte: bool) -> None:
+        """Write back to register ``register`` (if >= 0) else memory."""
+        if register >= 0:
             # Byte operations clear the destination's high byte.
-            self.regs.write(location.register,
+            self.regs.write(register,
                             value & 0xFF if byte else value & 0xFFFF)
-        elif location.kind == "mem":
-            if byte:
-                self.memory.write_byte(location.address, value)
-            else:
-                self.memory.write_word(location.address, value)
+        elif byte:
+            self.memory.write_byte(address, value)
+        else:
+            self.memory.write_word(address, value)
 
     def _effective_address(self, op: Operand) -> int:
         m = op.mode
@@ -173,13 +181,16 @@ class Cpu:
         return value
 
     def _eval_dest(self, op: Operand, byte: bool,
-                   need_value: bool) -> Tuple[int, _Location]:
+                   need_value: bool) -> Tuple[int, int, int]:
+        """Returns ``(value, register, address)`` — ``register`` is -1
+        for a memory destination, ``address`` is -1 for a register."""
         if op.mode is _M.REGISTER:
-            value = self._read_reg(op.register, byte) if need_value else 0
-            return value, _Location("reg", register=op.register)
+            register = op.register
+            value = self._read_reg(register, byte) if need_value else 0
+            return value, register, -1
         address = self._effective_address(op)
         value = self._load(address, byte) if need_value else 0
-        return value, _Location("mem", address=address)
+        return value, -1, address
 
     # -- ALU ----------------------------------------------------------------
     def _flags_add(self, src: int, dst: int, result: int,
@@ -239,23 +250,36 @@ class Cpu:
     # -- execution ------------------------------------------------------------
     def step(self) -> Instruction:
         """Execute one instruction; returns it (for tracing)."""
-        pc = self.regs.pc
+        memory = self.memory
+        r = self.regs._regs
+        pc = r[0]
         block = self._icache.get(pc >> 6)
         entry = block.get(pc) if block is not None else None
         try:
             if entry is None:
-                insn, size = decode(self.memory.fetch_word, pc)
+                insn, size = decode(memory.fetch_word, pc)
                 insn_cycles = cyc.instruction_cycles(insn)
+                handler = self._dispatch[insn.opcode]
+                thunk = _specialize(insn)
                 self._icache.setdefault(pc >> 6, {})[pc] = \
-                    (insn, size, insn_cycles)
+                    (insn, size, insn_cycles, handler, thunk)
             else:
-                insn, size, insn_cycles = entry
+                insn, size, insn_cycles, handler, thunk = entry
                 # the decode is cached, but execute *permission* must
                 # be re-validated — the MPU config changes between
-                # context switches
-                self.memory._check(pc, EXECUTE)
-                if size > 2:
-                    self.memory._check(pc + size - 1, EXECUTE)
+                # context switches.  Probe the flat permission bitmap
+                # directly; fall back to the full walk on any miss.
+                if not memory._supervisor_depth:
+                    if memory._perm_stale:
+                        memory._refresh_permissions()
+                    perm = memory._perm
+                    if perm is None or not perm[pc] & PERM_X:
+                        memory._check_slow(pc, EXECUTE)
+                    if size > 2:
+                        last = pc + size - 1
+                        if last > 0xFFFF or perm is None \
+                                or not perm[last] & PERM_X:
+                            memory._check_slow(last, EXECUTE)
         except MpuViolationError as exc:
             raise CpuFault(FaultKind.MPU_VIOLATION, pc, exc.address,
                            "instruction fetch") from exc
@@ -266,11 +290,14 @@ class Cpu:
             raise CpuFault(FaultKind.DECODE_ERROR, pc, pc,
                            str(exc)) from exc
 
-        self.regs.pc = (pc + size) & 0xFFFF
+        r[0] = (pc + size) & 0xFFFF      # pc and size are both even
         if self.trace_hook is not None:
             self.trace_hook(pc, insn)
         try:
-            self._execute(insn)
+            if thunk is not None:
+                thunk(r, memory)
+            else:
+                handler(insn)
         except MpuViolationError as exc:
             raise CpuFault(FaultKind.MPU_VIOLATION, pc, exc.address,
                            exc.kind) from exc
@@ -291,11 +318,14 @@ class Cpu:
         start = self.cycles
         budget_insns = (max_instructions if max_instructions is not None
                         else max_cycles)  # instructions <= cycles always
+        # tight inner loop: hoist attribute lookups out of the loop
+        step = self.step
+        cycle_limit = start + max_cycles
         executed = 0
         while not self.halted:
-            self.step()
+            step()
             executed += 1
-            if self.cycles - start > max_cycles or executed > budget_insns:
+            if self.cycles > cycle_limit or executed > budget_insns:
                 raise ExecutionLimitExceeded(
                     f"no halt after {self.cycles - start} cycles "
                     f"({executed} instructions) from pc=0x{self.regs.pc:04X}"
@@ -304,147 +334,598 @@ class Cpu:
 
     # -- per-opcode semantics ------------------------------------------------
     def _execute(self, insn: Instruction) -> None:
-        value = insn.opcode.value
-        if value >= 0x2000:
-            self._execute_jump(insn)
-        elif value >= 0x1000:
-            self._execute_format2(insn)
-        else:
-            self._execute_format1(insn)
+        """Dispatch one decoded instruction (tests / tools entry)."""
+        self._dispatch[insn.opcode](insn)
 
-    def _execute_jump(self, insn: Instruction) -> None:
+    # jumps -------------------------------------------------------------------
+    def _op_jmp(self, insn: Instruction) -> None:
         r = self.regs
-        op = insn.opcode
-        sr = r.sr
-        if op is Opcode.JMP:
-            take = True
-        elif op is Opcode.JNE:
-            take = not sr & SR.Z
-        elif op is Opcode.JEQ:
-            take = bool(sr & SR.Z)
-        elif op is Opcode.JNC:
-            take = not sr & SR.C
-        elif op is Opcode.JC:
-            take = bool(sr & SR.C)
-        elif op is Opcode.JN:
-            take = bool(sr & SR.N)
-        elif op is Opcode.JGE:
-            take = bool(sr & SR.N) == bool(sr & SR.V)
-        else:  # JL
-            take = bool(sr & SR.N) != bool(sr & SR.V)
-        if take:
+        r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
+
+    def _op_jne(self, insn: Instruction) -> None:
+        r = self.regs
+        if not r.sr & SR.Z:
             r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
 
-    def _execute_format2(self, insn: Instruction) -> None:
-        op = insn.opcode
-        byte = insn.byte
+    def _op_jeq(self, insn: Instruction) -> None:
         r = self.regs
+        if r.sr & SR.Z:
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
 
-        if op is Opcode.RETI:
-            r.sr = self._pop()
-            r.pc = self._pop()
-            return
+    def _op_jnc(self, insn: Instruction) -> None:
+        r = self.regs
+        if not r.sr & SR.C:
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
 
-        if op is Opcode.PUSH:
-            value = self._eval_source(insn.src, byte)
-            # PUSH.B still decrements SP by 2 (hardware behaviour).
-            self._push(value & (0xFF if byte else 0xFFFF))
-            return
+    def _op_jc(self, insn: Instruction) -> None:
+        r = self.regs
+        if r.sr & SR.C:
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
 
-        if op is Opcode.CALL:
-            if insn.src.mode in (_M.REGISTER, _M.IMMEDIATE):
-                target = self._eval_source(insn.src, byte=False)
-            else:
-                target = self._load(self._effective_address(insn.src),
-                                    byte=False)
-                if insn.src.mode is _M.AUTOINCREMENT:
-                    r.write(insn.src.register,
-                            r.read(insn.src.register) + 2)
-            self._push(r.pc)
-            r.pc = target
-            return
+    def _op_jn(self, insn: Instruction) -> None:
+        r = self.regs
+        if r.sr & SR.N:
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
 
-        # RRA / RRC / SWPB / SXT read-modify-write their operand.
-        if insn.src.mode is _M.REGISTER:
-            value = self._read_reg(insn.src.register, byte)
-            location = _Location("reg", register=insn.src.register)
+    def _op_jge(self, insn: Instruction) -> None:
+        r = self.regs
+        sr = r.sr
+        if bool(sr & SR.N) == bool(sr & SR.V):
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
+
+    def _op_jl(self, insn: Instruction) -> None:
+        r = self.regs
+        sr = r.sr
+        if bool(sr & SR.N) != bool(sr & SR.V):
+            r.pc = (r.pc + 2 * insn.offset) & 0xFFFF
+
+    # format II ----------------------------------------------------------------
+    def _op_reti(self, insn: Instruction) -> None:
+        r = self.regs
+        r.sr = self._pop()
+        r.pc = self._pop()
+
+    def _op_push(self, insn: Instruction) -> None:
+        byte = insn.byte
+        value = self._eval_source(insn.src, byte)
+        # PUSH.B still decrements SP by 2 (hardware behaviour).
+        self._push(value & (0xFF if byte else 0xFFFF))
+
+    def _op_call(self, insn: Instruction) -> None:
+        r = self.regs
+        if insn.src.mode in (_M.REGISTER, _M.IMMEDIATE):
+            target = self._eval_source(insn.src, byte=False)
         else:
-            address = self._effective_address(insn.src)
-            value = self._load(address, byte)
+            target = self._load(self._effective_address(insn.src),
+                                byte=False)
             if insn.src.mode is _M.AUTOINCREMENT:
-                step = 1 if byte else 2
-                r.write(insn.src.register, r.read(insn.src.register) + step)
-            location = _Location("mem", address=address)
+                r.write(insn.src.register,
+                        r.read(insn.src.register) + 2)
+        self._push(r.pc)
+        r.pc = target
 
+    def _eval_rmw(self, insn: Instruction) -> Tuple[int, int, int]:
+        """RRA / RRC / SWPB / SXT operand: value + writeback target."""
+        byte = insn.byte
+        if insn.src.mode is _M.REGISTER:
+            register = insn.src.register
+            return self._read_reg(register, byte), register, -1
+        address = self._effective_address(insn.src)
+        value = self._load(address, byte)
+        if insn.src.mode is _M.AUTOINCREMENT:
+            r = self.regs
+            step = 1 if byte else 2
+            r.write(insn.src.register, r.read(insn.src.register) + step)
+        return value, -1, address
+
+    def _op_rra(self, insn: Instruction) -> None:
+        byte = insn.byte
+        value, register, address = self._eval_rmw(insn)
         mask = 0xFF if byte else 0xFFFF
         sign = 0x80 if byte else 0x8000
-        if op is Opcode.RRA:
-            out = (value >> 1) | (value & sign)
-            r.set_flag(SR.C, bool(value & 1))
-            r.set_flag(SR.V, False)
-            r.set_nz(out, byte)
-        elif op is Opcode.RRC:
-            out = (value >> 1) | (sign if r.carry else 0)
-            r.set_flag(SR.C, bool(value & 1))
-            r.set_flag(SR.V, False)
-            r.set_nz(out, byte)
-        elif op is Opcode.SWPB:
-            out = ((value << 8) | (value >> 8)) & 0xFFFF
-        elif op is Opcode.SXT:
-            out = value & 0xFF
+        out = (value >> 1) | (value & sign)
+        r = self.regs
+        r.set_flag(SR.C, bool(value & 1))
+        r.set_flag(SR.V, False)
+        r.set_nz(out, byte)
+        self._store(register, address, out & mask, byte)
+
+    def _op_rrc(self, insn: Instruction) -> None:
+        byte = insn.byte
+        value, register, address = self._eval_rmw(insn)
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+        r = self.regs
+        out = (value >> 1) | (sign if r.carry else 0)
+        r.set_flag(SR.C, bool(value & 1))
+        r.set_flag(SR.V, False)
+        r.set_nz(out, byte)
+        self._store(register, address, out & mask, byte)
+
+    def _op_swpb(self, insn: Instruction) -> None:
+        value, register, address = self._eval_rmw(insn)
+        out = ((value << 8) | (value >> 8)) & 0xFFFF
+        self._store(register, address, out, insn.byte)
+
+    def _op_sxt(self, insn: Instruction) -> None:
+        value, register, address = self._eval_rmw(insn)
+        out = value & 0xFF
+        if out & 0x80:
+            out |= 0xFF00
+        r = self.regs
+        r.set_nz(out, byte=False)
+        r.set_flag(SR.C, out != 0)
+        r.set_flag(SR.V, False)
+        self._store(register, address, out, insn.byte)
+
+    # format I -----------------------------------------------------------------
+    def _op_mov(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        op = insn.dst
+        if op.mode is _M.REGISTER:
+            # register fast path: no writeback bookkeeping at all
+            self.regs.write(op.register,
+                            src & 0xFF if byte else src & 0xFFFF)
+            return
+        address = self._effective_address(op)
+        if byte:
+            self.memory.write_byte(address, src)
+        else:
+            self.memory.write_word(address, src)
+
+    def _op_add(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = self._flags_add(src, dst, src + dst, byte)
+        self._store(register, address, out, byte)
+
+    def _op_addc(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = self._flags_add(src, dst, src + dst + int(self.regs.carry),
+                              byte)
+        self._store(register, address, out, byte)
+
+    def _op_sub(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = self._flags_sub(src, dst, 1, byte)
+        self._store(register, address, out, byte)
+
+    def _op_subc(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = self._flags_sub(src, dst, int(self.regs.carry), byte)
+        self._store(register, address, out, byte)
+
+    def _op_cmp(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, _register, _address = self._eval_dest(insn.dst, byte, True)
+        self._flags_sub(src, dst, 1, byte)
+
+    def _op_dadd(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        r = self.regs
+        out, carry = self._dadd(src, dst, int(r.carry), byte)
+        r.set_flag(SR.C, bool(carry))
+        r.set_nz(out, byte)
+        self._store(register, address, out, byte)
+
+    def _op_bit(self, insn: Instruction) -> None:
+        byte = insn.byte
+        src = self._eval_source(insn.src, byte)
+        dst, _register, _address = self._eval_dest(insn.dst, byte, True)
+        self._logic_flags(src & dst, byte)
+
+    def _op_bic(self, insn: Instruction) -> None:
+        byte = insn.byte
+        mask = 0xFF if byte else 0xFFFF
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        self._store(register, address, dst & ~src & mask, byte)
+
+    def _op_bis(self, insn: Instruction) -> None:
+        byte = insn.byte
+        mask = 0xFF if byte else 0xFFFF
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        self._store(register, address, (dst | src) & mask, byte)
+
+    def _op_xor(self, insn: Instruction) -> None:
+        byte = insn.byte
+        mask = 0xFF if byte else 0xFFFF
+        sign = 0x80 if byte else 0x8000
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = (dst ^ src) & mask
+        self._logic_flags(out, byte,
+                          overflow=bool(src & sign) and bool(dst & sign))
+        self._store(register, address, out, byte)
+
+    def _op_and(self, insn: Instruction) -> None:
+        byte = insn.byte
+        mask = 0xFF if byte else 0xFFFF
+        src = self._eval_source(insn.src, byte)
+        dst, register, address = self._eval_dest(insn.dst, byte, True)
+        out = dst & src & mask
+        self._logic_flags(out, byte)
+        self._store(register, address, out, byte)
+
+
+# -- specialized execution thunks -------------------------------------------
+#
+# For the hottest instruction shapes — ALU ops on registers/immediates,
+# all jumps, and the dominant MOV/ADD memory forms — the icache entry
+# carries a closure that performs the whole instruction on the raw
+# register list (and the bus, for the memory forms): no Operand
+# re-interpretation, no property lookups, no flag-helper calls.
+# Shapes with a PC/SP/SR/CG2 destination or a rare opcode keep
+# ``thunk=None`` and go through the generic per-opcode handler;
+# semantics are identical either way, including fault behaviour
+# (memory thunks run inside the same try/except in ``step``).
+
+_SRM = 0xFEF8            # SR with C, Z, N, V cleared
+
+
+def _spec_jump(opcode: Opcode, offset: int):
+    d = 2 * offset        # applied after the pc += size in step()
+    if opcode is Opcode.JMP:
+        def thunk(r, m, d=d):
+            r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JNE:
+        def thunk(r, m, d=d):
+            if not r[2] & 2:
+                r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JEQ:
+        def thunk(r, m, d=d):
+            if r[2] & 2:
+                r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JNC:
+        def thunk(r, m, d=d):
+            if not r[2] & 1:
+                r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JC:
+        def thunk(r, m, d=d):
+            if r[2] & 1:
+                r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JN:
+        def thunk(r, m, d=d):
+            if r[2] & 4:
+                r[0] = (r[0] + d) & 0xFFFF
+    elif opcode is Opcode.JGE:
+        def thunk(r, m, d=d):
+            sr = r[2]
+            if not ((sr >> 2) ^ (sr >> 8)) & 1:     # N == V
+                r[0] = (r[0] + d) & 0xFFFF
+    else:                                           # JL
+        def thunk(r, m, d=d):
+            sr = r[2]
+            if ((sr >> 2) ^ (sr >> 8)) & 1:         # N != V
+                r[0] = (r[0] + d) & 0xFFFF
+    return thunk
+
+
+def _th_mov(s, k, d, mask, sign):
+    if s < 0:
+        def thunk(r, m, k=k, d=d):
+            r[d] = k
+    else:
+        def thunk(r, m, s=s, d=d, mask=mask):
+            r[d] = r[s] & mask
+    return thunk
+
+
+def _make_addsub(subtract: bool, use_carry: bool, store: bool):
+    """ADD/ADDC/SUB/SUBC/CMP share one arithmetic skeleton."""
+    def factory(s, k, d, mask, sign):
+        def thunk(r, m, s=s, k=k, d=d, mask=mask, sign=sign):
+            if s >= 0:
+                k = r[s] & mask
+            dst = r[d] & mask
+            if subtract:
+                result = dst + ((~k) & mask) \
+                    + ((r[2] & 1) if use_carry else 1)
+                ovf = (dst ^ k) & (dst ^ (result & mask)) & sign
+            else:
+                result = dst + k + ((r[2] & 1) if use_carry else 0)
+                ovf = ~(k ^ dst) & (k ^ (result & mask)) & sign
+            out = result & mask
+            sr = r[2] & _SRM
+            if result > mask:
+                sr |= 1                              # C
+            if out & sign:
+                sr |= 4                              # N
+            elif out == 0:
+                sr |= 2                              # Z
+            if ovf:
+                sr |= 0x100                          # V
+            r[2] = sr
+            if store:
+                r[d] = out
+        return thunk
+    return factory
+
+
+def _make_logic(op: str, store: bool):
+    """AND/BIT/XOR (flag-setting) and BIS/BIC (flag-preserving)."""
+    def factory(s, k, d, mask, sign):
+        def thunk(r, m, s=s, k=k, d=d, mask=mask, sign=sign):
+            if s >= 0:
+                k = r[s] & mask
+            dst = r[d] & mask
+            if op == "and":
+                out = dst & k
+            elif op == "xor":
+                out = dst ^ k
+            elif op == "bis":
+                r[d] = dst | k
+                return
+            else:                                    # bic
+                r[d] = dst & ((~k) & mask)
+                return
+            sr = r[2] & _SRM
+            if out:
+                sr |= 1                              # C = result != 0
+            if out & sign:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            if op == "xor" and k & sign and dst & sign:
+                sr |= 0x100
+            r[2] = sr
+            if store:
+                r[d] = out
+        return thunk
+    return factory
+
+
+_FMT1_FACTORIES = {
+    Opcode.MOV: _th_mov,
+    Opcode.ADD: _make_addsub(subtract=False, use_carry=False, store=True),
+    Opcode.ADDC: _make_addsub(subtract=False, use_carry=True, store=True),
+    Opcode.SUB: _make_addsub(subtract=True, use_carry=False, store=True),
+    Opcode.SUBC: _make_addsub(subtract=True, use_carry=True, store=True),
+    Opcode.CMP: _make_addsub(subtract=True, use_carry=False, store=False),
+    Opcode.AND: _make_logic("and", store=True),
+    Opcode.BIT: _make_logic("and", store=False),
+    Opcode.XOR: _make_logic("xor", store=True),
+    Opcode.BIS: _make_logic("bis", store=True),
+    Opcode.BIC: _make_logic("bic", store=True),
+}
+
+
+def _spec_format2(insn: Instruction):
+    opcode = insn.opcode
+    src = insn.src
+    if src is None or src.mode is not _M.REGISTER or src.register < 4:
+        return None
+    byte = insn.byte
+    mask = 0xFF if byte else 0xFFFF
+    sign = 0x80 if byte else 0x8000
+    d = src.register
+    if opcode is Opcode.RRA:
+        def thunk(r, m, d=d, mask=mask, sign=sign):
+            v = r[d] & mask
+            out = (v >> 1) | (v & sign)
+            sr = r[2] & _SRM
+            if v & 1:
+                sr |= 1
+            if out & sign:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            r[2] = sr
+            r[d] = out
+        return thunk
+    if opcode is Opcode.RRC:
+        def thunk(r, m, d=d, mask=mask, sign=sign):
+            v = r[d] & mask
+            out = (v >> 1) | (sign if r[2] & 1 else 0)
+            sr = r[2] & _SRM
+            if v & 1:
+                sr |= 1
+            if out & sign:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            r[2] = sr
+            r[d] = out
+        return thunk
+    if opcode is Opcode.SWPB and not byte:
+        def thunk(r, m, d=d):
+            v = r[d]
+            r[d] = ((v << 8) | (v >> 8)) & 0xFFFF
+        return thunk
+    if opcode is Opcode.SXT and not byte:
+        def thunk(r, m, d=d):
+            out = r[d] & 0xFF
             if out & 0x80:
                 out |= 0xFF00
-            r.set_nz(out, byte=False)
-            r.set_flag(SR.C, out != 0)
-            r.set_flag(SR.V, False)
-        else:  # pragma: no cover - decoder guarantees coverage
-            raise ReproError(f"unhandled format-II opcode {op}")
-        self._store(location, out & mask, byte)
+            sr = r[2] & _SRM
+            if out:
+                sr |= 1
+            if out & 0x8000:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            r[2] = sr
+            r[d] = out
+        return thunk
+    return None
 
-    def _execute_format1(self, insn: Instruction) -> None:
-        op = insn.opcode
-        byte = insn.byte
-        r = self.regs
-        mask = 0xFF if byte else 0xFFFF
-        sign = 0x80 if byte else 0x8000
 
-        src = self._eval_source(insn.src, byte)
-        need_dst = op is not Opcode.MOV
-        dst, location = self._eval_dest(insn.dst, byte, need_dst)
+_JUMP_OPCODES = frozenset((
+    Opcode.JMP, Opcode.JNE, Opcode.JEQ, Opcode.JNC,
+    Opcode.JC, Opcode.JN, Opcode.JGE, Opcode.JL,
+))
 
-        if op is Opcode.MOV:
-            self._store(location, src, byte)
-            return
-        if op is Opcode.ADD:
-            out = self._flags_add(src, dst, src + dst, byte)
-        elif op is Opcode.ADDC:
-            out = self._flags_add(src, dst, src + dst + int(r.carry), byte)
-        elif op is Opcode.SUB:
-            out = self._flags_sub(src, dst, 1, byte)
-        elif op is Opcode.SUBC:
-            out = self._flags_sub(src, dst, int(r.carry), byte)
-        elif op is Opcode.CMP:
-            self._flags_sub(src, dst, 1, byte)
-            return
-        elif op is Opcode.DADD:
-            out, carry = self._dadd(src, dst, int(r.carry), byte)
-            r.set_flag(SR.C, bool(carry))
-            r.set_nz(out, byte)
-        elif op is Opcode.BIT:
-            out = src & dst
-            self._logic_flags(out, byte)
-            return
-        elif op is Opcode.BIC:
-            out = dst & ~src & mask
-        elif op is Opcode.BIS:
-            out = (dst | src) & mask
-        elif op is Opcode.XOR:
-            out = (dst ^ src) & mask
-            self._logic_flags(out, byte,
-                              overflow=bool(src & sign) and bool(dst & sign))
-        elif op is Opcode.AND:
-            out = dst & src & mask
-            self._logic_flags(out, byte)
-        else:  # pragma: no cover
-            raise ReproError(f"unhandled format-I opcode {op}")
-        self._store(location, out, byte)
+
+def _spec_mov_mem_to_reg(src: Operand, d: int, byte: bool):
+    """MOV with a memory-mode source into a general register."""
+    sm = src.mode
+    if sm is _M.INDEXED:
+        s, off = src.register, src.value
+        if byte:
+            def thunk(r, m, s=s, off=off, d=d):
+                r[d] = m.read_byte((r[s] + off) & 0xFFFF)
+        else:
+            def thunk(r, m, s=s, off=off, d=d):
+                r[d] = m.read_word((r[s] + off) & 0xFFFF)
+        return thunk
+    if sm is _M.ABSOLUTE or sm is _M.SYMBOLIC:
+        a = src.value & 0xFFFF
+        if byte:
+            def thunk(r, m, a=a, d=d):
+                r[d] = m.read_byte(a)
+        else:
+            def thunk(r, m, a=a, d=d):
+                r[d] = m.read_word(a)
+        return thunk
+    if sm is _M.INDIRECT:
+        s = src.register
+        if byte:
+            def thunk(r, m, s=s, d=d):
+                r[d] = m.read_byte(r[s])
+        else:
+            def thunk(r, m, s=s, d=d):
+                r[d] = m.read_word(r[s])
+        return thunk
+    if sm is _M.AUTOINCREMENT and src.register >= 4:
+        # read first, increment second — a faulting read must leave
+        # the pointer untouched, exactly like the generic path
+        s = src.register
+        if byte:
+            def thunk(r, m, s=s, d=d):
+                a = r[s]
+                v = m.read_byte(a)
+                r[s] = (a + 1) & 0xFFFF
+                r[d] = v
+        else:
+            def thunk(r, m, s=s, d=d):
+                a = r[s]
+                v = m.read_word(a)
+                r[s] = (a + 2) & 0xFFFF
+                r[d] = v
+        return thunk
+    return None
+
+
+def _spec_mov_to_mem(s: int, k: int, dst: Operand, byte: bool):
+    """MOV from a register (s >= 0) or immediate into memory."""
+    dm = dst.mode
+    if dm is _M.INDEXED:
+        dreg, off = dst.register, dst.value
+        if byte:
+            def thunk(r, m, s=s, k=k, dreg=dreg, off=off):
+                m.write_byte((r[dreg] + off) & 0xFFFF,
+                             (r[s] & 0xFF) if s >= 0 else k)
+        else:
+            def thunk(r, m, s=s, k=k, dreg=dreg, off=off):
+                m.write_word((r[dreg] + off) & 0xFFFF,
+                             r[s] if s >= 0 else k)
+        return thunk
+    if dm is _M.ABSOLUTE or dm is _M.SYMBOLIC:
+        a = dst.value & 0xFFFF
+        if byte:
+            def thunk(r, m, s=s, k=k, a=a):
+                m.write_byte(a, (r[s] & 0xFF) if s >= 0 else k)
+        else:
+            def thunk(r, m, s=s, k=k, a=a):
+                m.write_word(a, r[s] if s >= 0 else k)
+        return thunk
+    return None
+
+
+def _spec_add_to_mem(s: int, k: int, dst: Operand):
+    """Word ADD from a register/immediate into indexed memory."""
+    if dst.mode is not _M.INDEXED:
+        return None
+    dreg, off = dst.register, dst.value
+
+    def thunk(r, m, s=s, k=k, dreg=dreg, off=off):
+        a = (r[dreg] + off) & 0xFFFF
+        if s >= 0:
+            k = r[s]
+        dstv = m.read_word(a)
+        result = dstv + k
+        out = result & 0xFFFF
+        sr = r[2] & _SRM
+        if result > 0xFFFF:
+            sr |= 1
+        if out & 0x8000:
+            sr |= 4
+        elif out == 0:
+            sr |= 2
+        if ~(k ^ dstv) & (k ^ out) & 0x8000:
+            sr |= 0x100
+        r[2] = sr
+        m.write_word(a, out)
+    return thunk
+
+
+def _specialize(insn: Instruction):
+    """Return a fast closure ``thunk(regs_list, memory)`` for ``insn``,
+    or None to use the generic per-opcode handler."""
+    opcode = insn.opcode
+    if opcode in _JUMP_OPCODES:
+        return _spec_jump(opcode, insn.offset)
+    dst = insn.dst
+    if dst is None:
+        return _spec_format2(insn)
+    src = insn.src
+    byte = insn.byte
+    mask = 0xFF if byte else 0xFFFF
+    if src.mode is _M.REGISTER:
+        s, k = src.register, 0
+    elif src.mode is _M.IMMEDIATE:
+        s, k = -1, src.value & mask
+    else:
+        s, k = -2, 0                                  # memory source
+    if dst.mode is _M.REGISTER:
+        if dst.register < 4:                          # PC/SP/SR/CG2
+            return None
+        if s == -2:
+            if opcode is Opcode.MOV:
+                return _spec_mov_mem_to_reg(src, dst.register, byte)
+            return None
+        factory = _FMT1_FACTORIES.get(opcode)
+        if factory is None:                           # DADD
+            return None
+        return factory(s, k, d=dst.register, mask=mask,
+                       sign=0x80 if byte else 0x8000)
+    # memory destination
+    if s == -2:
+        return None                                   # mem -> mem
+    if opcode is Opcode.MOV:
+        return _spec_mov_to_mem(s, k, dst, byte)
+    if opcode is Opcode.ADD and not byte:
+        return _spec_add_to_mem(s, k, dst)
+    return None
+
+
+#: Opcode -> Cpu handler method name; resolved to bound methods once
+#: per instance in ``Cpu.__init__`` (the precomputed dispatch table).
+_HANDLER_NAMES: Dict[Opcode, str] = {
+    Opcode.JMP: "_op_jmp", Opcode.JNE: "_op_jne",
+    Opcode.JEQ: "_op_jeq", Opcode.JNC: "_op_jnc",
+    Opcode.JC: "_op_jc", Opcode.JN: "_op_jn",
+    Opcode.JGE: "_op_jge", Opcode.JL: "_op_jl",
+    Opcode.RETI: "_op_reti", Opcode.PUSH: "_op_push",
+    Opcode.CALL: "_op_call", Opcode.RRA: "_op_rra",
+    Opcode.RRC: "_op_rrc", Opcode.SWPB: "_op_swpb",
+    Opcode.SXT: "_op_sxt",
+    Opcode.MOV: "_op_mov", Opcode.ADD: "_op_add",
+    Opcode.ADDC: "_op_addc", Opcode.SUB: "_op_sub",
+    Opcode.SUBC: "_op_subc", Opcode.CMP: "_op_cmp",
+    Opcode.DADD: "_op_dadd", Opcode.BIT: "_op_bit",
+    Opcode.BIC: "_op_bic", Opcode.BIS: "_op_bis",
+    Opcode.XOR: "_op_xor", Opcode.AND: "_op_and",
+}

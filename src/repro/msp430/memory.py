@@ -23,6 +23,26 @@ accesses ignore bit 0 of the address, as the hardware does.
 The bus supports memory-mapped I/O handlers (the MPU registers and the
 kernel's service/done ports use them) and access-observer hooks used by
 the profiler.
+
+Permission fast path
+--------------------
+
+Instead of walking the region list and the MPU segment map on every
+access, the bus keeps a flat per-address permission bitmap: one byte
+per address whose low three bits say whether a read (bit 0), write
+(bit 1) or execute (bit 2) is allowed there.  The bitmap is the AND of
+
+* the static region permissions (computed once at construction), and
+* the attached MPU's *permission overlay* (recomputed only when the
+  MPU configuration changes — the MPU invalidates the bitmap from its
+  register-write handlers, and overlays are memoized per configuration
+  signature so swapping between the OS and per-app configurations is a
+  dict hit).
+
+When the bitmap denies an access, the original region walk + MPU
+segment check runs as a slow path so the error type, message, and MPU
+violation-flag side effects are bit-for-bit what they always were.
+Architecture-visible behaviour is unchanged; only speed differs.
 """
 
 from __future__ import annotations
@@ -35,6 +55,17 @@ from repro.errors import MemoryAccessError
 READ = "read"
 WRITE = "write"
 EXECUTE = "execute"
+
+#: permission bitmap bits (match the MPU's SAM R/W/X bit values)
+PERM_R = 0b001
+PERM_W = 0b010
+PERM_X = 0b100
+
+_KIND_BIT = {READ: PERM_R, WRITE: PERM_W, EXECUTE: PERM_X}
+
+#: translation tables for OR-ing a grant into an overlay slice at C
+#: speed: ``buf[s:e] = buf[s:e].translate(OR_TABLES[bits])``
+OR_TABLES = tuple(bytes(v | b for v in range(256)) for b in range(8))
 
 
 @dataclass(frozen=True)
@@ -60,6 +91,13 @@ class Region:
         if kind == WRITE:
             return self.writable
         return self.executable
+
+    def permission_bits(self) -> int:
+        if not self.present:
+            return 0
+        return ((PERM_R if self.readable else 0)
+                | (PERM_W if self.writable else 0)
+                | (PERM_X if self.executable else 0))
 
 
 class MemoryMap:
@@ -114,6 +152,15 @@ class MemoryMap:
             raise MemoryAccessError(address, READ, "outside 64 KB space")
         return self.page_table[address >> 7]
 
+    def region_permission_bytes(self) -> bytes:
+        """Flat per-address allowed-bits map of the static regions."""
+        perm = bytearray(0x10000)
+        for region in self.regions:
+            bits = region.permission_bits()
+            perm[region.start:region.end + 1] = \
+                bytes([bits]) * (region.end - region.start + 1)
+        return bytes(perm)
+
     @classmethod
     def in_main_fram(cls, address: int) -> bool:
         """Is ``address`` in the MPU-coverable main FRAM (incl. vectors)?"""
@@ -146,9 +193,22 @@ class Memory:
         self._observers: List[Observer] = []
         # When True, region/MPU checks are bypassed (loader, debugger).
         self._supervisor_depth = 0
-        # Invoked with the written address so the CPU can invalidate
-        # its decoded-instruction cache (self-modifying code, loaders).
-        self.write_hook: Optional[WriteHandler] = None
+        # Invoked with the written address; the CPU registers one to
+        # invalidate its decoded-instruction cache (self-modifying
+        # code, loaders), profilers and watchpoint engines may add
+        # their own — hooks chain instead of clobbering each other.
+        self.write_hooks: List[WriteHandler] = []
+        # -- permission fast path ------------------------------------
+        #: static region allowed-bits, computed once
+        self._region_perm: bytes = self.map.region_permission_bytes()
+        #: active bitmap (region & MPU overlay); None means the fast
+        #: path is unavailable (an MPU without overlay support)
+        self._perm: Optional[bytes] = self._region_perm
+        #: set by :meth:`invalidate_permissions`; forces a rebuild on
+        #: the next checked access
+        self._perm_stale = False
+        #: overlay memo: MPU configuration signature -> combined bitmap
+        self._perm_cache: Dict[tuple, Optional[bytes]] = {}
 
     # -- configuration -----------------------------------------------------
     def add_io(self, address: int,
@@ -167,6 +227,71 @@ class Memory:
 
     def remove_observer(self, observer: Observer) -> None:
         self._observers.remove(observer)
+
+    def add_write_hook(self, hook: WriteHandler) -> None:
+        """Chain a callback invoked after every write with the address
+        (``-1`` for bulk loads).  Hooks run in registration order."""
+        self.write_hooks.append(hook)
+
+    def remove_write_hook(self, hook: WriteHandler) -> None:
+        self.write_hooks.remove(hook)
+
+    # -- permission bitmap -------------------------------------------------
+    def invalidate_permissions(self) -> None:
+        """Mark the flat permission bitmap stale (MPU config changed)."""
+        self._perm_stale = True
+
+    def _refresh_permissions(self) -> Optional[bytes]:
+        """Rebuild the active bitmap from the region map and the MPU."""
+        self._perm_stale = False
+        mpu = self.mpu
+        if mpu is None:
+            self._perm = self._region_perm
+            return self._perm
+        signature_fn = getattr(mpu, "permission_signature", None)
+        if signature_fn is None:
+            # Unknown MPU implementation: disable the fast path and
+            # consult it on every access via the slow path.
+            self._perm = None
+            return None
+        sig = signature_fn()
+        perm = self._perm_cache.get(sig)
+        if perm is None:
+            overlay = mpu.permission_overlay()
+            if overlay is None:
+                perm = self._region_perm
+            else:
+                combined = (int.from_bytes(self._region_perm, "little")
+                            & int.from_bytes(overlay, "little"))
+                perm = combined.to_bytes(0x10000, "little")
+            self._perm_cache[sig] = perm
+        self._perm = perm
+        return perm
+
+    def access_allowed(self, address: int, kind: str) -> bool:
+        """Would a ``kind`` access at ``address`` be permitted?
+
+        Side-effect free (no MPU violation flags are raised or set);
+        used by tests and tooling to probe the permission bitmap."""
+        if not 0 <= address <= 0xFFFF:
+            return False
+        if self._perm_stale:
+            self._refresh_permissions()
+        perm = self._perm
+        if perm is not None:
+            return bool(perm[address] & _KIND_BIT[kind])
+        # Slow-path probe against an MPU without overlay support: ask
+        # the region map, then the MPU, undoing violation side effects.
+        if not self.map.page_table[address >> 7].allows(kind):
+            return False
+        if self.mpu is None:
+            return True
+        from repro.errors import MpuViolationError
+        try:
+            self.mpu.check(address, kind)
+        except (MpuViolationError, MemoryAccessError):
+            return False
+        return True
 
     # -- supervisor (unchecked) access --------------------------------------
     class _Supervisor:
@@ -188,6 +313,18 @@ class Memory:
     def _check(self, address: int, kind: str) -> None:
         if self._supervisor_depth:
             return
+        if self._perm_stale:
+            self._refresh_permissions()
+        perm = self._perm
+        if perm is not None and 0 <= address <= 0xFFFF \
+                and perm[address] & _KIND_BIT[kind]:
+            return
+        self._check_slow(address, kind)
+
+    def _check_slow(self, address: int, kind: str) -> None:
+        """The original region walk + MPU segment check.  Runs when the
+        bitmap denies (or cannot answer); raises the same errors with
+        the same MPU violation-flag side effects as always."""
         if not 0 <= address <= 0xFFFF:
             raise MemoryAccessError(address, kind, "outside 64 KB space")
         region = self.map.page_table[address >> 7]
@@ -207,8 +344,14 @@ class Memory:
     # -- byte access -----------------------------------------------------------
     def read_byte(self, address: int, kind: str = READ) -> int:
         address &= 0xFFFF
-        self._check(address, kind)
-        self._notify(address, kind, 1)
+        if not self._supervisor_depth:
+            if self._perm_stale:
+                self._refresh_permissions()
+            perm = self._perm
+            if perm is None or not perm[address] & _KIND_BIT[kind]:
+                self._check_slow(address, kind)
+        if self._observers:
+            self._notify(address, kind, 1)
         base = address & ~1
         if base in self._io_read:
             word = self._io_read[base]() & 0xFFFF
@@ -217,8 +360,14 @@ class Memory:
 
     def write_byte(self, address: int, value: int) -> None:
         address &= 0xFFFF
-        self._check(address, WRITE)
-        self._notify(address, WRITE, 1)
+        if not self._supervisor_depth:
+            if self._perm_stale:
+                self._refresh_permissions()
+            perm = self._perm
+            if perm is None or not perm[address] & PERM_W:
+                self._check_slow(address, WRITE)
+        if self._observers:
+            self._notify(address, WRITE, 1)
         base = address & ~1
         if base in self._io_write:
             # Byte writes to I/O ports write the low byte, high byte zero,
@@ -226,8 +375,8 @@ class Memory:
             self._io_write[base](base, value & 0xFF)
             return
         self._bytes[address] = value & 0xFF
-        if self.write_hook is not None:
-            self.write_hook(address, value)
+        for hook in self.write_hooks:
+            hook(address, value)
 
     # -- word access ------------------------------------------------------------
     def read_word(self, address: int, kind: str = READ) -> int:
@@ -235,24 +384,37 @@ class Memory:
         # so an even-aligned word never spans a boundary: one check
         # covers both bytes.
         address &= 0xFFFE
-        self._check(address, kind)
+        if not self._supervisor_depth:
+            if self._perm_stale:
+                self._refresh_permissions()
+            perm = self._perm
+            if perm is None or not perm[address] & _KIND_BIT[kind]:
+                self._check_slow(address, kind)
         if self._observers:
             self._notify(address, kind, 2)
         if address in self._io_read:
             return self._io_read[address]() & 0xFFFF
-        return self._bytes[address] | (self._bytes[address + 1] << 8)
+        data = self._bytes
+        return data[address] | (data[address + 1] << 8)
 
     def write_word(self, address: int, value: int) -> None:
         address &= 0xFFFE
-        self._check(address, WRITE)
-        self._notify(address, WRITE, 2)
+        if not self._supervisor_depth:
+            if self._perm_stale:
+                self._refresh_permissions()
+            perm = self._perm
+            if perm is None or not perm[address] & PERM_W:
+                self._check_slow(address, WRITE)
+        if self._observers:
+            self._notify(address, WRITE, 2)
         if address in self._io_write:
             self._io_write[address](address, value & 0xFFFF)
             return
-        self._bytes[address] = value & 0xFF
-        self._bytes[address + 1] = (value >> 8) & 0xFF
-        if self.write_hook is not None:
-            self.write_hook(address, value)
+        data = self._bytes
+        data[address] = value & 0xFF
+        data[address + 1] = (value >> 8) & 0xFF
+        for hook in self.write_hooks:
+            hook(address, value)
 
     def fetch_word(self, address: int) -> int:
         """Instruction fetch: a word read with execute permission."""
@@ -265,8 +427,8 @@ class Memory:
         if end > 0x10000:
             raise MemoryAccessError(end, WRITE, "load past end of memory")
         self._bytes[address:end] = blob
-        if self.write_hook is not None:
-            self.write_hook(-1, 0)     # bulk write: full invalidation
+        for hook in self.write_hooks:
+            hook(-1, 0)     # bulk write: full invalidation
 
     def dump(self, address: int, length: int) -> bytes:
         """Debugger read, bypassing permission checks."""
@@ -275,5 +437,5 @@ class Memory:
     def fill(self, address: int, length: int, value: int = 0) -> None:
         self._bytes[address:address + length] = \
             bytes([value & 0xFF]) * length
-        if self.write_hook is not None:
-            self.write_hook(-1, 0)     # bulk write: full invalidation
+        for hook in self.write_hooks:
+            hook(-1, 0)     # bulk write: full invalidation

@@ -172,10 +172,15 @@ class Mpu:
         # cached byte-address boundaries (hot path)
         self._b1 = 0
         self._b2 = 0
+        #: bumped on every configuration change; drives the bus's flat
+        #: permission-bitmap invalidation
+        self.config_epoch = 0
+        self._memory = None
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, memory) -> None:
         memory.mpu = self
+        self._memory = memory
         memory.add_io(MPUCTL0, read=lambda: self.ctl0,
                       write=self._write_ctl0)
         memory.add_io(MPUCTL1, read=lambda: self.ctl1,
@@ -185,6 +190,12 @@ class Mpu:
         memory.add_io(MPUSEGB1, read=lambda: self.segb1,
                       write=self._write_segb1)
         memory.add_io(MPUSAM, read=lambda: self.sam, write=self._write_sam)
+        memory.invalidate_permissions()
+
+    def _config_changed(self) -> None:
+        self.config_epoch += 1
+        if self._memory is not None:
+            self._memory.invalidate_permissions()
 
     # -- register semantics -------------------------------------------------------
     @property
@@ -211,6 +222,7 @@ class Mpu:
             return
         self.ctl0 = (MPU_PASSWORD << 8) | (value & (MPUENA | MPULOCK
                                                     | MPUSEGIE))
+        self._config_changed()
 
     def _write_ctl1(self, _addr: int, value: int) -> None:
         # Writing 0 bits clears violation flags.
@@ -220,15 +232,18 @@ class Mpu:
         if not self.locked:
             self.segb1 = value & 0xFFFF
             self._b1 = (self.segb1 << 4) & 0xFFFF
+            self._config_changed()
 
     def _write_segb2(self, _addr: int, value: int) -> None:
         if not self.locked:
             self.segb2 = value & 0xFFFF
             self._b2 = (self.segb2 << 4) & 0xFFFF
+            self._config_changed()
 
     def _write_sam(self, _addr: int, value: int) -> None:
         if not self.locked:
             self.sam = value & 0xFFFF
+            self._config_changed()
 
     # -- convenience ---------------------------------------------------------------
     def configure(self, config: MpuConfig) -> None:
@@ -245,6 +260,7 @@ class Mpu:
 
     def disable(self) -> None:
         self.ctl0 &= ~MPUENA & 0xFFFF
+        self._config_changed()
 
     @property
     def boundary1(self) -> int:
@@ -273,6 +289,38 @@ class Mpu:
         return SegmentPermissions.from_bits(
             (self.sam >> (4 * (segment - 1))) & 0xF
         )
+
+    # -- permission-bitmap fast path -------------------------------------------------
+    def permission_signature(self) -> tuple:
+        """Hashable summary of everything :meth:`check` depends on;
+        keys the bus's memoized per-configuration bitmaps."""
+        return ("mpu", self.ctl0 & MPUENA, self._b1, self._b2, self.sam)
+
+    def permission_overlay(self) -> Optional[bytes]:
+        """Flat per-address allowed-bits map mirroring :meth:`check`
+        exactly (the bus ANDs it with the region map).  ``None`` means
+        no restriction (MPU disabled)."""
+        if not self.ctl0 & MPUENA:
+            return None
+        overlay = bytearray(b"\x07" * 0x10000)
+        # InfoMem: segment 0.  SAM R/W/X bit values equal the bus's
+        # PERM_R/W/X bits, so the 3-bit nibbles transfer directly.
+        info_bits = (self.sam >> 12) & 0b111
+        overlay[MemoryMap.INFOMEM_START:MemoryMap.INFOMEM_END + 1] = \
+            bytes([info_bits]) * (MemoryMap.INFOMEM_END + 1
+                                  - MemoryMap.INFOMEM_START)
+        # Main FRAM: segments 1-3 split at the (clamped) boundaries,
+        # replicating check()'s `addr < b1` / `addr < b2` comparisons.
+        fram = MemoryMap.FRAM_START
+        p1 = min(max(self._b1, fram), 0x10000)
+        p2 = min(max(self._b2, p1), 0x10000)
+        seg1 = self.sam & 0b111
+        seg2 = (self.sam >> 4) & 0b111
+        seg3 = (self.sam >> 8) & 0b111
+        overlay[fram:p1] = bytes([seg1]) * (p1 - fram)
+        overlay[p1:p2] = bytes([seg2]) * (p2 - p1)
+        overlay[p2:0x10000] = bytes([seg3]) * (0x10000 - p2)
+        return bytes(overlay)
 
     # -- the enforcement hook called by the bus -------------------------------------
     def check(self, address: int, kind: str) -> None:

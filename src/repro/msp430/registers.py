@@ -142,7 +142,9 @@ class RegisterFile:
     def restore(self, values: List[int]) -> None:
         if len(values) != 16:
             raise ValueError("register snapshot must have 16 entries")
-        self._regs = [v & MASK16 for v in values]
+        # in-place so the list object stays identical (the CPU's fast
+        # path indexes it directly)
+        self._regs[:] = [v & MASK16 for v in values]
 
     def __iter__(self) -> Iterator[int]:
         return iter(self._regs)

@@ -344,3 +344,73 @@ class TestCycleCounting:
         cpu.reset()
         assert cpu.regs.pc == 0x5000
         assert cpu.cycles == 0
+
+
+class TestICacheInvalidation:
+    """The decoded-instruction cache must drop entries when code
+    memory changes — via single stores (write hook pops the 64-byte
+    block *and its predecessor*) or bulk loads (full clear)."""
+
+    def _patch(self, cpu, address, insn):
+        """Overwrite code with word stores, the targeted-invalidation
+        path (memory.load would clear the whole cache)."""
+        blob = encode_bytes(insn, address)
+        for off in range(0, len(blob), 2):
+            word = int.from_bytes(blob[off:off + 2], "little")
+            cpu.memory.write_word(address + off, word)
+
+    def test_self_modifying_code(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0x1111),
+                                     dst=reg(5)))
+        assert cpu.regs.read(5) == 0x1111
+        self._patch(cpu, CODE, Instruction(Opcode.MOV, src=imm(0x2222),
+                                           dst=reg(5)))
+        cpu.regs.pc = CODE
+        cpu.step()
+        assert cpu.regs.read(5) == 0x2222
+
+    def test_bulk_load_clears_cache(self, cpu):
+        run_program(cpu, Instruction(Opcode.MOV, src=imm(0x1111),
+                                     dst=reg(5)))
+        blob = encode_bytes(Instruction(Opcode.MOV, src=imm(0x2222),
+                                        dst=reg(5)), CODE)
+        cpu.memory.load(CODE, blob)
+        cpu.regs.pc = CODE
+        cpu.step()
+        assert cpu.regs.read(5) == 0x2222
+
+    def test_straddling_block_boundary(self, cpu):
+        # A 4-byte instruction whose opcode word sits in one 64-byte
+        # icache block and whose extension word sits in the next: the
+        # entry is cached under the *first* block, so a write that only
+        # touches the second block must still evict it (the hook pops
+        # block and block-1).
+        start = 0x447E
+        assert start >> 6 != (start + 2) >> 6
+        insn = Instruction(Opcode.MOV, src=imm(0x1111), dst=reg(5))
+        cpu.memory.load(start, encode_bytes(insn, start))
+        cpu.regs.pc = start
+        cpu.step()
+        assert cpu.regs.read(5) == 0x1111
+        # patch only the extension word, at start+2 in the next block
+        cpu.memory.write_word(start + 2, 0x2222)
+        cpu.regs.pc = start
+        cpu.step()
+        assert cpu.regs.read(5) == 0x2222
+
+    def test_patch_opcode_word_of_straddler(self, cpu):
+        # Same layout, but the write lands in the first block.
+        start = 0x447E
+        cpu.memory.load(start, encode_bytes(
+            Instruction(Opcode.MOV, src=imm(0x1111), dst=reg(5)),
+            start))
+        cpu.regs.pc = start
+        cpu.step()
+        assert cpu.regs.read(5) == 0x1111
+        self._patch(cpu, start, Instruction(Opcode.MOV,
+                                            src=imm(0x3333),
+                                            dst=reg(6)))
+        cpu.regs.pc = start
+        cpu.step()
+        assert cpu.regs.read(6) == 0x3333
+        assert cpu.regs.read(5) == 0x1111

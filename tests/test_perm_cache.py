@@ -1,0 +1,156 @@
+"""Property test for the flat permission bitmap.
+
+The bus's fast path answers every permission question from a
+per-address bitmap (region map AND MPU overlay, memoized per MPU
+configuration).  Here an *independent* reimplementation of the
+original semantics — a linear region scan plus the MPU's documented
+segment walk, written from the register spec rather than shared code —
+checks 200 random MPU configurations at random addresses for all three
+access kinds.  Any divergence between the bitmap and the spec walk is
+a real bug in one of them.
+"""
+
+import random
+
+import pytest
+
+from repro.msp430.memory import EXECUTE, READ, WRITE, Memory, MemoryMap
+from repro.msp430.mpu import (
+    SAM_R,
+    SAM_W,
+    SAM_X,
+    Mpu,
+    MpuConfig,
+    SegmentPermissions,
+)
+
+KINDS = (READ, WRITE, EXECUTE)
+_KIND_SAM = {READ: SAM_R, WRITE: SAM_W, EXECUTE: SAM_X}
+
+
+def spec_allows(memory: Memory, mpu: Mpu, address: int,
+                kind: str) -> bool:
+    """The original check, re-derived from the spec: scan the region
+    list (no page table), then walk the MPU segments from the raw
+    registers (no cached boundaries, no overlay)."""
+    if not 0 <= address <= 0xFFFF:
+        return False
+    region = next((r for r in memory.map.regions
+                   if r.start <= address <= r.end), None)
+    if region is None or not region.allows(kind):
+        return False
+    if mpu is None or not mpu.enabled:
+        return True
+    # MPU coverage: main FRAM (incl. vectors) -> segments 1-3 split at
+    # the register-defined boundaries; InfoMem -> segment 0; anything
+    # else (SRAM, peripherals, BSL) is uncovered and ungoverned.
+    b1 = (mpu.segb1 << 4) & 0xFFFF
+    b2 = (mpu.segb2 << 4) & 0xFFFF
+    if MemoryMap.FRAM_START <= address <= MemoryMap.VECTORS_END:
+        if address < b1:
+            segment = 1
+        elif address < b2:
+            segment = 2
+        else:
+            segment = 3
+        bits = (mpu.sam >> (4 * (segment - 1))) & 0xF
+    elif MemoryMap.INFOMEM_START <= address <= MemoryMap.INFOMEM_END:
+        bits = (mpu.sam >> 12) & 0xF
+    else:
+        return True
+    return bool(bits & _KIND_SAM[kind])
+
+
+def random_config(rng: random.Random) -> MpuConfig:
+    def perms() -> SegmentPermissions:
+        return SegmentPermissions(rng.random() < 0.6,
+                                  rng.random() < 0.5,
+                                  rng.random() < 0.5)
+
+    lo = MemoryMap.FRAM_START
+    hi = MemoryMap.VECTORS_END + 1
+    b1, b2 = sorted(rng.randrange(lo, hi + 1, 16) for _ in range(2))
+    return MpuConfig(b1=b1, b2=b2, seg1=perms(), seg2=perms(),
+                     seg3=perms(), info=perms(),
+                     enabled=rng.random() < 0.9)
+
+
+def interesting_addresses(rng: random.Random,
+                          config: MpuConfig) -> list:
+    """Random probes plus every boundary's immediate neighborhood."""
+    probes = [rng.randrange(0, 0x10000) for _ in range(24)]
+    for edge in (MemoryMap.FRAM_START, MemoryMap.INFOMEM_START,
+                 MemoryMap.INFOMEM_END, MemoryMap.SRAM_START,
+                 MemoryMap.VECTORS_END, config.b1, config.b2):
+        for delta in (-1, 0, 1):
+            probes.append(max(0, min(0xFFFF, edge + delta)))
+    return probes
+
+
+class TestPermissionBitmapProperty:
+    def test_bitmap_matches_spec_walk_for_200_random_configs(self):
+        rng = random.Random(0x5EED)
+        memory = Memory()
+        mpu = Mpu()
+        mpu.attach(memory)
+        for _ in range(200):
+            config = random_config(rng)
+            mpu.configure(config)
+            # the fast path must actually be active for this MPU
+            memory.access_allowed(0, READ)   # force a refresh
+            assert memory._perm is not None
+            for address in interesting_addresses(rng, config):
+                for kind in KINDS:
+                    got = memory.access_allowed(address, kind)
+                    want = spec_allows(memory, mpu, address, kind)
+                    assert got == want, (
+                        f"bitmap={got} spec={want} at 0x{address:04X} "
+                        f"{kind} under {config.render()}")
+
+    def test_disabled_mpu_reduces_to_region_map(self):
+        rng = random.Random(7)
+        memory = Memory()
+        mpu = Mpu()
+        mpu.attach(memory)
+        mpu.configure(random_config(rng))
+        mpu.disable()
+        for address in [rng.randrange(0, 0x10000) for _ in range(64)]:
+            for kind in KINDS:
+                assert (memory.access_allowed(address, kind)
+                        == spec_allows(memory, mpu, address, kind))
+
+    def test_memoized_bitmaps_are_reused_across_reconfigs(self):
+        memory = Memory()
+        mpu = Mpu()
+        mpu.attach(memory)
+        rng = random.Random(3)
+        a = random_config(rng)
+        b = random_config(rng)
+        mpu.configure(a)
+        memory.access_allowed(0, READ)
+        perm_a = memory._perm
+        mpu.configure(b)
+        memory.access_allowed(0, READ)
+        assert memory._perm is not perm_a
+        mpu.configure(a)              # context-switch back
+        memory.access_allowed(0, READ)
+        assert memory._perm is perm_a  # served from the signature memo
+
+    def test_checked_access_agrees_with_probe(self):
+        """memory._check raises exactly when access_allowed says no
+        (and the slow path sets the MPU violation flags)."""
+        from repro.errors import MemoryAccessError, MpuViolationError
+        rng = random.Random(11)
+        memory = Memory()
+        mpu = Mpu()
+        mpu.attach(memory)
+        mpu.configure(random_config(rng))
+        for address in [rng.randrange(0, 0x10000) for _ in range(128)]:
+            for kind in KINDS:
+                allowed = memory.access_allowed(address, kind)
+                try:
+                    memory._check(address, kind)
+                    raised = False
+                except (MemoryAccessError, MpuViolationError):
+                    raised = True
+                assert raised == (not allowed)
