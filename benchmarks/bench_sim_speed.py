@@ -2,13 +2,19 @@
 
 Tracks the simulator's raw speed across PRs.  Two workloads:
 
-* ``raw_loop`` — a register-only countdown loop stepped directly on a
-  bare :class:`~repro.msp430.cpu.Cpu` (decode cache hot, no MPU): the
-  ceiling of the fetch/decode/execute engine itself.
+* ``raw_loop`` — a register-only countdown loop on a bare
+  :class:`~repro.msp430.cpu.Cpu`, driven through :meth:`Cpu.run` (the
+  production entry every experiment uses, so the superblock engine is
+  what's measured; decode cache hot, no MPU): the ceiling of the
+  execution engine itself.
 * ``mpu_quicksort`` — repeated dispatches of the Quicksort benchmark
   app built under the MPU model on a full :class:`AmuletMachine`:
   the paper-experiment hot path (MPU enabled, checks inserted,
   memory-heavy).
+
+``--step-only`` forces :attr:`Cpu.block_mode` off, measuring the
+per-instruction interpreter alone — record one run with it and one
+without for a before/after pair under identical harness conditions.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_sim_speed.py``)
 to append a record to ``BENCH_sim.json`` at the repo root, or via
@@ -22,7 +28,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.msp430.cpu import Cpu
+from repro.msp430.cpu import Cpu, ExecutionLimitExceeded
 from repro.msp430.encoding import encode_bytes
 from repro.msp430.isa import Instruction, Opcode, imm, reg
 
@@ -49,9 +55,11 @@ def _load_raw_loop(cpu: Cpu) -> None:
     cpu.regs.sp = 0x2400
 
 
-def bench_raw_loop(seconds: float = 1.0) -> float:
-    """Instructions/second of a hot register-only loop."""
+def bench_raw_loop(seconds: float = 1.0,
+                   step_only: bool = False) -> float:
+    """Instructions/second of a hot register-only loop via ``run()``."""
     cpu = Cpu()
+    cpu.block_mode = not step_only
     _load_raw_loop(cpu)
     # warm the decode cache
     for _ in range(64):
@@ -60,13 +68,18 @@ def bench_raw_loop(seconds: float = 1.0) -> float:
     deadline = time.perf_counter() + seconds
     start = time.perf_counter()
     while time.perf_counter() < deadline:
-        for _ in range(2000):
-            cpu.step()
+        # the loop never halts, so every run() call spends its full
+        # cycle budget — a realistic slice of experiment execution
+        try:
+            cpu.run(max_cycles=400_000)
+        except ExecutionLimitExceeded:
+            pass
     elapsed = time.perf_counter() - start
     return (cpu.instructions - start_insns) / elapsed
 
 
-def bench_mpu_quicksort(seconds: float = 1.0) -> float:
+def bench_mpu_quicksort(seconds: float = 1.0,
+                        step_only: bool = False) -> float:
     """Instructions/second of the paper's MPU-model Quicksort path."""
     from repro.aft.models import IsolationModel
     from repro.aft.phases import AftPipeline
@@ -75,7 +88,7 @@ def bench_mpu_quicksort(seconds: float = 1.0) -> float:
 
     firmware = AftPipeline(IsolationModel.MPU).build(
         load_benchmarks(["quicksort"]))
-    machine = AmuletMachine(firmware)
+    machine = AmuletMachine(firmware, step_only=step_only)
     machine.dispatch("quicksort", "quicksort_run", [1])  # warm up
     start_insns = machine.cpu.instructions
     deadline = time.perf_counter() + seconds
@@ -92,27 +105,33 @@ def bench_mpu_quicksort(seconds: float = 1.0) -> float:
     return (machine.cpu.instructions - start_insns) / elapsed
 
 
-def run_benchmarks(seconds: float = 1.0, repeats: int = 3) -> dict:
+def run_benchmarks(seconds: float = 1.0, repeats: int = 3,
+                   step_only: bool = False) -> dict:
     # Best-of-N, timeit-style: interference (other processes, CPU
     # steal on shared hosts) only ever *lowers* a rate, so the max
     # over repeats is the least-noisy estimate of the true speed.
     return {
         "raw_loop_insns_per_sec": round(max(
-            bench_raw_loop(seconds) for _ in range(repeats))),
+            bench_raw_loop(seconds, step_only)
+            for _ in range(repeats))),
         "mpu_quicksort_insns_per_sec": round(max(
-            bench_mpu_quicksort(seconds) for _ in range(repeats))),
+            bench_mpu_quicksort(seconds, step_only)
+            for _ in range(repeats))),
     }
 
 
-def record(label: str, seconds: float = 1.0, repeats: int = 3) -> dict:
+def record(label: str, seconds: float = 1.0, repeats: int = 3,
+           step_only: bool = False) -> dict:
     """Append one measurement record to BENCH_sim.json."""
     entry = {
         "label": label,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
         "seconds_per_workload": seconds,
         "repeats": repeats,
-        "results": run_benchmarks(seconds, repeats),
+        "results": run_benchmarks(seconds, repeats, step_only),
     }
+    if step_only:
+        entry["step_only"] = True
     history = []
     if BENCH_JSON.exists():
         history = json.loads(BENCH_JSON.read_text()).get("runs", [])
@@ -137,8 +156,13 @@ def main() -> int:
                         help="measurement window per workload")
     parser.add_argument("--repeats", type=int, default=3,
                         help="windows per workload; best is kept")
+    parser.add_argument("--step-only", action="store_true",
+                        help="disable superblocks (Cpu.block_mode "
+                             "= False): measure the pure "
+                             "per-instruction interpreter")
     args = parser.parse_args()
-    entry = record(args.label, args.seconds, args.repeats)
+    entry = record(args.label, args.seconds, args.repeats,
+                   args.step_only)
     for name, value in entry["results"].items():
         print(f"{name}: {value:,}")
     print(f"[appended to {BENCH_JSON}]")

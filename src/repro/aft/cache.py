@@ -22,10 +22,14 @@ Two layers:
   parallel experiment runner's worker processes cheap.
 
 Environment knobs: ``REPRO_NO_CACHE=1`` disables both layers,
-``REPRO_CACHE_DIR`` overrides the on-disk location.  Builds that use a
-custom ``policy_factory`` (e.g. the ARP profiler's counting policies)
-must not use this module — the factory is arbitrary code and cannot be
-part of a content key.
+``REPRO_CACHE_DIR`` overrides the on-disk location, and
+``REPRO_CACHE_MAX_MB`` bounds the on-disk layer (default 256 MB; 0 or
+negative disables pruning).  The disk layer is LRU: reads touch the
+entry's mtime, and after each write the oldest entries are evicted
+until the total size fits the bound.  Builds that use a custom
+``policy_factory`` (e.g. the ARP profiler's counting policies) must
+not use this module — the factory is arbitrary code and cannot be part
+of a content key.
 """
 
 from __future__ import annotations
@@ -83,6 +87,51 @@ def _cache_enabled() -> bool:
     return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true")
 
 
+def cache_max_bytes() -> int:
+    """On-disk budget from ``REPRO_CACHE_MAX_MB`` (<= 0: unbounded)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_MB", "256")
+    try:
+        return int(float(raw) * 1024 * 1024)
+    except ValueError:
+        return 256 * 1024 * 1024
+
+
+def prune_cache(directory: Optional[Path] = None,
+                max_bytes: Optional[int] = None) -> int:
+    """Evict least-recently-used ``.pkl`` entries until the cache fits
+    ``max_bytes``; returns the number of entries removed.
+
+    "Recently used" is mtime: :func:`build_firmware` touches an entry
+    on every disk hit, so hot firmwares survive sweeps.  Concurrent
+    workers may race us to a file — a vanished entry is not an error.
+    """
+    directory = cache_dir() if directory is None else directory
+    limit = cache_max_bytes() if max_bytes is None else max_bytes
+    if limit <= 0 or not directory.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for path in directory.glob("*.pkl"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    removed = 0
+    entries.sort()                     # oldest first
+    for _mtime, size, path in entries:
+        if total <= limit:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue                   # raced with another worker
+        total -= size
+        removed += 1
+    return removed
+
+
 def build_firmware(model: IsolationModel,
                    apps: Sequence[AppSource],
                    shadow_stack: bool = False,
@@ -108,6 +157,7 @@ def build_firmware(model: IsolationModel,
         try:
             with disk_path.open("rb") as fh:
                 firmware = pickle.load(fh)
+            os.utime(disk_path)       # LRU touch: mark recently used
         except Exception:
             firmware = None           # stale/corrupt entry: rebuild
     if firmware is None:
@@ -120,6 +170,7 @@ def build_firmware(model: IsolationModel,
                 with tmp.open("wb") as fh:
                     pickle.dump(firmware, fh)
                 tmp.replace(disk_path)  # atomic: safe under fan-out
+                prune_cache(disk_path.parent)
             except Exception:
                 pass                  # unpicklable or read-only FS
     _memory_cache[key] = firmware

@@ -50,9 +50,14 @@ class AppRuntimeState:
 
 class AmuletMachine:
     def __init__(self, firmware: Firmware,
-                 env: Optional[SensorEnvironment] = None):
+                 env: Optional[SensorEnvironment] = None,
+                 step_only: bool = False):
         self.firmware = firmware
         self.cpu = Cpu()
+        # step_only disables superblock dispatch — every instruction
+        # goes through Cpu.step(); results are bit-identical, only
+        # slower (benchmarks and differential tests use this).
+        self.cpu.block_mode = not step_only
         self.timer = CycleTimer(self.cpu)
         self.timer.attach()
         self.fault_log = FaultLog()

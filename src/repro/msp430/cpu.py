@@ -18,6 +18,43 @@ writeback uses plain ``(register, address)`` integers (``-1`` meaning
 Decoded instructions are cached per 64-byte block; any memory write
 invalidates the blocks it touches, so self-modifying code and
 firmware reloads stay correct.
+
+Superblocks
+-----------
+
+On top of the per-instruction thunks, :meth:`Cpu.run` compiles
+straight-line runs of already-decoded thunks into *superblocks*: one
+Python-level dispatch per block instead of one ``step()`` round trip
+per instruction.  A block starts at a hot PC and extends until the
+first
+
+* jump (included as the block's final instruction), call, return, or
+  any other instruction without a specialized thunk,
+* instruction whose absolute operand hits a memory-mapped I/O port —
+  kernel gates (service/done/fault ports), MPU registers, the cycle
+  timer — so gate crossings and MPU reprogramming always run through
+  ``step()``, or
+* the 64-instruction block-size cap.
+
+Blocks come in two flavours, decided by a compile-time "may touch
+memory" summary: **pure** blocks (register-only thunks, optionally a
+final jump) skip *all* per-instruction bookkeeping — the PC, cycle and
+instruction counters are written once per block — while **memory**
+blocks keep the architectural counters and PC exact around every
+thunk, so I/O read handlers (the cycle timer), fault PCs, and pending
+service faults observe bit-identical state to ``step()``.
+
+``run()`` only dispatches blocks when nothing needs per-instruction
+observability: a ``trace_hook`` (debugger), a memory observer
+(watchpoints, profilers), a pending fault, or a cycle/instruction
+budget within one block of expiring all fall back to ``step()``, as
+does setting :attr:`Cpu.block_mode` to ``False`` (the forced step-only
+mode the differential tests compare against).  Invalidation rides the
+icache write hook — a store into a block's PC range (including
+block-straddling writes) kills the block — and MPU reconfiguration is
+handled by revalidating each block's execute permission against the
+bus's memoized permission bitmap: same bitmap object, no work; new
+bitmap, one pass over the block's byte range.
 """
 
 from __future__ import annotations
@@ -67,7 +104,140 @@ class CpuFault(ReproError):
 
 
 class ExecutionLimitExceeded(ReproError):
-    """``run`` hit its cycle or instruction budget without halting."""
+    """``run`` hit its cycle or instruction budget without halting.
+
+    The message states which budget tripped (cycles vs. instructions);
+    the two limits are tracked separately."""
+
+
+#: superblocks stop growing after this many instructions; ``run``'s
+#: budget guard refuses to dispatch a block that could overshoot the
+#: remaining budget, so blocks never blur ExecutionLimitExceeded.
+_MAX_BLOCK_INSNS = 64
+
+
+class _Block:
+    """One compiled superblock: a straight-line run of decoded thunks
+    fused into a single ``compile()``-generated function ``fn``.
+
+    ``steps`` holds ``(pc, next_pc, thunk, cycles, may_store)`` per
+    instruction (kept for invalidation tests and diagnostics).  Three
+    flavors of ``fn``:
+
+    * **pure** — register-only thunks (plus an optional final jump):
+      ``fn(cpu, r, m)`` sets the PC once, calls the thunks back to
+      back, and adds the cycle/instruction totals in one batch.
+    * **loop** — a pure block whose final jump targets its own start:
+      ``fn(cpu, r, m, limit)`` iterates the whole block up to ``limit``
+      times (the caller derives ``limit`` from the remaining budget),
+      exiting as soon as the jump falls through.
+    * **memory** — anything that touches memory: ``fn(cpu, r, m)``
+      maintains PC and both counters per instruction (so I/O read
+      handlers such as the cycle timer observe exactly the state
+      ``step()`` would show) and re-checks halt/pending-fault/
+      invalidation/observability after every store.
+
+    ``perm_ok`` caches the bus permission bitmap (a memoized immutable
+    ``bytes`` per MPU configuration) this block was last
+    execute-validated against — same object means the validation still
+    holds, so an MPU reconfiguration only costs a re-scan for blocks
+    whose permission signature actually changed.  ``pc_map`` maps each
+    instruction's advanced PC back to its own PC so a fault raised
+    inside ``fn`` is reported at the exact faulting instruction.
+    """
+
+    __slots__ = ("start", "end", "end_pc", "steps", "cycles", "count",
+                 "pure", "loop", "valid", "perm_ok", "fn", "pc_map")
+
+    def __init__(self, start: int, end: int, end_pc: int,
+                 steps: tuple, pure: bool, loop: bool):
+        self.start = start
+        self.end = end                  # one past the last code byte
+        self.end_pc = end_pc            # pc after the last instruction
+        self.steps = steps
+        self.cycles = sum(s[3] for s in steps)
+        self.count = len(steps)
+        self.pure = pure
+        self.loop = loop
+        self.valid = True
+        self.perm_ok = None
+        self.pc_map = {s[1]: s[0] for s in steps}
+        self.fn = _codegen(self)
+
+
+def _codegen(blk: _Block):
+    """Fuse a block's thunks into one compiled Python function.
+
+    The generated code inlines every PC value and cycle count as a
+    constant and binds the thunks as globals, so executing a block
+    costs one Python call plus the thunk bodies — the per-instruction
+    interpreter loop (tuple unpacking, index bookkeeping, budget and
+    halt polling) is gone.
+    """
+    ns = {}
+    lines = []
+    if blk.loop:
+        # Pure self-loop: re-dispatching the same two-or-three
+        # instruction block through ``run()`` would cost more than the
+        # block body, so iterate in place.  ``limit`` is the number of
+        # full iterations the remaining cycle/instruction budget
+        # allows (>= 1); the jump falling through ends the loop early.
+        for i, s in enumerate(blk.steps):
+            ns[f"_t{i}"] = s[2]
+        body = "".join(f"        _t{i}(r, m)\n"
+                       for i in range(blk.count))
+        src = (
+            "def _fn(c, r, m, limit):\n"
+            "    n = 0\n"
+            "    while True:\n"
+            f"        r[0] = {blk.end_pc}\n"
+            f"{body}"
+            "        n += 1\n"
+            f"        if r[0] != {blk.start} or n >= limit:\n"
+            "            break\n"
+            f"    c.cycles += {blk.cycles} * n\n"
+            f"    c.instructions += {blk.count} * n\n"
+        )
+    elif blk.pure:
+        # Register-only straight line: no thunk can fault, halt, or
+        # observe PC/counters, so set the PC once and batch the
+        # bookkeeping after the fact.
+        lines.append("def _fn(c, r, m):")
+        lines.append(f"    r[0] = {blk.end_pc}")
+        for i, s in enumerate(blk.steps):
+            ns[f"_t{i}"] = s[2]
+            lines.append(f"    _t{i}(r, m)")
+        lines.append(f"    c.cycles += {blk.cycles}")
+        lines.append(f"    c.instructions += {blk.count}")
+        src = "\n".join(lines) + "\n"
+    else:
+        # Memory-touching block: exact architectural state around
+        # every thunk.  A store may halt the machine (DONE port), post
+        # a fault (FAULT port / service handler), invalidate this very
+        # block (self-modifying code), stale the permission bitmap
+        # (MPU register), or attach an observer — each check mirrors
+        # what ``step()`` + ``run()`` would do at that boundary.
+        lines.append("def _fn(c, r, m):")
+        for i, (pc_i, next_pc, thunk, cyc_i, may_store) \
+                in enumerate(blk.steps):
+            ns[f"_t{i}"] = thunk
+            lines.append(f"    r[0] = {next_pc}")
+            lines.append(f"    _t{i}(r, m)")
+            lines.append(f"    c.cycles += {cyc_i}")
+            lines.append("    c.instructions += 1")
+            if may_store:
+                lines.append("    if c.halted: return")
+                lines.append("    f = c._pending_fault")
+                lines.append("    if f is not None:")
+                lines.append("        c._pending_fault = None")
+                lines.append("        raise f")
+                lines.append("    if (not _B.valid or m._perm_stale"
+                             " or c.trace_hook is not None"
+                             " or m._observers): return")
+        ns["_B"] = blk
+        src = "\n".join(lines) + "\n"
+    exec(compile(src, f"<superblock@0x{blk.start:04X}>", "exec"), ns)
+    return ns["_fn"]
 
 
 class Cpu:
@@ -97,6 +267,19 @@ class Cpu:
         # once.  Entries: pc -> (insn, size, cycles, handler, thunk)
         # where thunk is a specialized register-only closure or None.
         self._icache: dict = {}
+        # -- superblock layer ----------------------------------------
+        #: False forces the pure ``step()`` interpreter; differential
+        #: tests flip this to pin block mode against step mode.
+        self.block_mode = True
+        #: compiled superblocks, keyed by entry PC
+        self._blocks: Dict[int, _Block] = {}
+        #: entry PCs where compilation declined (first instruction has
+        #: no thunk, hits an I/O port, or the run is too short) — a
+        #: negative cache so ``run`` doesn't retry every iteration
+        self._no_block: set = set()
+        #: 64-byte page -> entry PCs of blocks (and no-block markers)
+        #: whose code bytes intersect that page; drives invalidation
+        self._block_pages: Dict[int, set] = {}
         # Chained (not clobbered): the profiler's and debugger's own
         # write hooks coexist with the icache invalidator.
         self.memory.add_write_hook(self._on_memory_write)
@@ -109,6 +292,12 @@ class Cpu:
     def _on_memory_write(self, address: int, _value: int) -> None:
         if address < 0:
             self._icache.clear()      # bulk load
+            if self._blocks:
+                for blk in self._blocks.values():
+                    blk.valid = False     # stop an in-flight block
+                self._blocks.clear()
+            self._block_pages.clear()
+            self._no_block.clear()
             return
         # Entries are keyed by the block their *first* word is in, but
         # an instruction can extend into the next block — so a write
@@ -116,6 +305,18 @@ class Cpu:
         block = address >> 6
         self._icache.pop(block, None)
         self._icache.pop(block - 1, None)
+        # Superblocks (and no-block markers) are indexed under *every*
+        # page their byte range intersects, so the write's own page is
+        # enough — block-straddling writes hit the straddled page.
+        pcs = self._block_pages.pop(block, None)
+        if pcs:
+            blocks = self._blocks
+            no_block = self._no_block
+            for pc in pcs:
+                blk = blocks.pop(pc, None)
+                if blk is not None:
+                    blk.valid = False     # stop an in-flight block
+                no_block.discard(pc)
 
     # -- small helpers ------------------------------------------------------
     def reset(self, pc: Optional[int] = None) -> None:
@@ -314,23 +515,217 @@ class Cpu:
 
     def run(self, max_cycles: int = 10_000_000,
             max_instructions: Optional[int] = None) -> int:
-        """Run until :attr:`halted`; returns cycles consumed by this call."""
+        """Run until :attr:`halted`; returns cycles consumed by this call.
+
+        The loop dispatches compiled superblocks whenever exact
+        per-instruction observability is not required, and falls back
+        to :meth:`step` when a trace hook or memory observer is
+        installed, a fault is pending, a budget is within one block of
+        expiring, or :attr:`block_mode` is off.  Architectural state —
+        cycles, instructions, fault PCs, halt points, budget errors —
+        is bit-identical either way.
+        """
         start = self.cycles
-        budget_insns = (max_instructions if max_instructions is not None
-                        else max_cycles)  # instructions <= cycles always
-        # tight inner loop: hoist attribute lookups out of the loop
-        step = self.step
+        start_insns = self.instructions
         cycle_limit = start + max_cycles
-        executed = 0
+        insn_limit = (None if max_instructions is None
+                      else start_insns + max_instructions)
+        memory = self.memory
+        step = self.step
+        no_block = self._no_block
         while not self.halted:
+            # -- superblock fast path --------------------------------
+            # Guards re-checked only here: a *pure* block cannot
+            # change any of them, and the post-dispatch check below
+            # drops out of the tight loop as soon as a memory block
+            # (or an inline step) does.
+            if (self.block_mode and self.trace_hook is None
+                    and self._pending_fault is None
+                    and not memory._observers):
+                if memory._perm_stale:
+                    memory._refresh_permissions()
+                perm = memory._perm
+                if perm is not None:
+                    regs = self.regs._regs
+                    get = self._blocks.get
+                    while True:
+                        blk = get(regs[0])
+                        if blk is None:
+                            pc = regs[0]
+                            if pc in no_block:
+                                break
+                            blk = self._compile_block(pc)
+                            if blk is None:
+                                break
+                        if blk.perm_ok is not perm:
+                            # MPU configuration changed since the last
+                            # execute-validation of this block's range
+                            if all(b & PERM_X
+                                   for b in perm[blk.start:blk.end]):
+                                blk.perm_ok = perm
+                            else:
+                                break        # step() raises the fault
+                        if blk.loop:
+                            iters = ((cycle_limit - self.cycles)
+                                     // blk.cycles)
+                            if insn_limit is not None:
+                                j = ((insn_limit - self.instructions)
+                                     // blk.count)
+                                if j < iters:
+                                    iters = j
+                            if iters < 1:
+                                break        # budget: step() raises
+                            blk.fn(self, regs, memory, iters)
+                            continue
+                        if (self.cycles + blk.cycles > cycle_limit
+                                or (insn_limit is not None
+                                    and self.instructions + blk.count
+                                    > insn_limit)):
+                            break            # budget: step() raises
+                        if blk.pure:
+                            blk.fn(self, regs, memory)
+                            continue
+                        try:
+                            blk.fn(self, regs, memory)
+                        except MpuViolationError as exc:
+                            raise CpuFault(
+                                FaultKind.MPU_VIOLATION,
+                                blk.pc_map[regs[0]],
+                                exc.address, exc.kind) from exc
+                        except MemoryAccessError as exc:
+                            raise CpuFault(
+                                FaultKind.BUS_ERROR,
+                                blk.pc_map[regs[0]],
+                                exc.address, exc.kind) from exc
+                        if (self.halted
+                                or self._pending_fault is not None
+                                or memory._perm_stale
+                                or self.trace_hook is not None
+                                or memory._observers):
+                            break
+                    if self.halted:
+                        break
+            # -- exact per-instruction path --------------------------
             step()
-            executed += 1
-            if self.cycles > cycle_limit or executed > budget_insns:
+            if self.cycles > cycle_limit:
                 raise ExecutionLimitExceeded(
-                    f"no halt after {self.cycles - start} cycles "
-                    f"({executed} instructions) from pc=0x{self.regs.pc:04X}"
+                    f"cycle budget: no halt after "
+                    f"{self.cycles - start} cycles "
+                    f"({self.instructions - start_insns} instructions) "
+                    f"from pc=0x{self.regs.pc:04X}"
+                )
+            if insn_limit is not None and self.instructions > insn_limit:
+                raise ExecutionLimitExceeded(
+                    f"instruction budget: no halt after "
+                    f"{self.instructions - start_insns} instructions "
+                    f"({self.cycles - start} cycles) "
+                    f"from pc=0x{self.regs.pc:04X}"
                 )
         return self.cycles - start
+
+    # -- superblock compilation and execution -------------------------------
+    def _compile_block(self, pc: int) -> Optional[_Block]:
+        """Chain decoded thunks from ``pc`` into a superblock, or mark
+        ``pc`` uncompilable.  Straight-line only: a jump ends the block
+        (inclusive); a call/return/unthunked instruction, an absolute
+        operand on a registered I/O port (kernel gates, MPU registers,
+        the cycle timer), or a non-executable byte ends it exclusive.
+        All fetches run under ``supervisor`` after probing the
+        permission bitmap, so speculative compilation has no
+        architecturally visible side effects (no MPU violation flags).
+        """
+        memory = self.memory
+        perm = memory._perm           # caller refreshed; never None here
+        icache = self._icache
+        io_ports = memory.io_addresses()
+        steps = []
+        pure = True
+        loop = False
+        cursor = pc
+        end = pc
+        while len(steps) < _MAX_BLOCK_INSNS:
+            if cursor > 0xFFFE or not perm[cursor] & PERM_X:
+                break
+            page = icache.get(cursor >> 6)
+            entry = page.get(cursor) if page is not None else None
+            if entry is None:
+                try:
+                    with memory.supervisor():
+                        insn, size = decode(memory.fetch_word, cursor)
+                except (DecodeError, MemoryAccessError):
+                    break
+                insn_cycles = cyc.instruction_cycles(insn)
+                handler = self._dispatch[insn.opcode]
+                thunk = _specialize(insn)
+                icache.setdefault(cursor >> 6, {})[cursor] = \
+                    (insn, size, insn_cycles, handler, thunk)
+            else:
+                insn, size, insn_cycles, handler, thunk = entry
+            if thunk is None:         # call/return/rare shape: step()
+                break
+            last = cursor + size - 1
+            if last > 0xFFFF or not perm[last] & PERM_X:
+                break
+            src, dst = insn.src, insn.dst
+            if _hits_io(src, io_ports) or _hits_io(dst, io_ports):
+                break                 # gate/MPU/timer port: step()
+            next_pc = (cursor + size) & 0xFFFF
+            opcode = insn.opcode
+            is_jump = opcode in _JUMP_OPCODES
+            # PUSH and CALL store through SP even though dst is None
+            stores = (opcode is Opcode.PUSH or opcode is Opcode.CALL
+                      or (not is_jump and dst is not None
+                          and dst.mode is not _M.REGISTER))
+            # CALL / RETI / MOV-to-PC redirect control flow: keep them
+            # as the block's final step, like jumps
+            writes_pc = (opcode is Opcode.CALL or opcode is Opcode.RETI
+                         or (dst is not None
+                             and dst.mode is _M.REGISTER
+                             and dst.register == 0))
+            # register-only shapes that never touch memory nor read
+            # the deferred PC are eligible for the pure
+            # (batch-bookkeeping) executor
+            if not is_jump:
+                if stores or writes_pc:
+                    pure = False
+                elif not (dst is None
+                          or (dst.mode is _M.REGISTER
+                              and src.mode in (_M.REGISTER,
+                                               _M.IMMEDIATE))):
+                    pure = False
+                elif (src is not None and src.mode is _M.REGISTER
+                      and src.register == 0):
+                    pure = False
+            steps.append((cursor, next_pc, thunk, insn_cycles,
+                          stores))
+            end = cursor + size
+            cursor = next_pc
+            if is_jump:
+                # a pure block whose final jump targets its own start
+                # can iterate in place (the generated function loops
+                # until the jump falls through or the budget share is
+                # spent)
+                loop = (pure
+                        and (next_pc + 2 * insn.offset) & 0xFFFF == pc)
+                break
+            if writes_pc or next_pc < pc:    # redirect / wrapped
+                break
+        if not steps:
+            # nothing compilable at this pc (unthunked shape, I/O
+            # port, or permission edge); remember the verdict and
+            # index it so code writes re-enable compilation.  Even a
+            # single-instruction block beats the step() fallback: the
+            # tight dispatch loop skips the per-step guard checks.
+            self._no_block.add(pc)
+            for page in range(pc >> 6, (max(end, pc + 1) - 1 >> 6) + 1):
+                self._block_pages.setdefault(page, set()).add(pc)
+            return None
+        blk = _Block(pc, end, steps[-1][1], tuple(steps), pure, loop)
+        blk.perm_ok = perm     # every byte was execute-probed above
+        self._blocks[pc] = blk
+        for page in range(pc >> 6, (end - 1 >> 6) + 1):
+            self._block_pages.setdefault(page, set()).add(pc)
+        return blk
 
     # -- per-opcode semantics ------------------------------------------------
     def _execute(self, insn: Instruction) -> None:
@@ -705,7 +1100,50 @@ _FMT1_FACTORIES = {
 def _spec_format2(insn: Instruction):
     opcode = insn.opcode
     src = insn.src
-    if src is None or src.mode is not _M.REGISTER or src.register < 4:
+    if src is None:
+        return None
+    if opcode is Opcode.PUSH:
+        # SP is decremented *before* the store (hardware order), so a
+        # faulting push leaves SP moved — same as the generic handler.
+        # PUSH.B still writes a word with the value masked to 8 bits.
+        mask = 0xFF if insn.byte else 0xFFFF
+        if src.mode is _M.REGISTER:
+            s = src.register
+
+            def thunk(r, m, s=s, mask=mask):
+                r[1] = sp = (r[1] - 2) & 0xFFFF
+                m.write_word(sp, r[s] & mask)
+            return thunk
+        if src.mode is _M.IMMEDIATE:
+            k = src.value & mask
+
+            def thunk(r, m, k=k):
+                r[1] = sp = (r[1] - 2) & 0xFFFF
+                m.write_word(sp, k)
+            return thunk
+        return None
+    if opcode is Opcode.CALL:
+        # target is evaluated before the push; PC writes are forced
+        # even (RegisterFile semantics)
+        if src.mode is _M.IMMEDIATE:
+            t = src.value & 0xFFFE
+
+            def thunk(r, m, t=t):
+                r[1] = sp = (r[1] - 2) & 0xFFFF
+                m.write_word(sp, r[0])
+                r[0] = t
+            return thunk
+        if src.mode is _M.REGISTER:
+            s = src.register
+
+            def thunk(r, m, s=s):
+                t = r[s] & 0xFFFE
+                r[1] = sp = (r[1] - 2) & 0xFFFF
+                m.write_word(sp, r[0])
+                r[0] = t
+            return thunk
+        return None
+    if src.mode is not _M.REGISTER or src.register < 4:
         return None
     byte = insn.byte
     mask = 0xFF if byte else 0xFFFF
@@ -768,6 +1206,17 @@ _JUMP_OPCODES = frozenset((
 ))
 
 
+def _hits_io(op: Optional[Operand], io_ports: frozenset) -> bool:
+    """Does this operand statically address a registered I/O port?
+    Used by the superblock compiler to terminate blocks at kernel
+    gates, MPU registers, and timer reads — those instructions always
+    execute through ``step()``.  (I/O is word-registered, so compare
+    the word-aligned address, matching the bus's dispatch.)"""
+    return (op is not None
+            and (op.mode is _M.ABSOLUTE or op.mode is _M.SYMBOLIC)
+            and (op.value & 0xFFFE) in io_ports)
+
+
 def _spec_mov_mem_to_reg(src: Operand, d: int, byte: bool):
     """MOV with a memory-mode source into a general register."""
     sm = src.mode
@@ -798,9 +1247,13 @@ def _spec_mov_mem_to_reg(src: Operand, d: int, byte: bool):
             def thunk(r, m, s=s, d=d):
                 r[d] = m.read_word(r[s])
         return thunk
-    if sm is _M.AUTOINCREMENT and src.register >= 4:
+    if sm is _M.AUTOINCREMENT and src.register >= 1:
         # read first, increment second — a faulting read must leave
-        # the pointer untouched, exactly like the generic path
+        # the pointer untouched, exactly like the generic path.
+        # Register 1 (SP) is allowed: POP Rn is ``MOV @SP+, Rn`` and
+        # an even SP stays even under +2.  (R0 autoincrement decodes
+        # as IMMEDIATE, R2/R3 as constant-generator immediates, so
+        # they never reach this shape.)
         s = src.register
         if byte:
             def thunk(r, m, s=s, d=d):
@@ -871,6 +1324,38 @@ def _spec_add_to_mem(s: int, k: int, dst: Operand):
     return thunk
 
 
+def _spec_mov_to_pc(src: Operand):
+    """Word MOV into PC: BR #imm / BR Rn / RET (``MOV @SP+, PC``).
+
+    PC writes are forced even; the autoincrement form reads before it
+    bumps the pointer, so a faulting pop leaves SP untouched — both
+    matching the generic handler exactly.
+    """
+    sm = src.mode
+    if sm is _M.IMMEDIATE:
+        t = src.value & 0xFFFE
+
+        def thunk(r, m, t=t):
+            r[0] = t
+        return thunk
+    if sm is _M.REGISTER:
+        s = src.register
+
+        def thunk(r, m, s=s):
+            r[0] = r[s] & 0xFFFE
+        return thunk
+    if sm is _M.AUTOINCREMENT:
+        s = src.register
+
+        def thunk(r, m, s=s):
+            a = r[s]
+            v = m.read_word(a)
+            r[s] = (a + 2) & 0xFFFF
+            r[0] = v & 0xFFFE
+        return thunk
+    return None
+
+
 def _specialize(insn: Instruction):
     """Return a fast closure ``thunk(regs_list, memory)`` for ``insn``,
     or None to use the generic per-opcode handler."""
@@ -891,6 +1376,29 @@ def _specialize(insn: Instruction):
         s, k = -2, 0                                  # memory source
     if dst.mode is _M.REGISTER:
         if dst.register < 4:                          # PC/SP/SR/CG2
+            if opcode is Opcode.MOV and not byte and dst.register == 0:
+                return _spec_mov_to_pc(src)           # BR / RET shapes
+            if (dst.register == 2 and not byte and s != -2
+                    and (opcode is Opcode.BIC or opcode is Opcode.BIS)):
+                # CLRC/SETC-style flag twiddling: BIC/BIS don't update
+                # flags, so the SR write is the entire effect
+                if opcode is Opcode.BIC:
+                    if s < 0:
+                        nk = (~k) & 0xFFFF
+
+                        def thunk(r, m, nk=nk):
+                            r[2] = r[2] & nk
+                    else:
+                        def thunk(r, m, s=s):
+                            r[2] = r[2] & ~r[s] & 0xFFFF
+                else:
+                    if s < 0:
+                        def thunk(r, m, k=k):
+                            r[2] = r[2] | k
+                    else:
+                        def thunk(r, m, s=s):
+                            r[2] = (r[2] | r[s]) & 0xFFFF
+                return thunk
             return None
         if s == -2:
             if opcode is Opcode.MOV:

@@ -10,6 +10,13 @@ toolbox::
     debugger.run()
     print(debugger.call_stack)
     print(debugger.backtrace_text(image.symbols))
+
+Attaching installs ``cpu.trace_hook`` (and watchpoints register memory
+observers) — either one makes ``Cpu.run()`` leave its superblock fast
+path and step one instruction at a time, so traces and watch hits are
+exact whether or not the CPU ran in block mode beforehand
+(``tests/test_debugger.py::TestMidRunAttach``).  :meth:`Debugger.detach`
+restores full-speed execution.
 """
 
 from __future__ import annotations

@@ -222,6 +222,14 @@ class Memory:
         if write is not None:
             self._io_write[address] = write
 
+    def io_addresses(self) -> frozenset:
+        """Every word address with a registered I/O handler (read or
+        write).  The CPU's superblock compiler terminates blocks at
+        instructions that statically address one of these — kernel
+        gate ports, MPU registers, the cycle timer — so port side
+        effects always run under the exact ``step()`` path."""
+        return frozenset(self._io_read) | frozenset(self._io_write)
+
     def add_observer(self, observer: Observer) -> None:
         self._observers.append(observer)
 

@@ -8,6 +8,12 @@ We model a timer whose counter register (``TA0R``-like, default address
 clock through a /16 divider.  Firmware reads the port like hardware
 would; Python harnesses can additionally use :meth:`measure` for exact
 cycle deltas when quantization noise is unwanted.
+
+The counter address is a registered I/O port, so the CPU's superblock
+compiler never fuses a timer read into a block — the read handler
+always sees the exact per-instruction ``cpu.cycles``, making
+measurements bit-identical in block and step mode
+(``tests/test_timer_cycles.py::TestTimerBlockMode``).
 """
 
 from __future__ import annotations

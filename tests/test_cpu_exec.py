@@ -414,3 +414,232 @@ class TestICacheInvalidation:
         cpu.step()
         assert cpu.regs.read(6) == 0x3333
         assert cpu.regs.read(5) == 0x1111
+
+
+# -- superblocks -----------------------------------------------------------
+
+from repro.ports import DONE_PORT  # noqa: E402
+
+
+def _block_cpu(block_mode=True):
+    c = Cpu()
+    c.block_mode = block_mode
+    c.regs.sp = 0x2400
+    c.memory.add_io(DONE_PORT, write=lambda a, v: c.halt())
+    return c
+
+
+def _load_insns(cpu, insns, start=CODE):
+    address = start
+    for insn in insns:
+        blob = encode_bytes(insn, address)
+        cpu.memory.load(address, blob)
+        address += len(blob)
+    cpu.regs.pc = start
+
+
+def _arch_state(cpu):
+    return (tuple(cpu.regs._regs), cpu.cycles, cpu.instructions,
+            cpu.halted)
+
+
+class TestSuperblockInvalidation:
+    """Compiled superblocks must die with the code they fuse — for
+    stores from inside the very block being executed, stores landing
+    in a later 64-byte page of a block's range, and bulk loads."""
+
+    HALT = Instruction(Opcode.MOV, src=imm(1), dst=absolute(DONE_PORT))
+
+    def _run_both(self, build):
+        """Run the same scenario in block mode and step-only mode and
+        require bit-identical architectural state."""
+        results = []
+        for block_mode in (True, False):
+            cpu = _block_cpu(block_mode)
+            build(cpu)
+            cpu.run(max_cycles=100_000)
+            results.append((cpu, _arch_state(cpu)))
+        (cpu_blocks, state_blocks), (_, state_step) = results
+        assert state_blocks == state_step
+        return cpu_blocks
+
+    def test_store_into_own_block(self):
+        # The first instruction rewrites the immediate of the second —
+        # four bytes ahead, inside the same compiled block.  The store
+        # must invalidate the block mid-flight so the patched
+        # instruction executes, exactly as step() would.
+        def build(cpu):
+            _load_insns(cpu, [
+                Instruction(Opcode.MOV, src=imm(0x2222),
+                            dst=absolute(CODE + 8)),     # patch below
+                Instruction(Opcode.MOV, src=imm(0x1111),  # ext at +8
+                            dst=reg(5)),
+                self.HALT,
+            ])
+        cpu = self._run_both(build)
+        assert cpu.halted
+        assert cpu.regs.read(5) == 0x2222
+
+    def test_store_straddling_block_boundary(self):
+        # Block compiled at 0x447E spans two 64-byte pages; a store
+        # touching only the second page (the extension word) must
+        # still kill the block.
+        start = 0x447E
+        assert start >> 6 != (start + 2) >> 6
+        cpu = _block_cpu()
+        _load_insns(cpu, [
+            Instruction(Opcode.MOV, src=imm(0x1111), dst=reg(5)),
+            self.HALT,
+        ], start=start)
+        cpu.run(max_cycles=100_000)
+        assert cpu.regs.read(5) == 0x1111
+        cpu.memory.write_word(start + 2, 0x2222)   # second page only
+        cpu.halted = False
+        cpu.regs.pc = start
+        cpu.run(max_cycles=100_000)
+        assert cpu.regs.read(5) == 0x2222
+
+    def test_bulk_load_kills_blocks(self):
+        cpu = _block_cpu()
+        _load_insns(cpu, [
+            Instruction(Opcode.MOV, src=imm(0x1111), dst=reg(5)),
+            self.HALT,
+        ])
+        cpu.run(max_cycles=100_000)
+        assert cpu.regs.read(5) == 0x1111
+        blob = encode_bytes(Instruction(Opcode.MOV, src=imm(0x4444),
+                                        dst=reg(5)), CODE)
+        cpu.memory.load(CODE, blob)
+        cpu.halted = False
+        cpu.regs.pc = CODE
+        cpu.run(max_cycles=100_000)
+        assert cpu.regs.read(5) == 0x4444
+
+    def test_mid_block_fault_pc_exact(self):
+        # A store into the unmapped hole (0x1A00) faults in the middle
+        # of a block; the reported pc, fault kind, counters, and
+        # registers must be identical in block and step-only mode.
+        insns = [
+            Instruction(Opcode.MOV, src=imm(0x0005), dst=reg(5)),
+            Instruction(Opcode.MOV, src=imm(0x1A00), dst=reg(4)),
+            Instruction(Opcode.MOV, src=reg(5), dst=indexed(0, 4)),
+            self.HALT,
+        ]
+        outcomes = []
+        for block_mode in (True, False):
+            cpu = _block_cpu(block_mode)
+            _load_insns(cpu, insns)
+            with pytest.raises(CpuFault) as info:
+                cpu.run(max_cycles=100_000)
+            outcomes.append((info.value.kind, info.value.pc,
+                             info.value.address, _arch_state(cpu)))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] is FaultKind.BUS_ERROR
+        assert outcomes[0][1] == CODE + 8      # the faulting store
+
+
+class TestRunBudgetMessages:
+    def _spin(self, cpu):
+        cpu.memory.load(CODE, encode_bytes(
+            Instruction(Opcode.JMP, offset=-1), CODE))
+        cpu.regs.pc = CODE
+
+    def test_cycle_budget_names_cycles(self, cpu):
+        self._spin(cpu)
+        with pytest.raises(ExecutionLimitExceeded) as info:
+            cpu.run(max_cycles=1000)
+        assert str(info.value).startswith("cycle budget")
+
+    def test_instruction_budget_names_instructions(self, cpu):
+        self._spin(cpu)
+        with pytest.raises(ExecutionLimitExceeded) as info:
+            cpu.run(max_cycles=10_000_000, max_instructions=100)
+        assert str(info.value).startswith("instruction budget")
+
+    def test_budget_raise_identical_across_modes(self):
+        # The budget error must fire at the same instruction whether
+        # the loop executed through superblocks or pure step().
+        outcomes = []
+        for block_mode in (True, False):
+            cpu = _block_cpu(block_mode)
+            _load_insns(cpu, [
+                Instruction(Opcode.MOV, src=imm(0x7FFF), dst=reg(5)),
+                Instruction(Opcode.SUB, src=imm(1), dst=reg(5)),
+                Instruction(Opcode.JNE, offset=-2),
+                Instruction(Opcode.JMP, offset=-5),
+            ])
+            with pytest.raises(ExecutionLimitExceeded):
+                cpu.run(max_cycles=5_000)
+            outcomes.append(_arch_state(cpu))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestBlockStepDifferential:
+    """Seeded random programs executed in block mode and step-only
+    mode must agree on every register, flag, counter, and fault."""
+
+    def _random_program(self, rng):
+        insns = []
+        alu = [Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.CMP,
+               Opcode.AND, Opcode.BIS, Opcode.BIC, Opcode.XOR]
+        fmt2 = [Opcode.RRA, Opcode.RRC, Opcode.SWPB, Opcode.SXT]
+        n = rng.randrange(8, 24)
+        for i in range(n):
+            choice = rng.random()
+            if choice < 0.45:
+                insns.append(Instruction(
+                    rng.choice(alu),
+                    src=(reg(rng.randrange(4, 14))
+                         if rng.random() < 0.5
+                         else imm(rng.randrange(0, 0x10000))),
+                    dst=reg(rng.randrange(4, 14))))
+            elif choice < 0.6:
+                insns.append(Instruction(rng.choice(fmt2),
+                                         src=reg(rng.randrange(4, 14))))
+            elif choice < 0.7:
+                insns.append(Instruction(Opcode.PUSH,
+                                         src=reg(rng.randrange(4, 14))))
+            elif choice < 0.8:
+                # in-bounds SRAM traffic through the fixed base in R4
+                insns.append(Instruction(
+                    Opcode.MOV, src=reg(rng.randrange(5, 14)),
+                    dst=indexed(2 * rng.randrange(0, 16), 4)))
+            elif choice < 0.9:
+                insns.append(Instruction(
+                    Opcode.MOV, src=indexed(2 * rng.randrange(0, 16), 4),
+                    dst=reg(rng.randrange(5, 14))))
+            else:
+                # short forward jump, always in range
+                insns.append(Instruction(
+                    rng.choice([Opcode.JNE, Opcode.JEQ, Opcode.JC,
+                                Opcode.JMP]),
+                    offset=rng.randrange(0, 3)))
+        insns.append(Instruction(Opcode.MOV, src=imm(1),
+                                 dst=absolute(DONE_PORT)))
+        return insns
+
+    def _execute(self, insns, block_mode, seed):
+        import random as _random
+        rng = _random.Random(seed + 1)
+        cpu = _block_cpu(block_mode)
+        cpu.regs.write(4, 0x2000)               # SRAM scratch base
+        for r in range(5, 14):
+            cpu.regs.write(r, rng.randrange(0, 0x10000))
+        _load_insns(cpu, insns)
+        fault = None
+        try:
+            cpu.run(max_cycles=50_000)
+        except CpuFault as exc:
+            fault = (exc.kind, exc.pc, exc.address)
+        except ExecutionLimitExceeded:
+            fault = "limit"
+        return _arch_state(cpu), fault
+
+    def test_differential(self):
+        import random as _random
+        for seed in range(40):
+            rng = _random.Random(seed)
+            insns = self._random_program(rng)
+            got_blocks = self._execute(insns, True, seed)
+            got_step = self._execute(insns, False, seed)
+            assert got_blocks == got_step, f"seed {seed} diverged"

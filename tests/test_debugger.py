@@ -144,3 +144,50 @@ class TestWatchpoints:
         cpu.halted = False
         cpu.run(max_cycles=100_000)
         assert debugger.watch_hits == []
+
+
+class TestMidRunAttach:
+    """Attaching a Debugger mid-run installs a trace hook, which must
+    disable superblock dispatch from that point on — the trace and
+    watch hits must be bit-identical to a run that never used blocks."""
+
+    def _fresh(self, block_mode):
+        unit = compile_unit(SOURCE)
+        machine = BareMachine(unit)
+        image = machine._link_for("main")
+        from repro.msp430.cpu import Cpu
+        cpu = Cpu()
+        cpu.block_mode = block_mode
+        image.load_into(cpu.memory)
+        from repro.ports import DONE_PORT
+        cpu.memory.add_io(DONE_PORT, write=lambda a, v: cpu.halt())
+        cpu.regs.pc = image.symbol("__start")
+        cpu.regs.sp = 0x2400
+        return cpu, image
+
+    def _scenario(self, block_mode):
+        from repro.msp430.cpu import ExecutionLimitExceeded
+        cpu, image = self._fresh(block_mode)
+        # phase 1: run undebugged — superblocks engage in block mode
+        try:
+            cpu.run(max_instructions=20)
+        except ExecutionLimitExceeded:
+            pass
+        mid_state = (tuple(cpu.regs._regs), cpu.cycles,
+                     cpu.instructions)
+        # phase 2: attach a debugger with a watchpoint and finish
+        debugger = Debugger(cpu)
+        debugger.add_watchpoint(image.symbol("hits"))
+        assert debugger.run() is None     # runs to completion
+        return (mid_state, list(debugger.trace),
+                list(debugger.watch_hits), tuple(cpu.regs._regs),
+                cpu.cycles, cpu.instructions)
+
+    def test_block_and_step_modes_identical(self):
+        blocked = self._scenario(block_mode=True)
+        stepped = self._scenario(block_mode=False)
+        assert blocked == stepped
+        _mid, trace, watch_hits, regs, _cycles, _insns = blocked
+        assert trace                      # hook really observed insns
+        assert len(watch_hits) == 4       # inner() stores, none missed
+        assert regs[12] == 33             # main's return value

@@ -154,3 +154,72 @@ class TestPermissionBitmapProperty:
                 except (MemoryAccessError, MpuViolationError):
                     raised = True
                 assert raised == (not allowed)
+
+
+class TestSuperblockMpuReconfig:
+    """An MPU reconfiguration between executions of a compiled
+    superblock must re-validate the block against the new permission
+    bitmap: still-executable code re-runs from the cached block,
+    revoked code faults at the exact pc — identical to pure step()."""
+
+    SEG_RWX = SegmentPermissions(True, True, True)
+    SEG_RW = SegmentPermissions(True, True, False)
+    CODE = 0x4400
+
+    def _cpu(self, block_mode=True):
+        from repro.msp430.cpu import Cpu
+        from repro.msp430.encoding import encode_bytes
+        from repro.msp430.isa import Instruction, Opcode, absolute, imm, reg
+        from repro.ports import DONE_PORT
+
+        cpu = Cpu()
+        cpu.block_mode = block_mode
+        cpu.regs.sp = 0x2400
+        cpu.memory.add_io(DONE_PORT, write=lambda a, v: cpu.halt())
+        mpu = Mpu()
+        mpu.attach(cpu.memory)
+        program = [
+            Instruction(Opcode.MOV, src=imm(0x1111), dst=reg(5)),
+            Instruction(Opcode.ADD, src=imm(3), dst=reg(5)),
+            Instruction(Opcode.MOV, src=imm(1),
+                        dst=absolute(DONE_PORT)),
+        ]
+        address = self.CODE
+        for insn in program:
+            blob = encode_bytes(insn, address)
+            cpu.memory.load(address, blob)
+            address += len(blob)
+        return cpu, mpu
+
+    def _config(self, executable: bool) -> MpuConfig:
+        seg1 = self.SEG_RWX if executable else self.SEG_RW
+        # b1 high: all code sits in segment 1
+        return MpuConfig(b1=0xF000, b2=0xF000, seg1=seg1,
+                         seg2=self.SEG_RWX, seg3=self.SEG_RWX,
+                         info=self.SEG_RWX, enabled=True)
+
+    def _run(self, cpu):
+        cpu.halted = False
+        cpu.regs.pc = self.CODE
+        cpu.regs.write(5, 0)
+        cpu.run(max_cycles=10_000)
+        return cpu.regs.read(5)
+
+    def test_reconfig_between_block_executions(self):
+        for block_mode in (True, False):
+            cpu, mpu = self._cpu(block_mode)
+            mpu.configure(self._config(executable=True))
+            assert self._run(cpu) == 0x1114       # block compiled
+            # revoke execute on segment 1: the cached block must NOT
+            # run; the fetch faults at the entry pc
+            mpu.configure(self._config(executable=False))
+            from repro.msp430.cpu import CpuFault
+            cpu.halted = False
+            cpu.regs.pc = self.CODE
+            with pytest.raises(CpuFault) as info:
+                cpu.run(max_cycles=10_000)
+            assert info.value.pc == self.CODE
+            # grant it back (same signature as the first config): the
+            # memoized bitmap returns and the block revalidates
+            mpu.configure(self._config(executable=True))
+            assert self._run(cpu) == 0x1114

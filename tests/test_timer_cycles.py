@@ -115,3 +115,45 @@ class TestCycleTimer:
         with timer.measure() as m:
             cpu.cycles += 320
         assert m.measured_cycles == 320
+
+
+class TestTimerBlockMode:
+    def _measured_run(self, block_mode):
+        """Countdown loop, a firmware timer read, then halt — run
+        under ``timer.measure()`` with superblocks on or off."""
+        from repro.ports import DONE_PORT
+
+        cpu = Cpu()
+        cpu.block_mode = block_mode
+        cpu.regs.sp = 0x2400
+        timer = CycleTimer(cpu)
+        timer.attach()
+        cpu.memory.add_io(DONE_PORT, write=lambda a, v: cpu.halt())
+        program = [
+            Instruction(Opcode.MOV, src=imm(40), dst=reg(5)),
+            Instruction(Opcode.SUB, src=imm(1), dst=reg(5)),
+            Instruction(Opcode.JNE, offset=-2),
+            Instruction(Opcode.MOV, src=absolute(timer.address),
+                        dst=reg(6)),
+            Instruction(Opcode.MOV, src=imm(1),
+                        dst=absolute(DONE_PORT)),
+        ]
+        address = 0x4400
+        for insn in program:
+            blob = encode_bytes(insn, address)
+            cpu.memory.load(address, blob)
+            address += len(blob)
+        cpu.regs.pc = 0x4400
+        with timer.measure() as m:
+            cpu.run(max_cycles=50_000)
+        return (m.cycles, m.measured_cycles, cpu.regs.read(6),
+                cpu.cycles, cpu.instructions)
+
+    def test_measure_identical_block_vs_step(self):
+        blocked = self._measured_run(block_mode=True)
+        stepped = self._measured_run(block_mode=False)
+        assert blocked == stepped
+        cycles, measured, r6, total_cycles, _ = blocked
+        assert cycles > 0 and measured == (cycles // 16) * 16
+        # the mid-program counter read saw the cycles spent so far
+        assert 0 < r6 <= total_cycles // 16
