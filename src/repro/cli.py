@@ -9,6 +9,7 @@ Commands
 ``disasm``       disassemble an app or symbol from a built firmware
 ``experiments``  regenerate the paper's tables and figures
 ``suite``        simulate the nine-app wearable for N seconds
+``fuzz``         differential fuzzing + fault-injection attack matrix
 
 Handlers default to every non-static function when ``--handlers`` is
 omitted, which is convenient for quick runs.
@@ -158,6 +159,57 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.attacks import run_attack_matrix
+    from repro.fuzz.engine import (
+        replay_corpus,
+        run_differential_campaign,
+        run_smoke,
+    )
+    from repro.fuzz.harness import run_differential
+    from repro.fuzz.shrink import load_case
+
+    if args.smoke:
+        ok = run_smoke(seeds=args.seeds or 200,
+                       seed_start=args.seed_start, report=print)
+        print("smoke: " + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+
+    if args.replay:
+        target = Path(args.replay)
+        if target.is_dir():
+            results = replay_corpus(target, chunk=args.chunk,
+                                    max_instructions=args.max_insns,
+                                    report=print)
+        else:
+            results = [run_differential(
+                load_case(target), chunk=args.chunk,
+                max_instructions=args.max_insns)]
+            print(results[0].describe())
+        return 1 if any(not r.ok for r in results) else 0
+
+    status = 0
+    if not args.attacks_only:
+        corpus = None if args.no_corpus else Path(args.corpus)
+        stats = run_differential_campaign(
+            seeds=args.seeds or 500, seed_start=args.seed_start,
+            chunk=args.chunk, max_instructions=args.max_insns,
+            corpus=corpus, report=print)
+        print(stats.describe())
+        if not stats.clean:
+            status = 1
+    if not args.diff_only:
+        outcomes = run_attack_matrix()
+        for outcome in outcomes:
+            print(outcome.describe())
+        failures = [o for o in outcomes if not o.ok]
+        print(f"attack matrix: {len(outcomes) - len(failures)}/"
+              f"{len(outcomes)} ok")
+        if failures:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--model", type=_model, default="mpu")
     suite.add_argument("--seconds", type=int, default=5)
     suite.set_defaults(func=cmd_suite)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing and the attack matrix")
+    fuzz.add_argument("--seeds", type=int, default=0, metavar="N",
+                      help="number of differential seeds "
+                           "(default 500; 200 with --smoke)")
+    fuzz.add_argument("--seed-start", type=int, default=0)
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="CI gate: fixed seed block + attack matrix")
+    fuzz.add_argument("--replay", metavar="PATH",
+                      help="re-run an archived corpus case "
+                           "(or every case in a directory)")
+    fuzz.add_argument("--diff-only", action="store_true",
+                      help="skip the attack matrix")
+    fuzz.add_argument("--attacks-only", action="store_true",
+                      help="skip the differential campaign")
+    fuzz.add_argument("--corpus", default="tests/fuzz_corpus",
+                      help="where shrunken divergences are archived")
+    fuzz.add_argument("--no-corpus", action="store_true",
+                      help="do not archive divergences")
+    fuzz.add_argument("--chunk", type=int, default=256,
+                      help="checkpoint spacing in instructions")
+    fuzz.add_argument("--max-insns", type=int, default=20_000,
+                      help="per-run instruction budget")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,142 @@
+"""Campaign orchestration for ``repro fuzz``.
+
+Runs batches of differential seeds (shrinking and archiving any
+divergence into the corpus), replays archived corpus cases, and runs
+the attack matrix — the combination the CI smoke job executes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.fuzz.attacks import AttackOutcome, run_attack_matrix
+from repro.fuzz.generator import generate_program
+from repro.fuzz.harness import (
+    DiffResult,
+    FuzzHarnessError,
+    run_differential,
+)
+from repro.fuzz.shrink import load_case, shrink_program, write_case
+
+#: default archive directory for shrunken divergence cases
+DEFAULT_CORPUS = Path("tests/fuzz_corpus")
+
+Report = Callable[[str], None]
+
+
+def _silent(_message: str) -> None:
+    pass
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate outcome of one differential campaign."""
+
+    seeds: int = 0
+    ok: int = 0
+    divergences: List[DiffResult] = field(default_factory=list)
+    build_errors: List[str] = field(default_factory=list)
+    instructions: int = 0
+    elapsed: float = 0.0
+    cases_written: List[Path] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences and not self.build_errors
+
+    def describe(self) -> str:
+        rate = self.instructions / self.elapsed if self.elapsed else 0
+        return (f"{self.seeds} seeds: {self.ok} ok, "
+                f"{len(self.divergences)} divergences, "
+                f"{len(self.build_errors)} build errors "
+                f"({self.instructions} insns, {self.elapsed:.1f}s, "
+                f"{rate:,.0f} insn/s)")
+
+
+def _still_diverges(chunk: int, max_instructions: int):
+    def predicate(candidate) -> bool:
+        try:
+            return not run_differential(
+                candidate, chunk=chunk,
+                max_instructions=max_instructions).ok
+        except FuzzHarnessError:
+            # e.g. a removed subroutine that is still called — the
+            # candidate does not link, so it does not reproduce
+            return False
+    return predicate
+
+
+def run_differential_campaign(
+        seeds: int = 500,
+        seed_start: int = 0,
+        chunk: int = 256,
+        max_instructions: int = 20_000,
+        corpus: Optional[Path] = DEFAULT_CORPUS,
+        report: Report = _silent) -> CampaignStats:
+    """Run ``seeds`` consecutive differential seeds.  Divergent seeds
+    are shrunk to a minimal repro and archived under ``corpus`` (pass
+    ``None`` to skip archiving)."""
+    stats = CampaignStats()
+    started = time.perf_counter()
+    for seed in range(seed_start, seed_start + seeds):
+        stats.seeds += 1
+        program = generate_program(seed)
+        try:
+            result = run_differential(program, chunk=chunk,
+                                      max_instructions=max_instructions)
+        except FuzzHarnessError as error:
+            stats.build_errors.append(str(error))
+            report(f"seed {seed}: BUILD ERROR — {error}")
+            continue
+        stats.instructions += result.instructions
+        if result.ok:
+            stats.ok += 1
+            continue
+        report(result.describe())
+        report(f"seed {seed}: shrinking...")
+        minimal = shrink_program(
+            program, _still_diverges(chunk, max_instructions))
+        final = run_differential(minimal, chunk=chunk,
+                                 max_instructions=max_instructions)
+        stats.divergences.append(final)
+        if corpus is not None:
+            path = Path(corpus) / f"divergence_seed{seed}.s"
+            write_case(minimal, path,
+                       note=final.divergence.describe()
+                       if final.divergence else "divergence")
+            stats.cases_written.append(path)
+            report(f"seed {seed}: minimal repro -> {path}")
+    stats.elapsed = time.perf_counter() - started
+    return stats
+
+
+def replay_corpus(corpus: Path = DEFAULT_CORPUS,
+                  chunk: int = 256,
+                  max_instructions: int = 20_000,
+                  report: Report = _silent) -> List[DiffResult]:
+    """Re-run every archived ``.s`` case; fixed bugs should replay
+    clean, open ones reproduce deterministically."""
+    results = []
+    for path in sorted(Path(corpus).glob("*.s")):
+        result = run_differential(load_case(path), chunk=chunk,
+                                  max_instructions=max_instructions)
+        report(f"{path.name}: {result.describe()}")
+        results.append(result)
+    return results
+
+
+def run_smoke(seeds: int = 200, seed_start: int = 0,
+              report: Report = _silent) -> bool:
+    """The CI gate: a fixed block of differential seeds plus the full
+    attack matrix.  Returns True when everything holds."""
+    stats = run_differential_campaign(
+        seeds=seeds, seed_start=seed_start, corpus=None, report=report)
+    report(stats.describe())
+    outcomes = run_attack_matrix()
+    failures = [o for o in outcomes if not o.ok]
+    for outcome in outcomes:
+        report(outcome.describe())
+    return stats.clean and not failures

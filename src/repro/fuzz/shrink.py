@@ -1,0 +1,131 @@
+"""Divergence shrinking and corpus case I/O.
+
+When a differential run diverges, :func:`shrink_program` delta-debugs
+the item list down to a locally minimal program that still diverges,
+and :func:`write_case` emits it as a self-contained, replayable ``.s``
+file (initial machine state in header comments, body in the assembler
+dialect) under ``tests/fuzz_corpus/``.  :func:`load_case` reads such a
+file back for ``repro fuzz --replay``.
+
+Shrinking operates on *items* (atomic line groups), never raw lines,
+so a pointer setup is removed together with its dereference.  Anchor
+labels and the halt are non-removable, so no candidate ever dangles a
+branch target; removing a still-called subroutine merely fails to
+link, which the predicate reports as "not failing" and the candidate
+is rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, List
+
+from repro.fuzz.generator import FuzzProgram, Item
+
+#: predicate: does this candidate still exhibit the failure?
+Predicate = Callable[[FuzzProgram], bool]
+
+_CASE_MAGIC = "; repro fuzz case"
+
+
+def _keep(program: FuzzProgram, keep: set) -> FuzzProgram:
+    items = [item for index, item in enumerate(program.items)
+             if not item.removable or index in keep]
+    return dataclasses.replace(program, items=items)
+
+
+def shrink_program(program: FuzzProgram, failing: Predicate,
+                   max_tests: int = 400) -> FuzzProgram:
+    """ddmin-style greedy minimisation: repeatedly drop chunks of
+    removable items (halving the chunk size when nothing sticks) while
+    ``failing`` keeps returning True.  ``max_tests`` bounds the number
+    of candidate executions."""
+    removable = [index for index, item in enumerate(program.items)
+                 if item.removable]
+    keep = set(removable)
+    tests = 0
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1 and tests < max_tests:
+        ordered = sorted(keep)
+        position = 0
+        while position < len(ordered) and tests < max_tests:
+            trial = keep - set(ordered[position:position + chunk])
+            tests += 1
+            if trial != keep and failing(_keep(program, trial)):
+                keep = trial
+                ordered = sorted(keep)
+                # stay at the same position: the next chunk slid in
+            else:
+                position += chunk
+        chunk //= 2
+    return _keep(program, keep)
+
+
+def write_case(program: FuzzProgram, path: Path,
+               note: str = "") -> None:
+    """Emit ``program`` as a replayable ``.s`` corpus case."""
+    lines = [_CASE_MAGIC + (f" — {note}" if note else ""),
+             "; replay: repro fuzz --replay " + path.name]
+    for key, value in program.metadata():
+        lines.append(f"; {key}: 0x{value:X}")
+    lines.append(program.body_text().rstrip("\n"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_case(path: Path) -> FuzzProgram:
+    """Parse a corpus case back into a :class:`FuzzProgram`.
+
+    Each body line becomes its own item: labels are (non-removable)
+    anchors, the DONE-port store is the halt, everything else an
+    instruction — so a loaded case can be replayed or even shrunk
+    further."""
+    program = FuzzProgram(seed=0)
+    items: List[Item] = []
+    in_body = False
+    for raw in Path(path).read_text().splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if not in_body and line.startswith(";"):
+            text = line[1:].strip()
+            if ":" not in text:
+                continue
+            key, _, value = text.partition(":")
+            key, value = key.strip(), value.strip()
+            try:
+                number = int(value, 0)
+            except ValueError:
+                continue
+            if key == "seed":
+                program.seed = number
+            elif key == "sp":
+                program.sp = number
+            elif key == "mem-seed":
+                program.mem_seed = number
+            elif key == "mpu-segb1":
+                program.mpu_segb1 = number
+            elif key == "mpu-segb2":
+                program.mpu_segb2 = number
+            elif key == "mpu-sam":
+                program.mpu_sam = number
+            elif key == "mpu-ctl0":
+                program.mpu_ctl0 = number
+            elif key.startswith("r") and key[1:].isdigit():
+                program.regs[int(key[1:])] = number
+            continue
+        if line.strip() == ".text":
+            in_body = True
+            continue
+        if not in_body:
+            continue
+        stripped = line.strip()
+        if stripped.endswith(":"):
+            items.append(Item("anchor", [line]))
+        elif "&0x01F2" in stripped.replace(" ", ""):
+            items.append(Item("halt", [line]))
+        else:
+            items.append(Item("insn", [line]))
+    program.items = items
+    return program

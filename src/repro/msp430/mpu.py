@@ -88,11 +88,21 @@ class SegmentPermissions:
 
     @staticmethod
     def parse(text: str) -> "SegmentPermissions":
-        """Parse the paper's ``RW-`` / ``--X`` / ``---`` notation."""
-        if len(text) != 3:
-            raise ValueError(f"bad permission string {text!r}")
-        return SegmentPermissions("R" in text.upper(), "W" in text.upper(),
-                                  "X" in text.upper())
+        """Parse the paper's ``RW-`` / ``--X`` / ``---`` notation.
+
+        Strictly positional: position 1 must be ``R`` or ``-``,
+        position 2 ``W`` or ``-``, position 3 ``X`` or ``-`` (case
+        insensitive).  Strings like ``"-WR"``, ``"XWR"`` or ``"RRR"``
+        are rejected instead of silently mis-parsing.
+        """
+        upper = text.upper()
+        if (len(upper) != 3
+                or upper[0] not in "R-" or upper[1] not in "W-"
+                or upper[2] not in "X-"):
+            raise ValueError(f"bad permission string {text!r}; "
+                             f"want {{R|-}}{{W|-}}{{X|-}}")
+        return SegmentPermissions(upper[0] == "R", upper[1] == "W",
+                                  upper[2] == "X")
 
     def render(self) -> str:
         return (("R" if self.read else "-")
@@ -231,13 +241,18 @@ class Mpu:
     def _write_segb1(self, _addr: int, value: int) -> None:
         if not self.locked:
             self.segb1 = value & 0xFFFF
-            self._b1 = (self.segb1 << 4) & 0xFFFF
+            # Boundaries saturate at the top of the address space: a
+            # register value of 0x1000 means B1 = 0x10000 ("end of
+            # FRAM"), not a 16-bit wrap to 0 that would erase the
+            # segment.  check() compares 16-bit addresses with ``<``,
+            # so any clamped value >= 0x10000 behaves identically.
+            self._b1 = min(self.segb1 << 4, 0x10000)
             self._config_changed()
 
     def _write_segb2(self, _addr: int, value: int) -> None:
         if not self.locked:
             self.segb2 = value & 0xFFFF
-            self._b2 = (self.segb2 << 4) & 0xFFFF
+            self._b2 = min(self.segb2 << 4, 0x10000)
             self._config_changed()
 
     def _write_sam(self, _addr: int, value: int) -> None:
@@ -259,16 +274,21 @@ class Mpu:
                 self._write_sam(address, value)
 
     def disable(self) -> None:
+        """Clear MPUENA — unless MPULOCK is set: hardware freezes the
+        whole configuration (enable bit included) until reset, so a
+        locked MPU cannot be switched off."""
+        if self.locked:
+            return
         self.ctl0 &= ~MPUENA & 0xFFFF
         self._config_changed()
 
     @property
     def boundary1(self) -> int:
-        return (self.segb1 << 4) & 0xFFFF0 & 0xFFFF
+        return min(self.segb1 << 4, 0x10000)
 
     @property
     def boundary2(self) -> int:
-        return (self.segb2 << 4) & 0xFFFF0 & 0xFFFF
+        return min(self.segb2 << 4, 0x10000)
 
     def segment_of(self, address: int) -> Optional[int]:
         """Which MPU segment covers ``address``?  ``None`` if uncovered —

@@ -42,6 +42,18 @@ class TestSegmentPermissions:
         with pytest.raises(ValueError):
             SegmentPermissions.parse("RW")
 
+    @pytest.mark.parametrize("text", ["-WR", "XWR", "RRR", "WWW",
+                                      "RXW", "R W", "--R", "X--"])
+    def test_parse_rejects_malformed_positions(self, text):
+        """Regression: parse() used to test mere character membership,
+        so "-WR", "XWR" and "RRR" all parsed without error."""
+        with pytest.raises(ValueError):
+            SegmentPermissions.parse(text)
+
+    def test_parse_is_case_insensitive(self):
+        assert SegmentPermissions.parse("rwx").render() == "RWX"
+        assert SegmentPermissions.parse("r-x").render() == "R-X"
+
     def test_bits_roundtrip(self):
         perms = SegmentPermissions(True, False, True)
         assert SegmentPermissions.from_bits(perms.to_bits()) == perms
@@ -144,6 +156,56 @@ class TestRegisterSemantics:
         memory.write_word(MPUSEGB1, 0x900)       # ignored
         assert mpu.segb1 == 0x800
         assert mpu.locked
+
+    def test_disable_is_noop_while_locked(self):
+        """Regression: disable() used to clear MPUENA even with
+        MPULOCK set — hardware freezes the whole configuration
+        (enable bit included) until reset."""
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        memory.write_word(MPUCTL0, 0xA503)       # enable + lock
+        mpu.disable()
+        assert mpu.enabled                       # still on
+        assert mpu.locked
+        with pytest.raises(MpuViolationError):
+            memory.read_word(0x9800)             # still enforced
+
+    def test_disable_works_while_unlocked(self):
+        memory, mpu = make_system()
+        mpu.configure(app_config())
+        mpu.disable()
+        assert not mpu.enabled
+        memory.read_word(0x9800)                 # no violation
+
+    def test_boundary_saturates_instead_of_wrapping(self):
+        """Regression: installing b2 = VECTORS_END + 1 = 0x10000 used
+        to wrap the cached boundary to 0 ((0x1000 << 4) & 0xFFFF),
+        silently erasing segment 2 and flipping everything above B1
+        into segment 3."""
+        memory, mpu = make_system()
+        mpu.configure(MpuConfig(
+            b1=0x8000, b2=0x10000,
+            seg1=SegmentPermissions.parse("--X"),
+            seg2=SegmentPermissions.parse("RW-"),
+            seg3=SegmentPermissions.parse("---")))
+        assert mpu.boundary2 == 0x10000
+        assert mpu.segment_of(0x9800) == 2
+        assert mpu.segment_of(0xFFFE) == 2
+        memory.write_word(0x9800, 42)            # seg2 RW-: allowed
+        assert memory.read_word(0x9800) == 42
+        memory.write_word(0xFFF0, 7)             # still seg2, not seg3
+
+    def test_boundary_saturation_matches_overlay(self):
+        """check() and permission_overlay() agree at the saturated
+        boundary."""
+        memory, mpu = make_system()
+        mpu.configure(MpuConfig(
+            b1=0x8000, b2=0x10000,
+            seg1=SegmentPermissions.parse("--X"),
+            seg2=SegmentPermissions.parse("RW-"),
+            seg3=SegmentPermissions.parse("---")))
+        assert memory.access_allowed(0xFFFE, WRITE)
+        assert not memory.access_allowed(0xFFFE, EXECUTE)
 
     def test_ctl1_flags_cleared_by_writing_zero(self):
         memory, mpu = make_system()

@@ -1,0 +1,185 @@
+"""MPU edge geometry: degenerate and extreme boundary placements.
+
+The paper's isolation argument rests on the three-segment split being
+exact to the byte — every off-by-one here is an exploitable hole.
+These tests pin the geometry at its edges (``B1 == B2``, boundaries at
+the very start and end of FRAM, the saturated ``0x10000`` top) and
+assert that the slow path (:meth:`Mpu.check`) and the memoized fast
+path (:meth:`Mpu.permission_overlay`, which PR 1's permission bitmap
+is built from) agree at every boundary, one byte below it, and one
+byte above — across enabled, disabled and locked configurations.
+"""
+
+import pytest
+
+from repro.errors import MpuViolationError
+from repro.msp430.memory import (
+    EXECUTE,
+    Memory,
+    MemoryMap,
+    PERM_R,
+    PERM_W,
+    PERM_X,
+    READ,
+    WRITE,
+)
+from repro.msp430.mpu import (
+    MPUCTL0,
+    Mpu,
+    MpuConfig,
+    SegmentPermissions,
+)
+
+_KINDS = ((READ, PERM_R), (WRITE, PERM_W), (EXECUTE, PERM_X))
+
+FRAM = MemoryMap.FRAM_START          # 0x4400
+TOP = 0x10000
+
+GEOMETRIES = {
+    # b1 == b2: segment 2 is empty, FRAM splits into exactly two
+    "degenerate-equal": (0x8000, 0x8000),
+    # both boundaries at FRAM start: everything is segment 3
+    "all-seg3": (FRAM, FRAM),
+    # both at the (saturated) top: everything is segment 1
+    "all-seg1": (TOP, TOP),
+    # segment 1 empty, boundary at FRAM start
+    "seg1-empty": (FRAM, 0x9000),
+    # segment 3 empty, boundary saturated at the top
+    "seg3-empty": (0x8000, TOP),
+    # one 16-byte sliver of segment 2
+    "sliver": (0x8000, 0x8010),
+    "typical": (0x6000, 0xA000),
+}
+
+STATES = ("disabled", "enabled", "locked")
+
+
+def build(b1, b2, state):
+    memory = Memory()
+    mpu = Mpu()
+    mpu.attach(memory)
+    mpu.configure(MpuConfig(
+        b1=b1, b2=b2,
+        seg1=SegmentPermissions.parse("--X"),
+        seg2=SegmentPermissions.parse("RW-"),
+        seg3=SegmentPermissions.parse("R--"),
+        info=SegmentPermissions.parse("-W-"),
+        enabled=state != "disabled"))
+    if state == "locked":
+        memory.write_word(MPUCTL0, 0xA503)
+    return memory, mpu
+
+
+def check_allows(mpu, address, kind):
+    try:
+        mpu.check(address, kind)
+        return True
+    except MpuViolationError:
+        return False
+
+
+def edge_addresses(b1, b2):
+    """Every interesting boundary, one byte below, and one above."""
+    anchors = (FRAM, b1, b2, MemoryMap.VECTORS_END + 1,
+               MemoryMap.INFOMEM_START, MemoryMap.INFOMEM_END + 1)
+    out = set()
+    for anchor in anchors:
+        for offset in (-1, 0, 1):
+            address = anchor + offset
+            if 0 <= address <= 0xFFFF:
+                out.add(address)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("state", STATES)
+@pytest.mark.parametrize("name", sorted(GEOMETRIES))
+def test_check_and_overlay_agree_at_every_edge(name, state):
+    b1, b2 = GEOMETRIES[name]
+    _memory, mpu = build(b1, b2, state)
+    overlay = mpu.permission_overlay()
+    if state == "disabled":
+        assert overlay is None
+        # a disabled MPU allows everything, everywhere
+        for address in edge_addresses(b1, b2):
+            for kind, _bit in _KINDS:
+                assert check_allows(mpu, address, kind)
+        return
+    for address in edge_addresses(b1, b2):
+        for kind, bit in _KINDS:
+            slow = check_allows(mpu, address, kind)
+            fast = bool(overlay[address] & bit)
+            assert slow == fast, (
+                f"{name}/{state}: check() and overlay disagree at "
+                f"0x{address:04X} for {kind}")
+
+
+@pytest.mark.parametrize("name", sorted(GEOMETRIES))
+def test_segment_split_is_exact(name):
+    """segment_of() honours `addr < b` strictly: the boundary byte
+    itself belongs to the segment above."""
+    b1, b2 = GEOMETRIES[name]
+    _memory, mpu = build(b1, b2, "enabled")
+    for address in range(FRAM, 0x10000, 0x10):
+        expected = 1 if address < mpu.boundary1 else (
+            2 if address < mpu.boundary2 else 3)
+        assert mpu.segment_of(address) == expected
+    if FRAM < b1 <= 0xFFFF:
+        assert mpu.segment_of(b1 - 1) == 1
+        assert mpu.segment_of(b1) in (2, 3)
+    if b1 < b2 <= 0xFFFF:
+        assert mpu.segment_of(b2 - 1) in (1, 2)
+        assert mpu.segment_of(b2) == 3
+
+
+@pytest.mark.parametrize("state", ("enabled", "locked"))
+def test_degenerate_equal_boundaries_erase_segment_2(state):
+    """With b1 == b2 segment 2 is empty: its RW- permissions must
+    apply to no byte at all."""
+    memory, mpu = build(0x8000, 0x8000, state)
+    assert mpu.segment_of(0x7FFF) == 1
+    assert mpu.segment_of(0x8000) == 3
+    memory.load(0x7FFE, b"\x03\x43")
+    assert memory.fetch_word(0x7FFE) == 0x4303      # seg1 --X
+    with pytest.raises(MpuViolationError):
+        memory.write_word(0x7FFE, 0)
+    assert memory.read_word(0x8000) == 0            # seg3 R--
+    with pytest.raises(MpuViolationError):
+        memory.write_word(0x8000, 1)                # seg2 RW- gone
+
+
+def test_infomem_is_segment_0_not_fram():
+    """InfoMem must take segment 0's permissions regardless of where
+    the FRAM boundaries sit."""
+    memory, mpu = build(FRAM, FRAM, "enabled")      # all of FRAM: seg3
+    assert mpu.segment_of(MemoryMap.INFOMEM_START) == 0
+    assert mpu.segment_of(MemoryMap.INFOMEM_END) == 0
+    memory.write_word(MemoryMap.INFOMEM_START, 7)   # info -W-
+    with pytest.raises(MpuViolationError):
+        memory.read_word(MemoryMap.INFOMEM_START)
+    # one byte either side of InfoMem is *not* segment 0
+    assert mpu.segment_of(MemoryMap.INFOMEM_START - 1) != 0
+    assert mpu.segment_of(MemoryMap.INFOMEM_END + 1) != 0
+
+
+def test_saturated_top_keeps_vectors_in_segment_2():
+    """b2 = 0x10000 (register 0x1000): the vector table stays in
+    segment 2 instead of wrapping into segment 3 — the regression the
+    clamp fixes, seen through the whole bus stack."""
+    memory, mpu = build(0x8000, TOP, "enabled")
+    assert mpu.segment_of(0xFFFE) == 2
+    assert memory.access_allowed(0xFFFE, WRITE)
+    assert not memory.access_allowed(0xFFFE, EXECUTE)
+    overlay = mpu.permission_overlay()
+    assert overlay[0xFFFF] & PERM_W
+    assert not overlay[0xFFFF] & PERM_X
+
+
+def test_locked_geometry_survives_reconfiguration_attempts():
+    memory, mpu = build(0x8000, 0x9000, "locked")
+    before = mpu.permission_overlay()
+    memory.write_word(0x05A6, 0x0600)    # MPUSEGB1: ignored
+    memory.write_word(0x05A4, 0x0FF0)    # MPUSEGB2: ignored
+    memory.write_word(0x05A8, 0xFFFF)    # MPUSAM: ignored
+    mpu.disable()                        # no-op while locked
+    assert mpu.permission_overlay() == before
+    assert mpu.boundary1 == 0x8000 and mpu.boundary2 == 0x9000
