@@ -1,0 +1,106 @@
+"""Fleet campaign throughput microbenchmark.
+
+Tracks how much simulated fleet time one wall-clock second buys:
+``devices * sim-hours / s`` for a small-but-representative campaign
+(jittered populations, rogues present, checkpoints written at the
+default fleet cadence).  This is the number that says whether a
+"100 devices for a week" study is an hour or a weekend.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_fleet.py``)
+to append a record to ``BENCH_fleet.json`` at the repo root, or via
+pytest for a quick smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_fleet.json"
+
+#: enough devices for population variety (app subsets, rogues) while
+#: keeping the standalone run under a minute on one core
+DEVICES = 8
+SIM_HOURS = 0.01            # 36 simulated seconds per device
+MODEL = "mpu"
+
+
+def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
+                   jobs: int = 1, seed: int = 0) -> float:
+    """Device-sim-hours per wall second for one full campaign."""
+    from repro.fleet.executor import FleetConfig, run_campaign
+
+    config = FleetConfig(devices=devices, hours=hours,
+                         models=(MODEL,), seed=seed,
+                         shards=max(1, jobs), rogue_fraction=0.25)
+    out = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
+    try:
+        start = time.perf_counter()
+        run_campaign(config, out, jobs=jobs)
+        elapsed = time.perf_counter() - start
+    finally:
+        shutil.rmtree(out, ignore_errors=True)
+    return devices * hours / elapsed
+
+
+def run_benchmarks(repeats: int = 3, jobs: int = 1) -> dict:
+    # Best-of-N: interference only ever lowers a rate, so the max over
+    # repeats is the least-noisy estimate (same rule as BENCH_sim).
+    # A different seed per repeat keeps the firmware build cache from
+    # turning later repeats into pure-simulation measurements only.
+    return {
+        "device_sim_hours_per_sec": round(max(
+            bench_campaign(jobs=jobs, seed=n) for n in range(repeats)),
+            4),
+        "devices": DEVICES,
+        "sim_hours_per_device": SIM_HOURS,
+        "model": MODEL,
+        "jobs": jobs,
+    }
+
+
+def record(label: str, repeats: int = 3, jobs: int = 1) -> dict:
+    """Append one measurement record to BENCH_fleet.json."""
+    entry = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "repeats": repeats,
+        "results": run_benchmarks(repeats, jobs),
+    }
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text()).get("runs", [])
+    history.append(entry)
+    BENCH_JSON.write_text(json.dumps({"runs": history}, indent=2)
+                          + "\n")
+    return entry
+
+
+# -- pytest smoke (fast; asserts a campaign actually completes) --------
+def test_fleet_throughput_smoke():
+    rate = bench_campaign(devices=2, hours=0.001)
+    assert rate > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="fleet campaign throughput microbenchmark")
+    parser.add_argument("--label", default="run",
+                        help="label stored with the record")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="campaigns run; best is kept")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the campaign")
+    args = parser.parse_args()
+    entry = record(args.label, args.repeats, args.jobs)
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,63 +3,36 @@
 time under each isolation method, with a misbehaving third-party app
 thrown in to exercise the fault-handling/restart machinery.
 
+This is the fleet layer's ``--devices 1`` path: the wearable is a
+:func:`repro.fleet.population.reference_device_spec` device driven by
+:func:`repro.fleet.device.simulate_device`, so the demo exercises
+exactly the code the sharded campaigns run.
+
     python examples/wearable_week.py [seconds]
 """
 
 import sys
 
 from repro import AftPipeline, AppSource, IsolationModel
-from repro.apps import MANIFESTS, load_suite
-from repro.kernel.events import EventType, PeriodicSource
-from repro.kernel.machine import AmuletMachine
-from repro.kernel.scheduler import (
-    AppSchedule,
-    RestartPolicy,
-    Scheduler,
-)
-
-ROGUE = """
-int calls = 0;
-int on_sample(int x) {
-    calls++;
-    if (calls > 5) {
-        int *p = (int *)0x4400;   /* wanders into the OS after a bit */
-        return *p;
-    }
-    return calls;
-}
-"""
+from repro.fleet.device import simulate_device
+from repro.fleet.population import ROGUE_SOURCE, reference_device_spec
 
 
 def simulate(model: IsolationModel, seconds: int) -> None:
-    apps = load_suite()
-    with_rogue = model is not IsolationModel.FEATURE_LIMITED
-    if with_rogue:
-        # the rogue needs pointers; AmuletC would reject it at build
-        apps = apps + [AppSource("rogue", ROGUE,
-                                 handlers=["on_sample"])]
-    firmware = AftPipeline(model).build(apps)
-    machine = AmuletMachine(firmware)
-    scheduler = Scheduler(machine,
-                          policy=RestartPolicy.RESTART_AFTER,
-                          restart_cooldown_ms=2000)
-
-    for name, manifest in MANIFESTS.items():
-        scheduler.add_app(AppSchedule(
-            name, sources=manifest.sources_for(name)))
-    if with_rogue:
-        scheduler.add_app(AppSchedule("rogue", sources=[
-            PeriodicSource("rogue", "on_sample", EventType.TIMER,
-                           500)]))
-
-    stats = scheduler.run(horizon_ms=seconds * 1000)
+    spec = reference_device_spec(rogue=True)
+    run = simulate_device(spec, model, sim_ms=seconds * 1000)
+    stats = run.scheduler.stats
+    machine = run.machine
 
     total_cycles = sum(stats.per_app_cycles.values())
     print(f"--- {model.display} ---")
+    if not run.rogue_built:
+        print("  (rogue app rejected at build time)")
     print(f"  events delivered : {stats.events_delivered}")
     print(f"  events dropped   : {stats.events_dropped} "
           f"(rogue app suspensions)")
     print(f"  faults caught    : {stats.faults}")
+    print(f"  rogue restarts   : {stats.restarts}")
     print(f"  app cycles total : {total_cycles:,}")
     busiest = sorted(stats.per_app_cycles.items(),
                      key=lambda kv: -kv[1])[:3]
@@ -85,7 +58,7 @@ def main() -> None:
           "Limited it is rejected at build time instead —")
     try:
         AftPipeline(IsolationModel.FEATURE_LIMITED).build(
-            [AppSource("rogue", ROGUE, handlers=["on_sample"])])
+            [AppSource("rogue", ROGUE_SOURCE, handlers=["on_sample"])])
     except Exception as error:
         print(f"  {error}")
 

@@ -9,6 +9,7 @@ Commands
 ``disasm``       disassemble an app or symbol from a built firmware
 ``experiments``  regenerate the paper's tables and figures
 ``suite``        simulate the nine-app wearable for N seconds
+``fleet``        sharded multi-device campaigns (``fleet run``)
 ``fuzz``         differential fuzzing + fault-injection attack matrix
 
 Handlers default to every non-static function when ``--handlers`` is
@@ -159,6 +160,31 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet.executor import FleetConfig, run_campaign
+    from repro.fleet.telemetry import DEFAULT_MODELS, MODELS_BY_KEY, \
+        summary_text
+    if args.model == "all":
+        models = DEFAULT_MODELS
+    else:
+        models = tuple(key.strip() for key in args.model.split(","))
+    for key in models:
+        if key not in MODELS_BY_KEY:
+            raise ReproError(f"unknown model {key!r}; pick from "
+                             f"{', '.join(MODELS_BY_KEY)} or 'all'")
+    config = FleetConfig(
+        devices=args.devices, hours=args.hours, models=models,
+        seed=args.seed, shards=max(1, args.jobs),
+        checkpoint_minutes=args.checkpoint_minutes,
+        rogue_fraction=args.rogue_fraction)
+    summary = run_campaign(config, Path(args.out), jobs=args.jobs,
+                           crash_after_checkpoints=args.crash_after,
+                           report=print)
+    print(summary_text(summary))
+    print(f"summary: {Path(args.out) / 'summary.json'}")
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz.attacks import run_attack_matrix
     from repro.fuzz.engine import (
@@ -257,6 +283,44 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--model", type=_model, default="mpu")
     suite.add_argument("--seconds", type=int, default=5)
     suite.set_defaults(func=cmd_suite)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a fleet of varied devices")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command",
+                                     required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="run (or resume) a sharded fleet campaign")
+    fleet_run.add_argument("--devices", type=int, default=25,
+                           metavar="N")
+    fleet_run.add_argument("--hours", type=float, default=1.0,
+                           metavar="H",
+                           help="simulated hours per device")
+    fleet_run.add_argument(
+        "--model", default="all", metavar="M",
+        help="comma-separated isolation models, or 'all' "
+             "(none,feature-limited,software-only,mpu)")
+    fleet_run.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes; also the shard count a fresh "
+             "campaign is partitioned into (summaries are "
+             "byte-identical for any value)")
+    fleet_run.add_argument("--seed", type=int, default=0,
+                           help="fleet seed; every device derives "
+                                "from (seed, device_id)")
+    fleet_run.add_argument("--out", default="fleet_out", metavar="DIR",
+                           help="campaign directory (checkpoints, "
+                                "telemetry, summary)")
+    fleet_run.add_argument(
+        "--checkpoint-minutes", type=float, default=10.0, metavar="K",
+        help="simulated minutes between in-device checkpoints")
+    fleet_run.add_argument("--rogue-fraction", type=float,
+                           default=0.125, metavar="F",
+                           help="probability a device sideloads the "
+                                "rogue app")
+    fleet_run.add_argument(
+        "--crash-after", type=int, default=0, metavar="C",
+        help=argparse.SUPPRESS)   # test hook: die after C checkpoints
+    fleet_run.set_defaults(func=cmd_fleet_run)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing and the attack matrix")

@@ -12,7 +12,8 @@ other (fresh firmware, fresh machine, explicit arguments):
   matters; see :func:`repro.experiments.figure2.profile_suite`), run
   concurrently with the Table 1 cells it combines with.
 
-Cells run in worker processes via :class:`ProcessPoolExecutor`; the
+Cells run in worker processes via the shared pool helper
+(:func:`repro.pool.worker_pool`, which the fleet executor reuses); the
 parent merges results in the exact order the serial loops use, so the
 output is byte-for-byte identical to ``--jobs 1``.  Workers share the
 on-disk firmware build cache (:mod:`repro.aft.cache`), so each
@@ -26,7 +27,7 @@ dataclasses or builtins.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aft.models import IsolationModel
@@ -41,6 +42,7 @@ from repro.experiments.figure2 import Figure2Result
 from repro.experiments.figure3 import CASES, Figure3Result
 from repro.experiments.report import FullReport
 from repro.experiments.table1 import DEFAULT_MODELS, Table1Result
+from repro.pool import worker_pool
 
 
 # -- module-level cell workers (must be picklable) ----------------------
@@ -100,7 +102,7 @@ def run_table1_parallel(jobs: int,
                         loop_iterations: int = 64) -> Table1Result:
     if jobs <= 1:
         return table1_mod.run_table1(models, runs, loop_iterations)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with worker_pool(jobs) as pool:
         futures = {m: pool.submit(_table1_cell, m, runs, loop_iterations)
                    for m in models}
         return _merge_table1(futures, models, runs, loop_iterations)
@@ -113,7 +115,7 @@ def run_figure2_parallel(jobs: int,
     if jobs <= 1:
         return figure2_mod.run_figure2(apps, table1_runs=table1_runs,
                                        arp_samples=arp_samples)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with worker_pool(jobs) as pool:
         t1_futures = {m: pool.submit(_table1_cell, m, table1_runs, 64)
                       for m in DEFAULT_MODELS}
         arp_future = pool.submit(_arp_cell, tuple(apps), arp_samples)
@@ -130,7 +132,7 @@ def run_figure3_parallel(jobs: int,
                          runs: int = 200) -> Figure3Result:
     if jobs <= 1:
         return figure3_mod.run_figure3(models, runs)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with worker_pool(jobs) as pool:
         futures = {m: pool.submit(_figure3_cell, m, runs)
                    for m in models}
         return _merge_figure3(futures, models, runs)
@@ -143,7 +145,7 @@ def run_code_size_parallel(jobs: int,
     if jobs <= 1:
         return code_size_mod.run_code_size(apps, models)
     sources = list(apps) if apps is not None else load_suite()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with worker_pool(jobs) as pool:
         futures = {m: pool.submit(_code_size_cell, m, sources)
                    for m in models}
         return _merge_code_size(futures, models)
@@ -165,7 +167,7 @@ def run_all_parallel(jobs: int,
                        arp_samples=arp_samples,
                        include_code_size=include_code_size)
     sources = load_suite()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with worker_pool(jobs) as pool:
         t1_futures = {m: pool.submit(_table1_cell, m, table1_runs, 64)
                       for m in DEFAULT_MODELS}
         arp_future = pool.submit(_arp_cell, tuple(SUITE_NAMES),

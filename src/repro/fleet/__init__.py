@@ -1,0 +1,47 @@
+"""Fleet simulation: populations of Amulet devices.
+
+The paper's evaluation is one wearable running nine apps; the fleet
+layer runs *populations* of them — every device an independently
+parameterized Amulet (app subset, sensor-arrival jitter, battery
+spread, optionally a rogue app), derived deterministically from a
+fleet seed so any device is reconstructible from
+``(fleet_seed, device_id)`` alone.
+
+Pieces:
+
+* :mod:`repro.fleet.population` — per-device variation derivation
+* :mod:`repro.fleet.device`     — one device's segmented simulation
+* :mod:`repro.fleet.snapshot`   — versioned machine+scheduler snapshots
+* :mod:`repro.fleet.executor`   — sharded campaigns, checkpoint/resume
+* :mod:`repro.fleet.telemetry`  — per-device records, fleet summary
+
+Entry point: ``repro fleet run --devices N --hours H --model M --jobs J``.
+"""
+
+from repro.fleet.device import DeviceRun, simulate_device
+from repro.fleet.executor import FleetConfig, run_campaign
+from repro.fleet.population import (
+    DeviceSpec,
+    ROGUE_SOURCE,
+    device_spec,
+    generate_population,
+)
+from repro.fleet.snapshot import STATE_VERSION, restore_device, \
+    snapshot_device
+from repro.fleet.telemetry import MODELS_BY_KEY, fleet_summary
+
+__all__ = [
+    "DeviceRun",
+    "DeviceSpec",
+    "FleetConfig",
+    "MODELS_BY_KEY",
+    "ROGUE_SOURCE",
+    "STATE_VERSION",
+    "device_spec",
+    "fleet_summary",
+    "generate_population",
+    "restore_device",
+    "run_campaign",
+    "simulate_device",
+    "snapshot_device",
+]

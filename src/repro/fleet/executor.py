@@ -1,0 +1,259 @@
+"""Sharded fleet campaigns with checkpoint/resume.
+
+Device ids are partitioned across shards (``device_id % shards``);
+each shard runs in its own worker process via
+:func:`repro.pool.worker_pool` (the same helper the parallel
+experiment runner uses), streams per-device JSONL telemetry, and
+writes a pickle checkpoint after every completed device *and* every K
+simulated minutes inside a device.  Killing the campaign at any point
+loses at most one segment of one device per shard: re-running the same
+command finds the newest checkpoints under ``--out`` and resumes.
+
+Determinism contract: every per-device record is a pure function of
+``(fleet_seed, device_id, model)``, and the summary fold sorts by
+device id — so the final ``summary.json`` is byte-identical for any
+``--jobs``, and for any interrupt/resume history.
+
+The output directory is stamped with a config key (campaign identity:
+seed, devices, hours, models, shard count, checkpoint cadence); a
+rerun with different parameters against the same directory fails
+loudly instead of mixing campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.fleet.device import simulate_device
+from repro.fleet.population import device_spec
+from repro.fleet.snapshot import STATE_VERSION
+from repro.fleet.telemetry import MODELS_BY_KEY, device_record, \
+    fleet_summary, record_line
+from repro.pool import worker_pool
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Campaign identity — everything that determines its results."""
+
+    devices: int
+    hours: float
+    models: Tuple[str, ...]
+    seed: int = 0
+    shards: int = 1
+    checkpoint_minutes: float = 10.0
+    rogue_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        for key in self.models:
+            if key not in MODELS_BY_KEY:
+                raise ReproError(
+                    f"unknown isolation model {key!r} "
+                    f"(choose from {', '.join(MODELS_BY_KEY)})")
+        if self.devices < 1 or self.shards < 1:
+            raise ReproError("need at least one device and one shard")
+
+    @property
+    def sim_ms(self) -> int:
+        return int(round(self.hours * 3_600_000))
+
+    @property
+    def checkpoint_ms(self) -> int:
+        return max(1, int(round(self.checkpoint_minutes * 60_000)))
+
+    def key(self) -> str:
+        """Hash of the campaign identity (not of ``--jobs``, which is
+        free to differ between the original run and a resume)."""
+        text = repr((self.devices, self.hours, tuple(self.models),
+                     self.seed, self.shards, self.checkpoint_minutes,
+                     self.rogue_fraction, STATE_VERSION))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def shard_devices(config: FleetConfig, shard: int) -> List[int]:
+    return [device_id for device_id in range(config.devices)
+            if device_id % config.shards == shard]
+
+
+def _shard_paths(out_dir: Path, model_key: str,
+                 shard: int) -> Tuple[Path, Path]:
+    base = out_dir / "shards" / f"{model_key}-shard{shard:03d}"
+    return base.with_suffix(".ckpt"), base.with_suffix(".jsonl")
+
+
+def run_shard(config_dict: dict, model_key: str, shard: int,
+              out_dir: str,
+              crash_after_checkpoints: int = 0) -> Dict[int, dict]:
+    """Worker entry point: run (or resume) one shard of one model.
+
+    Returns ``{device_id: record}`` for every device in the shard.
+    ``crash_after_checkpoints`` > 0 makes the worker die (``os._exit``)
+    after that many checkpoint writes — the kill-and-resume tests use
+    it to crash at a deterministic point."""
+    config = FleetConfig(**{**config_dict,
+                            "models": tuple(config_dict["models"])})
+    model = MODELS_BY_KEY[model_key]
+    ckpt_path, stream_path = _shard_paths(Path(out_dir), model_key,
+                                          shard)
+
+    completed: Dict[int, dict] = {}
+    current: Optional[dict] = None
+    if ckpt_path.exists():
+        with ckpt_path.open("rb") as fh:
+            saved = pickle.load(fh)
+        if saved["config_key"] != config.key():
+            raise ReproError(
+                f"checkpoint {ckpt_path} belongs to a different "
+                "campaign — use a fresh --out")
+        completed = saved["completed"]
+        current = saved["current"]
+
+    def write_ckpt(current_state: Optional[dict]) -> None:
+        _atomic_write(ckpt_path, pickle.dumps({
+            "config_key": config.key(),
+            "completed": completed,
+            "current": current_state,
+        }))
+
+    # rebuild the telemetry stream from the checkpoint so an interrupt
+    # mid-append cannot leave a torn or duplicated line behind
+    stream_path.parent.mkdir(parents=True, exist_ok=True)
+    with stream_path.open("w") as stream:
+        for device_id in sorted(completed):
+            stream.write(record_line(completed[device_id]))
+        stream.flush()
+
+        checkpoints_written = 0
+
+        def on_checkpoint(sim_ms: int, snapshot: dict,
+                          device_id: int) -> None:
+            nonlocal checkpoints_written
+            write_ckpt({"device": device_id, "snapshot": snapshot})
+            checkpoints_written += 1
+            if 0 < crash_after_checkpoints <= checkpoints_written:
+                os._exit(3)       # simulated hard crash, mid-campaign
+
+        for device_id in shard_devices(config, shard):
+            if device_id in completed:
+                continue
+            spec = device_spec(config.seed, device_id,
+                               config.rogue_fraction)
+            resume = None
+            if current is not None and current["device"] == device_id:
+                resume = current["snapshot"]
+            current = None
+            run = simulate_device(
+                spec, model, sim_ms=config.sim_ms,
+                checkpoint_every_ms=config.checkpoint_ms,
+                on_checkpoint=lambda t, snap, d=device_id:
+                on_checkpoint(t, snap, d),
+                resume=resume)
+            completed[device_id] = device_record(run, model_key)
+            stream.write(record_line(completed[device_id]))
+            stream.flush()
+            write_ckpt(None)
+
+    return completed
+
+
+def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
+                 crash_after_checkpoints: int = 0,
+                 report: Optional[Callable[[str], None]] = None
+                 ) -> dict:
+    """Run (or resume) a whole campaign; returns the summary dict.
+
+    Layout under ``out_dir``::
+
+        campaign.json          identity stamp (config + key)
+        shards/<model>-shardNNN.{ckpt,jsonl}
+        devices-<model>.jsonl  merged per-device records (atomic)
+        summary.json           fleet summary (atomic, canonical JSON)
+    """
+    say = report if report is not None else (lambda _line: None)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    stamp_path = out_dir / "campaign.json"
+    stamp = {"config": asdict(config), "config_key": config.key(),
+             "state_version": STATE_VERSION}
+    if stamp_path.exists():
+        previous = json.loads(stamp_path.read_text())
+        if previous.get("config_key") != config.key():
+            raise ReproError(
+                f"{out_dir} holds a different campaign "
+                f"(key {previous.get('config_key')}, this command is "
+                f"{config.key()}) — use a fresh --out")
+        say(f"resuming campaign in {out_dir}")
+    else:
+        _atomic_write(stamp_path,
+                      json.dumps(stamp, indent=2,
+                                 sort_keys=True).encode())
+
+    config_dict = asdict(config)
+    records_by_model: Dict[str, List[dict]] = {}
+    for model_key in config.models:
+        merged_path = out_dir / f"devices-{model_key}.jsonl"
+        if merged_path.exists():
+            records = [json.loads(line) for line
+                       in merged_path.read_text().splitlines()]
+            records_by_model[model_key] = records
+            say(f"{model_key}: already complete "
+                f"({len(records)} devices)")
+            continue
+
+        say(f"{model_key}: {config.devices} devices over "
+            f"{min(config.shards, config.devices)} shard(s), "
+            f"jobs={jobs}")
+        shards = [shard for shard in range(config.shards)
+                  if shard_devices(config, shard)]
+        try:
+            with worker_pool(jobs) as pool:
+                futures = [
+                    pool.submit(run_shard, config_dict, model_key,
+                                shard, str(out_dir),
+                                crash_after_checkpoints)
+                    for shard in shards]
+                results = [future.result() for future in futures]
+        except Exception as error:
+            # a killed worker (BrokenProcessPool) or ReproError —
+            # checkpoints are on disk, the same command resumes
+            raise ReproError(
+                f"fleet shard failed under model {model_key!r}: "
+                f"{error} — re-run the same command to resume "
+                "from the newest checkpoints") from error
+
+        merged: Dict[int, dict] = {}
+        for result in results:
+            merged.update(result)
+        records = [merged[device_id] for device_id in sorted(merged)]
+        _atomic_write(merged_path,
+                      "".join(record_line(r) for r in records)
+                      .encode())
+        records_by_model[model_key] = records
+
+    # only result-determining parameters go into the summary: shard
+    # count and checkpoint cadence are execution details, and the
+    # summary must be byte-identical across them (campaign.json keeps
+    # the full execution config)
+    summary = fleet_summary(
+        {"devices": config.devices, "hours": config.hours,
+         "models": list(config.models), "seed": config.seed,
+         "rogue_fraction": config.rogue_fraction},
+        records_by_model)
+    _atomic_write(out_dir / "summary.json",
+                  (json.dumps(summary, indent=2, sort_keys=True)
+                   + "\n").encode())
+    return summary

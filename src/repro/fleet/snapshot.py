@@ -1,0 +1,48 @@
+"""Versioned device snapshots.
+
+A snapshot captures everything dynamic about one simulated device at a
+dispatch boundary — CPU registers and counters, the full 64 KB memory
+image, MPU registers (lock state included), the fault log, OS service
+state, and the scheduler's clock/queue/statistics.  Everything
+*static* (firmware image, schedules, restart policy) is rebuilt from
+the deterministic :class:`~repro.fleet.population.DeviceSpec` instead
+of being serialized, which keeps snapshots small (~70 KB) and immune
+to toolchain refactors.
+
+The format is versioned so stale checkpoints fail loudly instead of
+silently resuming wrong.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.kernel.machine import AmuletMachine
+from repro.kernel.scheduler import Scheduler
+
+#: bump whenever any layer's ``state_dict`` layout changes
+STATE_VERSION = 1
+
+
+def snapshot_device(machine: AmuletMachine, scheduler: Scheduler,
+                    sim_ms: int) -> dict:
+    """Snapshot a device paused at ``sim_ms`` (a dispatch boundary)."""
+    return {
+        "version": STATE_VERSION,
+        "sim_ms": sim_ms,
+        "machine": machine.state_dict(),
+        "scheduler": scheduler.state_dict(),
+    }
+
+
+def restore_device(machine: AmuletMachine, scheduler: Scheduler,
+                   snapshot: dict) -> int:
+    """Load ``snapshot`` into a freshly built machine + scheduler pair;
+    returns the simulated time the device was paused at."""
+    version = snapshot.get("version")
+    if version != STATE_VERSION:
+        raise KernelError(
+            f"snapshot version {version!r} != supported {STATE_VERSION}"
+            " — discard the checkpoint and rerun")
+    machine.load_state(snapshot["machine"])
+    scheduler.load_state(snapshot["scheduler"])
+    return snapshot["sim_ms"]

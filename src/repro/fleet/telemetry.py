@@ -1,0 +1,185 @@
+"""Fleet telemetry: per-device records and the fleet summary.
+
+Records are plain JSON dicts, one per (device, model), streamed as
+JSONL while shards run and folded into a single ``summary.json`` at
+campaign end.  Everything here is a pure function of the records, the
+records are a pure function of ``(fleet_seed, device_id, model)``, and
+the fold sorts by device id — so the summary is byte-identical no
+matter how many worker processes produced the records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.aft.models import IsolationModel
+from repro.apps.manifests import MS_PER_WEEK
+from repro.fleet.device import DeviceRun
+from repro.fleet.population import ROGUE_APP
+from repro.profiler.energy import EnergyModel
+
+#: CLI-facing model names (matches ``repro experiments`` naming)
+MODELS_BY_KEY: Dict[str, IsolationModel] = {
+    "none": IsolationModel.NO_ISOLATION,
+    "feature-limited": IsolationModel.FEATURE_LIMITED,
+    "software-only": IsolationModel.SOFTWARE_ONLY,
+    "mpu": IsolationModel.MPU,
+    "advanced-mpu": IsolationModel.ADVANCED_MPU,
+}
+
+#: what ``--model all`` expands to (the paper's four evaluated models)
+DEFAULT_MODELS = ("none", "feature-limited", "software-only", "mpu")
+
+
+def device_record(run: DeviceRun, model_key: str) -> dict:
+    """One device's telemetry, JSON-plain and fully deterministic."""
+    spec = run.spec
+    stats = run.scheduler.stats
+    cycles = sum(stats.per_app_cycles.values())
+    rogue_cycles = stats.per_app_cycles.get(ROGUE_APP, 0)
+    rogue_events = stats.per_app_events.get(ROGUE_APP, 0)
+
+    faults_by_origin: Dict[str, int] = {}
+    for record in run.machine.fault_log.records:
+        key = record.origin.value
+        faults_by_origin[key] = faults_by_origin.get(key, 0) + 1
+
+    # projected battery cost of a week at this duty cycle, against
+    # this device's actual battery (integer scaling keeps it exact)
+    weekly_cycles = (cycles * MS_PER_WEEK // run.sim_ms
+                     if run.sim_ms else 0)
+    energy = EnergyModel(battery_mah=float(spec.battery_mah))
+    battery_pct = energy.battery_impact_percent(weekly_cycles)
+
+    return {
+        "device": spec.device_id,
+        "model": model_key,
+        "apps": list(spec.apps),
+        "rogue": spec.rogue,
+        "rogue_built": run.rogue_built,
+        "battery_mah": spec.battery_mah,
+        "sim_ms": run.sim_ms,
+        "dispatches": stats.events_delivered,
+        "dropped": stats.events_dropped,
+        "cycles": cycles,
+        "faults": stats.faults,
+        "restarts": stats.restarts,
+        "cycles_app": cycles - rogue_cycles,
+        "dispatches_app": stats.events_delivered - rogue_events,
+        "faults_by_app": dict(sorted(stats.per_app_faults.items())),
+        "faults_by_origin": dict(sorted(faults_by_origin.items())),
+        "battery_week_pct": round(battery_pct, 6),
+    }
+
+
+def record_line(record: dict) -> str:
+    """Canonical JSONL encoding (sorted keys, no whitespace)."""
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def _percentiles(values: Sequence[float]) -> dict:
+    """Nearest-rank percentiles — integer indexing only, so the result
+    never depends on float interpolation quirks."""
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def rank(q: int) -> float:
+        return ordered[min(n - 1, max(0, (q * n + 99) // 100 - 1))]
+
+    return {
+        "min": ordered[0],
+        "p50": rank(50),
+        "p90": rank(90),
+        "p99": rank(99),
+        "max": ordered[-1],
+        "mean": round(sum(ordered) / n, 6),
+    }
+
+
+def _model_summary(records: List[dict]) -> dict:
+    devices = len(records)
+    cycles_app = sum(r["cycles_app"] for r in records)
+    dispatches_app = sum(r["dispatches_app"] for r in records)
+    rogue = [r for r in records if r["rogue"]]
+    rogue_built = [r for r in rogue if r["rogue_built"]]
+    rogue_caught = [r for r in rogue_built
+                    if r["faults_by_app"].get(ROGUE_APP, 0) > 0]
+    # any fault logged against a catalog app means the rogue's damage
+    # (or a kernel bug) escaped its sandbox
+    collateral = sum(count
+                     for r in records
+                     for app, count in r["faults_by_app"].items()
+                     if app != ROGUE_APP)
+    summary = {
+        "devices": devices,
+        "dispatches": sum(r["dispatches"] for r in records),
+        "cycles": sum(r["cycles"] for r in records),
+        "faults": sum(r["faults"] for r in records),
+        "restarts": sum(r["restarts"] for r in records),
+        # per-dispatch cost of the nine-app workload itself, rogue
+        # excluded — the cross-model comparable number
+        "cycles_per_dispatch": round(cycles_app / dispatches_app, 6)
+        if dispatches_app else 0.0,
+        "rogue_devices": len(rogue),
+        "rogue_rejected_at_build": len(rogue) - len(rogue_built),
+        "rogue_faulted": len(rogue_caught),
+        "collateral_faults": collateral,
+        "rogue_contained": len(rogue_caught) == len(rogue_built)
+        and collateral == 0,
+        "battery_week_pct": _percentiles(
+            [r["battery_week_pct"] for r in records]),
+        "device_cycles": _percentiles([r["cycles"] for r in records]),
+        "device_dispatches": _percentiles(
+            [r["dispatches"] for r in records]),
+    }
+    return summary
+
+
+def fleet_summary(config: dict,
+                  records_by_model: Dict[str, List[dict]]) -> dict:
+    """Fold per-device records into the campaign summary.
+
+    ``records_by_model`` maps model key -> records; order of the input
+    lists is irrelevant (they are re-sorted by device id)."""
+    models = {}
+    for key in sorted(records_by_model):
+        records = sorted(records_by_model[key],
+                         key=lambda r: r["device"])
+        models[key] = _model_summary(records)
+
+    # isolation overhead relative to the no-isolation baseline, on the
+    # rogue-free per-dispatch cost (paper Table 1's fleet-level analog)
+    base = models.get("none")
+    if base and base["cycles_per_dispatch"]:
+        for key, model in models.items():
+            model["overhead_vs_none_pct"] = round(
+                100.0 * (model["cycles_per_dispatch"]
+                         / base["cycles_per_dispatch"] - 1.0), 3)
+
+    return {"version": 1, "config": config, "models": models}
+
+
+def summary_text(summary: dict) -> str:
+    """Human-readable digest of a fleet summary."""
+    lines = []
+    config = summary["config"]
+    lines.append(f"fleet seed {config['seed']}: "
+                 f"{config['devices']} devices x "
+                 f"{config['hours']} h simulated")
+    header = (f"{'model':<17}{'disp':>10}{'cyc/disp':>12}"
+              f"{'ovh%':>8}{'faults':>8}{'restarts':>9}"
+              f"{'rogue':>12}")
+    lines.append(header)
+    for key, model in summary["models"].items():
+        overhead = model.get("overhead_vs_none_pct")
+        rogue = (f"{model['rogue_faulted']}/{model['rogue_devices']}"
+                 + (" +rej" if model["rogue_rejected_at_build"] else ""))
+        lines.append(
+            f"{key:<17}{model['dispatches']:>10}"
+            f"{model['cycles_per_dispatch']:>12.1f}"
+            f"{overhead if overhead is not None else '-':>8}"
+            f"{model['faults']:>8}{model['restarts']:>9}"
+            f"{rogue:>12}")
+    return "\n".join(lines)

@@ -120,6 +120,28 @@ class AdvancedMpu:
         self._config_unlocked = False
         self._config_changed()
 
+    # -- snapshot/restore ---------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "ctl0": self.ctl0,
+            "segb1": self.segb1,
+            "segb2": self.segb2,
+            "sam": self.sam,
+            "config_unlocked": self._config_unlocked,
+            "violation_address": self.violation_address,
+            "violation_kind": self.violation_kind,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.ctl0 = state["ctl0"] & 0xFFFF
+        self.segb1 = state["segb1"] & 0xFFFF
+        self.segb2 = state["segb2"] & 0xFFFF
+        self.sam = state["sam"] & 0xFFFF
+        self._config_unlocked = state["config_unlocked"]
+        self.violation_address = state["violation_address"]
+        self.violation_kind = state["violation_kind"]
+        self._config_changed()
+
     @property
     def enabled(self) -> bool:
         return bool(self.ctl0 & MPUENA)

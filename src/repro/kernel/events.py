@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -52,11 +51,11 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
-        self._counter = itertools.count()
+        self._seq = 0
 
     def push(self, event: Event) -> None:
-        heapq.heappush(self._heap, (event.time, next(self._counter),
-                                    event))
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
 
     def pop(self) -> Event:
         return heapq.heappop(self._heap)[2]
@@ -70,6 +69,29 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    # -- snapshot/restore --------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pending events in canonical (time, seq) order.  Pop order is
+        fully determined by the (time, seq) keys, so restoring from the
+        sorted list reproduces the exact delivery sequence regardless
+        of the original heap's internal array layout."""
+        entries = sorted(self._heap, key=lambda e: (e[0], e[1]))
+        return {
+            "seq": self._seq,
+            "events": [
+                [t, n, [e.time, e.app, e.handler, e.event_type.value,
+                        list(e.args)]]
+                for t, n, e in entries],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._seq = state["seq"]
+        # a (time, seq)-sorted list is a valid heap as-is
+        self._heap = [
+            (t, n, Event(ev[0], ev[1], ev[2], EventType(ev[3]),
+                         tuple(ev[4])))
+            for t, n, ev in state["events"]]
+
 
 @dataclass(frozen=True)
 class PeriodicSource:
@@ -82,8 +104,16 @@ class PeriodicSource:
     args: Tuple[int, ...] = ()
     phase_ms: int = 0
 
-    def events_until(self, end_ms: int) -> Iterator[Event]:
+    def events_until(self, end_ms: int,
+                     start_ms: int = 0) -> Iterator[Event]:
+        """Events in ``[start_ms, end_ms)``.  Seeding a horizon window
+        by window (``[0, a)`` then ``[a, b)``) yields exactly the same
+        events as seeding ``[0, b)`` in one call — the fleet driver's
+        checkpoint segments depend on that."""
         time = self.phase_ms
+        if start_ms > time:
+            periods = -((time - start_ms) // self.period_ms)
+            time += periods * self.period_ms
         while time < end_ms:
             yield Event(time, self.app, self.handler, self.event_type,
                         self.args)

@@ -49,6 +49,20 @@ class FaultLog:
     def for_app(self, app: str) -> List[FaultRecord]:
         return [r for r in self.records if r.app == app]
 
+    # -- snapshot/restore ---------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"records": [
+            {"app": r.app, "origin": r.origin.value, "pc": r.pc,
+             "address": r.address, "cycle": r.cycle, "detail": r.detail}
+            for r in self.records]}
+
+    def load_state(self, state: dict) -> None:
+        self.records = [
+            FaultRecord(app=d["app"], origin=FaultOrigin(d["origin"]),
+                        pc=d["pc"], address=d["address"],
+                        cycle=d["cycle"], detail=d["detail"])
+            for d in state["records"]]
+
     def __len__(self) -> int:
         return len(self.records)
 

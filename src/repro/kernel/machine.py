@@ -131,6 +131,57 @@ class AmuletMachine:
             return None
         return self.firmware.apps.get(self.current_app)
 
+    # -- snapshot/restore --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Dispatch-boundary snapshot of everything architectural: CPU
+        registers/counters, the 64 KB memory image, MPU registers
+        (lock state included), the fault log, per-app runtime state,
+        and OS service state (display/log/storage plus the sensor
+        environment's LCG position).
+
+        Only valid *between* dispatches — mid-handler state would also
+        need the Python call stack, which is not serializable."""
+        if self.current_app is not None or self._pending_fault is not None:
+            raise KernelError(
+                "machine snapshots are only valid at a dispatch boundary")
+        state = {
+            "cpu": self.cpu.state_dict(),
+            "memory": self.cpu.memory.state_dict(),
+            "fault_log": self.fault_log.state_dict(),
+            "services": self.services.state_dict(),
+            "app_state": {
+                name: [s.dispatches, s.cycles, s.faults, s.disabled]
+                for name, s in self.app_state.items()},
+        }
+        if self.mpu is not None:
+            state["mpu"] = self.mpu.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this machine.
+
+        The machine must have been constructed from the *same firmware*
+        (the fleet layer guarantees that by rebuilding it from the
+        deterministic device spec); loading clears every derived cache
+        (decoded instructions, superblocks, permission bitmaps), so a
+        resumed run is byte-identical to an uninterrupted one."""
+        if set(state["app_state"]) != set(self.firmware.apps):
+            raise KernelError(
+                "snapshot app set does not match this firmware "
+                f"(snapshot: {sorted(state['app_state'])}, "
+                f"firmware: {sorted(self.firmware.apps)})")
+        self.cpu.memory.load_state(state["memory"])
+        self.cpu.load_state(state["cpu"])
+        if self.mpu is not None:
+            self.mpu.load_state(state["mpu"])
+        self.fault_log.load_state(state["fault_log"])
+        self.services.load_state(state["services"])
+        for name, packed in state["app_state"].items():
+            app = self.app_state[name]
+            app.dispatches, app.cycles, app.faults, app.disabled = packed
+        self.current_app = None
+        self._pending_fault = None
+
     # -- sysvar maintenance --------------------------------------------------------
     def set_sysvar(self, name: str, value: int) -> None:
         symbol = self.firmware.api.sysvar_symbol(name)
@@ -194,6 +245,7 @@ class AmuletMachine:
             fault = self._pending_fault
             self.fault_log.log(fault)
             self._recover_to_os()
+        self._pending_fault = None
 
         cycles = cpu.cycles - start_cycles
         state.dispatches += 1

@@ -45,9 +45,12 @@ class SchedulerStats:
     events_delivered: int = 0
     events_dropped: int = 0
     faults: int = 0
+    #: times a suspended app was re-enabled under RESTART_AFTER
+    restarts: int = 0
     per_app_cycles: Dict[str, int] = field(default_factory=dict)
     per_app_events: Dict[str, int] = field(default_factory=dict)
     per_app_faults: Dict[str, int] = field(default_factory=dict)
+    per_app_restarts: Dict[str, int] = field(default_factory=dict)
 
     def record(self, result: DispatchResult) -> None:
         self.events_delivered += 1
@@ -83,12 +86,16 @@ class Scheduler:
             raise KernelError(f"unknown app {schedule.app!r}")
         self.schedules[schedule.app] = schedule
 
-    def seed_events(self, horizon_ms: int) -> int:
-        """Queue every periodic event up to ``horizon_ms``."""
+    def seed_events(self, horizon_ms: int, start_ms: int = 0) -> int:
+        """Queue every periodic event in ``[start_ms, horizon_ms)``.
+
+        Window-by-window seeding inserts the same events in the same
+        relative (schedule, source, time) order as one full-horizon
+        call, so same-timestamp tie-breaks are stable either way."""
         count = 0
         for schedule in self.schedules.values():
             for source in schedule.sources:
-                for event in source.events_until(horizon_ms):
+                for event in source.events_until(horizon_ms, start_ms):
                     self.queue.push(event)
                     count += 1
         return count
@@ -114,6 +121,9 @@ class Scheduler:
             until = self._suspended_until.get(app, 0)
             if self.now_ms >= until:
                 state.disabled = False
+                self.stats.restarts += 1
+                self.stats.per_app_restarts[app] = \
+                    self.stats.per_app_restarts.get(app, 0) + 1
                 return True
         return False
 
@@ -146,9 +156,18 @@ class Scheduler:
             return ((self.now_ms // 1000) & 0xFFFF,)
         return ()
 
-    def step(self) -> Optional[DispatchResult]:
-        """Deliver the next queued event; None when the queue is dry."""
+    def step(self, before_ms: Optional[int] = None
+             ) -> Optional[DispatchResult]:
+        """Deliver the next queued event; None when the queue is dry.
+
+        With ``before_ms``, events timestamped at or after it stay
+        queued and None is returned once no deliverable event remains
+        before the boundary — the fleet driver drains one checkpoint
+        segment at a time this way."""
         while self.queue:
+            if before_ms is not None and \
+                    self.queue.peek_time() >= before_ms:
+                return None
             event = self.queue.pop()
             self.now_ms = max(self.now_ms, event.time)
             self.machine.services.env.time_ms = self.now_ms
@@ -165,6 +184,47 @@ class Scheduler:
                 self._handle_fault(result)
             return result
         return None
+
+    # -- snapshot/restore --------------------------------------------------
+    def state_dict(self) -> dict:
+        """Dynamic scheduler state: clock, pending events, suspension
+        deadlines, and statistics.  Configuration (policy, schedules,
+        cooldown) is reconstructed alongside the machine, and the
+        optional dispatch trace is diagnostic-only — neither is
+        captured."""
+        stats = self.stats
+        return {
+            "now_ms": self.now_ms,
+            "queue": self.queue.state_dict(),
+            "suspended_until": dict(self._suspended_until),
+            "stats": {
+                "events_delivered": stats.events_delivered,
+                "events_dropped": stats.events_dropped,
+                "faults": stats.faults,
+                "restarts": stats.restarts,
+                "per_app_cycles": dict(stats.per_app_cycles),
+                "per_app_events": dict(stats.per_app_events),
+                "per_app_faults": dict(stats.per_app_faults),
+                "per_app_restarts": dict(stats.per_app_restarts),
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.now_ms = state["now_ms"]
+        self.queue.load_state(state["queue"])
+        self._suspended_until = dict(state["suspended_until"])
+        s = state["stats"]
+        self.stats = SchedulerStats(
+            events_delivered=s["events_delivered"],
+            events_dropped=s["events_dropped"],
+            faults=s["faults"],
+            restarts=s["restarts"],
+            per_app_cycles=dict(s["per_app_cycles"]),
+            per_app_events=dict(s["per_app_events"]),
+            per_app_faults=dict(s["per_app_faults"]),
+            per_app_restarts=dict(s["per_app_restarts"]),
+        )
+        self.machine.services.env.time_ms = self.now_ms
 
     def run(self, horizon_ms: int,
             max_events: Optional[int] = None) -> SchedulerStats:

@@ -56,6 +56,27 @@ class SensorEnvironment:
     def light(self) -> int:
         return max(0, self.base_light + self._rand() % 101 - 50)
 
+    # -- snapshot/restore --------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "state": self._state,
+            "time_ms": self.time_ms,
+            "battery_percent": self.battery_percent,
+            "base_heart_rate": self.base_heart_rate,
+            "base_temperature": self.base_temperature,
+            "base_light": self.base_light,
+            "steps": self.steps,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._state = state["state"]
+        self.time_ms = state["time_ms"]
+        self.battery_percent = state["battery_percent"]
+        self.base_heart_rate = state["base_heart_rate"]
+        self.base_temperature = state["base_temperature"]
+        self.base_light = state["base_light"]
+        self.steps = state["steps"]
+
     def accel_sample(self) -> Tuple[int, int, int]:
         """Milli-g triple around 1 g on Z with noise, occasional spikes
         (so activity/fall-detection code has something to chew on)."""
@@ -150,6 +171,35 @@ class ServiceRegistry:
             return True
         self.machine.report_api_pointer_fault(address)
         return False
+
+    # -- snapshot/restore -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """OS-side service state: display/log/storage contents, call
+        counters, the armed-timer log, and the sensor environment
+        (including its LCG position, so resumed runs draw the same
+        sample stream)."""
+        return {
+            "display_digits": list(self.display.digits),
+            "display_texts": list(self.display.texts),
+            "log_words": list(self.log.words),
+            "log_buffers": [bytes(b) for b in self.log.buffers],
+            "storage": {k: bytes(v) for k, v in self.storage.items()},
+            "vibrations": self.vibrations,
+            "app_timers": [list(t) for t in self.app_timers],
+            "calls": dict(self.calls),
+            "env": self.env.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.display.digits = list(state["display_digits"])
+        self.display.texts = list(state["display_texts"])
+        self.log.words = list(state["log_words"])
+        self.log.buffers = [bytes(b) for b in state["log_buffers"]]
+        self.storage = {k: bytes(v) for k, v in state["storage"].items()}
+        self.vibrations = state["vibrations"]
+        self.app_timers = [tuple(t) for t in state["app_timers"]]
+        self.calls = dict(state["calls"])
+        self.env.load_state(state["env"])
 
     # -- handlers -------------------------------------------------------------
     def _get_battery(self) -> int:

@@ -331,6 +331,26 @@ class Cpu:
     def halt(self) -> None:
         self.halted = True
 
+    # -- snapshot/restore ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """Architectural CPU state: register file plus the cycle and
+        instruction counters.  The decoded-instruction cache and the
+        compiled superblocks are *derived* state — they rebuild on
+        demand after :meth:`load_state` — so they are not captured."""
+        return {
+            "regs": self.regs.snapshot(),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "halted": self.halted,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.regs.restore(state["regs"])
+        self.cycles = state["cycles"]
+        self.instructions = state["instructions"]
+        self.halted = state["halted"]
+        self._pending_fault = None
+
     def post_fault(self, fault: CpuFault) -> None:
         """Queue a fault to be raised at the end of the current step."""
         self._pending_fault = fault

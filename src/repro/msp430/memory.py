@@ -442,6 +442,22 @@ class Memory:
         """Debugger read, bypassing permission checks."""
         return bytes(self._bytes[address:address + length])
 
+    # -- snapshot/restore ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """The full 64 KB backing image.  I/O handlers, observers and
+        write hooks are *wiring*, re-created when the owning machine is
+        reconstructed, so only the bytes are captured."""
+        return {"bytes": bytes(self._bytes)}
+
+    def load_state(self, state: dict) -> None:
+        blob = state["bytes"]
+        if len(blob) != 0x10000:
+            raise ValueError(f"memory snapshot must be 64 KB, "
+                             f"got {len(blob)} bytes")
+        self._bytes[:] = blob
+        for hook in self.write_hooks:
+            hook(-1, 0)     # bulk write: full invalidation
+
     def fill(self, address: int, length: int, value: int = 0) -> None:
         self._bytes[address:address + length] = \
             bytes([value & 0xFF]) * length

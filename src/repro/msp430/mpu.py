@@ -282,6 +282,34 @@ class Mpu:
         self.ctl0 &= ~MPUENA & 0xFFFF
         self._config_changed()
 
+    # -- snapshot/restore ---------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "ctl0": self.ctl0,
+            "ctl1": self.ctl1,
+            "segb1": self.segb1,
+            "segb2": self.segb2,
+            "sam": self.sam,
+            "violation_address": self.violation_address,
+            "violation_kind": self.violation_kind,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Direct register restore, deliberately bypassing the
+        password/lock write semantics: a snapshot of a locked MPU must
+        come back locked (and a register-write path would refuse to
+        restore anything under MPULOCK)."""
+        self.ctl0 = state["ctl0"] & 0xFFFF
+        self.ctl1 = state["ctl1"] & 0xFFFF
+        self.segb1 = state["segb1"] & 0xFFFF
+        self.segb2 = state["segb2"] & 0xFFFF
+        self.sam = state["sam"] & 0xFFFF
+        self._b1 = min(self.segb1 << 4, 0x10000)
+        self._b2 = min(self.segb2 << 4, 0x10000)
+        self.violation_address = state["violation_address"]
+        self.violation_kind = state["violation_kind"]
+        self._config_changed()
+
     @property
     def boundary1(self) -> int:
         return min(self.segb1 << 4, 0x10000)

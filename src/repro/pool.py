@@ -1,0 +1,74 @@
+"""Shared process fan-out helper.
+
+Both parallel front-ends — ``repro experiments --jobs N`` and
+``repro fleet run --jobs N`` — decompose their work into *cells* that
+share nothing with each other and submit them to a worker pool.  This
+module owns the pool so the two don't each reimplement it:
+
+* ``worker_pool(jobs)`` returns a context-managed pool with the
+  ``submit(fn, *args) -> future`` surface of
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  For ``jobs <= 1``
+  it returns a :class:`SerialPool` whose ``submit`` runs the function
+  *immediately, inline, in submission order* — no ``multiprocessing``
+  import, no worker processes, no pickling — so the serial path of
+  every caller stays byte-identical to a plain loop.
+* Submitted functions must live at module level (picklable under any
+  start method) and take/return picklable values, exactly as the
+  experiment cell workers always have.
+
+Exceptions raised by a cell surface from ``future.result()`` in both
+modes.  A worker process dying outright (crash injection, OOM, kill)
+surfaces as :class:`concurrent.futures.process.BrokenProcessPool`;
+callers that checkpoint (the fleet executor) treat that as "resume me
+later", callers that don't (experiments) let it propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class SerialFuture:
+    """An already-resolved future: ``result()`` returns or re-raises."""
+
+    def __init__(self, value: Any = None,
+                 error: BaseException = None):
+        self._value = value
+        self._error = error
+
+    def result(self, timeout: float = None) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def done(self) -> bool:
+        return True
+
+
+class SerialPool:
+    """Pool stand-in that runs every submission inline.
+
+    Submission order *is* execution order, so results are produced
+    exactly as a plain serial loop would produce them.
+    """
+
+    def submit(self, fn: Callable, *args: Any,
+               **kwargs: Any) -> SerialFuture:
+        try:
+            return SerialFuture(value=fn(*args, **kwargs))
+        except BaseException as error:      # re-raised at result()
+            return SerialFuture(error=error)
+
+    def __enter__(self) -> "SerialPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+def worker_pool(jobs: int):
+    """A context-managed pool: processes for ``jobs > 1``, else serial."""
+    if jobs <= 1:
+        return SerialPool()
+    from concurrent.futures import ProcessPoolExecutor
+    return ProcessPoolExecutor(max_workers=jobs)

@@ -1,0 +1,89 @@
+"""Shard invariance and crash/resume for fleet campaigns.
+
+The executor's contract: the summary (and every per-device record) is
+a pure function of the campaign parameters — never of how many worker
+processes ran it, or of how many times it was killed and resumed.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet.executor import FleetConfig, run_campaign
+from repro.fleet.telemetry import _percentiles
+
+#: small but non-trivial: ~11 simulated seconds per device, several
+#: checkpoint segments, rogues likely present
+_CAMPAIGN = dict(devices=4, hours=0.003, models=("mpu",), seed=7,
+                 checkpoint_minutes=0.05, rogue_fraction=0.5)
+
+
+def _run(tmp_path, name, jobs, **overrides):
+    config = FleetConfig(shards=jobs, **{**_CAMPAIGN, **overrides})
+    out = tmp_path / name
+    summary = run_campaign(config, out, jobs=jobs)
+    return out, summary
+
+
+class TestShardInvariance:
+    def test_jobs_1_2_4_identical_summary(self, tmp_path):
+        outs = [_run(tmp_path, f"jobs{jobs}", jobs)[0]
+                for jobs in (1, 2, 4)]
+        blobs = [(out / "summary.json").read_bytes() for out in outs]
+        assert blobs[0] == blobs[1] == blobs[2]
+        records = [(out / "devices-mpu.jsonl").read_bytes()
+                   for out in outs]
+        assert records[0] == records[1] == records[2]
+
+    def test_campaign_dir_rejects_other_config(self, tmp_path):
+        out, _ = _run(tmp_path, "campaign", 1)
+        other = FleetConfig(shards=1, **{**_CAMPAIGN, "seed": 8})
+        with pytest.raises(ReproError, match="different campaign"):
+            run_campaign(other, out, jobs=1)
+
+
+class TestCrashResume:
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        reference, _ = _run(tmp_path, "reference", 1)
+
+        config = FleetConfig(shards=2, **_CAMPAIGN)
+        out = tmp_path / "crashed"
+        # every worker process dies (os._exit) after two checkpoint
+        # writes — mid-device, mid-campaign
+        with pytest.raises(ReproError, match="re-run the same"):
+            run_campaign(config, out, jobs=2,
+                         crash_after_checkpoints=2)
+        assert (out / "shards").exists()         # checkpoints survive
+
+        run_campaign(config, out, jobs=2)        # same command again
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+
+    def test_completed_models_are_not_rerun(self, tmp_path):
+        out, first = _run(tmp_path, "resume", 1)
+        lines = []
+        config = FleetConfig(shards=1, **_CAMPAIGN)
+        summary = run_campaign(config, out, jobs=1,
+                               report=lines.append)
+        assert summary == first
+        assert any("already complete" in line for line in lines)
+
+
+class TestSummaryShape:
+    def test_percentiles_nearest_rank(self):
+        stats = _percentiles(list(range(1, 11)))
+        assert stats == {"min": 1, "p50": 5, "p90": 9, "p99": 10,
+                         "max": 10, "mean": 5.5}
+
+    def test_summary_reports_models_and_containment(self, tmp_path):
+        _, summary = _run(tmp_path, "shape", 2,
+                          models=("none", "mpu"))
+        assert set(summary["models"]) == {"none", "mpu"}
+        mpu = summary["models"]["mpu"]
+        assert mpu["overhead_vs_none_pct"] > 0
+        assert mpu["rogue_contained"]
+        # rogues fault and restart under the MPU, never under none
+        if mpu["rogue_devices"]:
+            assert mpu["faults"] > 0
+            assert summary["models"]["none"]["faults"] == 0

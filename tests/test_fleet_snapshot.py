@@ -1,0 +1,137 @@
+"""Snapshot determinism: resumed fleet devices are byte-identical.
+
+The fleet layer's whole checkpoint/resume story rests on one claim:
+snapshot a device at any dispatch boundary, restore it into a freshly
+built machine (in a *different process*), continue, and you end in
+exactly the state an uninterrupted run reaches.  The property test
+here checks that end-to-end over random devices, models, horizons and
+checkpoint cadences; the directed tests pin the corners (locked MPU,
+version gate, boundary-only snapshots).
+"""
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aft.models import IsolationModel
+from repro.errors import KernelError
+from repro.fleet.device import make_device, simulate_device
+from repro.fleet.population import device_spec
+from repro.fleet.snapshot import STATE_VERSION, restore_device, \
+    snapshot_device
+from repro.msp430.mpu import MPUCTL0, MPUSEGB1
+from repro.pool import worker_pool
+
+_SETTINGS = dict(max_examples=5, deadline=None)
+
+_MODELS = [IsolationModel.MPU, IsolationModel.SOFTWARE_ONLY,
+           IsolationModel.NO_ISOLATION]
+
+
+def _digest(run) -> str:
+    """Hash of everything the snapshot layer considers device state.
+
+    Canonical JSON, not pickle: pickle's output encodes object-identity
+    sharing (memo back-references), which legitimately differs between
+    processes for value-identical state."""
+    blob = json.dumps((run.machine.state_dict(),
+                       run.scheduler.state_dict()),
+                      sort_keys=True,
+                      default=lambda b: b.hex())
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _resume_and_finish(spec, model, snapshot, sim_ms,
+                       checkpoint_ms) -> str:
+    """Worker entry point: restore in a fresh process, run to the end,
+    return the final state digest."""
+    run = simulate_device(spec, model, sim_ms=sim_ms,
+                          checkpoint_every_ms=checkpoint_ms,
+                          resume=snapshot)
+    return _digest(run)
+
+
+class TestSnapshotProperty:
+    @settings(**_SETTINGS)
+    @given(fleet_seed=st.integers(0, 2**31 - 1),
+           device_id=st.integers(0, 50),
+           model=st.sampled_from(_MODELS),
+           checkpoint_ms=st.integers(800, 2500),
+           extra_segments=st.integers(1, 3))
+    def test_resume_in_fresh_process_is_byte_identical(
+            self, fleet_seed, device_id, model, checkpoint_ms,
+            extra_segments):
+        spec = device_spec(fleet_seed, device_id, rogue_fraction=0.5)
+        sim_ms = checkpoint_ms * (1 + extra_segments) + 137
+
+        # uninterrupted run, capturing the snapshot at the first
+        # (random, since checkpoint_ms is drawn) dispatch boundary
+        captured = []
+        run = simulate_device(
+            spec, model, sim_ms=sim_ms,
+            checkpoint_every_ms=checkpoint_ms,
+            on_checkpoint=lambda t, snap:
+            captured.append((t, snap)) if not captured else None)
+        assert captured, "horizon must span at least one checkpoint"
+        _t, snapshot = captured[0]
+
+        with worker_pool(2) as pool:
+            resumed_digest = pool.submit(
+                _resume_and_finish, spec, model, snapshot, sim_ms,
+                checkpoint_ms).result()
+        assert resumed_digest == _digest(run)
+
+
+class TestSnapshotCorners:
+    def test_locked_mpu_round_trips(self):
+        """MPULOCK freezes the hardware config until reset; a restored
+        machine must come back frozen, not silently writable."""
+        spec = device_spec(11, 3)
+        model = IsolationModel.MPU
+        run = simulate_device(spec, model, sim_ms=1000)
+        memory = run.machine.cpu.memory
+        memory.write_word(MPUCTL0, 0xA503)       # enable + lock
+        assert run.machine.mpu.locked
+
+        snapshot = snapshot_device(run.machine, run.scheduler, 1000)
+        machine, scheduler, _rogue = make_device(spec, model)
+        restore_device(machine, scheduler, snapshot)
+
+        assert machine.mpu.locked
+        assert machine.mpu.state_dict() == run.machine.mpu.state_dict()
+        before = machine.mpu.segb1
+        machine.cpu.memory.write_word(MPUSEGB1, before ^ 0x010)
+        assert machine.mpu.segb1 == before       # still frozen
+
+    def test_snapshot_version_gate(self):
+        spec = device_spec(11, 3)
+        run = simulate_device(spec, IsolationModel.NO_ISOLATION,
+                              sim_ms=500)
+        snapshot = snapshot_device(run.machine, run.scheduler, 500)
+        snapshot["version"] = STATE_VERSION + 1
+        machine, scheduler, _rogue = make_device(
+            spec, IsolationModel.NO_ISOLATION)
+        with pytest.raises(KernelError, match="version"):
+            restore_device(machine, scheduler, snapshot)
+
+    def test_snapshot_rejects_mid_dispatch(self):
+        spec = device_spec(11, 3)
+        run = simulate_device(spec, IsolationModel.NO_ISOLATION,
+                              sim_ms=500)
+        run.machine.current_app = spec.apps[0]   # fake "mid-handler"
+        with pytest.raises(KernelError, match="dispatch boundary"):
+            run.machine.state_dict()
+
+    def test_snapshot_rejects_foreign_firmware(self):
+        spec_a = device_spec(11, 3)
+        spec_b = device_spec(11, 4)
+        assert spec_a.apps != spec_b.apps
+        run = simulate_device(spec_a, IsolationModel.NO_ISOLATION,
+                              sim_ms=500)
+        snapshot = snapshot_device(run.machine, run.scheduler, 500)
+        machine, scheduler, _rogue = make_device(
+            spec_b, IsolationModel.NO_ISOLATION)
+        with pytest.raises(KernelError, match="app set"):
+            restore_device(machine, scheduler, snapshot)

@@ -1,0 +1,62 @@
+"""The shared worker-pool helper (repro/pool.py).
+
+``worker_pool(jobs)`` is the one fan-out primitive both ``repro
+experiments --jobs`` and ``repro fleet`` use: a real process pool for
+``jobs > 1``, and a drop-in serial pool otherwise — so the serial path
+has no multiprocessing machinery in it at all.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.fleet.population import device_spec
+from repro.pool import SerialFuture, SerialPool, worker_pool
+
+
+def _boom() -> None:
+    raise ValueError("intentional")
+
+
+class TestSerialPool:
+    def test_submit_runs_inline_and_in_order(self):
+        order = []
+        with SerialPool() as pool:
+            future = pool.submit(order.append, 1)
+            order.append(2)
+            assert future.result() is None
+        assert order == [1, 2]          # ran at submit time, not later
+
+    def test_result_reraises_worker_exception(self):
+        with SerialPool() as pool:
+            future = pool.submit(_boom)
+        with pytest.raises(ValueError, match="intentional"):
+            future.result()
+
+    def test_returns_values(self):
+        with SerialPool() as pool:
+            futures = [pool.submit(pow, 2, n) for n in range(5)]
+        assert [f.result() for f in futures] == [1, 2, 4, 8, 16]
+
+
+class TestWorkerPool:
+    def test_serial_for_one_job(self):
+        assert isinstance(worker_pool(1), SerialPool)
+        assert isinstance(worker_pool(0), SerialPool)
+
+    def test_processes_for_many_jobs(self):
+        pool = worker_pool(2)
+        try:
+            assert isinstance(pool, ProcessPoolExecutor)
+        finally:
+            pool.shutdown()
+
+    def test_process_pool_matches_serial_result(self):
+        local = device_spec(3, 1)
+        with worker_pool(2) as pool:
+            remote = pool.submit(device_spec, 3, 1).result()
+        assert remote == local
+
+    def test_serial_future_stores_value(self):
+        future = SerialFuture(value=42)
+        assert future.result() == 42
