@@ -81,6 +81,15 @@ def record(label: str, repeats: int = 3, jobs: int = 1) -> dict:
     return entry
 
 
+def _parse_jobs(text: str) -> list:
+    """``"1,2,4"`` -> ``[1, 2, 4]`` (a single value stays a 1-list)."""
+    jobs = [int(part) for part in text.split(",") if part.strip()]
+    if not jobs or any(j < 1 for j in jobs):
+        raise argparse.ArgumentTypeError(
+            f"--jobs wants positive integers, got {text!r}")
+    return jobs
+
+
 # -- pytest smoke (fast; asserts a campaign actually completes) --------
 def test_fleet_throughput_smoke():
     rate = bench_campaign(devices=2, hours=0.001)
@@ -94,11 +103,27 @@ def main() -> int:
                         help="label stored with the record")
     parser.add_argument("--repeats", type=int, default=3,
                         help="campaigns run; best is kept")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the campaign")
+    parser.add_argument("--jobs", type=_parse_jobs, default=[1],
+                        metavar="J[,J...]",
+                        help="worker-process counts; a comma list "
+                             "(e.g. 1,2,4) records one scaling row "
+                             "per value")
+    parser.add_argument(
+        "--check-floor", type=float, default=None, metavar="RATE",
+        help="CI mode: run without recording, exit 1 unless "
+             "device-sim-hours/s >= RATE (uses the first --jobs value)")
     args = parser.parse_args()
-    entry = record(args.label, args.repeats, args.jobs)
-    print(json.dumps(entry, indent=2))
+    if args.check_floor is not None:
+        results = run_benchmarks(args.repeats, args.jobs[0])
+        rate = results["device_sim_hours_per_sec"]
+        ok = rate >= args.check_floor
+        print(f"fleet throughput {rate} device-sim-hours/s "
+              f"(floor {args.check_floor}): "
+              + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+    for jobs in args.jobs:
+        entry = record(args.label, args.repeats, jobs)
+        print(json.dumps(entry, indent=2))
     return 0
 
 

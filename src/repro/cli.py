@@ -177,11 +177,17 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         seed=args.seed, shards=max(1, args.jobs),
         checkpoint_minutes=args.checkpoint_minutes,
         rogue_fraction=args.rogue_fraction)
+    profile_dir = (Path(args.out) / "profiles" if args.profile
+                   else None)
     summary = run_campaign(config, Path(args.out), jobs=args.jobs,
                            crash_after_checkpoints=args.crash_after,
-                           report=print)
+                           report=print, cache_mode=args.cache_mode,
+                           profile_dir=profile_dir)
     print(summary_text(summary))
     print(f"summary: {Path(args.out) / 'summary.json'}")
+    if profile_dir is not None:
+        print(f"profiles: {profile_dir}/<model>-shardNNN.prof "
+              "(inspect with python -m pstats)")
     return 0
 
 
@@ -317,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
                            default=0.125, metavar="F",
                            help="probability a device sideloads the "
                                 "rogue app")
+    fleet_run.add_argument(
+        "--cache-mode", default="shared",
+        choices=("shared", "private", "step"),
+        help="execution-cache strategy: 'shared' publishes translated "
+             "blocks process-wide so same-firmware devices skip "
+             "translation, 'private' keeps per-device caches, 'step' "
+             "is the reference interpreter (results are identical "
+             "across modes; only speed differs)")
+    fleet_run.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each shard; dumps "
+             "<out>/profiles/<model>-shardNNN.prof")
     fleet_run.add_argument(
         "--crash-after", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C checkpoints

@@ -18,6 +18,7 @@ from repro.aft.cache import build_firmware
 from repro.aft.models import IsolationModel
 from repro.aft.phases import AppSource
 from repro.apps.catalog import load_app, load_suite
+from repro.errors import ReproError
 from repro.fleet.population import ANALYTICS_APP, DeviceSpec, \
     ROGUE_APP, ROGUE_HANDLER, ROGUE_SOURCE
 from repro.fleet.snapshot import restore_device, snapshot_device
@@ -26,6 +27,32 @@ from repro.kernel.scheduler import AppSchedule, RestartPolicy, Scheduler
 from repro.kernel.services import SensorEnvironment
 
 DEFAULT_CHECKPOINT_MS = 10 * 60 * 1000      # 10 simulated minutes
+
+#: execution-cache strategies a fleet device can run under.  All three
+#: produce byte-identical device state (the property tests pin this) —
+#: the choice only affects wall-clock speed:
+#:
+#: ``shared``   translated blocks are published to the process-wide
+#:              content-addressed store, so sibling devices running the
+#:              same firmware skip translation entirely (default)
+#: ``private``  per-device block cache, no cross-device sharing
+#: ``step``     no block translation at all — the one-instruction-at-a-
+#:              time reference interpreter (differential-testing oracle)
+CACHE_MODES = ("shared", "private", "step")
+
+
+def _machine_cache_kwargs(cache_mode: str) -> dict:
+    """Map a fleet-level cache mode onto AmuletMachine's knobs."""
+    try:
+        return {
+            "shared": {"step_only": False, "shared_cache": True},
+            "private": {"step_only": False, "shared_cache": False},
+            "step": {"step_only": True, "shared_cache": False},
+        }[cache_mode]
+    except KeyError:
+        raise ReproError(
+            f"unknown cache mode {cache_mode!r} "
+            f"(choose from {', '.join(CACHE_MODES)})") from None
 
 
 @dataclass
@@ -62,14 +89,14 @@ def build_device_apps(spec: DeviceSpec, model: IsolationModel
 
 
 def make_device(spec: DeviceSpec, model: IsolationModel,
-                step_only: bool = False) -> tuple:
+                cache_mode: str = "shared") -> tuple:
     """Build ``(machine, scheduler, rogue_built)`` from a spec —
     deterministic, so any worker can reconstruct any device."""
     apps, rogue_built = build_device_apps(spec, model)
     firmware = build_firmware(model, apps)
     machine = AmuletMachine(firmware,
                             env=SensorEnvironment(spec.env_seed),
-                            step_only=step_only)
+                            **_machine_cache_kwargs(cache_mode))
     scheduler = Scheduler(machine, policy=RestartPolicy.RESTART_AFTER,
                           restart_cooldown_ms=spec.restart_cooldown_ms)
     schedules: Dict[str, AppSchedule] = {}
@@ -91,14 +118,16 @@ def simulate_device(spec: DeviceSpec, model: IsolationModel,
                     on_checkpoint: Optional[Callable[[int, dict],
                                                      None]] = None,
                     resume: Optional[dict] = None,
-                    step_only: bool = False) -> DeviceRun:
+                    cache_mode: str = "shared") -> DeviceRun:
     """Run (or resume) one device for ``sim_ms`` of simulated time.
 
     ``on_checkpoint(sim_ms, snapshot)`` fires at every interior segment
     boundary; ``resume`` takes a snapshot produced by such a callback
-    (or by :func:`repro.fleet.snapshot.snapshot_device`)."""
-    machine, scheduler, rogue_built = make_device(spec, model,
-                                                  step_only=step_only)
+    (or by :func:`repro.fleet.snapshot.snapshot_device`).
+    ``cache_mode`` (see :data:`CACHE_MODES`) trades wall-clock speed
+    only — results are identical across modes."""
+    machine, scheduler, rogue_built = make_device(
+        spec, model, cache_mode=cache_mode)
     start_ms = 0
     if resume is not None:
         start_ms = restore_device(machine, scheduler, resume)

@@ -96,13 +96,39 @@ def _shard_paths(out_dir: Path, model_key: str,
 
 def run_shard(config_dict: dict, model_key: str, shard: int,
               out_dir: str,
-              crash_after_checkpoints: int = 0) -> Dict[int, dict]:
+              crash_after_checkpoints: int = 0,
+              cache_mode: str = "shared",
+              profile_dir: Optional[str] = None) -> Dict[int, dict]:
     """Worker entry point: run (or resume) one shard of one model.
 
     Returns ``{device_id: record}`` for every device in the shard.
     ``crash_after_checkpoints`` > 0 makes the worker die (``os._exit``)
     after that many checkpoint writes — the kill-and-resume tests use
-    it to crash at a deterministic point."""
+    it to crash at a deterministic point.  ``cache_mode`` picks the
+    execution-cache strategy (results are identical across modes, so
+    it is — like ``--jobs`` — not part of the campaign key).
+    ``profile_dir`` wraps the shard in cProfile and dumps stats to
+    ``<profile_dir>/<model>-shardNNN.prof``."""
+    if profile_dir is not None:
+        import cProfile
+        prof_path = (Path(profile_dir)
+                     / f"{model_key}-shard{shard:03d}.prof")
+        prof_path.parent.mkdir(parents=True, exist_ok=True)
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            return _run_shard(config_dict, model_key, shard, out_dir,
+                              crash_after_checkpoints, cache_mode)
+        finally:
+            profile.disable()
+            profile.dump_stats(str(prof_path))
+    return _run_shard(config_dict, model_key, shard, out_dir,
+                      crash_after_checkpoints, cache_mode)
+
+
+def _run_shard(config_dict: dict, model_key: str, shard: int,
+               out_dir: str, crash_after_checkpoints: int,
+               cache_mode: str) -> Dict[int, dict]:
     config = FleetConfig(**{**config_dict,
                             "models": tuple(config_dict["models"])})
     model = MODELS_BY_KEY[model_key]
@@ -160,7 +186,8 @@ def run_shard(config_dict: dict, model_key: str, shard: int,
                 checkpoint_every_ms=config.checkpoint_ms,
                 on_checkpoint=lambda t, snap, d=device_id:
                 on_checkpoint(t, snap, d),
-                resume=resume)
+                resume=resume,
+                cache_mode=cache_mode)
             completed[device_id] = device_record(run, model_key)
             stream.write(record_line(completed[device_id]))
             stream.flush()
@@ -171,9 +198,14 @@ def run_shard(config_dict: dict, model_key: str, shard: int,
 
 def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  crash_after_checkpoints: int = 0,
-                 report: Optional[Callable[[str], None]] = None
-                 ) -> dict:
+                 report: Optional[Callable[[str], None]] = None,
+                 cache_mode: str = "shared",
+                 profile_dir: Optional[Path] = None) -> dict:
     """Run (or resume) a whole campaign; returns the summary dict.
+
+    ``cache_mode`` and ``profile_dir`` are execution details — like
+    ``jobs``, they never change the results and are free to differ
+    between the original run and a resume.
 
     Layout under ``out_dir``::
 
@@ -224,7 +256,9 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                 futures = [
                     pool.submit(run_shard, config_dict, model_key,
                                 shard, str(out_dir),
-                                crash_after_checkpoints)
+                                crash_after_checkpoints, cache_mode,
+                                str(profile_dir)
+                                if profile_dir is not None else None)
                     for shard in shards]
                 results = [future.result() for future in futures]
         except Exception as error:

@@ -1,13 +1,23 @@
-"""Versioned device snapshots.
+"""Versioned device snapshots with delta-compressed memory.
 
 A snapshot captures everything dynamic about one simulated device at a
-dispatch boundary — CPU registers and counters, the full 64 KB memory
-image, MPU registers (lock state included), the fault log, OS service
-state, and the scheduler's clock/queue/statistics.  Everything
-*static* (firmware image, schedules, restart policy) is rebuilt from
-the deterministic :class:`~repro.fleet.population.DeviceSpec` instead
-of being serialized, which keeps snapshots small (~70 KB) and immune
-to toolchain refactors.
+dispatch boundary — CPU registers and counters, memory, MPU registers
+(lock state included), the fault log, OS service state, and the
+scheduler's clock/queue/statistics.  Everything *static* (firmware
+image, schedules, restart policy) is rebuilt from the deterministic
+:class:`~repro.fleet.population.DeviceSpec` instead of being
+serialized, which keeps snapshots immune to toolchain refactors.
+
+Memory is stored as a **delta against the per-firmware base image**
+(the pristine post-load prototype every clone starts from, see
+:class:`~repro.kernel.machine.AmuletMachine`): only 256-byte pages
+that differ from the base are serialized, together with the base
+image's sha-256.  A duty-cycled sensor device dirties a few dozen
+pages of stack, globals, and OS state out of 256 — checkpoints drop
+from ~70 KB to a few KB, which matters when a fleet shard writes one
+after every device segment.  Restore verifies the digest, so a
+checkpoint can never be silently applied on top of the wrong (or a
+rebuilt-and-changed) firmware image.
 
 The format is versioned so stale checkpoints fail loudly instead of
 silently resuming wrong.
@@ -15,21 +25,51 @@ silently resuming wrong.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.errors import KernelError
 from repro.kernel.machine import AmuletMachine
 from repro.kernel.scheduler import Scheduler
 
 #: bump whenever any layer's ``state_dict`` layout changes
-STATE_VERSION = 1
+STATE_VERSION = 2
+
+#: delta granularity; 64 KB of address space = 256 pages
+DELTA_PAGE = 256
+
+
+def memory_delta(image: bytes, base: bytes) -> Dict[int, bytes]:
+    """``{page offset: page bytes}`` for every :data:`DELTA_PAGE`-sized
+    page of ``image`` that differs from ``base``."""
+    delta: Dict[int, bytes] = {}
+    for offset in range(0, len(base), DELTA_PAGE):
+        chunk = image[offset:offset + DELTA_PAGE]
+        if chunk != base[offset:offset + DELTA_PAGE]:
+            delta[offset] = bytes(chunk)
+    return delta
+
+
+def apply_delta(base: bytes, delta: Dict[int, bytes]) -> bytes:
+    """Reconstruct a full image from ``base`` plus changed pages."""
+    image = bytearray(base)
+    for offset, chunk in delta.items():
+        image[offset:offset + len(chunk)] = chunk
+    return bytes(image)
 
 
 def snapshot_device(machine: AmuletMachine, scheduler: Scheduler,
                     sim_ms: int) -> dict:
     """Snapshot a device paused at ``sim_ms`` (a dispatch boundary)."""
+    state = machine.state_dict()
+    memory = state["memory"]
+    state["memory"] = {
+        "base_sha": machine.base_sha,
+        "delta": memory_delta(memory["bytes"], machine.base_image),
+    }
     return {
         "version": STATE_VERSION,
         "sim_ms": sim_ms,
-        "machine": machine.state_dict(),
+        "machine": state,
         "scheduler": scheduler.state_dict(),
     }
 
@@ -37,12 +77,31 @@ def snapshot_device(machine: AmuletMachine, scheduler: Scheduler,
 def restore_device(machine: AmuletMachine, scheduler: Scheduler,
                    snapshot: dict) -> int:
     """Load ``snapshot`` into a freshly built machine + scheduler pair;
-    returns the simulated time the device was paused at."""
+    returns the simulated time the device was paused at.
+
+    The snapshot is not mutated.  Delta-form memory is expanded against
+    this machine's base image after verifying the recorded base digest;
+    a full ``{"bytes": ...}`` memory state (tools, tests) is accepted
+    as-is.
+    """
     version = snapshot.get("version")
     if version != STATE_VERSION:
         raise KernelError(
             f"snapshot version {version!r} != supported {STATE_VERSION}"
             " — discard the checkpoint and rerun")
-    machine.load_state(snapshot["machine"])
+    state = snapshot["machine"]
+    memory = state["memory"]
+    if "delta" in memory:
+        if memory["base_sha"] != machine.base_sha:
+            raise KernelError(
+                "snapshot was taken against a different firmware image "
+                f"(snapshot base {memory['base_sha'][:12]}…, machine "
+                f"base {machine.base_sha[:12]}…) — discard the "
+                "checkpoint and rerun")
+        state = dict(state)
+        state["memory"] = {
+            "bytes": apply_delta(machine.base_image, memory["delta"]),
+        }
+    machine.load_state(state)
     scheduler.load_state(snapshot["scheduler"])
     return snapshot["sim_ms"]

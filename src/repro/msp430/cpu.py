@@ -76,6 +76,7 @@ from repro.msp430.isa import (
     Opcode,
     Operand,
 )
+from repro.msp430.execcache import MAX_VARIANTS
 from repro.msp430.memory import EXECUTE, Memory, PERM_X, READ, WRITE
 from repro.msp430.registers import Reg, RegisterFile, SR
 
@@ -115,39 +116,61 @@ class ExecutionLimitExceeded(ReproError):
 #: remaining budget, so blocks never blur ExecutionLimitExceeded.
 _MAX_BLOCK_INSNS = 64
 
+#: zero page-mask template (bulk invalidation resets the code mask)
+_ZERO_MASK = bytes(1024)
+
 
 class _Block:
-    """One compiled superblock: a straight-line run of decoded thunks
-    fused into a single ``compile()``-generated function ``fn``.
+    """One compiled superblock: a trace of decoded thunks fused into a
+    single ``compile()``-generated function ``fn``.
 
-    ``steps`` holds ``(pc, next_pc, thunk, cycles, may_store)`` per
-    instruction (kept for invalidation tests and diagnostics).  Three
-    flavors of ``fn``:
+    ``steps`` holds ``(pc, next_pc, thunk, cycles, may_store, jump)``
+    per instruction (kept for invalidation tests and diagnostics).
+    ``jump`` is ``None`` for straight-line steps and for a final jump
+    executed via its thunk; mid-trace conditional jumps carry either
+    ``("exit", cond, target)`` — compiled to an inline early return —
+    or ``("skip", cond, n, cycles, count, target)`` — a forward jump
+    re-joining the trace, compiled to a structured ``if`` around the
+    ``n`` skipped steps.  Three flavors of ``fn``:
 
-    * **pure** — register-only thunks (plus an optional final jump):
-      ``fn(cpu, r, m)`` sets the PC once, calls the thunks back to
-      back, and adds the cycle/instruction totals in one batch.
+    * **pure** — register-only thunks (plus inline jumps and an
+      optional final jump): ``fn(cpu, r, m)`` sets the PC once, calls
+      the thunks back to back, and adds the cycle/instruction totals
+      in one batch (skip/exit paths adjust the batch with compile-time
+      prefix constants).
     * **loop** — a pure block whose final jump targets its own start:
       ``fn(cpu, r, m, limit)`` iterates the whole block up to ``limit``
       times (the caller derives ``limit`` from the remaining budget),
-      exiting as soon as the jump falls through.
+      exiting as soon as the back-edge falls through or an inline exit
+      is taken.
     * **memory** — anything that touches memory: ``fn(cpu, r, m)``
       maintains PC and both counters per instruction (so I/O read
       handlers such as the cycle timer observe exactly the state
       ``step()`` would show) and re-checks halt/pending-fault/
       invalidation/observability after every store.
 
+    ``cycles`` and ``count`` are the *full-path* totals (every step
+    executed, nothing skipped) — upper bounds used for budget guards.
+
     ``perm_ok`` caches the bus permission bitmap (a memoized immutable
-    ``bytes`` per MPU configuration) this block was last
-    execute-validated against — same object means the validation still
-    holds, so an MPU reconfiguration only costs a re-scan for blocks
-    whose permission signature actually changed.  ``pc_map`` maps each
-    instruction's advanced PC back to its own PC so a fault raised
-    inside ``fn`` is reported at the exact faulting instruction.
+    ``bytes`` per MPU configuration, shared process-wide per
+    configuration) this block was last execute-validated against —
+    same object means the validation still holds, so an MPU
+    reconfiguration only costs a re-scan for blocks whose permission
+    signature actually changed.  ``pc_map`` maps each instruction's
+    advanced PC back to its own PC so a fault raised inside ``fn`` is
+    reported at the exact faulting instruction.
+
+    A block is immutable once built (``perm_ok`` is a cache, not
+    state), which is what lets the shared execution cache hand one
+    block object to every device running the same firmware:
+    invalidation is per-device (drop it from that CPU's view and bump
+    that CPU's ``_code_version``), never a mutation of the block.
     """
 
     __slots__ = ("start", "end", "end_pc", "steps", "cycles", "count",
-                 "pure", "loop", "valid", "perm_ok", "fn", "pc_map")
+                 "pure", "loop", "perm_ok", "perm_ok2", "fn", "pc_map",
+                 "code", "execs", "proto")
 
     def __init__(self, start: int, end: int, end_pc: int,
                  steps: tuple, pure: bool, loop: bool):
@@ -159,85 +182,289 @@ class _Block:
         self.count = len(steps)
         self.pure = pure
         self.loop = loop
-        self.valid = True
         self.perm_ok = None
+        self.perm_ok2 = None            # previous validation (see run)
         self.pc_map = {s[1]: s[0] for s in steps}
-        self.fn = _codegen(self)
+        self.code = None                # bytes compiled from (sharing)
+        # Tiered execution: ``fn`` stays None for the first dispatches
+        # (run() walks the steps through _interp_block) and is only
+        # codegen'd once the block proves hot — code executed once or
+        # twice never pays ``compile()``.  ``proto`` points at the
+        # published original for adopted copies, so one codegen serves
+        # every device sharing the block.
+        self.fn = None
+        self.execs = 0
+        self.proto = None
+
+    def adopt(self) -> "_Block":
+        """A per-device shallow copy for shared-cache adoption: every
+        heavy member (steps, fn, pc_map, code) is shared by reference;
+        only the ``perm_ok`` validation cache is private, so devices
+        with different MPU configurations never thrash each other's
+        re-validation of one shared block object."""
+        nb = _Block.__new__(_Block)
+        nb.start = self.start
+        nb.end = self.end
+        nb.end_pc = self.end_pc
+        nb.steps = self.steps
+        nb.cycles = self.cycles
+        nb.count = self.count
+        nb.pure = self.pure
+        nb.loop = self.loop
+        nb.perm_ok = None
+        nb.perm_ok2 = None
+        nb.fn = self.fn
+        nb.execs = self.execs
+        nb.proto = self
+        nb.pc_map = self.pc_map
+        nb.code = self.code
+        return nb
 
 
 def _codegen(blk: _Block):
-    """Fuse a block's thunks into one compiled Python function.
+    """Fuse a block's steps into one compiled Python function.
 
     The generated code inlines every PC value and cycle count as a
     constant and binds the thunks as globals, so executing a block
     costs one Python call plus the thunk bodies — the per-instruction
     interpreter loop (tuple unpacking, index bookkeeping, budget and
     halt polling) is gone.
+
+    Conditional jumps inside the trace are emitted *inline* (their
+    flag test compiled into the function, no thunk call):
+
+    * an **exit** jump returns with exact cycle/instruction prefix
+      bookkeeping and the taken-target PC when taken, and falls
+      through into the rest of the trace otherwise;
+    * a **diamond** jump (forward skip whose target re-joins the
+      trace) guards its skipped arm with a structured ``if``; the
+      arm's cycle/instruction share is tracked in ``_sk``/``_skn``
+      accumulators so batched bookkeeping stays exact on both paths.
+
+    Jumps that *close* a block (an unconditional JMP, or the loop
+    back-edge) still execute via their thunk, which performs the PC
+    update relative to the preset ``r[0]``.
     """
     ns = {}
+    steps = blk.steps
+    has_diamond = any(s[5] is not None and s[5][0] == "skip"
+                      for s in steps)
+    pre_cyc = []                 # inclusive prefix sums for exits
+    acc = 0
+    for s in steps:
+        acc += s[3]
+        pre_cyc.append(acc)
     lines = []
-    if blk.loop:
-        # Pure self-loop: re-dispatching the same two-or-three
-        # instruction block through ``run()`` would cost more than the
-        # block body, so iterate in place.  ``limit`` is the number of
-        # full iterations the remaining cycle/instruction budget
-        # allows (>= 1); the jump falling through ends the loop early.
-        for i, s in enumerate(blk.steps):
-            ns[f"_t{i}"] = s[2]
-        body = "".join(f"        _t{i}(r, m)\n"
-                       for i in range(blk.count))
-        src = (
-            "def _fn(c, r, m, limit):\n"
-            "    n = 0\n"
-            "    while True:\n"
-            f"        r[0] = {blk.end_pc}\n"
-            f"{body}"
-            "        n += 1\n"
-            f"        if r[0] != {blk.start} or n >= limit:\n"
-            "            break\n"
-            f"    c.cycles += {blk.cycles} * n\n"
-            f"    c.instructions += {blk.count} * n\n"
-        )
-    elif blk.pure:
-        # Register-only straight line: no thunk can fault, halt, or
-        # observe PC/counters, so set the PC once and batch the
-        # bookkeeping after the fact.
-        lines.append("def _fn(c, r, m):")
-        lines.append(f"    r[0] = {blk.end_pc}")
-        for i, s in enumerate(blk.steps):
-            ns[f"_t{i}"] = s[2]
-            lines.append(f"    _t{i}(r, m)")
-        lines.append(f"    c.cycles += {blk.cycles}")
-        lines.append(f"    c.instructions += {blk.count}")
-        src = "\n".join(lines) + "\n"
+    emit = lines.append
+    if blk.pure:
+        sk = " - _sk" if has_diamond else ""
+        skn = " - _skn" if has_diamond else ""
+        if blk.loop:
+            # Pure self-loop (division inner loops, delay spins):
+            # re-dispatching the same few-instruction block through
+            # ``run()`` would cost more than the block body, so
+            # iterate in place.  ``limit`` is the number of full
+            # iterations the remaining cycle/instruction budget
+            # allows (>= 1); the back-edge falling through — or any
+            # inline exit taken — ends the loop early.
+            emit("def _fn(c, r, m, limit):")
+            emit("    n = 0")
+            if has_diamond:
+                emit("    _sk = 0")
+                emit("    _skn = 0")
+            emit("    while True:")
+            base = "        "
+            cyc_n = f"{blk.cycles} * n + "
+            cnt_n = f"{blk.count} * n + "
+        else:
+            # Register-only straight line: no thunk can fault, halt,
+            # or observe PC/counters, so set the PC once and batch
+            # the bookkeeping after the fact.
+            emit("def _fn(c, r, m):")
+            if has_diamond:
+                emit("    _sk = 0")
+                emit("    _skn = 0")
+            base = "    "
+            cyc_n = cnt_n = ""
+        emit(f"{base}r[0] = {blk.end_pc}")
+        ind = base
+        arm = 0                  # steps left in an open diamond arm
+        for i, s in enumerate(steps):
+            info = s[5]
+            if info is None:
+                if s[6] is not None:
+                    for ln in s[6]:
+                        emit(f"{ind}{ln}")
+                else:
+                    ns[f"_t{i}"] = s[2]
+                    emit(f"{ind}_t{i}(r, m)")
+            elif info[0] == "skip":
+                _, cond, nskip, skc, sks, _target = info
+                emit(f"{ind}if {cond}:")
+                emit(f"{ind}    _sk += {skc}")
+                emit(f"{ind}    _skn += {sks}")
+                emit(f"{ind}else:")
+                ind += "    "
+                arm = nskip
+                continue
+            else:                # ("exit", cond, target)
+                emit(f"{ind}if {info[1]}:")
+                emit(f"{ind}    c.cycles += {cyc_n}{pre_cyc[i]}{sk}")
+                emit(f"{ind}    c.instructions += {cnt_n}{i + 1}{skn}")
+                emit(f"{ind}    r[0] = {info[2]}")
+                emit(f"{ind}    return")
+            if arm:
+                arm -= 1
+                if arm == 0:
+                    ind = ind[:-4]
+        if blk.loop:
+            emit(f"{base}n += 1")
+            emit(f"{base}if r[0] != {blk.start} or n >= limit:")
+            emit(f"{base}    break")
+            emit(f"    c.cycles += {blk.cycles} * n{sk}")
+            emit(f"    c.instructions += {blk.count} * n{skn}")
+        else:
+            emit(f"    c.cycles += {blk.cycles}{sk}")
+            emit(f"    c.instructions += {blk.count}{skn}")
     else:
         # Memory-touching block: exact architectural state around
         # every thunk.  A store may halt the machine (DONE port), post
-        # a fault (FAULT port / service handler), invalidate this very
-        # block (self-modifying code), stale the permission bitmap
-        # (MPU register), or attach an observer — each check mirrors
-        # what ``step()`` + ``run()`` would do at that boundary.
-        lines.append("def _fn(c, r, m):")
-        for i, (pc_i, next_pc, thunk, cyc_i, may_store) \
-                in enumerate(blk.steps):
-            ns[f"_t{i}"] = thunk
-            lines.append(f"    r[0] = {next_pc}")
-            lines.append(f"    _t{i}(r, m)")
-            lines.append(f"    c.cycles += {cyc_i}")
-            lines.append("    c.instructions += 1")
-            if may_store:
-                lines.append("    if c.halted: return")
-                lines.append("    f = c._pending_fault")
-                lines.append("    if f is not None:")
-                lines.append("        c._pending_fault = None")
-                lines.append("        raise f")
-                lines.append("    if (not _B.valid or m._perm_stale"
-                             " or c.trace_hook is not None"
-                             " or m._observers): return")
-        ns["_B"] = blk
-        src = "\n".join(lines) + "\n"
+        # a fault (FAULT port / service handler), invalidate cached
+        # code — possibly this very block (self-modifying code) —
+        # stale the permission bitmap (MPU register), or attach an
+        # observer — each check mirrors what ``step()`` + ``run()``
+        # would do at that boundary.  Invalidation is detected through
+        # the *executing CPU's* ``_code_version`` (sampled on entry)
+        # rather than a flag on the block, so one device invalidating
+        # a block shared through the execution cache never perturbs a
+        # sibling device mid-flight.
+        emit("def _fn(c, r, m):")
+        emit("    _v = c._code_version")
+        ind = "    "
+        arm = 0
+        # Consecutive register-only inline steps can neither fault,
+        # halt, nor read the deferred PC, so their PC updates are
+        # unobservable and their cycle/instruction bookkeeping batches
+        # into one pending sum, flushed before the next step that can
+        # observe it (a memory access, a jump, an arm boundary, the
+        # end of the block).
+        pend_c = pend_n = 0
+
+        def flush():
+            nonlocal pend_c, pend_n
+            if pend_n:
+                emit(f"{ind}c.cycles += {pend_c}")
+                emit(f"{ind}c.instructions += {pend_n}")
+                pend_c = pend_n = 0
+
+        for i, s in enumerate(steps):
+            pc_i, next_pc, thunk, cyc_i, may_store, info, inline = s
+            if info is not None and info[0] == "skip":
+                _, cond, nskip, _skc, _sks, target = info
+                flush()
+                emit(f"{ind}r[0] = {next_pc}")
+                emit(f"{ind}c.cycles += {cyc_i}")
+                emit(f"{ind}c.instructions += 1")
+                emit(f"{ind}if {cond}:")
+                emit(f"{ind}    r[0] = {target}")
+                emit(f"{ind}else:")
+                ind += "    "
+                arm = nskip
+                continue
+            if info is not None:             # ("exit", cond, target)
+                flush()
+                emit(f"{ind}r[0] = {next_pc}")
+                emit(f"{ind}c.cycles += {cyc_i}")
+                emit(f"{ind}c.instructions += 1")
+                emit(f"{ind}if {info[1]}:")
+                emit(f"{ind}    r[0] = {info[2]}")
+                emit(f"{ind}    return")
+            elif (inline is not None and not may_store
+                    and not any("m." in ln or "r[0]" in ln
+                                for ln in inline)):
+                for ln in inline:
+                    emit(f"{ind}{ln}")
+                pend_c += cyc_i
+                pend_n += 1
+            else:
+                flush()
+                emit(f"{ind}r[0] = {next_pc}")
+                if inline is not None:
+                    for ln in inline:
+                        emit(f"{ind}{ln}")
+                else:
+                    ns[f"_t{i}"] = thunk
+                    emit(f"{ind}_t{i}(r, m)")
+                emit(f"{ind}c.cycles += {cyc_i}")
+                emit(f"{ind}c.instructions += 1")
+                if may_store:
+                    # a truthy return tells ``run`` a boundary event
+                    # fired; a clean fall-through (None) provably left
+                    # every post-dispatch guard unchanged, because
+                    # only write handlers have side effects
+                    emit(f"{ind}if c.halted: return 1")
+                    emit(f"{ind}f = c._pending_fault")
+                    emit(f"{ind}if f is not None:")
+                    emit(f"{ind}    c._pending_fault = None")
+                    emit(f"{ind}    raise f")
+                    emit(f"{ind}if (c._code_version != _v"
+                         " or m._perm_stale"
+                         " or c.trace_hook is not None"
+                         " or m._observers): return 1")
+            if arm:
+                arm -= 1
+                if arm == 0:
+                    flush()      # arm bookkeeping stays in its arm
+                    ind = ind[:-4]
+        if pend_n:
+            emit(f"{ind}r[0] = {blk.end_pc}")
+            flush()
+    src = "\n".join(lines) + "\n"
     exec(compile(src, f"<superblock@0x{blk.start:04X}>", "exec"), ns)
     return ns["_fn"]
+
+
+def _interp_block(c, blk: _Block, r, m) -> None:
+    """Tier-0 executor: walk a block's steps one thunk at a time.
+
+    Architecturally identical to the codegen'd function — same thunks,
+    same per-instruction bookkeeping, same store-boundary checks — so
+    a block's first dispatches can run without paying ``compile()``;
+    ``run`` tiers the block up to generated code once it proves hot.
+    Jumps execute via their thunks: a taken jump moves ``r[0]`` off
+    the recorded fallthrough, which steers the walk (skip the diamond
+    arm / return early) exactly like the inline conditions in
+    generated code.
+    """
+    steps = blk.steps
+    _v = c._code_version
+    i = 0
+    n = len(steps)
+    while i < n:
+        s = steps[i]
+        np = s[1]
+        r[0] = np
+        s[2](r, m)
+        c.cycles += s[3]
+        c.instructions += 1
+        info = s[5]
+        if info is not None:
+            if r[0] != np:                # jump taken
+                if info[0] == "skip":
+                    i += info[2] + 1      # hop over the skipped arm
+                    continue
+                return                    # early exit
+        elif s[4]:                        # store boundary: exact checks
+            if c.halted:
+                return
+            f = c._pending_fault
+            if f is not None:
+                c._pending_fault = None
+                raise f
+            if (c._code_version != _v or m._perm_stale
+                    or c.trace_hook is not None or m._observers):
+                return
+        i += 1
 
 
 class Cpu:
@@ -260,63 +487,126 @@ class Cpu:
         # Raised mid-instruction by service handlers that must stop the
         # world (used by the kernel fault path).
         self._pending_fault: Optional[CpuFault] = None
-        # Decoded-instruction cache, keyed by 64-byte block then PC.
-        # Any memory write invalidates the blocks it touches (so
+        # Decoded-instruction cache, keyed by 64-byte page then PC.
+        # Any memory write invalidates the entries it touches (so
         # self-modifying code and re-loads stay correct); firmware
         # never self-modifies, so in practice every instruction decodes
-        # once.  Entries: pc -> (insn, size, cycles, handler, thunk)
-        # where thunk is a specialized register-only closure or None.
+        # once.  Entries: pc -> (insn, size, cycles, thunk) where
+        # thunk is a specialized closure or None (generic handler).
+        # Entries are device-agnostic, so they can be published to and
+        # pulled from the shared execution cache.
         self._icache: dict = {}
         # -- superblock layer ----------------------------------------
         #: False forces the pure ``step()`` interpreter; differential
         #: tests flip this to pin block mode against step mode.
         self.block_mode = True
-        #: compiled superblocks, keyed by entry PC
+        #: compiled superblocks, keyed by entry PC (this CPU's *view*;
+        #: blocks may be private or pulled from the shared cache)
         self._blocks: Dict[int, _Block] = {}
         #: entry PCs where compilation declined (first instruction has
         #: no thunk, hits an I/O port, or the run is too short) — a
-        #: negative cache so ``run`` doesn't retry every iteration
+        #: negative cache so ``run`` doesn't retry every iteration.
+        #: Never shared: some verdicts depend on this device's MPU
+        #: permission edges, not on code bytes.
         self._no_block: set = set()
         #: 64-byte page -> entry PCs of blocks (and no-block markers)
         #: whose code bytes intersect that page; drives invalidation
         self._block_pages: Dict[int, set] = {}
-        # Chained (not clobbered): the profiler's and debugger's own
-        # write hooks coexist with the icache invalidator.
-        self.memory.add_write_hook(self._on_memory_write)
+        #: process-wide translation store for this firmware identity
+        #: (see :meth:`attach_shared_cache`); None = fully private
+        self._shared = None
+        #: bumped whenever cached code is invalidated; memory-flavor
+        #: superblocks sample it on entry and stop at the next store
+        #: boundary when it moves (the in-flight half of invalidation)
+        self._code_version = 0
+        #: one byte per 64-byte page, nonzero when the page holds
+        #: cached decoded code; shared by reference with the bus so
+        #: plain data writes skip the invalidator call entirely
+        self._code_pages = bytearray(1024)
+        set_invalidator = getattr(self.memory, "set_invalidator", None)
+        if set_invalidator is not None:
+            set_invalidator(self._on_memory_write, self._code_pages)
+        else:
+            # Memory stand-ins without the fast-path slot: chain the
+            # invalidator like any other write hook.
+            self.memory.add_write_hook(self._on_memory_write)
         # Per-opcode handler methods, bound once.
         self._dispatch: Dict[Opcode, Callable[[Instruction], None]] = {
             opcode: getattr(self, name)
             for opcode, name in _HANDLER_NAMES.items()
         }
 
+    def attach_shared_cache(self, store) -> None:
+        """Share translations with sibling CPUs through ``store`` (a
+        :class:`~repro.msp430.execcache.SharedExecutionCache` built
+        from this machine's pristine firmware image).  Every publish
+        and pull is byte-verified against the pristine image, so a
+        device whose code has diverged (self-modifying stores,
+        debugger pokes) silently falls back to private translation
+        without poisoning its siblings."""
+        self._shared = store
+
     def _on_memory_write(self, address: int, _value: int) -> None:
+        # Only called (via the bus's mask gate) when the write may
+        # touch cached code — or with address < 0 for bulk loads.
         if address < 0:
             self._icache.clear()      # bulk load
-            if self._blocks:
-                for blk in self._blocks.values():
-                    blk.valid = False     # stop an in-flight block
-                self._blocks.clear()
+            self._blocks.clear()
             self._block_pages.clear()
             self._no_block.clear()
+            self._code_version += 1   # stop any in-flight block
+            self._code_pages[:] = _ZERO_MASK
             return
-        # Entries are keyed by the block their *first* word is in, but
-        # an instruction can extend into the next block — so a write
-        # also invalidates the preceding block.
-        block = address >> 6
-        self._icache.pop(block, None)
-        self._icache.pop(block - 1, None)
-        # Superblocks (and no-block markers) are indexed under *every*
-        # page their byte range intersects, so the write's own page is
-        # enough — block-straddling writes hit the straddled page.
-        pcs = self._block_pages.pop(block, None)
+        # A write touches [address, address + 1] for word writes
+        # (even-aligned, so both bytes share one page) and only
+        # [address, address] for byte writes; the odd-address case
+        # must stay exact or the range could appear to cross a page.
+        lo = address
+        hi = address if address & 1 else address + 1
+        # Decoded entries are keyed by the page their first word is
+        # in, but an instruction can extend into the next page — so
+        # the preceding page's entries are candidates too.  Only
+        # entries whose byte range actually overlaps the write die;
+        # the page-sharing neighbours (the common case: app data
+        # packed against the next app's code) survive.
+        page = address >> 6
+        icache = self._icache
+        # an entry indexed under the previous page can reach at most 4
+        # bytes into this one, so skip that scan for deeper offsets
+        pages = (page - 1, page) if lo & 63 < 4 else (page,)
+        for neighbour in pages:
+            entries = icache.get(neighbour)
+            if entries:
+                stale = [pc for pc, entry in entries.items()
+                         if pc <= hi and pc + entry[1] > lo]
+                for pc in stale:
+                    del entries[pc]
+        # Superblocks (and no-block markers) are indexed under every
+        # page their byte range intersects, so the write's own page
+        # finds every candidate; precise range overlap decides.
+        pcs = self._block_pages.get(page)
         if pcs:
             blocks = self._blocks
             no_block = self._no_block
+            dead = []
+            killed = False
             for pc in pcs:
-                blk = blocks.pop(pc, None)
-                if blk is not None:
-                    blk.valid = False     # stop an in-flight block
-                no_block.discard(pc)
+                blk = blocks.get(pc)
+                if blk is None:
+                    # a no-block marker (or an index entry left behind
+                    # by a kill via another page): cheap to re-learn
+                    no_block.discard(pc)
+                    dead.append(pc)
+                elif blk.start <= hi and blk.end > lo:
+                    del blocks[pc]
+                    dead.append(pc)
+                    killed = True
+            if killed:
+                self._code_version += 1
+            for pc in dead:
+                pcs.discard(pc)
+            if not pcs:
+                del self._block_pages[page]
 
     # -- small helpers ------------------------------------------------------
     def reset(self, pc: Optional[int] = None) -> None:
@@ -474,20 +764,22 @@ class Cpu:
         memory = self.memory
         r = self.regs._regs
         pc = r[0]
-        block = self._icache.get(pc >> 6)
-        entry = block.get(pc) if block is not None else None
+        page = self._icache.get(pc >> 6)
+        entry = page.get(pc) if page is not None else None
+        if entry is None and self._shared is not None:
+            entry = self._pull_entry(pc)
         try:
             if entry is None:
                 insn, size = decode(memory.fetch_word, pc)
                 insn_cycles = cyc.instruction_cycles(insn)
-                handler = self._dispatch[insn.opcode]
                 thunk = _specialize(insn)
-                self._icache.setdefault(pc >> 6, {})[pc] = \
-                    (insn, size, insn_cycles, handler, thunk)
+                self._install_entry(
+                    pc, (insn, size, insn_cycles, thunk))
             else:
-                insn, size, insn_cycles, handler, thunk = entry
-                # the decode is cached, but execute *permission* must
-                # be re-validated — the MPU config changes between
+                insn, size, insn_cycles, thunk = entry
+                # the decode is cached (or pulled from the shared
+                # store), but execute *permission* must be
+                # re-validated — the MPU config changes between
                 # context switches.  Probe the flat permission bitmap
                 # directly; fall back to the full walk on any miss.
                 if not memory._supervisor_depth:
@@ -518,7 +810,7 @@ class Cpu:
             if thunk is not None:
                 thunk(r, memory)
             else:
-                handler(insn)
+                self._dispatch[insn.opcode](insn)
         except MpuViolationError as exc:
             raise CpuFault(FaultKind.MPU_VIOLATION, pc, exc.address,
                            exc.kind) from exc
@@ -579,12 +871,63 @@ class Cpu:
                                 break
                         if blk.perm_ok is not perm:
                             # MPU configuration changed since the last
-                            # execute-validation of this block's range
-                            if all(b & PERM_X
-                                   for b in perm[blk.start:blk.end]):
+                            # execute-validation of this block's range.
+                            # Two validation slots: a device alternating
+                            # between kernel and app bitmaps (context
+                            # switches) revalidates each block twice,
+                            # then hits a slot from there on.
+                            if blk.perm_ok2 is perm or all(
+                                    b & PERM_X
+                                    for b in perm[blk.start:blk.end]):
+                                blk.perm_ok2 = blk.perm_ok
                                 blk.perm_ok = perm
                             else:
                                 break        # step() raises the fault
+                        if blk.fn is None:
+                            if blk.execs < 2:
+                                # tier 0: interpret the steps; blocks
+                                # executed once or twice never pay
+                                # compile()
+                                blk.execs += 1
+                                if (self.cycles + blk.cycles
+                                        > cycle_limit
+                                        or (insn_limit is not None
+                                            and self.instructions
+                                            + blk.count > insn_limit)):
+                                    break    # budget: step() raises
+                                try:
+                                    _interp_block(self, blk, regs,
+                                                  memory)
+                                except MpuViolationError as exc:
+                                    raise CpuFault(
+                                        FaultKind.MPU_VIOLATION,
+                                        blk.pc_map[regs[0]],
+                                        exc.address, exc.kind) from exc
+                                except MemoryAccessError as exc:
+                                    raise CpuFault(
+                                        FaultKind.BUS_ERROR,
+                                        blk.pc_map[regs[0]],
+                                        exc.address, exc.kind) from exc
+                                if (self.halted
+                                        or self._pending_fault
+                                        is not None
+                                        or self.trace_hook is not None
+                                        or memory._observers):
+                                    break
+                                if memory._perm_stale:
+                                    memory._refresh_permissions()
+                                    perm = memory._perm
+                                    if perm is None:
+                                        break
+                                continue
+                            proto = blk.proto
+                            if proto is not None \
+                                    and proto.fn is not None:
+                                blk.fn = proto.fn
+                            else:
+                                blk.fn = _codegen(blk)
+                                if proto is not None:
+                                    proto.fn = blk.fn
                         if blk.loop:
                             iters = ((cycle_limit - self.cycles)
                                      // blk.cycles)
@@ -606,7 +949,12 @@ class Cpu:
                             blk.fn(self, regs, memory)
                             continue
                         try:
-                            blk.fn(self, regs, memory)
+                            if not blk.fn(self, regs, memory):
+                                # no store-boundary event fired: reads
+                                # have no side effects, so every
+                                # post-dispatch guard is provably
+                                # unchanged
+                                continue
                         except MpuViolationError as exc:
                             raise CpuFault(
                                 FaultKind.MPU_VIOLATION,
@@ -619,10 +967,19 @@ class Cpu:
                                 exc.address, exc.kind) from exc
                         if (self.halted
                                 or self._pending_fault is not None
-                                or memory._perm_stale
                                 or self.trace_hook is not None
                                 or memory._observers):
                             break
+                        if memory._perm_stale:
+                            # MPU reconfigured (context switch):
+                            # rebind the permission bitmap and stay
+                            # on the fast path — the block above
+                            # retired instructions, so progress is
+                            # guaranteed.
+                            memory._refresh_permissions()
+                            perm = memory._perm
+                            if perm is None:
+                                break
                     if self.halted:
                         break
             # -- exact per-instruction path --------------------------
@@ -643,6 +1000,56 @@ class Cpu:
                 )
         return self.cycles - start
 
+    # -- shared execution cache ---------------------------------------------
+    def _pull_entry(self, pc: int):
+        """Adopt a decoded entry from the shared store, if some
+        published variant's bytes match this device's memory; returns
+        the entry or None."""
+        shared = self._shared
+        page = pc >> 6
+        page_entries = shared.pages.get(page)
+        if page_entries is None:
+            return None
+        variants = page_entries.get(pc)
+        if variants is None:
+            return None
+        mem = self.memory._bytes
+        for code, entry in variants:
+            if mem[pc:pc + len(code)] == code:
+                entries = self._icache.get(page)
+                if entries is None:
+                    entries = {}
+                    self._icache[page] = entries
+                    self._code_pages[page] = 1
+                entries[pc] = entry
+                shared.page_pulls += 1
+                return entry
+        shared.rejects += 1
+        return None
+
+    def _install_entry(self, pc: int, entry: tuple) -> None:
+        """Cache a freshly decoded entry locally, and publish it
+        (with the bytes it decodes) to the shared store.  Only called
+        after :meth:`_pull_entry` missed, so a published variant is
+        always new content."""
+        page = pc >> 6
+        entries = self._icache.get(page)
+        if entries is None:
+            entries = {}
+            self._icache[page] = entries
+            self._code_pages[page] = 1
+        entries[pc] = entry
+        shared = self._shared
+        if shared is not None:
+            variants = shared.pages.setdefault(page, {}) \
+                .setdefault(pc, [])
+            if len(variants) < MAX_VARIANTS:
+                code = bytes(self.memory._bytes[pc:pc + entry[1]])
+                variants.append((code, entry))
+                shared.publishes += 1
+            else:
+                shared.rejects += 1
+
     # -- superblock compilation and execution -------------------------------
     def _compile_block(self, pc: int) -> Optional[_Block]:
         """Chain decoded thunks from ``pc`` into a superblock, or mark
@@ -655,7 +1062,33 @@ class Cpu:
         architecturally visible side effects (no MPU violation flags).
         """
         memory = self.memory
+        shared = self._shared
         perm = memory._perm           # caller refreshed; never None here
+        if shared is not None:
+            # adopt a compiled block from the shared store when some
+            # variant's recorded bytes match this device's memory AND
+            # this device's MPU config marks the whole range
+            # executable (otherwise a private, shorter compile honours
+            # the permission edge).  The adopted object is a shallow
+            # per-device copy: see _Block.adopt.
+            variants = shared.blocks.get(pc)
+            if variants:
+                mem = memory._bytes
+                for sb in variants:
+                    if mem[sb.start:sb.end] == sb.code and \
+                            all(b & PERM_X
+                                for b in perm[sb.start:sb.end]):
+                        blk = sb.adopt()
+                        blk.perm_ok = perm
+                        shared.block_pulls += 1
+                        self._blocks[pc] = blk
+                        mask = self._code_pages
+                        for page in range(pc >> 6,
+                                          (blk.end - 1 >> 6) + 1):
+                            self._block_pages.setdefault(
+                                page, set()).add(pc)
+                            mask[page] = 1
+                        return blk
         icache = self._icache
         io_ports = memory.io_addresses()
         steps = []
@@ -663,11 +1096,30 @@ class Cpu:
         loop = False
         cursor = pc
         end = pc
+        diamond = None          # (step index, rejoin pc) while open
         while len(steps) < _MAX_BLOCK_INSNS:
+            if diamond is not None:
+                di, rejoin = diamond
+                if cursor == rejoin:
+                    # forward jump's target reached on an instruction
+                    # boundary: the steps since the jump are its
+                    # skipped arm — rewrite the jump step into a
+                    # structured skip with the arm's exact size
+                    arm = steps[di + 1:]
+                    p = steps[di]
+                    steps[di] = (p[0], p[1], p[2], p[3], p[4],
+                                 ("skip", p[5][1], len(arm),
+                                  sum(s[3] for s in arm), len(arm),
+                                  rejoin), None)
+                    diamond = None
+                elif cursor > rejoin:
+                    break        # target inside an instruction: bail
             if cursor > 0xFFFE or not perm[cursor] & PERM_X:
                 break
             page = icache.get(cursor >> 6)
             entry = page.get(cursor) if page is not None else None
+            if entry is None and shared is not None:
+                entry = self._pull_entry(cursor)
             if entry is None:
                 try:
                     with memory.supervisor():
@@ -675,27 +1127,42 @@ class Cpu:
                 except (DecodeError, MemoryAccessError):
                     break
                 insn_cycles = cyc.instruction_cycles(insn)
-                handler = self._dispatch[insn.opcode]
                 thunk = _specialize(insn)
-                icache.setdefault(cursor >> 6, {})[cursor] = \
-                    (insn, size, insn_cycles, handler, thunk)
+                entry = (insn, size, insn_cycles, thunk)
+                self._install_entry(cursor, entry)
             else:
-                insn, size, insn_cycles, handler, thunk = entry
+                insn, size, insn_cycles, thunk = entry
             if thunk is None:         # call/return/rare shape: step()
                 break
             last = cursor + size - 1
             if last > 0xFFFF or not perm[last] & PERM_X:
                 break
             src, dst = insn.src, insn.dst
-            if _hits_io(src, io_ports) or _hits_io(dst, io_ports):
-                break                 # gate/MPU/timer port: step()
             next_pc = (cursor + size) & 0xFFFF
+            if _hits_io(src, io_ports) or _hits_io(dst, io_ports):
+                # Gate/MPU/timer port operand: absorb it as the
+                # block's *final* instruction.  Marking it a store
+                # boundary makes the generated code emit the full
+                # halt/pending-fault check suite right after the
+                # access, and ending the block here hands control back
+                # to ``run``'s guard re-checks — exactly the boundary
+                # ``step()`` would give.  (Syscall gates and timer
+                # polls dominate the step fallback otherwise.)
+                pure = False
+                steps.append((cursor, next_pc, thunk, insn_cycles,
+                              True, None, None))
+                end = cursor + size
+                break
             opcode = insn.opcode
             is_jump = opcode in _JUMP_OPCODES
-            # PUSH and CALL store through SP even though dst is None
+            # PUSH and CALL store through SP even though dst is None;
+            # CMP and BIT only *read* their memory destination, so
+            # they never need the post-store check suite
             stores = (opcode is Opcode.PUSH or opcode is Opcode.CALL
                       or (not is_jump and dst is not None
-                          and dst.mode is not _M.REGISTER))
+                          and dst.mode is not _M.REGISTER
+                          and opcode is not Opcode.CMP
+                          and opcode is not Opcode.BIT))
             # CALL / RETI / MOV-to-PC redirect control flow: keep them
             # as the block's final step, like jumps
             writes_pc = (opcode is Opcode.CALL or opcode is Opcode.RETI
@@ -716,20 +1183,69 @@ class Cpu:
                 elif (src is not None and src.mode is _M.REGISTER
                       and src.register == 0):
                     pure = False
+            if is_jump:
+                target = (next_pc + 2 * insn.offset) & 0xFFFF
+                if opcode is not Opcode.JMP and diamond is None:
+                    if pure and target == pc:
+                        # back-edge to the block's own start: close as
+                        # an in-place loop (the generated function
+                        # iterates until the jump falls through or the
+                        # budget share is spent)
+                        steps.append((cursor, next_pc, thunk,
+                                      insn_cycles, False, None, None))
+                        end = cursor + size
+                        loop = True
+                        break
+                    if (target > next_pc
+                            and len(steps) + 1 < _MAX_BLOCK_INSNS):
+                        # forward skip: tentatively keep compiling the
+                        # fallthrough as the jump's arm; resolved to a
+                        # structured diamond when the target is
+                        # reached, truncated otherwise
+                        diamond = (len(steps), target)
+                        steps.append((cursor, next_pc, thunk,
+                                      insn_cycles, False,
+                                      ("open", _JUMP_CONDS[opcode]),
+                                      None))
+                        end = cursor + size
+                        cursor = next_pc
+                        continue
+                if opcode is not Opcode.JMP:
+                    # backward / degenerate target (or a jump nested
+                    # inside an open arm): inline early exit — taken
+                    # returns with exact bookkeeping, fallthrough
+                    # continues the trace
+                    steps.append((cursor, next_pc, thunk, insn_cycles,
+                                  False,
+                                  ("exit", _JUMP_CONDS[opcode],
+                                   target), None))
+                    end = cursor + size
+                    cursor = next_pc
+                    continue
+                # unconditional JMP closes the block inclusively; the
+                # branch target is a compile-time constant
+                steps.append((cursor, next_pc, thunk, insn_cycles,
+                              False, None, [f"r[0] = {target}"]))
+                end = cursor + size
+                loop = pure and target == pc
+                break
             steps.append((cursor, next_pc, thunk, insn_cycles,
-                          stores))
+                          stores, None, _inline_step(insn)))
             end = cursor + size
             cursor = next_pc
-            if is_jump:
-                # a pure block whose final jump targets its own start
-                # can iterate in place (the generated function loops
-                # until the jump falls through or the budget share is
-                # spent)
-                loop = (pure
-                        and (next_pc + 2 * insn.offset) & 0xFFFF == pc)
-                break
             if writes_pc or next_pc < pc:    # redirect / wrapped
                 break
+        if diamond is not None:
+            # the trace ended before the forward jump's target: drop
+            # the tentative arm and keep the jump as a plain final
+            # step (its thunk performs the branch)
+            di = diamond[0]
+            p = steps[di]
+            del steps[di + 1:]
+            steps[di] = (p[0], p[1], p[2], p[3], p[4], None, None)
+            end = p[0] + 2      # jump instructions are 2 bytes
+            loop = False
+        mask = self._code_pages
         if not steps:
             # nothing compilable at this pc (unthunked shape, I/O
             # port, or permission edge); remember the verdict and
@@ -739,12 +1255,25 @@ class Cpu:
             self._no_block.add(pc)
             for page in range(pc >> 6, (max(end, pc + 1) - 1 >> 6) + 1):
                 self._block_pages.setdefault(page, set()).add(pc)
+                mask[page] = 1
             return None
         blk = _Block(pc, end, steps[-1][1], tuple(steps), pure, loop)
         blk.perm_ok = perm     # every byte was execute-probed above
+        blk.code = bytes(memory._bytes[pc:end])
         self._blocks[pc] = blk
         for page in range(pc >> 6, (end - 1 >> 6) + 1):
             self._block_pages.setdefault(page, set()).add(pc)
+            mask[page] = 1
+        if shared is not None:
+            # append-only content-addressed publish: adoption above
+            # missed, so this block's (range, bytes) — or the
+            # permission edge it honours — is new content
+            variants = shared.blocks.setdefault(pc, [])
+            if len(variants) < MAX_VARIANTS:
+                variants.append(blk)
+                shared.publishes += 1
+            else:
+                shared.rejects += 1
         return blk
 
     # -- per-opcode semantics ------------------------------------------------
@@ -1226,6 +1755,288 @@ _JUMP_OPCODES = frozenset((
 ))
 
 
+_ADDSUB_OPS = frozenset((Opcode.ADD, Opcode.ADDC, Opcode.SUB,
+                         Opcode.SUBC, Opcode.CMP))
+_SUB_OPS = frozenset((Opcode.SUB, Opcode.SUBC, Opcode.CMP))
+_CARRY_OPS = frozenset((Opcode.ADDC, Opcode.SUBC))
+
+
+def _inline_mov_mem_to_reg(src: Operand, d: int, byte: bool):
+    """Inline twin of :func:`_spec_mov_mem_to_reg` (same modes, same
+    read/increment order)."""
+    rd = "m.read_byte" if byte else "m.read_word"
+    sm = src.mode
+    if sm is _M.INDEXED:
+        return [f"r[{d}] = {rd}((r[{src.register}]"
+                f" + {src.value}) & 0xFFFF)"]
+    if sm is _M.ABSOLUTE or sm is _M.SYMBOLIC:
+        return [f"r[{d}] = {rd}({src.value & 0xFFFF})"]
+    if sm is _M.INDIRECT:
+        return [f"r[{d}] = {rd}(r[{src.register}])"]
+    if sm is _M.AUTOINCREMENT and src.register >= 1:
+        # read first, increment second — a faulting read leaves the
+        # pointer untouched, exactly like the thunk
+        s = src.register
+        return [f"_ia = r[{s}]",
+                f"_iv = {rd}(_ia)",
+                f"r[{s}] = (_ia + {1 if byte else 2}) & 0xFFFF",
+                f"r[{d}] = _iv"]
+    return None
+
+
+def _inline_mov_to_pc(src: Operand):
+    """Inline twin of :func:`_spec_mov_to_pc` (BR #imm / BR Rn / RET):
+    PC writes forced even, pop reads before it bumps SP."""
+    sm = src.mode
+    if sm is _M.IMMEDIATE:
+        return [f"r[0] = {src.value & 0xFFFE}"]
+    if sm is _M.REGISTER:
+        return [f"r[0] = r[{src.register}] & 0xFFFE"]
+    if sm is _M.AUTOINCREMENT:
+        s = src.register
+        return [f"_ia = r[{s}]",
+                "_iv = m.read_word(_ia)",
+                f"r[{s}] = (_ia + 2) & 0xFFFF",
+                "r[0] = _iv & 0xFFFE"]
+    if sm is _M.ABSOLUTE or sm is _M.SYMBOLIC:
+        return [f"r[0] = m.read_word({src.value & 0xFFFF}) & 0xFFFE"]
+    if sm is _M.INDEXED:
+        return [f"r[0] = m.read_word((r[{src.register}]"
+                f" + {src.value}) & 0xFFFF) & 0xFFFE"]
+    if sm is _M.INDIRECT:
+        return [f"r[0] = m.read_word(r[{src.register}]) & 0xFFFE"]
+    return None
+
+
+def _inline_mem_dst(insn: Instruction):
+    """Inline twins of :func:`_spec_mov_to_mem` and
+    :func:`_spec_add_to_mem` — register/immediate source into indexed
+    or absolute memory."""
+    src, dst = insn.src, insn.dst
+    byte = insn.byte
+    mask = 0xFF if byte else 0xFFFF
+    if src.mode is _M.REGISTER:
+        s = src.register
+    elif src.mode is _M.IMMEDIATE:
+        s = -1
+        k = src.value & mask
+    else:
+        return None                       # memory-to-memory
+    dm = dst.mode
+    if dm is _M.INDEXED:
+        addr = f"(r[{dst.register}] + {dst.value}) & 0xFFFF"
+    elif dm is _M.ABSOLUTE or dm is _M.SYMBOLIC:
+        addr = str(dst.value & 0xFFFF)
+    else:
+        return None
+    opcode = insn.opcode
+    if opcode is Opcode.MOV:
+        wr = "m.write_byte" if byte else "m.write_word"
+        if s >= 0:
+            val = f"r[{s}] & 0xFF" if byte else f"r[{s}]"
+        else:
+            val = str(k)
+        return [f"{wr}({addr}, {val})"]
+    if opcode is Opcode.ADD and not byte:
+        lines = [f"_ia = {addr}" if dm is _M.INDEXED else None]
+        ia = "_ia" if dm is _M.INDEXED else addr
+        lines = [ln for ln in lines if ln is not None]
+        if s >= 0:
+            lines.append(f"_ik = r[{s}]")
+            kx = "_ik"
+        else:
+            kx = str(k)
+        lines += [f"_id = m.read_word({ia})",
+                  f"_ix = _id + {kx}",
+                  "_io = _ix & 0xFFFF",
+                  f"_isr = r[2] & {_SRM}",
+                  "if _ix > 0xFFFF: _isr |= 1",
+                  "if _io & 0x8000: _isr |= 4",
+                  "elif _io == 0: _isr |= 2",
+                  f"if ~({kx} ^ _id) & ({kx} ^ _io) & 0x8000:"
+                  " _isr |= 0x100",
+                  "r[2] = _isr",
+                  f"m.write_word({ia}, _io)"]
+        return lines
+    return None
+
+
+def _inline_step(insn: Instruction):
+    """Source lines executing ``insn`` directly on the raw register
+    list — the codegen twin of the thunk skeletons above (identical
+    arithmetic, flag updates, and memory-call order, with the thunk's
+    Python call frame compiled away).  Covers the register/immediate
+    ALU shapes plus the hot memory shapes (PUSH, MOV to/from memory,
+    ADD into memory); memory accesses still go through the
+    ``m.read_*``/``m.write_*`` bus methods, so permissions, I/O
+    dispatch, and invalidation behave exactly as in the thunk.
+    Returns None for any shape that keeps its thunk call.
+    Temporaries use the ``_i*`` prefix so they never collide with the
+    block executors' own locals.
+    """
+    opcode = insn.opcode
+    if opcode in _JUMP_OPCODES:
+        return None
+    dst = insn.dst
+    byte = insn.byte
+    mask = 0xFF if byte else 0xFFFF
+    sign = 0x80 if byte else 0x8000
+    src = insn.src
+    if dst is None:                       # format 2, register operand
+        if opcode is Opcode.PUSH and src is not None:
+            # SP moves before the store, exactly like the thunk: a
+            # faulting push leaves SP decremented
+            if src.mode is _M.REGISTER:
+                return ["_ia = r[1] = (r[1] - 2) & 0xFFFF",
+                        f"m.write_word(_ia, r[{src.register}]"
+                        f" & {mask})"]
+            if src.mode is _M.IMMEDIATE:
+                return ["_ia = r[1] = (r[1] - 2) & 0xFFFF",
+                        f"m.write_word(_ia, {src.value & mask})"]
+            return None
+        if opcode is Opcode.CALL and src is not None:
+            # target evaluated before the push; the pushed return
+            # address is the deferred PC (r[0] == next_pc here)
+            if src.mode is _M.IMMEDIATE:
+                return ["_ia = r[1] = (r[1] - 2) & 0xFFFF",
+                        "m.write_word(_ia, r[0])",
+                        f"r[0] = {src.value & 0xFFFE}"]
+            if src.mode is _M.REGISTER:
+                return [f"_it = r[{src.register}] & 0xFFFE",
+                        "_ia = r[1] = (r[1] - 2) & 0xFFFF",
+                        "m.write_word(_ia, r[0])",
+                        "r[0] = _it"]
+            return None
+        if (src is None or src.mode is not _M.REGISTER
+                or src.register < 4):
+            return None
+        d = src.register
+        if opcode is Opcode.SWPB and not byte:
+            return [f"_iv = r[{d}]",
+                    f"r[{d}] = (_iv << 8 | _iv >> 8) & 0xFFFF"]
+        if opcode is Opcode.RRA:
+            return [f"_iv = r[{d}] & {mask}",
+                    f"_io = (_iv >> 1) | (_iv & {sign})",
+                    f"_isr = r[2] & {_SRM} | (_iv & 1)",
+                    f"if _io & {sign}: _isr |= 4",
+                    "elif _io == 0: _isr |= 2",
+                    "r[2] = _isr",
+                    f"r[{d}] = _io"]
+        if opcode is Opcode.RRC:
+            return [f"_iv = r[{d}] & {mask}",
+                    f"_io = (_iv >> 1) | ({sign} if r[2] & 1 else 0)",
+                    f"_isr = r[2] & {_SRM} | (_iv & 1)",
+                    f"if _io & {sign}: _isr |= 4",
+                    "elif _io == 0: _isr |= 2",
+                    "r[2] = _isr",
+                    f"r[{d}] = _io"]
+        if opcode is Opcode.SXT and not byte:
+            return [f"_io = r[{d}] & 0xFF",
+                    "if _io & 0x80: _io |= 0xFF00",
+                    f"_isr = r[2] & {_SRM}",
+                    "if _io: _isr |= 1",
+                    "if _io & 0x8000: _isr |= 4",
+                    "elif _io == 0: _isr |= 2",
+                    "r[2] = _isr",
+                    f"r[{d}] = _io"]
+        return None
+    if dst.mode is not _M.REGISTER:
+        return _inline_mem_dst(insn)      # memory destination
+    if dst.register == 0 and opcode is Opcode.MOV and not byte:
+        return _inline_mov_to_pc(src)     # BR / RET shapes
+    if dst.register < 4:
+        return None                       # SP/SR/CG2 destination
+    d = dst.register
+    if src.mode is _M.REGISTER:
+        const = None
+        ks = f"(r[{src.register}] & {mask})"
+    elif src.mode is _M.IMMEDIATE:
+        const = src.value & mask
+        ks = str(const)
+    elif opcode is Opcode.MOV:
+        return _inline_mov_mem_to_reg(src, d, byte)
+    else:
+        return None                       # non-MOV memory source
+    if opcode is Opcode.MOV:
+        return [f"r[{d}] = {ks}"]
+    if opcode in _ADDSUB_OPS:
+        subtract = opcode in _SUB_OPS
+        use_carry = opcode in _CARRY_OPS
+        lines = [f"_id = r[{d}] & {mask}"]
+        if const is None:
+            lines.append(f"_ik = {ks}")
+            kx = "_ik"
+        else:
+            kx = str(const)
+        if subtract:
+            inv = f"(~_ik & {mask})" if const is None \
+                else str((~const) & mask)
+            if use_carry:
+                lines.append(f"_ix = _id + {inv} + (r[2] & 1)")
+            elif const is None:
+                lines.append(f"_ix = _id + {inv} + 1")
+            else:
+                lines.append(f"_ix = _id + {((~const) & mask) + 1}")
+            ovf = f"(_id ^ {kx}) & (_id ^ _io) & {sign}"
+        else:
+            if use_carry:
+                lines.append(f"_ix = _id + {kx} + (r[2] & 1)")
+            else:
+                lines.append(f"_ix = _id + {kx}")
+            ovf = f"~({kx} ^ _id) & ({kx} ^ _io) & {sign}"
+        lines += [f"_io = _ix & {mask}",
+                  f"_isr = r[2] & {_SRM}",
+                  f"if _ix > {mask}: _isr |= 1",
+                  f"if _io & {sign}: _isr |= 4",
+                  "elif _io == 0: _isr |= 2",
+                  f"if {ovf}: _isr |= 0x100",
+                  "r[2] = _isr"]
+        if opcode is not Opcode.CMP:
+            lines.append(f"r[{d}] = _io")
+        return lines
+    if opcode is Opcode.BIS:
+        return [f"r[{d}] = (r[{d}] & {mask}) | {ks}"]
+    if opcode is Opcode.BIC:
+        if const is None:
+            return [f"r[{d}] = (r[{d}] & {mask}) & ~{ks} & {mask}"]
+        return [f"r[{d}] = (r[{d}] & {mask}) & {(~const) & mask}"]
+    if opcode in (Opcode.AND, Opcode.BIT, Opcode.XOR):
+        lines = [f"_id = r[{d}] & {mask}"]
+        if const is None:
+            lines.append(f"_ik = {ks}")
+            kx = "_ik"
+        else:
+            kx = str(const)
+        op = "^" if opcode is Opcode.XOR else "&"
+        lines += [f"_io = _id {op} {kx}",
+                  f"_isr = r[2] & {_SRM}",
+                  "if _io: _isr |= 1",
+                  f"if _io & {sign}: _isr |= 4",
+                  "elif _io == 0: _isr |= 2"]
+        if opcode is Opcode.XOR:
+            lines.append(
+                f"if {kx} & {sign} and _id & {sign}: _isr |= 0x100")
+        lines.append("r[2] = _isr")
+        if opcode is not Opcode.BIT:
+            lines.append(f"r[{d}] = _io")
+        return lines
+    return None
+
+
+#: taken-condition expression per conditional jump, over the live SR
+#: in ``r[2]`` — the exact tests _spec_jump compiles into its thunks.
+#: Used to inline mid-trace jumps into generated block code.
+_JUMP_CONDS = {
+    Opcode.JNE: "not r[2] & 2",
+    Opcode.JEQ: "r[2] & 2",
+    Opcode.JNC: "not r[2] & 1",
+    Opcode.JC: "r[2] & 1",
+    Opcode.JN: "r[2] & 4",
+    Opcode.JGE: "not ((r[2] >> 2) ^ (r[2] >> 8)) & 1",
+    Opcode.JL: "((r[2] >> 2) ^ (r[2] >> 8)) & 1",
+}
+
+
 def _hits_io(op: Optional[Operand], io_ports: frozenset) -> bool:
     """Does this operand statically address a registered I/O port?
     Used by the superblock compiler to terminate blocks at kernel
@@ -1318,17 +2129,135 @@ def _spec_mov_to_mem(s: int, k: int, dst: Operand, byte: bool):
 
 
 def _spec_add_to_mem(s: int, k: int, dst: Operand):
-    """Word ADD from a register/immediate into indexed memory."""
-    if dst.mode is not _M.INDEXED:
-        return None
-    dreg, off = dst.register, dst.value
+    """Word ADD from a register/immediate into indexed or absolute
+    memory (the global-counter increment idiom)."""
+    dm = dst.mode
+    if dm is _M.INDEXED:
+        dreg, off = dst.register, dst.value
 
-    def thunk(r, m, s=s, k=k, dreg=dreg, off=off):
-        a = (r[dreg] + off) & 0xFFFF
+        def thunk(r, m, s=s, k=k, dreg=dreg, off=off):
+            a = (r[dreg] + off) & 0xFFFF
+            if s >= 0:
+                k = r[s]
+            dstv = m.read_word(a)
+            result = dstv + k
+            out = result & 0xFFFF
+            sr = r[2] & _SRM
+            if result > 0xFFFF:
+                sr |= 1
+            if out & 0x8000:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            if ~(k ^ dstv) & (k ^ out) & 0x8000:
+                sr |= 0x100
+            r[2] = sr
+            m.write_word(a, out)
+        return thunk
+    if dm is _M.ABSOLUTE or dm is _M.SYMBOLIC:
+        a0 = dst.value & 0xFFFF
+
+        def thunk(r, m, s=s, k=k, a=a0):
+            if s >= 0:
+                k = r[s]
+            dstv = m.read_word(a)
+            result = dstv + k
+            out = result & 0xFFFF
+            sr = r[2] & _SRM
+            if result > 0xFFFF:
+                sr |= 1
+            if out & 0x8000:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            if ~(k ^ dstv) & (k ^ out) & 0x8000:
+                sr |= 0x100
+            r[2] = sr
+            m.write_word(a, out)
+        return thunk
+    return None
+
+
+def _spec_cmp_mem(s: int, k: int, dst: Operand, byte: bool):
+    """CMP against an indexed or absolute memory destination: flags
+    only, no write-back (the poll-a-variable idiom).  The source is
+    evaluated before the destination read, like the generic handler."""
+    mask = 0xFF if byte else 0xFFFF
+    sign = 0x80 if byte else 0x8000
+    dm = dst.mode
+    if dm is _M.INDEXED:
+        dreg, off = dst.register, dst.value
+
+        def thunk(r, m, s=s, k=k, dreg=dreg, off=off,
+                  mask=mask, sign=sign, byte=byte):
+            if s >= 0:
+                k = r[s] & mask
+            a = (r[dreg] + off) & 0xFFFF
+            dstv = m.read_byte(a) if byte else m.read_word(a)
+            result = dstv + ((~k) & mask) + 1
+            out = result & mask
+            sr = r[2] & _SRM
+            if result > mask:
+                sr |= 1
+            if out & sign:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            if (dstv ^ k) & (dstv ^ out) & sign:
+                sr |= 0x100
+            r[2] = sr
+        return thunk
+    if dm is _M.ABSOLUTE or dm is _M.SYMBOLIC:
+        a0 = dst.value & 0xFFFF
+
+        def thunk(r, m, s=s, k=k, a=a0,
+                  mask=mask, sign=sign, byte=byte):
+            if s >= 0:
+                k = r[s] & mask
+            dstv = m.read_byte(a) if byte else m.read_word(a)
+            result = dstv + ((~k) & mask) + 1
+            out = result & mask
+            sr = r[2] & _SRM
+            if result > mask:
+                sr |= 1
+            if out & sign:
+                sr |= 4
+            elif out == 0:
+                sr |= 2
+            if (dstv ^ k) & (dstv ^ out) & sign:
+                sr |= 0x100
+            r[2] = sr
+        return thunk
+    return None
+
+
+def _spec_sp_dest(opcode: Opcode, s: int, k: int):
+    """Word MOV/ADD/SUB into SP — the stack adjust idioms of every
+    prologue and epilogue.  Flags (for ADD/SUB) are computed from the
+    unmasked result first; the SP write forces bit 0 clear afterwards,
+    exactly like ``RegisterFile.write``."""
+    if opcode is Opcode.MOV:
+        if s < 0:
+            t = k & 0xFFFE
+
+            def thunk(r, m, t=t):
+                r[1] = t
+        else:
+            def thunk(r, m, s=s):
+                r[1] = r[s] & 0xFFFE
+        return thunk
+    subtract = opcode is Opcode.SUB
+
+    def thunk(r, m, s=s, k=k, subtract=subtract):
         if s >= 0:
             k = r[s]
-        dstv = m.read_word(a)
-        result = dstv + k
+        dst = r[1]
+        if subtract:
+            result = dst + ((~k) & 0xFFFF) + 1
+            ovf = (dst ^ k) & (dst ^ (result & 0xFFFF)) & 0x8000
+        else:
+            result = dst + k
+            ovf = ~(k ^ dst) & (k ^ (result & 0xFFFF)) & 0x8000
         out = result & 0xFFFF
         sr = r[2] & _SRM
         if result > 0xFFFF:
@@ -1337,11 +2266,30 @@ def _spec_add_to_mem(s: int, k: int, dst: Operand):
             sr |= 4
         elif out == 0:
             sr |= 2
-        if ~(k ^ dstv) & (k ^ out) & 0x8000:
+        if ovf:
             sr |= 0x100
         r[2] = sr
-        m.write_word(a, out)
+        r[1] = out & 0xFFFE
     return thunk
+
+
+def _spec_mov_mem_to_sp(src: Operand):
+    """Word MOV from memory into SP (stack switch in the dispatcher).
+    The SP write forces bit 0 clear, like ``RegisterFile.write``."""
+    sm = src.mode
+    if sm is _M.ABSOLUTE or sm is _M.SYMBOLIC:
+        a = src.value & 0xFFFF
+
+        def thunk(r, m, a=a):
+            r[1] = m.read_word(a) & 0xFFFE
+        return thunk
+    if sm is _M.INDEXED:
+        sreg, off = src.register, src.value
+
+        def thunk(r, m, sreg=sreg, off=off):
+            r[1] = m.read_word((r[sreg] + off) & 0xFFFF) & 0xFFFE
+        return thunk
+    return None
 
 
 def _spec_mov_to_pc(src: Operand):
@@ -1373,6 +2321,24 @@ def _spec_mov_to_pc(src: Operand):
             r[s] = (a + 2) & 0xFFFF
             r[0] = v & 0xFFFE
         return thunk
+    if sm is _M.ABSOLUTE or sm is _M.SYMBOLIC:
+        a = src.value & 0xFFFF
+
+        def thunk(r, m, a=a):
+            r[0] = m.read_word(a) & 0xFFFE
+        return thunk
+    if sm is _M.INDEXED:
+        sreg, off = src.register, src.value
+
+        def thunk(r, m, sreg=sreg, off=off):
+            r[0] = m.read_word((r[sreg] + off) & 0xFFFF) & 0xFFFE
+        return thunk
+    if sm is _M.INDIRECT:
+        s = src.register
+
+        def thunk(r, m, s=s):
+            r[0] = m.read_word(r[s]) & 0xFFFE
+        return thunk
     return None
 
 
@@ -1398,6 +2364,12 @@ def _specialize(insn: Instruction):
         if dst.register < 4:                          # PC/SP/SR/CG2
             if opcode is Opcode.MOV and not byte and dst.register == 0:
                 return _spec_mov_to_pc(src)           # BR / RET shapes
+            if dst.register == 1 and not byte:        # stack adjusts
+                if s == -2:
+                    if opcode is Opcode.MOV:
+                        return _spec_mov_mem_to_sp(src)
+                elif opcode in (Opcode.MOV, Opcode.ADD, Opcode.SUB):
+                    return _spec_sp_dest(opcode, s, k)
             if (dst.register == 2 and not byte and s != -2
                     and (opcode is Opcode.BIC or opcode is Opcode.BIS)):
                 # CLRC/SETC-style flag twiddling: BIC/BIS don't update
@@ -1436,6 +2408,8 @@ def _specialize(insn: Instruction):
         return _spec_mov_to_mem(s, k, dst, byte)
     if opcode is Opcode.ADD and not byte:
         return _spec_add_to_mem(s, k, dst)
+    if opcode is Opcode.CMP:
+        return _spec_cmp_mem(s, k, dst, byte)
     return None
 
 

@@ -175,6 +175,25 @@ ReadHandler = Callable[[int], int]
 WriteHandler = Callable[[int, int], None]
 Observer = Callable[[int, str, int], None]
 
+#: interned static region bitmaps, keyed by value.  Every Memory built
+#: from the same map shares one ``bytes`` object, which in turn makes
+#: the combined (region & MPU) bitmaps below shareable by identity —
+#: the CPU's superblocks cache the bitmap *object* they were last
+#: execute-validated against, so identical MPU configurations on
+#: different devices must yield the same object, not just equal bytes.
+_REGION_PERM_INTERN: Dict[bytes, bytes] = {}
+
+#: process-global combined-bitmap memo: (region bitmap id, MPU
+#: configuration signature) -> combined bitmap.  Signatures fully
+#: determine the overlay (see Mpu.permission_signature), so the memo
+#: is safe to share across devices; region ids are stable because the
+#: intern table above keeps every region bitmap alive.
+_PERM_MEMO: Dict[tuple, bytes] = {}
+
+
+def _intern_region_perm(perm: bytes) -> bytes:
+    return _REGION_PERM_INTERN.setdefault(perm, perm)
+
 
 class Memory:
     """The simulated bus.
@@ -190,6 +209,10 @@ class Memory:
         self.mpu = None  # set by Cpu / kernel; avoids circular import
         self._io_read: Dict[int, ReadHandler] = {}
         self._io_write: Dict[int, WriteHandler] = {}
+        # one-past the highest registered port: lets the word access
+        # paths skip the handler-dict hash for ordinary RAM addresses
+        self._io_rmax = 0
+        self._io_wmax = 0
         self._observers: List[Observer] = []
         # When True, region/MPU checks are bypassed (loader, debugger).
         self._supervisor_depth = 0
@@ -198,9 +221,21 @@ class Memory:
         # code, loaders), profilers and watchpoint engines may add
         # their own — hooks chain instead of clobbering each other.
         self.write_hooks: List[WriteHandler] = []
+        # -- invalidation fast path ----------------------------------
+        # The CPU's icache/superblock invalidator is the one hook that
+        # fires on *every* backing-store write, but it only has work to
+        # do when the written page actually holds decoded code.  It
+        # registers here with a 1024-entry per-64-byte-page mask (shared
+        # by reference with the CPU, which sets bits as it caches); the
+        # write paths probe the mask and skip the Python call for the
+        # overwhelmingly common data-page write.
+        self._inv_hook: Optional[WriteHandler] = None
+        self._inv_mask: Optional[bytearray] = None
         # -- permission fast path ------------------------------------
-        #: static region allowed-bits, computed once
-        self._region_perm: bytes = self.map.region_permission_bytes()
+        #: static region allowed-bits, computed once and interned so
+        #: identical maps share one object across Memory instances
+        self._region_perm: bytes = _intern_region_perm(
+            self.map.region_permission_bytes())
         #: active bitmap (region & MPU overlay); None means the fast
         #: path is unavailable (an MPU without overlay support)
         self._perm: Optional[bytes] = self._region_perm
@@ -219,8 +254,12 @@ class Memory:
             raise ValueError("I/O ports must be word aligned")
         if read is not None:
             self._io_read[address] = read
+            if address >= self._io_rmax:
+                self._io_rmax = address + 1
         if write is not None:
             self._io_write[address] = write
+            if address >= self._io_wmax:
+                self._io_wmax = address + 1
 
     def io_addresses(self) -> frozenset:
         """Every word address with a registered I/O handler (read or
@@ -244,6 +283,21 @@ class Memory:
     def remove_write_hook(self, hook: WriteHandler) -> None:
         self.write_hooks.remove(hook)
 
+    def set_invalidator(self, hook: WriteHandler,
+                        mask: bytearray) -> None:
+        """Install the CPU's code-cache invalidator with its page mask.
+
+        ``mask`` has one byte per 64-byte page; a nonzero byte means
+        the page (or an instruction spilling into it from the previous
+        page) holds cached decoded code.  Per-address writes only call
+        ``hook`` when the mask says the write can touch cached code;
+        bulk writes (:meth:`load`, :meth:`fill`, :meth:`load_state`)
+        always call it with address ``-1``."""
+        if len(mask) != 1024:
+            raise ValueError("invalidator mask must cover 1024 pages")
+        self._inv_hook = hook
+        self._inv_mask = mask
+
     # -- permission bitmap -------------------------------------------------
     def invalidate_permissions(self) -> None:
         """Mark the flat permission bitmap stale (MPU config changed)."""
@@ -265,13 +319,24 @@ class Memory:
         sig = signature_fn()
         perm = self._perm_cache.get(sig)
         if perm is None:
-            overlay = mpu.permission_overlay()
-            if overlay is None:
-                perm = self._region_perm
-            else:
-                combined = (int.from_bytes(self._region_perm, "little")
-                            & int.from_bytes(overlay, "little"))
-                perm = combined.to_bytes(0x10000, "little")
+            # L2: the process-global memo.  Signatures fully determine
+            # overlays, and region bitmaps are interned, so two devices
+            # with the same map and MPU configuration share the *same*
+            # combined bitmap object — which keeps superblock
+            # ``perm_ok is perm`` revalidation an identity hit even for
+            # blocks pulled from the shared execution cache.
+            key = (id(self._region_perm), sig)
+            perm = _PERM_MEMO.get(key)
+            if perm is None:
+                overlay = mpu.permission_overlay()
+                if overlay is None:
+                    perm = self._region_perm
+                else:
+                    combined = (int.from_bytes(self._region_perm,
+                                               "little")
+                                & int.from_bytes(overlay, "little"))
+                    perm = combined.to_bytes(0x10000, "little")
+                _PERM_MEMO[key] = perm
             self._perm_cache[sig] = perm
         self._perm = perm
         return perm
@@ -356,12 +421,13 @@ class Memory:
             if self._perm_stale:
                 self._refresh_permissions()
             perm = self._perm
-            if perm is None or not perm[address] & _KIND_BIT[kind]:
+            if perm is None or not perm[address] & \
+                    (PERM_R if kind is READ else _KIND_BIT[kind]):
                 self._check_slow(address, kind)
         if self._observers:
             self._notify(address, kind, 1)
         base = address & ~1
-        if base in self._io_read:
+        if base < self._io_rmax and base in self._io_read:
             word = self._io_read[base]() & 0xFFFF
             return (word >> 8) & 0xFF if address & 1 else word & 0xFF
         return self._bytes[address]
@@ -377,12 +443,21 @@ class Memory:
         if self._observers:
             self._notify(address, WRITE, 1)
         base = address & ~1
-        if base in self._io_write:
+        if base < self._io_wmax and base in self._io_write:
             # Byte writes to I/O ports write the low byte, high byte zero,
             # matching MSP430 peripheral semantics.
             self._io_write[base](base, value & 0xFF)
             return
         self._bytes[address] = value & 0xFF
+        inv = self._inv_hook
+        if inv is not None:
+            mask = self._inv_mask
+            page = address >> 6
+            # the written page, or code spilling into it from the
+            # previous page (an entry indexed there reaches at most 4
+            # bytes into this page: 6-byte max instruction)
+            if mask[page] or (address & 63 < 4 and mask[page - 1]):
+                inv(address, value)
         for hook in self.write_hooks:
             hook(address, value)
 
@@ -396,11 +471,12 @@ class Memory:
             if self._perm_stale:
                 self._refresh_permissions()
             perm = self._perm
-            if perm is None or not perm[address] & _KIND_BIT[kind]:
+            if perm is None or not perm[address] & \
+                    (PERM_R if kind is READ else _KIND_BIT[kind]):
                 self._check_slow(address, kind)
         if self._observers:
             self._notify(address, kind, 2)
-        if address in self._io_read:
+        if address < self._io_rmax and address in self._io_read:
             return self._io_read[address]() & 0xFFFF
         data = self._bytes
         return data[address] | (data[address + 1] << 8)
@@ -415,12 +491,22 @@ class Memory:
                 self._check_slow(address, WRITE)
         if self._observers:
             self._notify(address, WRITE, 2)
-        if address in self._io_write:
+        if address < self._io_wmax and address in self._io_write:
             self._io_write[address](address, value & 0xFFFF)
             return
         data = self._bytes
         data[address] = value & 0xFF
         data[address + 1] = (value >> 8) & 0xFF
+        inv = self._inv_hook
+        if inv is not None:
+            mask = self._inv_mask
+            page = address >> 6
+            # an entry indexed under the previous page reaches at most
+            # 4 bytes into this one (6-byte max instruction, first
+            # word in the previous page), so writes past offset 3
+            # cannot hit spilled code
+            if mask[page] or (address & 63 < 4 and mask[page - 1]):
+                inv(address, value)
         for hook in self.write_hooks:
             hook(address, value)
 
@@ -435,8 +521,7 @@ class Memory:
         if end > 0x10000:
             raise MemoryAccessError(end, WRITE, "load past end of memory")
         self._bytes[address:end] = blob
-        for hook in self.write_hooks:
-            hook(-1, 0)     # bulk write: full invalidation
+        self._bulk_invalidate()
 
     def dump(self, address: int, length: int) -> bytes:
         """Debugger read, bypassing permission checks."""
@@ -455,11 +540,16 @@ class Memory:
             raise ValueError(f"memory snapshot must be 64 KB, "
                              f"got {len(blob)} bytes")
         self._bytes[:] = blob
-        for hook in self.write_hooks:
-            hook(-1, 0)     # bulk write: full invalidation
+        self._bulk_invalidate()
 
     def fill(self, address: int, length: int, value: int = 0) -> None:
         self._bytes[address:address + length] = \
             bytes([value & 0xFF]) * length
+        self._bulk_invalidate()
+
+    def _bulk_invalidate(self) -> None:
+        """Bulk write: full invalidation of every cached-code consumer."""
+        if self._inv_hook is not None:
+            self._inv_hook(-1, 0)
         for hook in self.write_hooks:
-            hook(-1, 0)     # bulk write: full invalidation
+            hook(-1, 0)
