@@ -6,6 +6,24 @@ Tracks how much simulated fleet time one wall-clock second buys:
 default fleet cadence).  This is the number that says whether a
 "100 devices for a week" study is an hour or a weekend.
 
+Every recorded row is self-describing: the label carries the worker
+count, the execution-cache state, and the host CPU count, because all
+three change what the number means (``jobs=4`` on a 1-core container
+measures scheduling overhead, not parallelism; a warm disk cache
+skips the translation the cold number includes).
+
+Cache states:
+
+* ``default`` — whatever the environment provides (CI floor checks
+  use this: it is what a user sees).
+* ``cold``    — a fresh, empty on-disk execution cache per campaign
+  and a cleared in-memory registry: the full translate-everything
+  cost.
+* ``warm``    — an unmeasured campaign first populates the disk
+  cache, then the measured campaign starts from a cleared in-memory
+  registry and revives translations from disk: the fresh-process
+  steady state a resumed or repeated study enjoys.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_fleet.py``)
 to append a record to ``BENCH_fleet.json`` at the repo root, or via
 pytest for a quick smoke.
@@ -15,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import tempfile
 import time
@@ -29,48 +48,84 @@ DEVICES = 8
 SIM_HOURS = 0.01            # 36 simulated seconds per device
 MODEL = "mpu"
 
+CACHE_STATES = ("default", "cold", "warm")
 
-def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
-                   jobs: int = 1, seed: int = 0) -> float:
-    """Device-sim-hours per wall second for one full campaign."""
-    from repro.fleet.executor import FleetConfig, run_campaign
 
-    config = FleetConfig(devices=devices, hours=hours,
-                         models=(MODEL,), seed=seed,
-                         shards=max(1, jobs), rogue_fraction=0.25)
+def _one_campaign(config, jobs: int) -> float:
+    """Wall seconds for one campaign into a throwaway directory."""
+    from repro.fleet.executor import run_campaign
+
     out = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
     try:
         start = time.perf_counter()
         run_campaign(config, out, jobs=jobs)
-        elapsed = time.perf_counter() - start
+        return time.perf_counter() - start
     finally:
         shutil.rmtree(out, ignore_errors=True)
-    return devices * hours / elapsed
 
 
-def run_benchmarks(repeats: int = 3, jobs: int = 1) -> dict:
+def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
+                   jobs: int = 1, seed: int = 0,
+                   cache: str = "default") -> float:
+    """Device-sim-hours per wall second for one full campaign."""
+    from repro.fleet.executor import FleetConfig
+    from repro.msp430.execcache import clear_registry
+
+    config = FleetConfig(devices=devices, hours=hours,
+                         models=(MODEL,), seed=seed,
+                         rogue_fraction=0.25)
+    if cache == "default":
+        return devices * hours / _one_campaign(config, jobs)
+
+    saved = os.environ.get("REPRO_EXEC_CACHE_DIR")
+    cache_dir = tempfile.mkdtemp(prefix="bench_exec_")
+    os.environ["REPRO_EXEC_CACHE_DIR"] = cache_dir
+    clear_registry()
+    try:
+        if cache == "warm":
+            _one_campaign(config, jobs)   # unmeasured: populate disk
+            clear_registry()              # warmth must come from disk
+        return devices * hours / _one_campaign(config, jobs)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_EXEC_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_EXEC_CACHE_DIR"] = saved
+        clear_registry()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def run_benchmarks(repeats: int = 3, jobs: int = 1,
+                   cache: str = "default") -> dict:
     # Best-of-N: interference only ever lowers a rate, so the max over
     # repeats is the least-noisy estimate (same rule as BENCH_sim).
     # A different seed per repeat keeps the firmware build cache from
     # turning later repeats into pure-simulation measurements only.
     return {
         "device_sim_hours_per_sec": round(max(
-            bench_campaign(jobs=jobs, seed=n) for n in range(repeats)),
-            4),
+            bench_campaign(jobs=jobs, seed=n, cache=cache)
+            for n in range(repeats)), 4),
         "devices": DEVICES,
         "sim_hours_per_device": SIM_HOURS,
         "model": MODEL,
         "jobs": jobs,
+        "cache": cache,
+        "host_cpus": os.cpu_count(),
     }
 
 
-def record(label: str, repeats: int = 3, jobs: int = 1) -> dict:
-    """Append one measurement record to BENCH_fleet.json."""
+def record(label: str, repeats: int = 3, jobs: int = 1,
+           cache: str = "default") -> dict:
+    """Append one measurement record to BENCH_fleet.json.  The stored
+    label is annotated with everything that disambiguates the row —
+    two rows are only comparable when jobs, cache state, and host CPU
+    count all match."""
     entry = {
-        "label": label,
+        "label": f"{label} [jobs={jobs} cache={cache} "
+                 f"cpus={os.cpu_count()}]",
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
         "repeats": repeats,
-        "results": run_benchmarks(repeats, jobs),
+        "results": run_benchmarks(repeats, jobs, cache),
     }
     history = []
     if BENCH_JSON.exists():
@@ -100,7 +155,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(
         description="fleet campaign throughput microbenchmark")
     parser.add_argument("--label", default="run",
-                        help="label stored with the record")
+                        help="label stored with the record (jobs, "
+                             "cache state, and CPU count are appended "
+                             "automatically)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="campaigns run; best is kept")
     parser.add_argument("--jobs", type=_parse_jobs, default=[1],
@@ -108,13 +165,18 @@ def main() -> int:
                         help="worker-process counts; a comma list "
                              "(e.g. 1,2,4) records one scaling row "
                              "per value")
+    parser.add_argument("--cache", default="default",
+                        choices=CACHE_STATES,
+                        help="execution-cache state the campaign "
+                             "starts from (see module docstring)")
     parser.add_argument(
         "--check-floor", type=float, default=None, metavar="RATE",
         help="CI mode: run without recording, exit 1 unless "
              "device-sim-hours/s >= RATE (uses the first --jobs value)")
     args = parser.parse_args()
     if args.check_floor is not None:
-        results = run_benchmarks(args.repeats, args.jobs[0])
+        results = run_benchmarks(args.repeats, args.jobs[0],
+                                 args.cache)
         rate = results["device_sim_hours_per_sec"]
         ok = rate >= args.check_floor
         print(f"fleet throughput {rate} device-sim-hours/s "
@@ -122,7 +184,7 @@ def main() -> int:
               + ("PASS" if ok else "FAIL"))
         return 0 if ok else 1
     for jobs in args.jobs:
-        entry = record(args.label, args.repeats, jobs)
+        entry = record(args.label, args.repeats, jobs, args.cache)
         print(json.dumps(entry, indent=2))
     return 0
 

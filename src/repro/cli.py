@@ -174,7 +174,7 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                              f"{', '.join(MODELS_BY_KEY)} or 'all'")
     config = FleetConfig(
         devices=args.devices, hours=args.hours, models=models,
-        seed=args.seed, shards=max(1, args.jobs),
+        seed=args.seed,
         checkpoint_minutes=args.checkpoint_minutes,
         rogue_fraction=args.rogue_fraction)
     profile_dir = (Path(args.out) / "profiles" if args.profile
@@ -182,12 +182,15 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     summary = run_campaign(config, Path(args.out), jobs=args.jobs,
                            crash_after_checkpoints=args.crash_after,
                            report=print, cache_mode=args.cache_mode,
-                           profile_dir=profile_dir)
+                           profile_dir=profile_dir,
+                           crash_before_replace=args.crash_before_replace)
     print(summary_text(summary))
     print(f"summary: {Path(args.out) / 'summary.json'}")
     if profile_dir is not None:
-        print(f"profiles: {profile_dir}/<model>-shardNNN.prof "
-              "(inspect with python -m pstats)")
+        print(f"profiles: {profile_dir}/<model>-uNNNNN.prof per work "
+              "unit (inspect with python -m pstats) and "
+              f"{profile_dir}/coordinator.json (queue waits, "
+              "checkpoint flush stalls)")
     return 0
 
 
@@ -295,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_sub = fleet.add_subparsers(dest="fleet_command",
                                      required=True)
     fleet_run = fleet_sub.add_parser(
-        "run", help="run (or resume) a sharded fleet campaign")
+        "run", help="run (or resume) a work-stealing fleet campaign")
     fleet_run.add_argument("--devices", type=int, default=25,
                            metavar="N")
     fleet_run.add_argument("--hours", type=float, default=1.0,
@@ -307,9 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(none,feature-limited,software-only,mpu)")
     fleet_run.add_argument(
         "--jobs", type=int, default=1, metavar="J",
-        help="worker processes; also the shard count a fresh "
-             "campaign is partitioned into (summaries are "
-             "byte-identical for any value)")
+        help="worker processes pulling from the work-stealing unit "
+             "queue; an execution detail — summaries are "
+             "byte-identical for any value, and a campaign may be "
+             "resumed under a different --jobs")
     fleet_run.add_argument("--seed", type=int, default=0,
                            help="fleet seed; every device derives "
                                 "from (seed, device_id)")
@@ -333,11 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
              "across modes; only speed differs)")
     fleet_run.add_argument(
         "--profile", action="store_true",
-        help="cProfile each shard; dumps "
-             "<out>/profiles/<model>-shardNNN.prof")
+        help="profile the campaign: cProfile each work unit "
+             "(<out>/profiles/<model>-uNNNNN.prof) and write the "
+             "coordinator's queue-wait / checkpoint-stall breakdown "
+             "to <out>/profiles/coordinator.json")
     fleet_run.add_argument(
         "--crash-after", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C checkpoints
+    fleet_run.add_argument(
+        "--crash-before-replace", type=int, default=0, metavar="C",
+        help=argparse.SUPPRESS)   # test hook: die mid-checkpoint-write
     fleet_run.set_defaults(func=cmd_fleet_run)
 
     fuzz = sub.add_parser(

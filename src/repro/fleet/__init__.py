@@ -12,8 +12,10 @@ Pieces:
 * :mod:`repro.fleet.population` — per-device variation derivation
 * :mod:`repro.fleet.device`     — one device's segmented simulation
 * :mod:`repro.fleet.snapshot`   — versioned machine+scheduler snapshots
-* :mod:`repro.fleet.executor`   — sharded campaigns, checkpoint/resume
-* :mod:`repro.fleet.telemetry`  — per-device records, fleet summary
+* :mod:`repro.fleet.ckptio`     — async double-buffered checkpoint writer
+* :mod:`repro.fleet.executor`   — coordinator/worker campaigns:
+  work-stealing unit queue, per-device checkpoint/resume
+* :mod:`repro.fleet.telemetry`  — per-device records, streaming summary fold
 
 Entry point: ``repro fleet run --devices N --hours H --model M --jobs J``.
 """

@@ -1,23 +1,42 @@
-"""Sharded fleet campaigns with checkpoint/resume.
+"""Coordinator/worker fleet campaigns with work-stealing and resume.
 
-Device ids are partitioned across shards (``device_id % shards``);
-each shard runs in its own worker process via
-:func:`repro.pool.worker_pool` (the same helper the parallel
-experiment runner uses), streams per-device JSONL telemetry, and
-writes a pickle checkpoint after every completed device *and* every K
-simulated minutes inside a device.  Killing the campaign at any point
-loses at most one segment of one device per shard: re-running the same
-command finds the newest checkpoints under ``--out`` and resumes.
+The executor used to split devices statically (``device_id % shards``)
+and give each shard one synchronous worker.  Jittered per-device
+workloads made the static split straggle — one slow shard pinned the
+campaign while finished workers idled — and synchronous checkpoint
+writes serialized the rest.  This module replaces that with a
+coordinator/worker architecture:
 
-Determinism contract: every per-device record is a pure function of
-``(fleet_seed, device_id, model)``, and the summary fold sorts by
-device id — so the final ``summary.json`` is byte-identical for any
-``--jobs``, and for any interrupt/resume history.
+* the **coordinator** chunks the pending devices into many small work
+  units and submits them all up front; idle workers pull the next
+  unit the moment they finish one (work-stealing — no worker waits on
+  another's tail), and the coordinator folds telemetry incrementally
+  as unit results arrive (:class:`~repro.fleet.telemetry.SummaryFold`)
+  instead of in one post-hoc merge;
+* each **worker** runs its unit's devices one by one, writing delta
+  checkpoints through a double-buffered async writer thread
+  (:class:`~repro.fleet.ckptio.AsyncCheckpointWriter`): the worker
+  serializes the next snapshot while the previous one flushes, and
+  the rename-into-place commit means a kill mid-write always resumes
+  from the last *complete* checkpoint;
+* all persistent state is **per-device** — one checkpoint file per
+  in-progress device, one record line per completed device — so a
+  resume never depends on how work was chunked: kill a ``--jobs 4``
+  run, resume it with ``--jobs 1``, and the unit layout may differ
+  while every completed device is found and every in-progress device
+  picks up from its newest complete checkpoint.
+
+Determinism contract (unchanged): every per-device record is a pure
+function of ``(fleet_seed, device_id, model)``, and the summary fold
+sorts by device id — so the final ``summary.json`` is byte-identical
+for any ``--jobs``, any unit layout, any execution-cache mode, and
+any interrupt/resume history.
 
 The output directory is stamped with a config key (campaign identity:
-seed, devices, hours, models, shard count, checkpoint cadence); a
-rerun with different parameters against the same directory fails
-loudly instead of mixing campaigns.
+seed, devices, hours, models, checkpoint cadence); a rerun with
+different parameters against the same directory fails loudly instead
+of mixing campaigns.  ``--jobs``, the cache mode, and profiling are
+execution details and free to differ between run and resume.
 """
 
 from __future__ import annotations
@@ -25,18 +44,27 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.fleet.ckptio import AsyncCheckpointWriter
 from repro.fleet.device import simulate_device
 from repro.fleet.population import device_spec
-from repro.fleet.snapshot import STATE_VERSION
-from repro.fleet.telemetry import MODELS_BY_KEY, device_record, \
-    fleet_summary, record_line
+from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
+    parse_checkpoint
+from repro.fleet.telemetry import MODELS_BY_KEY, SummaryFold, \
+    device_record, record_line
+from repro.pool import completed as completed_futures
 from repro.pool import worker_pool
+
+#: work units the coordinator aims to keep queued per worker — enough
+#: spare units that a worker finishing a jittered-light unit steals a
+#: fresh one instead of idling, few enough that per-unit overhead
+#: (process dispatch, stream open) stays marginal
+UNITS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -47,7 +75,6 @@ class FleetConfig:
     hours: float
     models: Tuple[str, ...]
     seed: int = 0
-    shards: int = 1
     checkpoint_minutes: float = 10.0
     rogue_fraction: float = 0.125
 
@@ -57,8 +84,8 @@ class FleetConfig:
                 raise ReproError(
                     f"unknown isolation model {key!r} "
                     f"(choose from {', '.join(MODELS_BY_KEY)})")
-        if self.devices < 1 or self.shards < 1:
-            raise ReproError("need at least one device and one shard")
+        if self.devices < 1:
+            raise ReproError("need at least one device")
 
     @property
     def sim_ms(self) -> int:
@@ -69,150 +96,192 @@ class FleetConfig:
         return max(1, int(round(self.checkpoint_minutes * 60_000)))
 
     def key(self) -> str:
-        """Hash of the campaign identity (not of ``--jobs``, which is
-        free to differ between the original run and a resume)."""
+        """Hash of the campaign identity.  ``--jobs`` and the unit
+        layout are deliberately absent: chunking is an execution
+        detail, so a campaign may be resumed under any worker count."""
         text = repr((self.devices, self.hours, tuple(self.models),
-                     self.seed, self.shards, self.checkpoint_minutes,
+                     self.seed, self.checkpoint_minutes,
                      self.rogue_fraction, STATE_VERSION))
         return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
     tmp.write_bytes(data)
     os.replace(tmp, path)
 
 
-def shard_devices(config: FleetConfig, shard: int) -> List[int]:
-    return [device_id for device_id in range(config.devices)
-            if device_id % config.shards == shard]
+def plan_units(device_ids: List[int], jobs: int) -> List[List[int]]:
+    """Chunk pending devices into many small work units for the
+    stealing queue: ~:data:`UNITS_PER_WORKER` units per worker, at
+    least one device each, devices in id order within a unit."""
+    if not device_ids:
+        return []
+    target = max(1, jobs) * UNITS_PER_WORKER
+    size = max(1, -(-len(device_ids) // target))
+    return [device_ids[i:i + size]
+            for i in range(0, len(device_ids), size)]
 
 
-def _shard_paths(out_dir: Path, model_key: str,
-                 shard: int) -> Tuple[Path, Path]:
-    base = out_dir / "shards" / f"{model_key}-shard{shard:03d}"
-    return base.with_suffix(".ckpt"), base.with_suffix(".jsonl")
+def _shards_dir(out_dir: Path) -> Path:
+    return Path(out_dir) / "shards"
 
 
-def run_shard(config_dict: dict, model_key: str, shard: int,
-              out_dir: str,
-              crash_after_checkpoints: int = 0,
-              cache_mode: str = "shared",
-              profile_dir: Optional[str] = None) -> Dict[int, dict]:
-    """Worker entry point: run (or resume) one shard of one model.
+def _ckpt_path(out_dir: Path, model_key: str, device_id: int) -> Path:
+    return _shards_dir(out_dir) / f"{model_key}-dev{device_id:05d}.ckpt"
 
-    Returns ``{device_id: record}`` for every device in the shard.
-    ``crash_after_checkpoints`` > 0 makes the worker die (``os._exit``)
-    after that many checkpoint writes — the kill-and-resume tests use
-    it to crash at a deterministic point.  ``cache_mode`` picks the
-    execution-cache strategy (results are identical across modes, so
-    it is — like ``--jobs`` — not part of the campaign key).
-    ``profile_dir`` wraps the shard in cProfile and dumps stats to
-    ``<profile_dir>/<model>-shardNNN.prof``."""
+
+def _unit_stream_path(out_dir: Path, model_key: str,
+                      first_device: int) -> Path:
+    return _shards_dir(out_dir) / f"{model_key}-u{first_device:05d}.jsonl"
+
+
+def scan_completed_records(out_dir: Path,
+                           model_key: str) -> Dict[int, dict]:
+    """Collect completed per-device records from every unit stream,
+    whatever unit layout wrote them.  A line torn by a kill mid-append
+    fails to parse and is skipped — its device simply reruns from its
+    newest checkpoint; duplicate records (a unit resumed under a
+    different layout) collapse by device id and are byte-identical by
+    the determinism contract."""
+    records: Dict[int, dict] = {}
+    shards = _shards_dir(out_dir)
+    if not shards.is_dir():
+        return records
+    for path in sorted(shards.glob(f"{model_key}-u*.jsonl")):
+        for line in path.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            records[record["device"]] = record
+    return records
+
+
+def run_unit(config_dict: dict, model_key: str,
+             device_ids: List[int], out_dir: str,
+             crash_after_checkpoints: int = 0,
+             crash_before_replace: int = 0,
+             cache_mode: str = "shared",
+             profile_dir: Optional[str] = None) -> dict:
+    """Worker entry point: run (or resume) one work unit.
+
+    Returns ``{"records": {device_id: record}, "stats": {...}}`` —
+    the stats feed the coordinator's profile (checkpoint flush stalls,
+    wall time) so "checkpoint-bound" and "queue-bound" show up as
+    numbers.  ``crash_after_checkpoints`` / ``crash_before_replace``
+    are crash-injection hooks (``os._exit`` after the Nth committed
+    write, or after the Nth temp write but before its rename) for the
+    kill-and-resume tests.  ``cache_mode`` picks the execution-cache
+    strategy; like ``--jobs`` it never changes results.
+    """
     if profile_dir is not None:
         import cProfile
         prof_path = (Path(profile_dir)
-                     / f"{model_key}-shard{shard:03d}.prof")
+                     / f"{model_key}-u{device_ids[0]:05d}.prof")
         prof_path.parent.mkdir(parents=True, exist_ok=True)
         profile = cProfile.Profile()
         profile.enable()
         try:
-            return _run_shard(config_dict, model_key, shard, out_dir,
-                              crash_after_checkpoints, cache_mode)
+            return _run_unit(config_dict, model_key, device_ids,
+                             out_dir, crash_after_checkpoints,
+                             crash_before_replace, cache_mode)
         finally:
             profile.disable()
             profile.dump_stats(str(prof_path))
-    return _run_shard(config_dict, model_key, shard, out_dir,
-                      crash_after_checkpoints, cache_mode)
+    return _run_unit(config_dict, model_key, device_ids, out_dir,
+                     crash_after_checkpoints, crash_before_replace,
+                     cache_mode)
 
 
-def _run_shard(config_dict: dict, model_key: str, shard: int,
-               out_dir: str, crash_after_checkpoints: int,
-               cache_mode: str) -> Dict[int, dict]:
+def _run_unit(config_dict: dict, model_key: str,
+              device_ids: List[int], out_dir: str,
+              crash_after_checkpoints: int,
+              crash_before_replace: int, cache_mode: str) -> dict:
+    t_start = time.time()
     config = FleetConfig(**{**config_dict,
                             "models": tuple(config_dict["models"])})
+    config_key = config.key()
     model = MODELS_BY_KEY[model_key]
-    ckpt_path, stream_path = _shard_paths(Path(out_dir), model_key,
-                                          shard)
+    out = Path(out_dir)
+    _shards_dir(out).mkdir(parents=True, exist_ok=True)
+    stream_path = _unit_stream_path(out, model_key, device_ids[0])
 
-    completed: Dict[int, dict] = {}
-    current: Optional[dict] = None
-    if ckpt_path.exists():
-        with ckpt_path.open("rb") as fh:
-            saved = pickle.load(fh)
-        if saved["config_key"] != config.key():
-            raise ReproError(
-                f"checkpoint {ckpt_path} belongs to a different "
-                "campaign — use a fresh --out")
-        completed = saved["completed"]
-        current = saved["current"]
-
-    def write_ckpt(current_state: Optional[dict]) -> None:
-        _atomic_write(ckpt_path, pickle.dumps({
-            "config_key": config.key(),
-            "completed": completed,
-            "current": current_state,
-        }))
-
-    # rebuild the telemetry stream from the checkpoint so an interrupt
-    # mid-append cannot leave a torn or duplicated line behind
-    stream_path.parent.mkdir(parents=True, exist_ok=True)
-    with stream_path.open("w") as stream:
-        for device_id in sorted(completed):
-            stream.write(record_line(completed[device_id]))
-        stream.flush()
-
-        checkpoints_written = 0
-
-        def on_checkpoint(sim_ms: int, snapshot: dict,
-                          device_id: int) -> None:
-            nonlocal checkpoints_written
-            write_ckpt({"device": device_id, "snapshot": snapshot})
-            checkpoints_written += 1
-            if 0 < crash_after_checkpoints <= checkpoints_written:
-                os._exit(3)       # simulated hard crash, mid-campaign
-
-        for device_id in shard_devices(config, shard):
-            if device_id in completed:
-                continue
+    records: Dict[int, dict] = {}
+    writer = AsyncCheckpointWriter(
+        crash_after_writes=crash_after_checkpoints,
+        crash_before_replace=crash_before_replace)
+    # append mode: a resumed unit adds only devices that were still
+    # pending; the coordinator deduplicates by device id on scan
+    with stream_path.open("a") as stream, writer:
+        for device_id in device_ids:
+            ckpt_path = _ckpt_path(out, model_key, device_id)
+            resume = None
+            if ckpt_path.exists():
+                resume = parse_checkpoint(ckpt_path.read_bytes(),
+                                          config_key, device_id)
             spec = device_spec(config.seed, device_id,
                                config.rogue_fraction)
-            resume = None
-            if current is not None and current["device"] == device_id:
-                resume = current["snapshot"]
-            current = None
+
+            def on_checkpoint(sim_ms: int, snapshot: dict,
+                              _path=ckpt_path,
+                              _device=device_id) -> None:
+                # serialize here (this thread), flush over there (the
+                # writer thread) — the double-buffer hand-off
+                writer.submit(_path, checkpoint_bytes(
+                    config_key, _device, snapshot))
+
             run = simulate_device(
                 spec, model, sim_ms=config.sim_ms,
                 checkpoint_every_ms=config.checkpoint_ms,
-                on_checkpoint=lambda t, snap, d=device_id:
-                on_checkpoint(t, snap, d),
+                on_checkpoint=on_checkpoint,
                 resume=resume,
                 cache_mode=cache_mode)
-            completed[device_id] = device_record(run, model_key)
-            stream.write(record_line(completed[device_id]))
+            records[device_id] = device_record(run, model_key)
+            # commit order matters: drain pending checkpoint flushes,
+            # record the completion, then drop the checkpoint — a kill
+            # between any two steps leaves a resumable state
+            writer.drain()
+            stream.write(record_line(records[device_id]))
             stream.flush()
-            write_ckpt(None)
-
-    return completed
+            try:
+                ckpt_path.unlink()
+            except FileNotFoundError:
+                pass
+    return {
+        "records": records,
+        "stats": {
+            "devices": list(device_ids),
+            "t_start": t_start,
+            "t_end": time.time(),
+            "ckpt_flushes": writer.flushes,
+            "ckpt_stall_s": round(writer.stall_s, 6),
+            "ckpt_bytes": writer.bytes_written,
+        },
+    }
 
 
 def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  crash_after_checkpoints: int = 0,
                  report: Optional[Callable[[str], None]] = None,
                  cache_mode: str = "shared",
-                 profile_dir: Optional[Path] = None) -> dict:
+                 profile_dir: Optional[Path] = None,
+                 crash_before_replace: int = 0) -> dict:
     """Run (or resume) a whole campaign; returns the summary dict.
 
-    ``cache_mode`` and ``profile_dir`` are execution details — like
-    ``jobs``, they never change the results and are free to differ
-    between the original run and a resume.
+    ``jobs``, ``cache_mode`` and the profiling/crash knobs are
+    execution details — they never change the results and are free to
+    differ between the original run and a resume.
 
     Layout under ``out_dir``::
 
         campaign.json          identity stamp (config + key)
-        shards/<model>-shardNNN.{ckpt,jsonl}
+        shards/<model>-uNNNNN.jsonl    unit record streams (append-only)
+        shards/<model>-devNNNNN.ckpt   in-progress device checkpoints
         devices-<model>.jsonl  merged per-device records (atomic)
         summary.json           fleet summary (atomic, canonical JSON)
+        profiles/              per-unit cProfile dumps and
+                               coordinator.json (with ``profile_dir``)
     """
     say = report if report is not None else (lambda _line: None)
     out_dir = Path(out_dir)
@@ -235,59 +304,110 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                                  sort_keys=True).encode())
 
     config_dict = asdict(config)
-    records_by_model: Dict[str, List[dict]] = {}
+    fold = SummaryFold()
+    coordinator_profile: Optional[dict] = None
+    if profile_dir is not None:
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        coordinator_profile = {"jobs": jobs, "models": {}}
+
     for model_key in config.models:
         merged_path = out_dir / f"devices-{model_key}.jsonl"
         if merged_path.exists():
             records = [json.loads(line) for line
                        in merged_path.read_text().splitlines()]
-            records_by_model[model_key] = records
+            fold.ingest(model_key, records)
             say(f"{model_key}: already complete "
                 f"({len(records)} devices)")
             continue
 
-        say(f"{model_key}: {config.devices} devices over "
-            f"{min(config.shards, config.devices)} shard(s), "
-            f"jobs={jobs}")
-        shards = [shard for shard in range(config.shards)
-                  if shard_devices(config, shard)]
+        t_model = time.time()
+        for record in scan_completed_records(out_dir,
+                                             model_key).values():
+            fold.add(model_key, record)
+        done = fold.device_ids(model_key)
+        pending = [device_id for device_id in range(config.devices)
+                   if device_id not in done]
+        units = plan_units(pending, jobs)
+        say(f"{model_key}: {config.devices} devices "
+            f"({len(pending)} pending) over {len(units)} work "
+            f"unit(s), jobs={jobs}")
+
+        unit_rows: List[dict] = []
         try:
             with worker_pool(jobs) as pool:
-                futures = [
-                    pool.submit(run_shard, config_dict, model_key,
-                                shard, str(out_dir),
-                                crash_after_checkpoints, cache_mode,
-                                str(profile_dir)
-                                if profile_dir is not None else None)
-                    for shard in shards]
-                results = [future.result() for future in futures]
+                submitted = {}
+                for unit in units:
+                    t_submit = time.time()
+                    future = pool.submit(
+                        run_unit, config_dict, model_key, unit,
+                        str(out_dir), crash_after_checkpoints,
+                        crash_before_replace, cache_mode,
+                        str(profile_dir)
+                        if profile_dir is not None else None)
+                    submitted[future] = (unit, t_submit)
+                # stream the fold: consume results the moment any
+                # worker finishes a unit, in completion order
+                for future in completed_futures(submitted):
+                    result = future.result()
+                    unit, t_submit = submitted[future]
+                    t_fold = time.time()
+                    for record in result["records"].values():
+                        fold.add(model_key, record)
+                    stats = result["stats"]
+                    unit_rows.append({
+                        "devices": stats["devices"],
+                        "queue_wait_s": round(
+                            max(0.0, stats["t_start"] - t_submit), 6),
+                        "run_s": round(
+                            stats["t_end"] - stats["t_start"], 6),
+                        "fold_s": round(time.time() - t_fold, 6),
+                        "ckpt_flushes": stats["ckpt_flushes"],
+                        "ckpt_stall_s": stats["ckpt_stall_s"],
+                        "ckpt_bytes": stats["ckpt_bytes"],
+                    })
+                    say(f"{model_key}: "
+                        f"{fold.count(model_key)}/{config.devices} "
+                        "devices")
         except Exception as error:
             # a killed worker (BrokenProcessPool) or ReproError —
-            # checkpoints are on disk, the same command resumes
+            # completed records and checkpoints are on disk, the same
+            # command resumes
             raise ReproError(
-                f"fleet shard failed under model {model_key!r}: "
+                f"fleet worker failed under model {model_key!r}: "
                 f"{error} — re-run the same command to resume "
                 "from the newest checkpoints") from error
 
-        merged: Dict[int, dict] = {}
-        for result in results:
-            merged.update(result)
-        records = [merged[device_id] for device_id in sorted(merged)]
+        records = fold.records(model_key)
         _atomic_write(merged_path,
                       "".join(record_line(r) for r in records)
                       .encode())
-        records_by_model[model_key] = records
+        if coordinator_profile is not None:
+            unit_rows.sort(key=lambda row: row["devices"][0])
+            coordinator_profile["models"][model_key] = {
+                "wall_s": round(time.time() - t_model, 6),
+                "units": unit_rows,
+                "queue_wait_s": round(sum(
+                    row["queue_wait_s"] for row in unit_rows), 6),
+                "ckpt_stall_s": round(sum(
+                    row["ckpt_stall_s"] for row in unit_rows), 6),
+                "ckpt_bytes": sum(
+                    row["ckpt_bytes"] for row in unit_rows),
+            }
 
-    # only result-determining parameters go into the summary: shard
-    # count and checkpoint cadence are execution details, and the
-    # summary must be byte-identical across them (campaign.json keeps
-    # the full execution config)
-    summary = fleet_summary(
+    # only result-determining parameters go into the summary: the
+    # worker count, unit layout, and checkpoint cadence are execution
+    # details, and the summary must be byte-identical across them
+    # (campaign.json keeps the full execution config)
+    summary = fold.summary(
         {"devices": config.devices, "hours": config.hours,
          "models": list(config.models), "seed": config.seed,
-         "rogue_fraction": config.rogue_fraction},
-        records_by_model)
+         "rogue_fraction": config.rogue_fraction})
     _atomic_write(out_dir / "summary.json",
                   (json.dumps(summary, indent=2, sort_keys=True)
                    + "\n").encode())
+    if coordinator_profile is not None:
+        _atomic_write(profile_dir / "coordinator.json",
+                      (json.dumps(coordinator_profile, indent=2,
+                                  sort_keys=True) + "\n").encode())
     return summary

@@ -25,9 +25,10 @@ silently resuming wrong.
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict
 
-from repro.errors import KernelError
+from repro.errors import KernelError, ReproError
 from repro.kernel.machine import AmuletMachine
 from repro.kernel.scheduler import Scheduler
 
@@ -105,3 +106,34 @@ def restore_device(machine: AmuletMachine, scheduler: Scheduler,
     machine.load_state(state)
     scheduler.load_state(snapshot["scheduler"])
     return snapshot["sim_ms"]
+
+
+# -- on-disk checkpoint payloads (one file per in-progress device) ---------
+
+def checkpoint_bytes(config_key: str, device_id: int,
+                     snapshot: dict) -> bytes:
+    """Serialize one device's checkpoint for the executor's async
+    writer — stamped with the campaign key and device id so a resume
+    can never apply it to the wrong campaign or device."""
+    return pickle.dumps({"config_key": config_key,
+                         "device": device_id,
+                         "snapshot": snapshot},
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def parse_checkpoint(data: bytes, config_key: str,
+                     device_id: int) -> dict:
+    """Validate and unwrap a checkpoint written by
+    :func:`checkpoint_bytes`; returns the snapshot dict.  The file is
+    always complete (the writer renames it into place atomically), so
+    any mismatch here is a wrong-campaign error, not corruption."""
+    saved = pickle.loads(data)
+    if saved.get("config_key") != config_key:
+        raise ReproError(
+            "checkpoint belongs to a different campaign — use a "
+            "fresh --out")
+    if saved.get("device") != device_id:
+        raise ReproError(
+            f"checkpoint is for device {saved.get('device')}, "
+            f"expected {device_id}")
+    return saved["snapshot"]

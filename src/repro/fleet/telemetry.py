@@ -137,6 +137,50 @@ def _model_summary(records: List[dict]) -> dict:
     return summary
 
 
+class SummaryFold:
+    """Streaming summary fold for the coordinator.
+
+    Per-device records arrive in whatever order the work-stealing
+    units finish; the fold ingests them incrementally (deduplicating
+    by device id — a record is a pure function of
+    ``(seed, device_id, model)``, so duplicates from a resumed unit
+    are byte-identical and harmless) and keeps running counts for
+    progress reporting.  :meth:`summary` re-sorts by device id before
+    computing, so the result is byte-identical to a one-shot
+    post-hoc :func:`fleet_summary` over the same records — the
+    property the ``--jobs`` invariance tests pin.
+    """
+
+    def __init__(self) -> None:
+        self._by_model: Dict[str, Dict[int, dict]] = {}
+
+    def add(self, model_key: str, record: dict) -> None:
+        self._by_model.setdefault(model_key, {})[record["device"]] = \
+            record
+
+    def ingest(self, model_key: str, records: List[dict]) -> None:
+        for record in records:
+            self.add(model_key, record)
+
+    def count(self, model_key: str) -> int:
+        return len(self._by_model.get(model_key, {}))
+
+    def device_ids(self, model_key: str) -> set:
+        """Ids of devices already folded for this model (the
+        coordinator's 'what is still pending' query)."""
+        return set(self._by_model.get(model_key, {}))
+
+    def records(self, model_key: str) -> List[dict]:
+        """This model's records, sorted by device id."""
+        by_device = self._by_model.get(model_key, {})
+        return [by_device[device] for device in sorted(by_device)]
+
+    def summary(self, config: dict) -> dict:
+        return fleet_summary(config,
+                             {key: self.records(key)
+                              for key in self._by_model})
+
+
 def fleet_summary(config: dict,
                   records_by_model: Dict[str, List[dict]]) -> dict:
     """Fold per-device records into the campaign summary.

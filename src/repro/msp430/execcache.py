@@ -52,12 +52,20 @@ byte-identical to private-cache and step-only runs.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+import os
+import pickle
+import struct
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
 
 #: variants kept per PC before publishing stops.  A device rewriting
 #: its own code (rogue wild-pointer stores) would otherwise grow an
 #: unbounded variant list at the rewritten PCs; past the cap it just
-#: translates privately.
+#: translates privately.  The same cap bounds the *disk* tier: a
+#: self-modifying rogue can append at most MAX_VARIANTS variants of
+#: its rewritten PCs per store file, and byte-verification keeps any
+#: of them from ever being adopted by a clean device.
 MAX_VARIANTS = 4
 
 
@@ -73,12 +81,17 @@ class SharedExecutionCache:
     in one process need no locking.
     """
 
-    __slots__ = ("blocks", "pages",
+    __slots__ = ("blocks", "pages", "disk",
                  "block_pulls", "page_pulls", "publishes", "rejects")
 
     def __init__(self):
         self.blocks: Dict[int, list] = {}
         self.pages: Dict[int, Dict[int, list]] = {}
+        #: optional :class:`DiskTier` persisting hot compiled blocks
+        #: across processes and runs (attached by
+        #: :func:`shared_execution_cache`; plain stores built directly
+        #: by tests stay memory-only)
+        self.disk: Optional["DiskTier"] = None
         # introspection counters (tests, --profile diagnostics)
         self.block_pulls = 0
         self.page_pulls = 0
@@ -86,10 +99,13 @@ class SharedExecutionCache:
         self.rejects = 0
 
     def stats(self) -> dict:
-        return {"blocks": len(self.blocks), "pages": len(self.pages),
-                "block_pulls": self.block_pulls,
-                "page_pulls": self.page_pulls,
-                "publishes": self.publishes, "rejects": self.rejects}
+        stats = {"blocks": len(self.blocks), "pages": len(self.pages),
+                 "block_pulls": self.block_pulls,
+                 "page_pulls": self.page_pulls,
+                 "publishes": self.publishes, "rejects": self.rejects}
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
 
 #: sorted I/O port tuple -> store.  The port set is the store
@@ -106,11 +122,20 @@ def image_digest(image: bytes) -> str:
 
 
 def shared_execution_cache(io_ports) -> SharedExecutionCache:
-    """The process-wide store for this I/O port wiring."""
+    """The process-wide store for this I/O port wiring — with the
+    persistent disk tier attached when caching is enabled, so a fresh
+    process (a newly spawned fleet worker, a rerun of yesterday's
+    campaign) starts from the translations every earlier process
+    published instead of re-translating the firmware from scratch."""
     key = tuple(sorted(io_ports))
     store = _REGISTRY.get(key)
     if store is None:
         store = SharedExecutionCache()
+        if _disk_enabled():
+            try:
+                store.disk = DiskTier(_store_path(key))
+            except OSError:
+                store.disk = None    # unwritable cache dir: memory-only
         _REGISTRY[key] = store
     return store
 
@@ -118,3 +143,234 @@ def shared_execution_cache(io_ports) -> SharedExecutionCache:
 def clear_registry() -> None:
     """Drop every store (tests that need cold-cache behaviour)."""
     _REGISTRY.clear()
+
+
+# -- persistent disk tier ---------------------------------------------------
+#
+# One append-only store file per (port wiring, toolchain version,
+# interpreter) — the same identity rule as the in-memory registry,
+# with everything version-shaped folded into the *file name* so a
+# toolchain edit or a Python upgrade simply starts a new file (the old
+# one ages out under the LRU budget).  Records inside the file are
+# content-addressed exactly like the in-memory store: each carries the
+# code bytes it translates, and adoption byte-verifies against the
+# puller's live memory, so the disk tier adds no trust beyond what a
+# sibling process already gets.  Framing is self-checking (magic,
+# length, payload digest): a torn tail from a killed writer or a
+# corrupted record is detected, skipped, and simply re-translated.
+
+#: bump when the record payload layout changes
+DISK_FORMAT = 1
+
+_MAGIC = b"SBX1"
+_HEADER = struct.Struct("<I16s")     # payload length, sha-256 prefix
+#: a single compiled block serializes to a few KB; anything claiming
+#: to be bigger is a corrupt length field
+_MAX_RECORD = 1 << 24
+
+
+def _disk_enabled() -> bool:
+    if os.environ.get("REPRO_NO_CACHE", "") in ("1", "true"):
+        return False
+    return os.environ.get("REPRO_EXEC_CACHE", "") not in ("0", "off")
+
+
+def exec_cache_dir() -> Path:
+    """``REPRO_EXEC_CACHE_DIR``, else ``<REPRO_CACHE_DIR>/exec``, else
+    ``<repo>/.cache/exec`` (sibling of the firmware build cache)."""
+    override = os.environ.get("REPRO_EXEC_CACHE_DIR")
+    if override:
+        return Path(override)
+    shared_root = os.environ.get("REPRO_CACHE_DIR")
+    if shared_root:
+        return Path(shared_root) / "exec"
+    return Path(__file__).resolve().parents[3] / ".cache" / "exec"
+
+
+def exec_cache_max_bytes() -> int:
+    """Disk budget from ``REPRO_EXEC_CACHE_MAX_MB`` (<= 0: unbounded;
+    default 64 MB — compiled-block records are a few KB each)."""
+    raw = os.environ.get("REPRO_EXEC_CACHE_MAX_MB", "64")
+    try:
+        return int(float(raw) * 1024 * 1024)
+    except ValueError:
+        return 64 * 1024 * 1024
+
+
+def _store_path(port_key: tuple) -> Path:
+    from repro.aft.cache import toolchain_version  # lazy: avoids cycle
+    digest = hashlib.sha256()
+    digest.update(repr((DISK_FORMAT, sys.implementation.cache_tag,
+                        toolchain_version(), port_key)).encode())
+    return exec_cache_dir() / f"{digest.hexdigest()[:16]}.sbx"
+
+
+def prune_exec_cache(directory: Optional[Path] = None,
+                     max_bytes: Optional[int] = None,
+                     keep: Optional[Path] = None) -> int:
+    """Evict least-recently-used ``.sbx`` store files until the cache
+    fits the budget; returns the number of files removed.  ``keep``
+    (the store a live process is appending to) is never evicted —
+    its mtime is refreshed by every append anyway."""
+    directory = exec_cache_dir() if directory is None else directory
+    limit = exec_cache_max_bytes() if max_bytes is None else max_bytes
+    if limit <= 0 or not directory.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for path in directory.glob("*.sbx"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    removed = 0
+    entries.sort()                     # oldest first
+    for _mtime, size, path in entries:
+        if total <= limit:
+            break
+        if keep is not None and path == keep:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue                   # raced with another process
+        total -= size
+        removed += 1
+    return removed
+
+
+class DiskTier:
+    """Append-only persistent block store for one port wiring.
+
+    Concurrency model: every record is appended with a single
+    ``O_APPEND`` write, and every frame is self-checking — readers in
+    other processes pick up appended frames incrementally (cheap
+    ``stat`` + read from the last consumed offset) and skip anything
+    torn or corrupt.  No locks, no coordination: the worst race is a
+    duplicate record, which the per-``(pc, code)`` dedup set absorbs.
+
+    The tier stores *record dicts* (plain serialized data); turning a
+    record back into a live compiled block — decoding thunks from the
+    recorded bytes, reviving the marshaled generated code — is the
+    CPU layer's job (:func:`repro.msp430.cpu._block_from_record`),
+    keyed off :meth:`take` at superblock-compile time.
+    """
+
+    __slots__ = ("path", "_offset", "_records", "_seen", "_counts",
+                 "loaded", "published", "corrupt")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._offset = 0
+        #: pc -> not-yet-revived record dicts read from the file
+        self._records: Dict[int, List[dict]] = {}
+        #: (pc, code bytes) already read or published — the dedup set
+        self._seen = set()
+        #: pc -> total variants seen (enforces MAX_VARIANTS on disk)
+        self._counts: Dict[int, int] = {}
+        self.loaded = 0
+        self.published = 0
+        self.corrupt = 0
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.refresh()
+
+    def stats(self) -> dict:
+        return {"path": str(self.path), "loaded": self.loaded,
+                "published": self.published, "corrupt": self.corrupt,
+                "pending": sum(len(v) for v in self._records.values())}
+
+    def refresh(self) -> bool:
+        """Read frames appended since the last call (other workers'
+        publishes); returns True when anything new arrived."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return False
+        if size <= self._offset:
+            return False
+        try:
+            with self.path.open("rb") as fh:
+                fh.seek(self._offset)
+                data = fh.read(size - self._offset)
+        except OSError:
+            return False
+        return self._ingest(data)
+
+    def _ingest(self, data: bytes) -> bool:
+        new = False
+        view = memoryview(data)
+        pos = 0
+        frame = len(_MAGIC) + _HEADER.size
+        while pos + frame <= len(view):
+            if bytes(view[pos:pos + len(_MAGIC)]) != _MAGIC:
+                # lost sync (corrupt length field earlier, or garbage
+                # from an interleaved write): stop consuming — the
+                # remaining tail is re-examined on the next refresh
+                # only if the file grows past it, so count it corrupt
+                # and give up on this file's tail
+                self.corrupt += 1
+                pos = len(view)
+                break
+            length, digest = _HEADER.unpack_from(
+                view, pos + len(_MAGIC))
+            if length > _MAX_RECORD:
+                self.corrupt += 1
+                pos = len(view)
+                break
+            start = pos + frame
+            if start + length > len(view):
+                break                  # torn tail: wait for the rest
+            payload = bytes(view[start:start + length])
+            pos = start + length
+            if hashlib.sha256(payload).digest()[:16] != digest:
+                self.corrupt += 1      # bit-rot: skip this frame only
+                continue
+            try:
+                record = pickle.loads(payload)
+                pc = record["pc"]
+                code = record["code"]
+            except Exception:
+                self.corrupt += 1
+                continue
+            key = (pc, code)
+            if key in self._seen:
+                continue
+            if self._counts.get(pc, 0) >= MAX_VARIANTS:
+                continue               # rogue-variant cap, on disk too
+            self._seen.add(key)
+            self._counts[pc] = self._counts.get(pc, 0) + 1
+            self._records.setdefault(pc, []).append(record)
+            self.loaded += 1
+            new = True
+        self._offset += pos
+        return new
+
+    def take(self, pc: int) -> Optional[List[dict]]:
+        """Pop (and return) the pending records for ``pc`` — each is
+        revived at most once per process; the revived block then lives
+        in the in-memory store like any other published variant."""
+        return self._records.pop(pc, None)
+
+    def publish(self, record: dict) -> None:
+        """Append one block record, if its ``(pc, code)`` content is
+        new to this store and the per-pc variant cap allows it."""
+        pc = record["pc"]
+        key = (pc, record["code"])
+        if key in self._seen or self._counts.get(pc, 0) >= MAX_VARIANTS:
+            return
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).digest()[:16]
+        frame = (_MAGIC + _HEADER.pack(len(payload), digest) + payload)
+        try:
+            with self.path.open("ab") as fh:
+                fh.write(frame)
+        except OSError:
+            return                     # read-only FS: stay memory-only
+        self._seen.add(key)
+        self._counts[pc] = self._counts.get(pc, 0) + 1
+        # (the next refresh re-reads our own frame and dedups it via
+        # _seen — offset tracking stays simple and conservative)
+        self.published += 1
+        prune_exec_cache(self.path.parent, keep=self.path)

@@ -66,6 +66,24 @@ class SerialPool:
         pass
 
 
+def completed(futures):
+    """Yield futures in completion order — the primitive behind the
+    fleet coordinator's work-stealing fold (results are consumed the
+    moment a worker finishes a unit, not in submission order).
+
+    Serial futures are already resolved at submission, so submission
+    order *is* completion order and the serial path stays a plain
+    loop; process-pool futures go through
+    :func:`concurrent.futures.as_completed`.
+    """
+    futures = list(futures)
+    if any(isinstance(future, SerialFuture) for future in futures):
+        yield from futures
+        return
+    from concurrent.futures import as_completed
+    yield from as_completed(futures)
+
+
 def worker_pool(jobs: int):
     """A context-managed pool: processes for ``jobs > 1``, else serial.
 

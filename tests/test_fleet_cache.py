@@ -46,7 +46,7 @@ CODE = 0x4400
 
 
 def _campaign_blobs(tmp_path, name, cache_mode):
-    config = FleetConfig(shards=1, **_CAMPAIGN)
+    config = FleetConfig(**_CAMPAIGN)
     out = tmp_path / name
     run_campaign(config, out, jobs=1, cache_mode=cache_mode)
     return ((out / "summary.json").read_bytes(),

@@ -20,7 +20,7 @@ _CAMPAIGN = dict(devices=4, hours=0.003, models=("mpu",), seed=7,
 
 
 def _run(tmp_path, name, jobs, **overrides):
-    config = FleetConfig(shards=jobs, **{**_CAMPAIGN, **overrides})
+    config = FleetConfig(**{**_CAMPAIGN, **overrides})
     out = tmp_path / name
     summary = run_campaign(config, out, jobs=jobs)
     return out, summary
@@ -38,19 +38,26 @@ class TestShardInvariance:
 
     def test_campaign_dir_rejects_other_config(self, tmp_path):
         out, _ = _run(tmp_path, "campaign", 1)
-        other = FleetConfig(shards=1, **{**_CAMPAIGN, "seed": 8})
+        other = FleetConfig(**{**_CAMPAIGN, "seed": 8})
         with pytest.raises(ReproError, match="different campaign"):
             run_campaign(other, out, jobs=1)
+
+    def test_jobs_is_not_campaign_identity(self, tmp_path):
+        # --jobs is an execution detail: the campaign key must not
+        # change with it, so the same directory accepts any jobs
+        out, first = _run(tmp_path, "anyjobs", 2)
+        summary = run_campaign(FleetConfig(**_CAMPAIGN), out, jobs=1)
+        assert summary == first
 
 
 class TestCrashResume:
     def test_kill_and_resume_is_byte_identical(self, tmp_path):
         reference, _ = _run(tmp_path, "reference", 1)
 
-        config = FleetConfig(shards=2, **_CAMPAIGN)
+        config = FleetConfig(**_CAMPAIGN)
         out = tmp_path / "crashed"
-        # every worker process dies (os._exit) after two checkpoint
-        # writes — mid-device, mid-campaign
+        # every worker process dies (os._exit) after two committed
+        # checkpoint writes — mid-device, mid-campaign
         with pytest.raises(ReproError, match="re-run the same"):
             run_campaign(config, out, jobs=2,
                          crash_after_checkpoints=2)
@@ -60,10 +67,51 @@ class TestCrashResume:
         assert (out / "summary.json").read_bytes() == \
             (reference / "summary.json").read_bytes()
 
+    def test_kill_mid_checkpoint_write_falls_back(self, tmp_path):
+        # worker dies after fully writing the Nth checkpoint's temp
+        # file but BEFORE renaming it into place: the checkpoint path
+        # must still hold the previous complete checkpoint (or not
+        # exist), never a torn file, and the resume must land on the
+        # byte-identical summary
+        reference, _ = _run(tmp_path, "wreference", 1)
+
+        config = FleetConfig(**_CAMPAIGN)
+        out = tmp_path / "torn"
+        with pytest.raises(ReproError, match="re-run the same"):
+            run_campaign(config, out, jobs=2, crash_before_replace=2)
+
+        shards = out / "shards"
+        tmp_leftovers = list(shards.glob("*.ckpt.tmp*"))
+        assert tmp_leftovers, "crash hook should leave a temp file"
+        import pickle
+        for ckpt in shards.glob("*.ckpt"):
+            # every committed checkpoint is complete and loadable
+            saved = pickle.loads(ckpt.read_bytes())
+            assert saved["config_key"] == config.key()
+
+        run_campaign(config, out, jobs=2)
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+
+    def test_resume_under_different_jobs(self, tmp_path):
+        # kill a jobs=2 run, resume it serially via a worker process
+        # count the original run never saw — per-device state makes
+        # the unit layout irrelevant
+        reference, _ = _run(tmp_path, "jreference", 1)
+
+        config = FleetConfig(**_CAMPAIGN)
+        out = tmp_path / "rejobs"
+        with pytest.raises(ReproError, match="re-run the same"):
+            run_campaign(config, out, jobs=2,
+                         crash_after_checkpoints=2)
+        run_campaign(config, out, jobs=3)
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+
     def test_completed_models_are_not_rerun(self, tmp_path):
         out, first = _run(tmp_path, "resume", 1)
         lines = []
-        config = FleetConfig(shards=1, **_CAMPAIGN)
+        config = FleetConfig(**_CAMPAIGN)
         summary = run_campaign(config, out, jobs=1,
                                report=lines.append)
         assert summary == first

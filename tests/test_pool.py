@@ -11,7 +11,7 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.fleet.population import device_spec
-from repro.pool import SerialFuture, SerialPool, worker_pool
+from repro.pool import SerialFuture, SerialPool, completed, worker_pool
 
 
 def _boom() -> None:
@@ -60,3 +60,25 @@ class TestWorkerPool:
     def test_serial_future_stores_value(self):
         future = SerialFuture(value=42)
         assert future.result() == 42
+
+
+def _sleep_then(value, seconds):
+    import time
+    time.sleep(seconds)
+    return value
+
+
+class TestCompleted:
+    def test_serial_yields_submission_order(self):
+        with SerialPool() as pool:
+            futures = [pool.submit(pow, 2, n) for n in range(4)]
+        assert [f.result() for f in completed(futures)] == [1, 2, 4, 8]
+
+    def test_process_pool_yields_as_workers_finish(self):
+        # the slow task is submitted first; completion order must not
+        # be submission order
+        with worker_pool(2) as pool:
+            slow = pool.submit(_sleep_then, "slow", 0.5)
+            fast = pool.submit(_sleep_then, "fast", 0.0)
+            order = [f.result() for f in completed([slow, fast])]
+        assert order == ["fast", "slow"]
