@@ -176,14 +176,17 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         devices=args.devices, hours=args.hours, models=models,
         seed=args.seed,
         checkpoint_minutes=args.checkpoint_minutes,
-        rogue_fraction=args.rogue_fraction)
+        rogue_fraction=args.rogue_fraction,
+        homogeneous=args.homogeneous)
     profile_dir = (Path(args.out) / "profiles" if args.profile
                    else None)
     summary = run_campaign(config, Path(args.out), jobs=args.jobs,
                            crash_after_checkpoints=args.crash_after,
                            report=print, cache_mode=args.cache_mode,
                            profile_dir=profile_dir,
-                           crash_before_replace=args.crash_before_replace)
+                           crash_before_replace=args.crash_before_replace,
+                           cohort=args.cohort == "on",
+                           crash_after_records=args.crash_after_records)
     print(summary_text(summary))
     print(f"summary: {Path(args.out) / 'summary.json'}")
     if profile_dir is not None:
@@ -342,11 +345,27 @@ def build_parser() -> argparse.ArgumentParser:
              "coordinator's queue-wait / checkpoint-stall breakdown "
              "to <out>/profiles/coordinator.json")
     fleet_run.add_argument(
+        "--cohort", default="off", choices=("on", "off"),
+        help="lockstep same-firmware devices: group them into shared "
+             "work units, execute each segment once and replay the "
+             "recorded dispatch trace into state-identical siblings "
+             "(devices fork to real execution at first divergence); "
+             "an execution detail — summaries are byte-identical "
+             "on or off")
+    fleet_run.add_argument(
+        "--homogeneous", action="store_true",
+        help="clone device 0 across the whole fleet (one firmware "
+             "build for everyone) — campaign identity, used by the "
+             "cohort benchmark scenario")
+    fleet_run.add_argument(
         "--crash-after", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C checkpoints
     fleet_run.add_argument(
         "--crash-before-replace", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die mid-checkpoint-write
+    fleet_run.add_argument(
+        "--crash-after-records", type=int, default=0, metavar="C",
+        help=argparse.SUPPRESS)   # test hook: die before ckpt unlink
     fleet_run.set_defaults(func=cmd_fleet_run)
 
     fuzz = sub.add_parser(

@@ -12,13 +12,15 @@ byte-identical to an uninterrupted one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.aft.cache import build_firmware
 from repro.aft.models import IsolationModel
 from repro.aft.phases import AppSource
 from repro.apps.catalog import load_app, load_suite
 from repro.errors import ReproError
+from repro.fleet.cohort import CohortStats, SegmentTrace, \
+    record_segment, replay_segment
 from repro.fleet.population import ANALYTICS_APP, DeviceSpec, \
     ROGUE_APP, ROGUE_HANDLER, ROGUE_SOURCE
 from repro.fleet.snapshot import restore_device, snapshot_device
@@ -144,3 +146,83 @@ def simulate_device(spec: DeviceSpec, model: IsolationModel,
 
     return DeviceRun(spec=spec, machine=machine, scheduler=scheduler,
                      sim_ms=sim_ms, rogue_built=rogue_built)
+
+
+def simulate_cohort(specs: Sequence[DeviceSpec], model: IsolationModel,
+                    sim_ms: int,
+                    checkpoint_every_ms: int = DEFAULT_CHECKPOINT_MS,
+                    on_checkpoint: Optional[Callable[[int, int, dict],
+                                                     None]] = None,
+                    resumes: Optional[Dict[int, dict]] = None,
+                    cache_mode: str = "shared",
+                    stats: Optional[CohortStats] = None
+                    ) -> Dict[int, DeviceRun]:
+    """Run (or resume) several devices together, lockstep where their
+    firmware and state coincide (see :mod:`repro.fleet.cohort`).
+
+    Devices advance segment by segment, interleaved: all devices at
+    the earliest pending segment run it before anyone moves on.  The
+    first device to run a ``(firmware, segment)`` pair records a
+    trace; every later same-firmware device at that segment replays it
+    — or, failing the state handshake (different jitter phases,
+    different fault history), executes normally.  Traces die as soon
+    as no device can still use them, bounding trace memory to roughly
+    the resume-point spread.
+
+    ``on_checkpoint(device_id, sim_ms, snapshot)`` fires at every
+    interior segment boundary (note the extra leading ``device_id``
+    compared to :func:`simulate_device`'s callback); ``resumes`` maps
+    device id to a snapshot.  Results are byte-identical to running
+    :func:`simulate_device` per device — the tests pin this.
+    """
+    resumes = resumes or {}
+    stats = stats if stats is not None else CohortStats()
+
+    devices: Dict[int, tuple] = {}
+    position: Dict[int, int] = {}
+    for spec in specs:
+        machine, scheduler, rogue_built = make_device(
+            spec, model, cache_mode=cache_mode)
+        start_ms = 0
+        resume = resumes.get(spec.device_id)
+        if resume is not None:
+            start_ms = restore_device(machine, scheduler, resume)
+        devices[spec.device_id] = (spec, machine, scheduler,
+                                   rogue_built)
+        position[spec.device_id] = start_ms
+
+    order = [spec.device_id for spec in specs]
+    traces: Dict[tuple, SegmentTrace] = {}
+    while True:
+        pending = [p for p in position.values() if p < sim_ms]
+        if not pending:
+            break
+        t = min(pending)
+        end = min(t + checkpoint_every_ms, sim_ms)
+        for device_id in order:
+            if position[device_id] != t:
+                continue
+            spec, machine, scheduler, _rogue = devices[device_id]
+            key = (machine.base_sha, t)
+            trace = traces.get(key)
+            if trace is None:
+                traces[key] = record_segment(machine, scheduler,
+                                             t, end, stats)
+            else:
+                replay_segment(machine, scheduler, trace, t, end,
+                               stats)
+            position[device_id] = end
+            if on_checkpoint is not None and end < sim_ms:
+                on_checkpoint(device_id, end,
+                              snapshot_device(machine, scheduler, end))
+        # a trace is only usable by a device *at* its start segment;
+        # everyone at this round's segment has moved past it
+        horizon = min(position.values())
+        traces = {key: trace for key, trace in traces.items()
+                  if key[1] >= horizon}
+
+    return {
+        device_id: DeviceRun(
+            spec=entry[0], machine=entry[1], scheduler=entry[2],
+            sim_ms=sim_ms, rogue_built=entry[3])
+        for device_id, entry in devices.items()}

@@ -49,9 +49,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.aft.models import IsolationModel
 from repro.errors import ReproError
 from repro.fleet.ckptio import AsyncCheckpointWriter
-from repro.fleet.device import simulate_device
+from repro.fleet.cohort import CohortStats
+from repro.fleet.device import simulate_cohort, simulate_device
 from repro.fleet.population import device_spec
 from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
     parse_checkpoint
@@ -77,6 +79,9 @@ class FleetConfig:
     seed: int = 0
     checkpoint_minutes: float = 10.0
     rogue_fraction: float = 0.125
+    #: every device a clone of device 0 (the cohort showcase) — see
+    #: :func:`repro.fleet.population.device_spec`
+    homogeneous: bool = False
 
     def __post_init__(self) -> None:
         for key in self.models:
@@ -86,6 +91,13 @@ class FleetConfig:
                     f"(choose from {', '.join(MODELS_BY_KEY)})")
         if self.devices < 1:
             raise ReproError("need at least one device")
+        if self.hours <= 0:
+            raise ReproError(
+                f"hours must be positive (got {self.hours})")
+        if not 0.0 <= self.rogue_fraction <= 1.0:
+            raise ReproError(
+                f"rogue_fraction must be within [0, 1] "
+                f"(got {self.rogue_fraction})")
 
     @property
     def sim_ms(self) -> int:
@@ -101,7 +113,8 @@ class FleetConfig:
         detail, so a campaign may be resumed under any worker count."""
         text = repr((self.devices, self.hours, tuple(self.models),
                      self.seed, self.checkpoint_minutes,
-                     self.rogue_fraction, STATE_VERSION))
+                     self.rogue_fraction, self.homogeneous,
+                     STATE_VERSION))
         return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
@@ -123,6 +136,37 @@ def plan_units(device_ids: List[int], jobs: int) -> List[List[int]]:
             for i in range(0, len(device_ids), size)]
 
 
+def plan_cohort_units(config: "FleetConfig", model: IsolationModel,
+                      device_ids: List[int],
+                      jobs: int) -> List[List[int]]:
+    """Cohort-aware planning: same-firmware devices land in one unit.
+
+    Lockstep only pays when a unit holds several devices of one
+    firmware identity — ``(app subset, rogue built)``, the inputs to
+    :func:`repro.fleet.device.build_device_apps` — so devices are
+    grouped by that signature and each group is chunked into at most
+    ``jobs`` units (big units maximize in-unit lockstep, the per-group
+    split keeps every worker fed).  Unit layout is an execution
+    detail: results are byte-identical to :func:`plan_units` layouts.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    for device_id in device_ids:
+        spec = device_spec(config.seed, device_id,
+                           config.rogue_fraction, config.homogeneous)
+        rogue_built = (spec.rogue and
+                       model is not IsolationModel.FEATURE_LIMITED)
+        groups.setdefault((spec.apps, rogue_built),
+                          []).append(device_id)
+    units: List[List[int]] = []
+    for signature in sorted(groups):
+        members = groups[signature]
+        size = max(1, -(-len(members) // max(1, jobs)))
+        units.extend(members[i:i + size]
+                     for i in range(0, len(members), size))
+    units.sort(key=lambda unit: unit[0])
+    return units
+
+
 def _shards_dir(out_dir: Path) -> Path:
     return Path(out_dir) / "shards"
 
@@ -134,6 +178,47 @@ def _ckpt_path(out_dir: Path, model_key: str, device_id: int) -> Path:
 def _unit_stream_path(out_dir: Path, model_key: str,
                       first_device: int) -> Path:
     return _shards_dir(out_dir) / f"{model_key}-u{first_device:05d}.jsonl"
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _sweep_stale_tmp(out_dir: Path) -> int:
+    """Delete ``*.tmp<pid>`` litter a killed writer left behind.
+
+    Both atomic-write paths (the checkpoint writer and the
+    coordinator's merge/summary writes) stage through a per-process
+    temp file and rename it into place; a kill between write and
+    rename strands the temp forever — no later process reuses the
+    name (it embeds the dead pid).  Nothing ever reads a ``.tmp``
+    file, so sweeping at campaign start (when no writer is active) is
+    always safe."""
+    count = 0
+    for directory in (Path(out_dir), _shards_dir(out_dir)):
+        if not directory.is_dir():
+            continue
+        for path in directory.glob("*.tmp*"):
+            _unlink_quiet(path)
+            count += 1
+    return count
+
+
+def _cleanup_model_shards(out_dir: Path, model_key: str) -> None:
+    """Drop a completed model's shard files: once
+    ``devices-<model>.jsonl`` is committed, the per-unit record
+    streams are redundant and any leftover per-device checkpoint is
+    stale by definition (every device has a record)."""
+    shards = _shards_dir(out_dir)
+    if not shards.is_dir():
+        return
+    for path in sorted(shards.glob(f"{model_key}-u*.jsonl")):
+        _unlink_quiet(path)
+    for path in sorted(shards.glob(f"{model_key}-dev*.ckpt")):
+        _unlink_quiet(path)
 
 
 def scan_completed_records(out_dir: Path,
@@ -163,17 +248,22 @@ def run_unit(config_dict: dict, model_key: str,
              crash_after_checkpoints: int = 0,
              crash_before_replace: int = 0,
              cache_mode: str = "shared",
-             profile_dir: Optional[str] = None) -> dict:
+             profile_dir: Optional[str] = None,
+             cohort: bool = False,
+             crash_after_records: int = 0) -> dict:
     """Worker entry point: run (or resume) one work unit.
 
     Returns ``{"records": {device_id: record}, "stats": {...}}`` —
     the stats feed the coordinator's profile (checkpoint flush stalls,
-    wall time) so "checkpoint-bound" and "queue-bound" show up as
-    numbers.  ``crash_after_checkpoints`` / ``crash_before_replace``
-    are crash-injection hooks (``os._exit`` after the Nth committed
-    write, or after the Nth temp write but before its rename) for the
-    kill-and-resume tests.  ``cache_mode`` picks the execution-cache
-    strategy; like ``--jobs`` it never changes results.
+    lockstep replay counts, wall time) so "checkpoint-bound" and
+    "queue-bound" show up as numbers.  ``crash_after_checkpoints`` /
+    ``crash_before_replace`` / ``crash_after_records`` are
+    crash-injection hooks (``os._exit`` after the Nth committed
+    checkpoint, after the Nth checkpoint temp write but before its
+    rename, or after the Nth record line was flushed but before its
+    checkpoint was unlinked) for the kill-and-resume tests.
+    ``cache_mode`` and ``cohort`` pick execution strategies; like
+    ``--jobs`` they never change results.
     """
     if profile_dir is not None:
         import cProfile
@@ -185,19 +275,21 @@ def run_unit(config_dict: dict, model_key: str,
         try:
             return _run_unit(config_dict, model_key, device_ids,
                              out_dir, crash_after_checkpoints,
-                             crash_before_replace, cache_mode)
+                             crash_before_replace, cache_mode,
+                             cohort, crash_after_records)
         finally:
             profile.disable()
             profile.dump_stats(str(prof_path))
     return _run_unit(config_dict, model_key, device_ids, out_dir,
                      crash_after_checkpoints, crash_before_replace,
-                     cache_mode)
+                     cache_mode, cohort, crash_after_records)
 
 
 def _run_unit(config_dict: dict, model_key: str,
               device_ids: List[int], out_dir: str,
               crash_after_checkpoints: int,
-              crash_before_replace: int, cache_mode: str) -> dict:
+              crash_before_replace: int, cache_mode: str,
+              cohort: bool, crash_after_records: int) -> dict:
     t_start = time.time()
     config = FleetConfig(**{**config_dict,
                             "models": tuple(config_dict["models"])})
@@ -208,46 +300,82 @@ def _run_unit(config_dict: dict, model_key: str,
     stream_path = _unit_stream_path(out, model_key, device_ids[0])
 
     records: Dict[int, dict] = {}
+    records_written = 0
+    cohort_stats = CohortStats()
     writer = AsyncCheckpointWriter(
         crash_after_writes=crash_after_checkpoints,
         crash_before_replace=crash_before_replace)
+
+    def load_resume(device_id: int) -> Optional[dict]:
+        ckpt_path = _ckpt_path(out, model_key, device_id)
+        if ckpt_path.exists():
+            return parse_checkpoint(ckpt_path.read_bytes(),
+                                    config_key, device_id)
+        return None
+
+    def submit_checkpoint(device_id: int, sim_ms: int,
+                          snapshot: dict) -> None:
+        # serialize here (this thread), flush over there (the
+        # writer thread) — the double-buffer hand-off
+        writer.submit(_ckpt_path(out, model_key, device_id),
+                      checkpoint_bytes(config_key, device_id,
+                                       snapshot))
+
+    def commit_record(stream, device_id: int) -> None:
+        # commit order matters: drain pending checkpoint flushes,
+        # record the completion, then drop the checkpoint — a kill
+        # between any two steps leaves a resumable state (the
+        # record-before-unlink window leaves a stale checkpoint the
+        # coordinator's resume scan drops)
+        nonlocal records_written
+        stream.write(record_line(records[device_id]))
+        stream.flush()
+        records_written += 1
+        if 0 < crash_after_records <= records_written:
+            os._exit(3)      # die with the checkpoint still on disk
+        _unlink_quiet(_ckpt_path(out, model_key, device_id))
+
     # append mode: a resumed unit adds only devices that were still
     # pending; the coordinator deduplicates by device id on scan
     with stream_path.open("a") as stream, writer:
-        for device_id in device_ids:
-            ckpt_path = _ckpt_path(out, model_key, device_id)
-            resume = None
-            if ckpt_path.exists():
-                resume = parse_checkpoint(ckpt_path.read_bytes(),
-                                          config_key, device_id)
-            spec = device_spec(config.seed, device_id,
-                               config.rogue_fraction)
-
-            def on_checkpoint(sim_ms: int, snapshot: dict,
-                              _path=ckpt_path,
-                              _device=device_id) -> None:
-                # serialize here (this thread), flush over there (the
-                # writer thread) — the double-buffer hand-off
-                writer.submit(_path, checkpoint_bytes(
-                    config_key, _device, snapshot))
-
-            run = simulate_device(
-                spec, model, sim_ms=config.sim_ms,
+        if cohort:
+            specs = [device_spec(config.seed, device_id,
+                                 config.rogue_fraction,
+                                 config.homogeneous)
+                     for device_id in device_ids]
+            resumes = {device_id: resume for device_id in device_ids
+                       if (resume := load_resume(device_id))
+                       is not None}
+            runs = simulate_cohort(
+                specs, model, sim_ms=config.sim_ms,
                 checkpoint_every_ms=config.checkpoint_ms,
-                on_checkpoint=on_checkpoint,
-                resume=resume,
-                cache_mode=cache_mode)
-            records[device_id] = device_record(run, model_key)
-            # commit order matters: drain pending checkpoint flushes,
-            # record the completion, then drop the checkpoint — a kill
-            # between any two steps leaves a resumable state
+                on_checkpoint=submit_checkpoint,
+                resumes=resumes, cache_mode=cache_mode,
+                stats=cohort_stats)
             writer.drain()
-            stream.write(record_line(records[device_id]))
-            stream.flush()
-            try:
-                ckpt_path.unlink()
-            except FileNotFoundError:
-                pass
+            # records commit only once the whole cohort finished (the
+            # devices advance interleaved); a kill mid-unit resumes
+            # every member from its newest checkpoint
+            for device_id in device_ids:
+                records[device_id] = device_record(runs[device_id],
+                                                   model_key)
+                commit_record(stream, device_id)
+        else:
+            for device_id in device_ids:
+                spec = device_spec(config.seed, device_id,
+                                   config.rogue_fraction,
+                                   config.homogeneous)
+                run = simulate_device(
+                    spec, model, sim_ms=config.sim_ms,
+                    checkpoint_every_ms=config.checkpoint_ms,
+                    on_checkpoint=lambda sim_ms, snapshot,
+                    _device=device_id: submit_checkpoint(
+                        _device, sim_ms, snapshot),
+                    resume=load_resume(device_id),
+                    cache_mode=cache_mode)
+                records[device_id] = device_record(run, model_key)
+                writer.drain()
+                commit_record(stream, device_id)
     return {
         "records": records,
         "stats": {
@@ -257,6 +385,9 @@ def _run_unit(config_dict: dict, model_key: str,
             "ckpt_flushes": writer.flushes,
             "ckpt_stall_s": round(writer.stall_s, 6),
             "ckpt_bytes": writer.bytes_written,
+            "cohort_replayed": cohort_stats.replayed,
+            "cohort_executed": cohort_stats.executed,
+            "cohort_forks": cohort_stats.forks,
         },
     }
 
@@ -266,12 +397,14 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  report: Optional[Callable[[str], None]] = None,
                  cache_mode: str = "shared",
                  profile_dir: Optional[Path] = None,
-                 crash_before_replace: int = 0) -> dict:
+                 crash_before_replace: int = 0,
+                 cohort: bool = False,
+                 crash_after_records: int = 0) -> dict:
     """Run (or resume) a whole campaign; returns the summary dict.
 
-    ``jobs``, ``cache_mode`` and the profiling/crash knobs are
-    execution details — they never change the results and are free to
-    differ between the original run and a resume.
+    ``jobs``, ``cache_mode``, ``cohort`` and the profiling/crash knobs
+    are execution details — they never change the results and are free
+    to differ between the original run and a resume.
 
     Layout under ``out_dir``::
 
@@ -282,6 +415,11 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         summary.json           fleet summary (atomic, canonical JSON)
         profiles/              per-unit cProfile dumps and
                                coordinator.json (with ``profile_dir``)
+
+    The shard files are transient: unit streams and checkpoints exist
+    only while their model is in flight, and are removed once its
+    ``devices-<model>.jsonl`` merge commits.  Stale temp files
+    (``*.tmp<pid>``) from killed writers are swept at campaign start.
     """
     say = report if report is not None else (lambda _line: None)
     out_dir = Path(out_dir)
@@ -302,6 +440,9 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         _atomic_write(stamp_path,
                       json.dumps(stamp, indent=2,
                                  sort_keys=True).encode())
+    swept = _sweep_stale_tmp(out_dir)
+    if swept:
+        say(f"swept {swept} stale temp file(s)")
 
     config_dict = asdict(config)
     fold = SummaryFold()
@@ -309,7 +450,8 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
     if profile_dir is not None:
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
-        coordinator_profile = {"jobs": jobs, "models": {}}
+        coordinator_profile = {"jobs": jobs, "cohort": cohort,
+                               "models": {}}
 
     for model_key in config.models:
         merged_path = out_dir / f"devices-{model_key}.jsonl"
@@ -317,6 +459,15 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
             records = [json.loads(line) for line
                        in merged_path.read_text().splitlines()]
             fold.ingest(model_key, records)
+            # the merge may have committed right before a kill, with
+            # the shard cleanup still pending — finish it now
+            _cleanup_model_shards(out_dir, model_key)
+            if coordinator_profile is not None:
+                coordinator_profile["models"][model_key] = {
+                    "resumed": True,
+                    "units_run": 0,
+                    "devices_resumed": len(records),
+                }
             say(f"{model_key}: already complete "
                 f"({len(records)} devices)")
             continue
@@ -326,12 +477,22 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                                              model_key).values():
             fold.add(model_key, record)
         done = fold.device_ids(model_key)
+        # a worker killed after flushing a device's record but before
+        # unlinking its checkpoint leaves a stale .ckpt; the record
+        # wins, so drop the orphan here rather than carrying it forever
+        for device_id in done:
+            _unlink_quiet(_ckpt_path(out_dir, model_key, device_id))
         pending = [device_id for device_id in range(config.devices)
                    if device_id not in done]
-        units = plan_units(pending, jobs)
+        if cohort:
+            units = plan_cohort_units(config, MODELS_BY_KEY[model_key],
+                                      pending, jobs)
+        else:
+            units = plan_units(pending, jobs)
         say(f"{model_key}: {config.devices} devices "
             f"({len(pending)} pending) over {len(units)} work "
-            f"unit(s), jobs={jobs}")
+            f"unit(s), jobs={jobs}"
+            + (", cohort lockstep" if cohort else ""))
 
         unit_rows: List[dict] = []
         try:
@@ -344,7 +505,8 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                         str(out_dir), crash_after_checkpoints,
                         crash_before_replace, cache_mode,
                         str(profile_dir)
-                        if profile_dir is not None else None)
+                        if profile_dir is not None else None,
+                        cohort, crash_after_records)
                     submitted[future] = (unit, t_submit)
                 # stream the fold: consume results the moment any
                 # worker finishes a unit, in completion order
@@ -365,6 +527,11 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                         "ckpt_flushes": stats["ckpt_flushes"],
                         "ckpt_stall_s": stats["ckpt_stall_s"],
                         "ckpt_bytes": stats["ckpt_bytes"],
+                        "cohort_replayed": stats.get(
+                            "cohort_replayed", 0),
+                        "cohort_executed": stats.get(
+                            "cohort_executed", 0),
+                        "cohort_forks": stats.get("cohort_forks", 0),
                     })
                     say(f"{model_key}: "
                         f"{fold.count(model_key)}/{config.devices} "
@@ -382,9 +549,15 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         _atomic_write(merged_path,
                       "".join(record_line(r) for r in records)
                       .encode())
+        # the merged file is now the single source of truth for this
+        # model — the unit streams and any checkpoints are garbage
+        _cleanup_model_shards(out_dir, model_key)
         if coordinator_profile is not None:
             unit_rows.sort(key=lambda row: row["devices"][0])
             coordinator_profile["models"][model_key] = {
+                "resumed": bool(done),
+                "devices_resumed": len(done),
+                "units_run": len(unit_rows),
                 "wall_s": round(time.time() - t_model, 6),
                 "units": unit_rows,
                 "queue_wait_s": round(sum(
@@ -393,6 +566,12 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                     row["ckpt_stall_s"] for row in unit_rows), 6),
                 "ckpt_bytes": sum(
                     row["ckpt_bytes"] for row in unit_rows),
+                "cohort_replayed": sum(
+                    row["cohort_replayed"] for row in unit_rows),
+                "cohort_executed": sum(
+                    row["cohort_executed"] for row in unit_rows),
+                "cohort_forks": sum(
+                    row["cohort_forks"] for row in unit_rows),
             }
 
     # only result-determining parameters go into the summary: the
@@ -402,7 +581,8 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
     summary = fold.summary(
         {"devices": config.devices, "hours": config.hours,
          "models": list(config.models), "seed": config.seed,
-         "rogue_fraction": config.rogue_fraction})
+         "rogue_fraction": config.rogue_fraction,
+         "homogeneous": config.homogeneous})
     _atomic_write(out_dir / "summary.json",
                   (json.dumps(summary, indent=2, sort_keys=True)
                    + "\n").encode())

@@ -40,7 +40,7 @@ Variation axes:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Tuple
 
 from repro.apps.manifests import MANIFESTS
@@ -135,8 +135,21 @@ def _jittered(stream: HashStream, app: str, handler: str,
 
 
 def device_spec(fleet_seed: int, device_id: int,
-                rogue_fraction: float = 0.125) -> DeviceSpec:
-    """Derive device ``device_id`` of fleet ``fleet_seed``."""
+                rogue_fraction: float = 0.125,
+                homogeneous: bool = False) -> DeviceSpec:
+    """Derive device ``device_id`` of fleet ``fleet_seed``.
+
+    With ``homogeneous`` every device is a clone of device 0 — same
+    app subset, rogue draw, environment seed, battery, and jitter
+    phases, differing only in ``device_id``.  That is the synthetic
+    worst case for per-device cost and the best case for cohort
+    lockstep (a fleet shipping one firmware build to everyone), used
+    by the cohort benchmark scenario.  It is campaign identity, not an
+    execution detail: a homogeneous fleet produces different results.
+    """
+    if homogeneous and device_id != 0:
+        return replace(device_spec(fleet_seed, 0, rogue_fraction),
+                       device_id=device_id)
     stream = HashStream(fleet_seed, device_id)
 
     size = 2 + stream.draw(4)                 # 2..5 apps
@@ -172,9 +185,11 @@ def device_spec(fleet_seed: int, device_id: int,
 
 
 def generate_population(fleet_seed: int, devices: int,
-                        rogue_fraction: float = 0.125
+                        rogue_fraction: float = 0.125,
+                        homogeneous: bool = False
                         ) -> List[DeviceSpec]:
-    return [device_spec(fleet_seed, device_id, rogue_fraction)
+    return [device_spec(fleet_seed, device_id, rogue_fraction,
+                        homogeneous)
             for device_id in range(devices)]
 
 
