@@ -51,12 +51,15 @@ MODEL = "mpu"
 CACHE_STATES = ("default", "cold", "warm")
 
 
-def _one_campaign(config, jobs: int, cohort: bool = False) -> float:
+def _one_campaign(config, jobs: int, cohort: bool = False,
+                  transport: str = "local") -> float:
     """Wall seconds for one campaign into a throwaway directory."""
     from repro.fleet.executor import run_campaign
 
     out = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
     try:
+        if transport == "socket":
+            return _one_socket_campaign(config, jobs, cohort, out)
         start = time.perf_counter()
         run_campaign(config, out, jobs=jobs, cohort=cohort)
         return time.perf_counter() - start
@@ -64,10 +67,60 @@ def _one_campaign(config, jobs: int, cohort: bool = False) -> float:
         shutil.rmtree(out, ignore_errors=True)
 
 
+def _one_socket_campaign(config, jobs: int, cohort: bool,
+                         out: Path) -> float:
+    """Wall seconds for the same campaign dispatched over loopback
+    TCP to ``jobs`` worker subprocesses — the measured time includes
+    worker spawn and handshake, because a real socket campaign pays
+    them too."""
+    import subprocess
+    import sys
+    import threading
+
+    from repro.fleet.executor import run_campaign
+    from repro.fleet.net.coordinator import SocketTransport
+
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    transport = SocketTransport(lease_timeout_s=60.0,
+                                heartbeat_s=1.0, idle_retry_s=0.1)
+    failure = []
+
+    def _campaign():
+        try:
+            run_campaign(config, out, jobs=jobs, cohort=cohort,
+                         transport=transport)
+        except BaseException as error:
+            failure.append(error)
+
+    thread = threading.Thread(target=_campaign, daemon=True)
+    thread.start()
+    addr_path = out / "coordinator.addr"
+    while not addr_path.exists():
+        if failure:
+            raise failure[0]
+        time.sleep(0.01)
+    address = addr_path.read_text().strip()
+    workers = [subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "fleet", "worker",
+         "--connect", address, "--worker-id", f"bench-w{index}"],
+        env=env, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL) for index in range(jobs)]
+    thread.join()
+    for worker in workers:
+        worker.wait(timeout=120)
+    if failure:
+        raise failure[0]
+    return time.perf_counter() - start
+
+
 def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
                    jobs: int = 1, seed: int = 0,
                    cache: str = "default", cohort: bool = False,
-                   homogeneous: bool = False) -> float:
+                   homogeneous: bool = False,
+                   transport: str = "local") -> float:
     """Device-sim-hours per wall second for one full campaign.
 
     ``homogeneous=True`` clones device 0 fleet-wide — the one-firmware
@@ -82,7 +135,8 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
                          rogue_fraction=0.25,
                          homogeneous=homogeneous)
     if cache == "default":
-        return devices * hours / _one_campaign(config, jobs, cohort)
+        return devices * hours / _one_campaign(config, jobs, cohort,
+                                               transport)
 
     saved = os.environ.get("REPRO_EXEC_CACHE_DIR")
     cache_dir = tempfile.mkdtemp(prefix="bench_exec_")
@@ -90,9 +144,11 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
     clear_registry()
     try:
         if cache == "warm":
-            _one_campaign(config, jobs, cohort)   # populate disk
+            _one_campaign(config, jobs, cohort,
+                          transport)              # populate disk
             clear_registry()              # warmth must come from disk
-        return devices * hours / _one_campaign(config, jobs, cohort)
+        return devices * hours / _one_campaign(config, jobs, cohort,
+                                               transport)
     finally:
         if saved is None:
             os.environ.pop("REPRO_EXEC_CACHE_DIR", None)
@@ -105,7 +161,8 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
 def run_benchmarks(repeats: int = 3, jobs: int = 1,
                    cache: str = "default", cohort: bool = False,
                    homogeneous: bool = False,
-                   devices: int = DEVICES) -> dict:
+                   devices: int = DEVICES,
+                   transport: str = "local") -> dict:
     # Best-of-N: interference only ever lowers a rate, so the max over
     # repeats is the least-noisy estimate (same rule as BENCH_sim).
     # A different seed per repeat keeps the firmware build cache from
@@ -114,7 +171,8 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
         "device_sim_hours_per_sec": round(max(
             bench_campaign(devices=devices, jobs=jobs, seed=n,
                            cache=cache, cohort=cohort,
-                           homogeneous=homogeneous)
+                           homogeneous=homogeneous,
+                           transport=transport)
             for n in range(repeats)), 4),
         "devices": devices,
         "sim_hours_per_device": SIM_HOURS,
@@ -123,13 +181,15 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
         "cache": cache,
         "cohort": cohort,
         "homogeneous": homogeneous,
+        "transport": transport,
         "host_cpus": os.cpu_count(),
     }
 
 
 def record(label: str, repeats: int = 3, jobs: int = 1,
            cache: str = "default", cohort: bool = False,
-           homogeneous: bool = False, devices: int = DEVICES) -> dict:
+           homogeneous: bool = False, devices: int = DEVICES,
+           transport: str = "local") -> dict:
     """Append one measurement record to BENCH_fleet.json.  The stored
     label is annotated with everything that disambiguates the row —
     two rows are only comparable when jobs, cache state, population
@@ -138,11 +198,12 @@ def record(label: str, repeats: int = 3, jobs: int = 1,
         "label": f"{label} [jobs={jobs} cache={cache} "
                  f"cohort={'on' if cohort else 'off'} "
                  f"{'homogeneous' if homogeneous else 'jittered'} "
-                 f"devices={devices} cpus={os.cpu_count()}]",
+                 f"devices={devices} transport={transport} "
+                 f"cpus={os.cpu_count()}]",
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
         "repeats": repeats,
         "results": run_benchmarks(repeats, jobs, cache, cohort,
-                                  homogeneous, devices),
+                                  homogeneous, devices, transport),
     }
     history = []
     if BENCH_JSON.exists():
@@ -206,6 +267,11 @@ def main() -> int:
                              "clones per worker to amortize the "
                              "leader)")
     parser.add_argument(
+        "--transport", default="local", choices=("local", "socket"),
+        help="dispatch units to an in-process pool, or over loopback "
+             "TCP to --jobs worker subprocesses (spawn and handshake "
+             "included in the measured time)")
+    parser.add_argument(
         "--check-floor", type=float, default=None, metavar="RATE",
         help="CI mode: run without recording, exit 1 unless "
              "device-sim-hours/s >= RATE (uses the first --jobs value)")
@@ -214,7 +280,8 @@ def main() -> int:
     if args.check_floor is not None:
         results = run_benchmarks(args.repeats, args.jobs[0],
                                  args.cache, cohort,
-                                 args.homogeneous, args.devices)
+                                 args.homogeneous, args.devices,
+                                 args.transport)
         rate = results["device_sim_hours_per_sec"]
         ok = rate >= args.check_floor
         print(f"fleet throughput {rate} device-sim-hours/s "
@@ -223,7 +290,8 @@ def main() -> int:
         return 0 if ok else 1
     for jobs in args.jobs:
         entry = record(args.label, args.repeats, jobs, args.cache,
-                       cohort, args.homogeneous, args.devices)
+                       cohort, args.homogeneous, args.devices,
+                       args.transport)
         print(json.dumps(entry, indent=2))
     return 0
 

@@ -164,6 +164,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     from repro.fleet.executor import FleetConfig, run_campaign
     from repro.fleet.telemetry import DEFAULT_MODELS, MODELS_BY_KEY, \
         summary_text
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1 (got {args.jobs})")
     if args.model == "all":
         models = DEFAULT_MODELS
     else:
@@ -180,13 +182,23 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         homogeneous=args.homogeneous)
     profile_dir = (Path(args.out) / "profiles" if args.profile
                    else None)
+    transport = None
+    if args.listen is not None:
+        from repro.fleet.net.coordinator import SocketTransport
+        from repro.fleet.net.worker import parse_endpoint
+        host, port = parse_endpoint(args.listen)
+        transport = SocketTransport(
+            host=host, port=port,
+            lease_timeout_s=args.lease_seconds,
+            heartbeat_s=args.heartbeat_seconds)
     summary = run_campaign(config, Path(args.out), jobs=args.jobs,
                            crash_after_checkpoints=args.crash_after,
                            report=print, cache_mode=args.cache_mode,
                            profile_dir=profile_dir,
                            crash_before_replace=args.crash_before_replace,
                            cohort=args.cohort == "on",
-                           crash_after_records=args.crash_after_records)
+                           crash_after_records=args.crash_after_records,
+                           transport=transport)
     print(summary_text(summary))
     print(f"summary: {Path(args.out) / 'summary.json'}")
     if profile_dir is not None:
@@ -195,6 +207,15 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
               f"{profile_dir}/coordinator.json (queue waits, "
               "checkpoint flush stalls)")
     return 0
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.net.worker import run_worker
+    return run_worker(
+        args.connect, worker_id=args.worker_id,
+        cache_mode=args.cache_mode, retry_limit=args.retry_limit,
+        crash_after_checkpoints=args.crash_after_ckpts,
+        report=print)
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -358,6 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
              "build for everyone) — campaign identity, used by the "
              "cohort benchmark scenario")
     fleet_run.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve the unit queue over TCP instead of an in-process "
+             "pool: remote 'repro fleet worker' processes lease the "
+             "units (port 0 picks an ephemeral port, written to "
+             "<out>/coordinator.addr); output stays byte-identical "
+             "to a --jobs run, kill-and-resume included")
+    fleet_run.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="S",
+        help="lease deadline: a worker silent this long has its unit "
+             "returned to the queue (only with --listen)")
+    fleet_run.add_argument(
+        "--heartbeat-seconds", type=float, default=5.0, metavar="S",
+        help="heartbeat cadence advertised to workers "
+             "(only with --listen)")
+    fleet_run.add_argument(
         "--crash-after", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C checkpoints
     fleet_run.add_argument(
@@ -367,6 +403,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-after-records", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die before ckpt unlink
     fleet_run.set_defaults(func=cmd_fleet_run)
+
+    fleet_worker = fleet_sub.add_parser(
+        "worker",
+        help="join a --listen coordinator: lease work units over "
+             "TCP, stream results back")
+    fleet_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's listen address")
+    fleet_worker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable name for coordinator.json attribution "
+             "(default: <hostname>-<pid>)")
+    fleet_worker.add_argument(
+        "--cache-mode", default=None,
+        choices=("shared", "private", "step"),
+        help="override the coordinator's execution-cache strategy on "
+             "this worker (results are identical; only speed differs)")
+    fleet_worker.add_argument(
+        "--retry-limit", type=int, default=10, metavar="N",
+        help="consecutive connection failures before giving up")
+    fleet_worker.add_argument(
+        "--crash-after-ckpts", type=int, default=0, metavar="C",
+        help=argparse.SUPPRESS)   # test hook: die after C ckpt frames
+    fleet_worker.set_defaults(func=cmd_fleet_worker)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing and the attack matrix")

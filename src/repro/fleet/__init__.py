@@ -15,9 +15,14 @@ Pieces:
 * :mod:`repro.fleet.ckptio`     — async double-buffered checkpoint writer
 * :mod:`repro.fleet.executor`   — coordinator/worker campaigns:
   work-stealing unit queue, per-device checkpoint/resume
+* :mod:`repro.fleet.net`        — socket dispatch: TCP coordinator,
+  remote lease-based workers, content-addressed blob channel
 * :mod:`repro.fleet.telemetry`  — per-device records, streaming summary fold
 
-Entry point: ``repro fleet run --devices N --hours H --model M --jobs J``.
+Entry point: ``repro fleet run --devices N --hours H --model M --jobs J``;
+add ``--listen HOST:PORT`` and any number of ``repro fleet worker
+--connect HOST:PORT`` processes to dispatch the same campaign over
+sockets (output is byte-identical either way).
 """
 
 from repro.fleet.device import DeviceRun, simulate_device

@@ -37,25 +37,38 @@ import queue
 import threading
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 
 class AsyncCheckpointWriter:
     """Background writer with a one-deep hand-off queue.
+
+    The flush destination is pluggable: by default ``submit``'s first
+    argument is a :class:`~pathlib.Path` and the flush is the
+    tmp-write + ``os.replace`` sequence below, but a ``sink`` callable
+    replaces that whole step — the network worker passes a sink that
+    sends the payload as a checkpoint frame over its socket, so wire
+    shipping gets the same double-buffered overlap (and the same
+    ``stall_s``/``flushes``/``bytes_written`` accounting) as local
+    disk writes.  With a sink, ``submit``'s first argument is an
+    opaque key the sink interprets.
 
     ``crash_after_writes=N``  — ``os._exit(3)`` right after the Nth
     rename commits (a worker dying between checkpoints).
     ``crash_before_replace=N`` — ``os._exit(3)`` after the Nth temp
     file is fully written but *before* its rename (a worker dying
     mid-checkpoint-write; resume must fall back to write N-1).
+    Both knobs apply to the default file sink only.
     """
 
     def __init__(self, crash_after_writes: int = 0,
-                 crash_before_replace: int = 0):
+                 crash_before_replace: int = 0,
+                 sink: Optional[Callable[[object, bytes], None]] = None):
         self._queue: "queue.Queue[Optional[tuple]]" = \
             queue.Queue(maxsize=1)
         self._thread: Optional[threading.Thread] = None
         self._error: Optional[BaseException] = None
+        self._sink = sink
         self._crash_after = crash_after_writes
         self._crash_before_replace = crash_before_replace
         #: completed flushes (renames that committed)
@@ -67,16 +80,20 @@ class AsyncCheckpointWriter:
         self.bytes_written = 0
 
     # -- simulating-thread side ------------------------------------------
-    def submit(self, path: Path, payload: bytes) -> None:
+    def submit(self, key, payload: bytes) -> None:
         """Queue one serialized checkpoint for flushing; blocks only
-        while a previous flush is still in flight."""
+        while a previous flush is still in flight.  ``key`` is the
+        destination :class:`~pathlib.Path` (default sink) or whatever
+        the custom ``sink`` expects."""
         self._raise_pending()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._run, name="ckpt-writer", daemon=True)
             self._thread.start()
+        if self._sink is None:
+            key = Path(key)
         start = time.perf_counter()
-        self._queue.put((Path(path), payload))
+        self._queue.put((key, payload))
         self.stall_s += time.perf_counter() - start
 
     def drain(self) -> None:
@@ -111,15 +128,21 @@ class AsyncCheckpointWriter:
             if item is None:
                 self._queue.task_done()
                 return
-            path, payload = item
+            key, payload = item
             try:
-                self._flush(path, payload)
+                self._flush(key, payload)
             except BaseException as error:   # surfaced on next call
                 self._error = error
             finally:
                 self._queue.task_done()
 
-    def _flush(self, path: Path, payload: bytes) -> None:
+    def _flush(self, key, payload: bytes) -> None:
+        if self._sink is not None:
+            self._sink(key, payload)
+            self.flushes += 1
+            self.bytes_written += len(payload)
+            return
+        path: Path = key
         tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         tmp.write_bytes(payload)
         if 0 < self._crash_before_replace <= self.flushes + 1:

@@ -58,7 +58,7 @@ from repro.fleet.population import device_spec
 from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
     parse_checkpoint
 from repro.fleet.telemetry import MODELS_BY_KEY, SummaryFold, \
-    device_record, record_line
+    device_record, record_line, worker_summary
 from repro.pool import completed as completed_futures
 from repro.pool import worker_pool
 
@@ -94,6 +94,10 @@ class FleetConfig:
         if self.hours <= 0:
             raise ReproError(
                 f"hours must be positive (got {self.hours})")
+        if self.checkpoint_minutes <= 0:
+            raise ReproError(
+                f"checkpoint_minutes must be positive "
+                f"(got {self.checkpoint_minutes})")
         if not 0.0 <= self.rogue_fraction <= 1.0:
             raise ReproError(
                 f"rogue_fraction must be within [0, 1] "
@@ -392,6 +396,66 @@ def _run_unit(config_dict: dict, model_key: str,
     }
 
 
+# -- transports -------------------------------------------------------------
+#
+# The coordinator's scheduling policy (chunk into units, submit all,
+# fold in completion order) is transport-agnostic; what varies is
+# *where* a unit runs.  A transport owns that: it receives each
+# model's planned units and yields ``(devices, t_submit, result)``
+# rows in completion order, where ``result`` has exactly the shape
+# :func:`run_unit` returns.  ``LocalTransport`` is the in-process
+# worker pool this module always had; ``SocketTransport``
+# (:mod:`repro.fleet.net.coordinator`) serves the same queue to
+# remote ``repro fleet worker`` processes over TCP.  Byte-identity of
+# the campaign output across transports is pinned by tests and CI.
+
+class LocalTransport:
+    """In-process pool transport: units run via :mod:`repro.pool`
+    workers on this host, writing checkpoint/record files directly."""
+
+    kind = "local"
+
+    def __init__(self, jobs: int = 1, crash_after_checkpoints: int = 0,
+                 crash_before_replace: int = 0,
+                 crash_after_records: int = 0):
+        self.jobs = jobs
+        self._crash_after = crash_after_checkpoints
+        self._crash_before_replace = crash_before_replace
+        self._crash_after_records = crash_after_records
+        self._campaign: Optional[dict] = None
+
+    def open_campaign(self, campaign: dict) -> None:
+        """``campaign`` carries the shared context: ``config_dict``,
+        ``config_key``, ``out_dir``, ``cache_mode``, ``cohort``,
+        ``profile_dir`` and the ``say`` reporter."""
+        self._campaign = campaign
+
+    def run_units(self, model_key: str, units: List[List[int]]):
+        campaign = self._campaign
+        with worker_pool(self.jobs) as pool:
+            submitted = {}
+            for unit in units:
+                t_submit = time.time()
+                future = pool.submit(
+                    run_unit, campaign["config_dict"], model_key,
+                    unit, campaign["out_dir"], self._crash_after,
+                    self._crash_before_replace,
+                    campaign["cache_mode"], campaign["profile_dir"],
+                    campaign["cohort"], self._crash_after_records)
+                submitted[future] = (unit, t_submit)
+            # stream the fold: consume results the moment any worker
+            # finishes a unit, in completion order
+            for future in completed_futures(submitted):
+                unit, t_submit = submitted[future]
+                yield unit, t_submit, future.result()
+
+    def worker_stats(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
 def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  crash_after_checkpoints: int = 0,
                  report: Optional[Callable[[str], None]] = None,
@@ -399,12 +463,19 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  profile_dir: Optional[Path] = None,
                  crash_before_replace: int = 0,
                  cohort: bool = False,
-                 crash_after_records: int = 0) -> dict:
+                 crash_after_records: int = 0,
+                 transport=None) -> dict:
     """Run (or resume) a whole campaign; returns the summary dict.
 
-    ``jobs``, ``cache_mode``, ``cohort`` and the profiling/crash knobs
-    are execution details — they never change the results and are free
-    to differ between the original run and a resume.
+    ``jobs``, ``cache_mode``, ``cohort``, the transport and the
+    profiling/crash knobs are execution details — they never change
+    the results and are free to differ between the original run and a
+    resume.  ``transport`` defaults to an in-process
+    :class:`LocalTransport` pool of ``jobs`` workers; pass a
+    :class:`repro.fleet.net.coordinator.SocketTransport` to serve the
+    same unit queue to remote ``repro fleet worker`` processes (the
+    ``--listen`` path).  ``jobs`` still sizes the work units either
+    way.
 
     Layout under ``out_dir``::
 
@@ -453,6 +524,61 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         coordinator_profile = {"jobs": jobs, "cohort": cohort,
                                "models": {}}
 
+    if transport is None:
+        transport = LocalTransport(
+            jobs, crash_after_checkpoints=crash_after_checkpoints,
+            crash_before_replace=crash_before_replace,
+            crash_after_records=crash_after_records)
+    transport.open_campaign({
+        "config_dict": config_dict,
+        "config_key": config.key(),
+        "out_dir": str(out_dir),
+        "cache_mode": cache_mode,
+        "cohort": cohort,
+        "profile_dir": str(profile_dir)
+        if profile_dir is not None else None,
+        "say": say,
+    })
+    if coordinator_profile is not None:
+        coordinator_profile["transport"] = transport.kind
+
+    try:
+        _run_models(config, out_dir, jobs, transport, fold,
+                    coordinator_profile, cohort, say)
+    finally:
+        transport.close()
+
+    # only result-determining parameters go into the summary: the
+    # worker count, unit layout, and checkpoint cadence are execution
+    # details, and the summary must be byte-identical across them
+    # (campaign.json keeps the full execution config)
+    summary = fold.summary(
+        {"devices": config.devices, "hours": config.hours,
+         "models": list(config.models), "seed": config.seed,
+         "rogue_fraction": config.rogue_fraction,
+         "homogeneous": config.homogeneous})
+    _atomic_write(out_dir / "summary.json",
+                  (json.dumps(summary, indent=2, sort_keys=True)
+                   + "\n").encode())
+    if coordinator_profile is not None:
+        net = transport.worker_stats()
+        if net:
+            coordinator_profile["workers"] = net["workers"]
+            coordinator_profile["requeues"] = net.get("requeues", 0)
+            coordinator_profile["worker_totals"] = worker_summary(
+                net["workers"])
+        _atomic_write(profile_dir / "coordinator.json",
+                      (json.dumps(coordinator_profile, indent=2,
+                                  sort_keys=True) + "\n").encode())
+    return summary
+
+
+def _run_models(config: FleetConfig, out_dir: Path, jobs: int,
+                transport, fold: SummaryFold,
+                coordinator_profile: Optional[dict], cohort: bool,
+                say: Callable[[str], None]) -> None:
+    """Per-model unit planning, dispatch through the transport, and
+    incremental folding — the coordinator's inner loop."""
     for model_key in config.models:
         merged_path = out_dir / f"devices-{model_key}.jsonl"
         if merged_path.exists():
@@ -496,50 +622,39 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
 
         unit_rows: List[dict] = []
         try:
-            with worker_pool(jobs) as pool:
-                submitted = {}
-                for unit in units:
-                    t_submit = time.time()
-                    future = pool.submit(
-                        run_unit, config_dict, model_key, unit,
-                        str(out_dir), crash_after_checkpoints,
-                        crash_before_replace, cache_mode,
-                        str(profile_dir)
-                        if profile_dir is not None else None,
-                        cohort, crash_after_records)
-                    submitted[future] = (unit, t_submit)
-                # stream the fold: consume results the moment any
-                # worker finishes a unit, in completion order
-                for future in completed_futures(submitted):
-                    result = future.result()
-                    unit, t_submit = submitted[future]
-                    t_fold = time.time()
-                    for record in result["records"].values():
-                        fold.add(model_key, record)
-                    stats = result["stats"]
-                    unit_rows.append({
-                        "devices": stats["devices"],
-                        "queue_wait_s": round(
-                            max(0.0, stats["t_start"] - t_submit), 6),
-                        "run_s": round(
-                            stats["t_end"] - stats["t_start"], 6),
-                        "fold_s": round(time.time() - t_fold, 6),
-                        "ckpt_flushes": stats["ckpt_flushes"],
-                        "ckpt_stall_s": stats["ckpt_stall_s"],
-                        "ckpt_bytes": stats["ckpt_bytes"],
-                        "cohort_replayed": stats.get(
-                            "cohort_replayed", 0),
-                        "cohort_executed": stats.get(
-                            "cohort_executed", 0),
-                        "cohort_forks": stats.get("cohort_forks", 0),
-                    })
-                    say(f"{model_key}: "
-                        f"{fold.count(model_key)}/{config.devices} "
-                        "devices")
+            # stream the fold: consume results the moment any worker
+            # (pool process or socket peer) finishes a unit, in
+            # completion order
+            for unit, t_submit, result in transport.run_units(
+                    model_key, units):
+                t_fold = time.time()
+                for record in result["records"].values():
+                    fold.add(model_key, record)
+                stats = result["stats"]
+                unit_rows.append({
+                    "devices": stats["devices"],
+                    "queue_wait_s": round(
+                        max(0.0, stats["t_start"] - t_submit), 6),
+                    "run_s": round(
+                        stats["t_end"] - stats["t_start"], 6),
+                    "fold_s": round(time.time() - t_fold, 6),
+                    "ckpt_flushes": stats["ckpt_flushes"],
+                    "ckpt_stall_s": stats["ckpt_stall_s"],
+                    "ckpt_bytes": stats["ckpt_bytes"],
+                    "worker": stats.get("worker"),
+                    "cohort_replayed": stats.get(
+                        "cohort_replayed", 0),
+                    "cohort_executed": stats.get(
+                        "cohort_executed", 0),
+                    "cohort_forks": stats.get("cohort_forks", 0),
+                })
+                say(f"{model_key}: "
+                    f"{fold.count(model_key)}/{config.devices} "
+                    "devices")
         except Exception as error:
-            # a killed worker (BrokenProcessPool) or ReproError —
-            # completed records and checkpoints are on disk, the same
-            # command resumes
+            # a killed worker (BrokenProcessPool), a dropped socket,
+            # or a ReproError — completed records and checkpoints are
+            # on disk, the same command resumes
             raise ReproError(
                 f"fleet worker failed under model {model_key!r}: "
                 f"{error} — re-run the same command to resume "
@@ -573,21 +688,3 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                 "cohort_forks": sum(
                     row["cohort_forks"] for row in unit_rows),
             }
-
-    # only result-determining parameters go into the summary: the
-    # worker count, unit layout, and checkpoint cadence are execution
-    # details, and the summary must be byte-identical across them
-    # (campaign.json keeps the full execution config)
-    summary = fold.summary(
-        {"devices": config.devices, "hours": config.hours,
-         "models": list(config.models), "seed": config.seed,
-         "rogue_fraction": config.rogue_fraction,
-         "homogeneous": config.homogeneous})
-    _atomic_write(out_dir / "summary.json",
-                  (json.dumps(summary, indent=2, sort_keys=True)
-                   + "\n").encode())
-    if coordinator_profile is not None:
-        _atomic_write(profile_dir / "coordinator.json",
-                      (json.dumps(coordinator_profile, indent=2,
-                                  sort_keys=True) + "\n").encode())
-    return summary

@@ -1,0 +1,561 @@
+"""The coordinator's side of socket dispatch: :class:`SocketTransport`.
+
+This is a drop-in peer of the executor's ``LocalTransport``: it
+receives each model's planned units, serves them as **leases** to any
+connected ``repro fleet worker``, and yields ``(devices, t_submit,
+result)`` rows in completion order — so the executor's fold, merge,
+and profile code runs unchanged and the campaign output is
+byte-identical to a local run.
+
+Failure model (the part worth reading twice):
+
+* a lease carries a deadline — ``lease_timeout_s`` since the owning
+  connection's last frame (any frame: heartbeat pings included).  A
+  worker that is killed, wedged, or partitioned stops refreshing and
+  its lease expires; the unit's *unfinished* devices go back on the
+  queue for the next ``lease_req``.
+* a dropped connection requeues immediately — no need to wait out the
+  deadline when the socket already said goodbye.
+* reassignment is idempotent because completion is **per-device**:
+  every ``dev_done`` commits one device's record to the same on-disk
+  unit stream the local path appends to, and a requeued lease carries
+  only devices without a committed record.  If a presumed-dead worker
+  limps home later, its duplicate records are byte-identical (the
+  determinism contract) and are dropped at the door.
+* all persistent state — unit streams, per-device checkpoints,
+  ``campaign.json`` — lives on the coordinator's disk in exactly the
+  files the local path uses, so killing the coordinator and resuming
+  (with ``--jobs`` *or* ``--listen``) behaves identically.
+
+Incoming checkpoint frames are validated with
+:func:`~repro.fleet.snapshot.parse_checkpoint` (campaign key + device
+stamp) before touching disk, and blobs served to workers (checkpoint
+payloads, ``.sbx`` translation stores) go out content-addressed so
+the other end can verify them — fail-closed in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ReproError
+from repro.fleet.executor import _atomic_write, _ckpt_path, \
+    _shards_dir, _unit_stream_path, _unlink_quiet
+from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
+    blob_sha
+from repro.fleet.snapshot import STATE_VERSION, parse_checkpoint
+from repro.fleet.telemetry import record_line
+from repro.msp430.execcache import DISK_FORMAT, list_store_files, \
+    read_store_file
+
+
+class _Lease:
+    """One granted work unit: who holds it, what is left of it, and
+    when its owner was last heard from."""
+
+    __slots__ = ("lease_id", "model", "devices", "first", "t_submit",
+                 "worker", "last_seen")
+
+    def __init__(self, lease_id: int, model: str, devices: List[int],
+                 first: int, t_submit: float, worker: str):
+        self.lease_id = lease_id
+        self.model = model
+        self.devices = devices
+        self.first = first
+        self.t_submit = t_submit
+        self.worker = worker
+        self.last_seen = time.monotonic()
+
+
+class _ModelState:
+    """Queue, leases, and committed records for the model currently
+    being dispatched."""
+
+    def __init__(self, model_key: str, units: List[List[int]],
+                 t_submit: float):
+        self.model = model_key
+        #: (first_device, remaining_devices, t_submit) — all units are
+        #: "submitted" the moment dispatch starts, like the local pool
+        self.queue: deque = deque(
+            (unit[0], list(unit), t_submit) for unit in units)
+        self.total = sum(len(unit) for unit in units)
+        self.records: Dict[int, dict] = {}
+        self.yielded: Set[int] = set()
+        self.leases: Dict[int, _Lease] = {}
+        self.results: "queue.Queue[tuple]" = queue.Queue()
+        self.active = True
+
+
+def _zero_stats(devices: List[int], now: float) -> dict:
+    """Profile stats for a synthetic completion row — devices whose
+    records arrived via ``dev_done`` but whose unit's ``result`` frame
+    never did (the worker died after committing them)."""
+    return {"devices": list(devices), "t_start": now, "t_end": now,
+            "ckpt_flushes": 0, "ckpt_stall_s": 0.0, "ckpt_bytes": 0,
+            "cohort_replayed": 0, "cohort_executed": 0,
+            "cohort_forks": 0, "worker": None}
+
+
+class SocketTransport:
+    """Serve the unit queue over TCP to remote fleet workers.
+
+    ``port=0`` binds an ephemeral port; the bound address is written
+    to ``<out_dir>/coordinator.addr`` at campaign open so workers
+    launched by scripts and tests can discover it.
+    """
+
+    kind = "socket"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_timeout_s: float = 30.0,
+                 heartbeat_s: float = 5.0,
+                 idle_retry_s: float = 1.0):
+        if lease_timeout_s <= 0:
+            raise ReproError(
+                f"lease timeout must be positive (got {lease_timeout_s})")
+        self.host = host
+        self.port = port
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.idle_retry_s = idle_retry_s
+        self.address: Optional[tuple] = None
+        self._campaign: Optional[dict] = None
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: List[threading.Thread] = []
+        self._channels: List[tuple] = []       # (channel, worker_id)
+        self._lock = threading.RLock()
+        self._state: Optional[_ModelState] = None
+        self._lease_counter = 0
+        self._workers: Dict[str, dict] = {}
+        self._requeues = 0
+        self._shutdown = False
+
+    # -- executor-facing transport API -----------------------------------
+    def open_campaign(self, campaign: dict) -> None:
+        self._campaign = campaign
+        self._listener = socket.create_server((self.host, self.port))
+        self.address = self._listener.getsockname()[:2]
+        out_dir = Path(campaign["out_dir"])
+        _atomic_write(out_dir / "coordinator.addr",
+                      f"{self.address[0]}:{self.address[1]}\n".encode())
+        campaign["say"](
+            f"coordinator listening on "
+            f"{self.address[0]}:{self.address[1]}")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-accept", daemon=True)
+        self._accept_thread.start()
+
+    def run_units(self, model_key: str, units: List[List[int]]):
+        if not units:
+            return
+        st = _ModelState(model_key, units, time.time())
+        with self._lock:
+            self._state = st
+        try:
+            while True:
+                with self._lock:
+                    if len(st.records) >= st.total:
+                        break
+                try:
+                    devices, t_submit, stats = st.results.get(
+                        timeout=0.25)
+                except queue.Empty:
+                    pass
+                else:
+                    row = self._fresh_row(st, devices, t_submit, stats)
+                    if row is not None:
+                        yield row
+                self._expire_leases(st)
+        finally:
+            with self._lock:
+                st.active = False
+                self._state = None
+        # drain straggler result frames, then cover any devices whose
+        # records landed but whose unit's result frame never arrived
+        while True:
+            try:
+                devices, t_submit, stats = st.results.get_nowait()
+            except queue.Empty:
+                break
+            row = self._fresh_row(st, devices, t_submit, stats)
+            if row is not None:
+                yield row
+        with self._lock:
+            leftover = {device: record
+                        for device, record in st.records.items()
+                        if device not in st.yielded}
+            st.yielded.update(leftover)
+        if leftover:
+            devices = sorted(leftover)
+            now = time.time()
+            yield devices, now, {"records": leftover,
+                                 "stats": _zero_stats(devices, now)}
+
+    def worker_stats(self) -> dict:
+        with self._lock:
+            # flush live connections' byte counters into the rows
+            for channel, worker_id in self._channels:
+                self._fold_bytes(channel, worker_id)
+            workers = {worker_id: dict(row) for worker_id, row
+                       in self._workers.items()}
+        return {"workers": workers, "requeues": self._requeues}
+
+    def close(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            channels = list(self._channels)
+        # a push, not a reply: idle workers pick it up on their next
+        # recv and exit 0 instead of discovering a dead port
+        for channel, _worker_id in channels:
+            try:
+                channel.send({"type": "shutdown"})
+            except (WireError, OSError):
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + max(2.0, self.idle_retry_s + 1.0)
+        for thread in self._handlers:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            channels = list(self._channels)
+        for channel, _worker_id in channels:
+            channel.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    # -- completion-order plumbing ----------------------------------------
+    def _fresh_row(self, st: _ModelState, devices: List[int],
+                   t_submit: float, stats: dict) -> Optional[tuple]:
+        """Deduplicate result rows per device: after a reassignment
+        both the presumed-dead worker and its replacement may report,
+        and each device must be folded exactly once."""
+        with self._lock:
+            fresh = {device: st.records[device] for device in devices
+                     if device in st.records
+                     and device not in st.yielded}
+            st.yielded.update(fresh)
+        if not fresh:
+            return None
+        return devices, t_submit, {"records": fresh, "stats": stats}
+
+    def _expire_leases(self, st: _ModelState) -> None:
+        now = time.monotonic()
+        with self._lock:
+            for lease_id, lease in list(st.leases.items()):
+                if now - lease.last_seen <= self.lease_timeout_s:
+                    continue
+                del st.leases[lease_id]
+                self._requeue(st, lease)
+                row = self._workers.get(lease.worker)
+                if row is not None:
+                    row["lease_timeouts"] += 1
+                self._campaign["say"](
+                    f"{st.model}: lease {lease.lease_id} "
+                    f"(unit {lease.first}) on {lease.worker!r} missed "
+                    f"its deadline — requeued")
+
+    def _requeue(self, st: _ModelState, lease: _Lease) -> None:
+        """Return a lease's unfinished devices to the queue (callers
+        hold the lock).  Finished devices stay finished — completion
+        is per-device, which is what makes reassignment idempotent."""
+        remaining = [device for device in lease.devices
+                     if device not in st.records]
+        if remaining:
+            st.queue.append((lease.first, remaining, lease.t_submit))
+        self._requeues += 1
+
+    # -- connection handling ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return                  # listener closed
+            thread = threading.Thread(
+                target=self._serve, args=(conn, addr),
+                name=f"fleet-conn-{addr[1]}", daemon=True)
+            with self._lock:
+                self._handlers.append(thread)
+            thread.start()
+
+    def _handshake(self, channel: Channel) -> Optional[str]:
+        """Run the hello/welcome exchange; returns the worker id, or
+        ``None`` after sending a reject."""
+        hello, _ = channel.recv(timeout=10.0)
+        if hello.get("type") != "hello":
+            raise WireError(
+                f"expected hello, got {hello.get('type')!r}")
+        versions = (hello.get("proto"), hello.get("state_version"),
+                    hello.get("disk_format"))
+        if versions != (PROTO_VERSION, STATE_VERSION, DISK_FORMAT):
+            channel.send({
+                "type": "reject", "kind": "version",
+                "reason": (
+                    f"version mismatch: worker (proto, state, disk) "
+                    f"= {versions}, coordinator = "
+                    f"{(PROTO_VERSION, STATE_VERSION, DISK_FORMAT)}")})
+            return None
+        config_key = self._campaign["config_key"]
+        if hello.get("campaign") not in (None, config_key):
+            channel.send({
+                "type": "reject", "kind": "campaign",
+                "reason": (
+                    f"stale campaign key {hello.get('campaign')!r} — "
+                    f"this coordinator runs {config_key!r}; drop the "
+                    "key and re-handshake")})
+            return None
+        worker_id = str(hello.get("worker") or "anonymous")
+        channel.send({
+            "type": "welcome",
+            "campaign": config_key,
+            "config": self._campaign["config_dict"],
+            "cache_mode": self._campaign["cache_mode"],
+            "cohort": self._campaign["cohort"],
+            "heartbeat_s": self.heartbeat_s,
+            "idle_retry_s": self.idle_retry_s,
+            "lease_timeout_s": self.lease_timeout_s,
+            "stores": list_store_files(),
+        })
+        with self._lock:
+            row = self._workers.get(worker_id)
+            if row is None:
+                self._workers[worker_id] = {
+                    "id": worker_id,
+                    "host": str(hello.get("host") or "?"),
+                    "units_run": 0, "devices_done": 0,
+                    "bytes_to_worker": 0, "bytes_from_worker": 0,
+                    "reconnects": 0, "lease_timeouts": 0,
+                }
+            else:
+                row["reconnects"] += 1
+            self._channels.append((channel, worker_id))
+        self._campaign["say"](
+            f"worker {worker_id!r} connected from "
+            f"{self._workers[worker_id]['host']}")
+        return worker_id
+
+    def _serve(self, conn: socket.socket, addr) -> None:
+        channel = Channel(conn)
+        worker_id: Optional[str] = None
+        held: Set[int] = set()
+        try:
+            worker_id = self._handshake(channel)
+            if worker_id is None:
+                return
+            recv_timeout = max(self.lease_timeout_s,
+                               4 * self.heartbeat_s)
+            while True:
+                message, blob = channel.recv(timeout=recv_timeout)
+                self._refresh(held)
+                mtype = message["type"]
+                if mtype == "ping":
+                    channel.send({"type": "pong"})
+                elif mtype == "lease_req":
+                    if not self._grant(channel, worker_id, held):
+                        return          # shutdown sent
+                elif mtype == "blob_get":
+                    self._serve_blob(channel, message)
+                elif mtype == "ckpt":
+                    self._store_checkpoint(message, blob)
+                elif mtype == "dev_done":
+                    self._commit_device(message, worker_id)
+                elif mtype == "result":
+                    self._finish_lease(message, worker_id, held)
+                else:
+                    raise WireError(
+                        f"unexpected message type {mtype!r}")
+        except (WireError, OSError):
+            pass                        # fall through to requeue
+        finally:
+            with self._lock:
+                st = self._state
+                if st is not None:
+                    for lease_id in held:
+                        lease = st.leases.pop(lease_id, None)
+                        if lease is not None:
+                            self._requeue(st, lease)
+                if worker_id is not None:
+                    self._fold_bytes(channel, worker_id)
+                self._channels = [
+                    (ch, wid) for ch, wid in self._channels
+                    if ch is not channel]
+            channel.close()
+
+    def _refresh(self, held: Set[int]) -> None:
+        """Any frame from a connection refreshes its leases."""
+        now = time.monotonic()
+        with self._lock:
+            st = self._state
+            if st is None:
+                return
+            for lease_id in held:
+                lease = st.leases.get(lease_id)
+                if lease is not None:
+                    lease.last_seen = now
+
+    def _fold_bytes(self, channel: Channel, worker_id: str) -> None:
+        """Move the channel's byte counters into the worker row
+        (callers hold the lock); counters reset so a later fold never
+        double-counts."""
+        row = self._workers.get(worker_id)
+        if row is None:
+            return
+        row["bytes_to_worker"] += channel.bytes_out
+        row["bytes_from_worker"] += channel.bytes_in
+        channel.bytes_out = 0
+        channel.bytes_in = 0
+
+    # -- message handlers --------------------------------------------------
+    def _grant(self, channel: Channel, worker_id: str,
+               held: Set[int]) -> bool:
+        """Answer a ``lease_req``: lease, idle, or (on campaign end)
+        shutdown.  Returns False when the connection should close."""
+        with self._lock:
+            if self._shutdown:
+                grant = "shutdown"
+            else:
+                st = self._state
+                grant = None
+                while st is not None and st.active and st.queue:
+                    first, devices, t_submit = st.queue.popleft()
+                    devices = [device for device in devices
+                               if device not in st.records]
+                    if not devices:
+                        continue
+                    self._lease_counter += 1
+                    lease = _Lease(self._lease_counter, st.model,
+                                   devices, first, t_submit, worker_id)
+                    st.leases[lease.lease_id] = lease
+                    held.add(lease.lease_id)
+                    ckpts = {}
+                    for device in devices:
+                        path = _ckpt_path(
+                            Path(self._campaign["out_dir"]),
+                            st.model, device)
+                        try:
+                            ckpts[str(device)] = blob_sha(
+                                path.read_bytes())
+                        except OSError:
+                            pass        # no checkpoint: fresh start
+                    grant = {"type": "lease", "lease": lease.lease_id,
+                             "model": st.model, "devices": devices,
+                             "first": first, "ckpts": ckpts}
+                    break
+        if grant == "shutdown":
+            channel.send({"type": "shutdown"})
+            return False
+        if grant is None:
+            channel.send({"type": "idle",
+                          "retry_s": self.idle_retry_s})
+        else:
+            channel.send(grant)
+        return True
+
+    def _serve_blob(self, channel: Channel, message: dict) -> None:
+        """Content-addressed blob fetch: the name says what, the sha
+        says which version; anything else is ``blob_missing``."""
+        name = str(message.get("name", ""))
+        want_sha = message.get("sha")
+        data: Optional[bytes] = None
+        if name.startswith("ckpt:"):
+            try:
+                _tag, model_key, device = name.split(":", 2)
+                path = _ckpt_path(Path(self._campaign["out_dir"]),
+                                  model_key, int(device))
+                with self._lock:
+                    data = path.read_bytes()
+            except (ValueError, OSError):
+                data = None
+        elif name.startswith("sbx:"):
+            data = read_store_file(name[len("sbx:"):])
+        if data is None or blob_sha(data) != want_sha:
+            channel.send({"type": "blob_missing", "name": name})
+            return
+        channel.send({"type": "blob", "name": name}, blob=data)
+
+    def _store_checkpoint(self, message: dict,
+                          blob: Optional[bytes]) -> None:
+        """Validate and land one device checkpoint — same file, same
+        atomic rename as a local worker's write."""
+        if blob is None:
+            return
+        with self._lock:
+            st = self._state
+            if st is None or not st.active or \
+                    message.get("model") != st.model:
+                return                  # stale frame for a done model
+            device = message.get("device")
+            if not isinstance(device, int) or device in st.records:
+                return                  # the record supersedes it
+            try:
+                parse_checkpoint(blob, self._campaign["config_key"],
+                                 device)
+            except Exception:
+                return                  # fail closed: never land it
+            out_dir = Path(self._campaign["out_dir"])
+            _shards_dir(out_dir).mkdir(parents=True, exist_ok=True)
+            _atomic_write(_ckpt_path(out_dir, st.model, device), blob)
+
+    def _commit_device(self, message: dict, worker_id: str) -> None:
+        """One device finished: append its record to the unit stream
+        (the durable per-device commit), drop its checkpoint, and
+        count it toward model completion."""
+        with self._lock:
+            st = self._state
+            if st is None or not st.active or \
+                    message.get("model") != st.model:
+                return
+            device = message.get("device")
+            record = message.get("record")
+            first = message.get("first")
+            if not isinstance(device, int) or \
+                    not isinstance(record, dict) or \
+                    not isinstance(first, int):
+                return
+            if device in st.records:
+                return                  # duplicate from a stale lease
+            out_dir = Path(self._campaign["out_dir"])
+            _shards_dir(out_dir).mkdir(parents=True, exist_ok=True)
+            stream_path = _unit_stream_path(out_dir, st.model, first)
+            with stream_path.open("a") as stream:
+                stream.write(record_line(record))
+            st.records[device] = record
+            _unlink_quiet(_ckpt_path(out_dir, st.model, device))
+            row = self._workers.get(worker_id)
+            if row is not None:
+                row["devices_done"] += 1
+
+    def _finish_lease(self, message: dict, worker_id: str,
+                      held: Set[int]) -> None:
+        with self._lock:
+            st = self._state
+            lease_id = message.get("lease")
+            held.discard(lease_id)
+            stats = message.get("stats")
+            if st is None or not isinstance(stats, dict) or \
+                    message.get("model") != st.model:
+                return
+            lease = st.leases.pop(lease_id, None)
+            row = self._workers.get(worker_id)
+            if row is not None:
+                row["units_run"] += 1
+            if lease is not None:
+                st.results.put((lease.devices, lease.t_submit, stats))
+            else:
+                # the lease expired and was reassigned, but the unit
+                # did finish here — records were already committed
+                # per-device; the row only feeds the profile
+                st.results.put((list(stats.get("devices", [])),
+                                time.time(), stats))

@@ -1,0 +1,180 @@
+"""Wire framing for fleet dispatch: length-prefixed JSONL + blobs.
+
+Every message on a coordinator/worker connection is one **frame**: a
+4-byte big-endian length followed by exactly that many bytes of
+canonical JSON (sorted keys, no whitespace — one JSON line).  A frame
+whose message carries ``blob_len`` is immediately followed by that
+many raw bytes (checkpoint payloads, ``.sbx`` translation frames —
+things JSON would bloat by a third in base64), and the message's
+``blob_sha`` must be the blob's sha-256: the receiver verifies it and
+rejects the frame on mismatch, so the blob channel is
+content-addressed and fail-closed end to end.
+
+Parsing is fail-closed everywhere: an out-of-range length prefix
+(garbage, or a length field claiming gigabytes), an undecodable or
+untyped JSON payload, a connection closed mid-frame (torn frame), or
+a blob digest mismatch all raise :class:`WireError` — the connection
+is abandoned and the peer's lease/retry machinery takes over.  No
+partial frame is ever acted on.
+
+Message vocabulary (the ``type`` field):
+
+========  ==========  ===================================================
+type      direction   meaning
+========  ==========  ===================================================
+hello     w -> c      handshake: proto + STATE_VERSION + DISK_FORMAT +
+                      campaign key (None on first contact) + worker id
+welcome   c -> w      handshake accepted: campaign key, config, cache
+                      mode, cohort flag, heartbeat cadence, store offers
+reject    c -> w      handshake refused (stale campaign key, version
+                      mismatch) — the reason says which
+lease_req w -> c      give me work
+lease     c -> w      a work unit: model, device ids, checkpoint shas
+idle      c -> w      no work right now; retry after ``retry_s``
+shutdown  c -> w      campaign complete; exit cleanly
+blob_get  w -> c      fetch a blob by name + expected sha
+blob      c -> w      the blob (raw bytes follow the frame)
+blob_missing c -> w   no such blob / content changed — run without it
+ckpt      w -> c      one device checkpoint (blob follows); also
+                      refreshes the lease deadline
+dev_done  w -> c      one device's record — the per-device commit
+result    w -> c      unit finished: the worker's stats
+ping      w -> c      heartbeat (any frame refreshes the deadline)
+pong      c -> w      heartbeat echo
+========  ==========  ===================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+#: bump on any incompatible message/framing change; exchanged (and
+#: required equal) in the hello/welcome handshake
+PROTO_VERSION = 1
+
+#: JSON payloads are small (records, leases); anything bigger than
+#: this is a corrupt length field or garbage on the port
+MAX_FRAME = 4 * 1024 * 1024
+
+#: blobs carry checkpoints (a few KB) and whole ``.sbx`` stores
+#: (bounded by the exec-cache LRU budget, default 64 MB)
+MAX_BLOB = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ReproError):
+    """A frame violated the protocol (torn, oversized, undecodable,
+    digest mismatch) — fail closed: drop the connection, never act on
+    a partial or unverified frame."""
+
+
+def blob_sha(data: bytes) -> str:
+    """Content address of a blob (hex sha-256)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class Channel:
+    """One peer's framed view of a connected socket.
+
+    Sends are serialized by an internal lock so a heartbeat thread and
+    the simulating thread can share the connection; receives belong to
+    a single reader (each side has exactly one).  ``bytes_in`` /
+    ``bytes_out`` feed the coordinator's per-worker attribution.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self.bytes_in = 0
+        self.bytes_out = 0
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass                      # AF_UNIX socketpair in tests
+
+    def send(self, message: dict, blob: Optional[bytes] = None) -> None:
+        """Send one frame (plus its blob, when given) atomically with
+        respect to other senders on this channel."""
+        if blob is not None:
+            message = dict(message)
+            message["blob_len"] = len(blob)
+            message["blob_sha"] = blob_sha(blob)
+        payload = json.dumps(message, sort_keys=True,
+                             separators=(",", ":")).encode()
+        if len(payload) > MAX_FRAME:
+            raise WireError(
+                f"outgoing frame of {len(payload)} bytes exceeds "
+                f"MAX_FRAME ({MAX_FRAME})")
+        with self._send_lock:
+            self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+            if blob is not None:
+                self._sock.sendall(blob)
+            self.bytes_out += _LENGTH.size + len(payload) \
+                + (len(blob) if blob is not None else 0)
+
+    def recv(self, timeout: Optional[float] = None
+             ) -> Tuple[dict, Optional[bytes]]:
+        """Receive one complete, verified frame; returns
+        ``(message, blob)`` where ``blob`` is ``None`` for blobless
+        messages.  Raises :class:`WireError` on any protocol
+        violation, ``socket.timeout``/``OSError`` on transport
+        failure."""
+        self._sock.settimeout(timeout)
+        (length,) = _LENGTH.unpack(self._recv_exact(_LENGTH.size))
+        if not 0 < length <= MAX_FRAME:
+            raise WireError(
+                f"frame length {length} outside (0, {MAX_FRAME}] — "
+                "garbage or a corrupt length prefix")
+        payload = self._recv_exact(length)
+        try:
+            message = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise WireError("frame payload is not valid JSON") from None
+        if not isinstance(message, dict) or \
+                not isinstance(message.get("type"), str):
+            raise WireError("frame payload is not a typed message")
+        blob = None
+        if "blob_len" in message:
+            blob_len = message["blob_len"]
+            if not isinstance(blob_len, int) or \
+                    not 0 <= blob_len <= MAX_BLOB:
+                raise WireError(
+                    f"blob length {blob_len!r} outside [0, {MAX_BLOB}]")
+            blob = self._recv_exact(blob_len)
+            if blob_sha(blob) != message.get("blob_sha"):
+                raise WireError(
+                    "blob digest mismatch — dropping the frame "
+                    "(content-addressed channel is fail-closed)")
+        return message, blob
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        got = 0
+        while got < count:
+            chunk = self._sock.recv(min(65536, count - got))
+            if not chunk:
+                raise WireError(
+                    "connection closed mid-frame (torn frame)"
+                    if got or chunks else "connection closed")
+            chunks.append(chunk)
+            got += len(chunk)
+        self.bytes_in += count
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,366 @@
+"""The remote fleet worker: ``repro fleet worker --connect host:port``.
+
+A worker is a loop around one connection: handshake (protocol,
+``STATE_VERSION``, ``DISK_FORMAT``, campaign key), import any warm
+``.sbx`` translation stores the coordinator offers, then lease units
+until the coordinator says shutdown.  Each lease runs through the
+exact same :func:`~repro.fleet.device.simulate_device` /
+:func:`~repro.fleet.device.simulate_cohort` code a local pool worker
+uses — the only difference is where the bytes go:
+
+* checkpoints are serialized on the simulating thread and shipped by
+  the :class:`~repro.fleet.ckptio.AsyncCheckpointWriter`'s writer
+  thread through a socket **sink**, keeping the local path's
+  double-buffered overlap (and its stall accounting) on the wire;
+* each finished device is committed with a ``dev_done`` frame — the
+  durable per-device commit that makes lease reassignment idempotent;
+* the unit ends with a ``result`` frame carrying the same stats dict
+  :func:`~repro.fleet.executor.run_unit` returns.
+
+A heartbeat thread pings on the coordinator's advertised cadence so
+an idle or long-simulating worker keeps its lease alive.  Connection
+loss triggers reconnect with exponential backoff plus jitter; a
+``campaign``-kind reject (the coordinator moved on to a different
+campaign) drops the remembered key and re-handshakes fresh, while a
+``version``-kind reject is fatal — no amount of retrying fixes a
+version skew.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.fleet.ckptio import AsyncCheckpointWriter
+from repro.fleet.cohort import CohortStats
+from repro.fleet.device import simulate_cohort, simulate_device
+from repro.fleet.executor import FleetConfig
+from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
+    blob_sha
+from repro.fleet.population import device_spec
+from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
+    parse_checkpoint
+from repro.fleet.telemetry import MODELS_BY_KEY, device_record
+from repro.msp430.execcache import DISK_FORMAT, have_store_file, \
+    import_store_file
+
+#: per-frame reply deadline: the coordinator answers lease/blob
+#: requests immediately, so a silent minute means the link is gone
+REPLY_TIMEOUT_S = 60.0
+
+
+class _Shutdown(Exception):
+    """Coordinator says the campaign is complete — exit 0."""
+
+
+class _Reject(Exception):
+    """Handshake refused; ``kind`` is ``"campaign"`` (recoverable by
+    re-handshaking keyless) or ``"version"`` (fatal)."""
+
+    def __init__(self, kind: str, reason: str):
+        super().__init__(reason)
+        self.kind = kind
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``host:port`` with a loud error, because this is typed by
+    hand."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"--connect expects host:port (got {text!r})")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"--connect port must be an integer (got {port!r})") \
+            from None
+
+
+def _recv_reply(channel: Channel, want: Tuple[str, ...]
+                ) -> Tuple[dict, Optional[bytes]]:
+    """Receive the next frame of an expected type, absorbing heartbeat
+    echoes and honoring an unsolicited shutdown wherever it lands."""
+    while True:
+        message, blob = channel.recv(timeout=REPLY_TIMEOUT_S)
+        mtype = message["type"]
+        if mtype == "pong":
+            continue
+        if mtype == "shutdown":
+            raise _Shutdown()
+        if mtype in want:
+            return message, blob
+        raise WireError(
+            f"expected one of {want}, got {mtype!r}")
+
+
+def _fetch_blob(channel: Channel, name: str,
+                want_sha: str) -> Optional[bytes]:
+    """Content-addressed fetch: ``None`` unless the coordinator
+    returns exactly the bytes whose sha we asked for (fail closed —
+    a changed or vanished blob means run without it)."""
+    channel.send({"type": "blob_get", "name": name, "sha": want_sha})
+    message, blob = _recv_reply(channel, ("blob", "blob_missing"))
+    if message["type"] == "blob_missing" or blob is None:
+        return None
+    if blob_sha(blob) != want_sha:
+        return None
+    return blob
+
+
+def _heartbeat(channel: Channel, interval: float,
+               stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            channel.send({"type": "ping"})
+        except (WireError, OSError):
+            return                      # main loop handles the drop
+
+
+def _import_stores(channel: Channel, offers: List[dict],
+                   say: Callable[[str], None]) -> None:
+    """Warm this host's translation cache from the coordinator's
+    ``.sbx`` offers; every store is fetched by content hash and
+    re-validated frame-by-frame on import."""
+    for offer in offers:
+        name = str(offer.get("name", ""))
+        sha = offer.get("sha")
+        if not name or not isinstance(sha, str) or \
+                have_store_file(name):
+            continue
+        blob = _fetch_blob(channel, f"sbx:{name}", sha)
+        if blob is None:
+            continue
+        records = import_store_file(name, blob)
+        if records:
+            say(f"imported translation store {name} "
+                f"({records} records)")
+
+
+def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
+               config_key: str, cache_mode: str, cohort: bool,
+               worker_id: str, crash_state: Dict[str, int]) -> None:
+    """Run one leased unit, mirroring the local ``_run_unit`` loop
+    with wire sinks in place of files."""
+    t_start = time.time()
+    model_key = lease["model"]
+    lease_id = lease["lease"]
+    first = lease["first"]
+    device_ids = [int(device) for device in lease["devices"]]
+    model = MODELS_BY_KEY[model_key]
+    cohort_stats = CohortStats()
+    records: Dict[int, dict] = {}
+
+    resumes: Dict[int, dict] = {}
+    for device_text, sha in dict(lease.get("ckpts", {})).items():
+        device = int(device_text)
+        blob = _fetch_blob(channel, f"ckpt:{model_key}:{device}",
+                           str(sha))
+        if blob is None:
+            continue                   # fresh start is byte-identical
+        resumes[device] = parse_checkpoint(blob, config_key, device)
+
+    def sink(device_id, payload: bytes) -> None:
+        channel.send({"type": "ckpt", "model": model_key,
+                      "device": device_id, "lease": lease_id},
+                     blob=payload)
+        crash_state["sent"] += 1
+        if 0 < crash_state["limit"] <= crash_state["sent"]:
+            os._exit(3)                # a worker dying mid-unit
+
+    writer = AsyncCheckpointWriter(sink=sink)
+
+    def submit_checkpoint(device_id: int, sim_ms: int,
+                          snapshot: dict) -> None:
+        writer.submit(device_id,
+                      checkpoint_bytes(config_key, device_id,
+                                       snapshot))
+
+    def commit_record(device_id: int) -> None:
+        # same commit order as the local path: drain the in-flight
+        # checkpoint sends, then the record — the coordinator sees
+        # ckpt frames strictly before the dev_done that retires them
+        channel.send({"type": "dev_done", "model": model_key,
+                      "device": device_id, "first": first,
+                      "lease": lease_id,
+                      "record": records[device_id]})
+
+    with writer:
+        if cohort:
+            specs = [device_spec(config.seed, device_id,
+                                 config.rogue_fraction,
+                                 config.homogeneous)
+                     for device_id in device_ids]
+            runs = simulate_cohort(
+                specs, model, sim_ms=config.sim_ms,
+                checkpoint_every_ms=config.checkpoint_ms,
+                on_checkpoint=submit_checkpoint,
+                resumes={device: resumes[device]
+                         for device in device_ids
+                         if device in resumes},
+                cache_mode=cache_mode, stats=cohort_stats)
+            writer.drain()
+            for device_id in device_ids:
+                records[device_id] = device_record(runs[device_id],
+                                                   model_key)
+                commit_record(device_id)
+        else:
+            for device_id in device_ids:
+                spec = device_spec(config.seed, device_id,
+                                   config.rogue_fraction,
+                                   config.homogeneous)
+                run = simulate_device(
+                    spec, model, sim_ms=config.sim_ms,
+                    checkpoint_every_ms=config.checkpoint_ms,
+                    on_checkpoint=lambda sim_ms, snapshot,
+                    _device=device_id: submit_checkpoint(
+                        _device, sim_ms, snapshot),
+                    resume=resumes.get(device_id),
+                    cache_mode=cache_mode)
+                records[device_id] = device_record(run, model_key)
+                writer.drain()
+                commit_record(device_id)
+
+    channel.send({"type": "result", "lease": lease_id,
+                  "model": model_key,
+                  "stats": {
+                      "devices": list(device_ids),
+                      "t_start": t_start,
+                      "t_end": time.time(),
+                      "ckpt_flushes": writer.flushes,
+                      "ckpt_stall_s": round(writer.stall_s, 6),
+                      "ckpt_bytes": writer.bytes_written,
+                      "cohort_replayed": cohort_stats.replayed,
+                      "cohort_executed": cohort_stats.executed,
+                      "cohort_forks": cohort_stats.forks,
+                      "worker": worker_id,
+                  }})
+
+
+def _handshake(channel: Channel, campaign_key: Optional[str],
+               worker_id: str) -> dict:
+    channel.send({"type": "hello", "proto": PROTO_VERSION,
+                  "state_version": STATE_VERSION,
+                  "disk_format": DISK_FORMAT,
+                  "campaign": campaign_key,
+                  "worker": worker_id,
+                  "host": socket.gethostname()})
+    message, _ = channel.recv(timeout=REPLY_TIMEOUT_S)
+    if message["type"] == "reject":
+        raise _Reject(str(message.get("kind", "version")),
+                      str(message.get("reason", "rejected")))
+    if message["type"] != "welcome":
+        raise WireError(
+            f"expected welcome, got {message['type']!r}")
+    return message
+
+
+def _work_loop(channel: Channel, welcome: dict, config: FleetConfig,
+               config_key: str, cache_mode: str, worker_id: str,
+               crash_state: Dict[str, int],
+               say: Callable[[str], None]) -> None:
+    idle_retry_s = float(welcome.get("idle_retry_s", 1.0))
+    cohort = bool(welcome.get("cohort", False))
+    while True:
+        channel.send({"type": "lease_req", "worker": worker_id})
+        message, _ = _recv_reply(channel, ("lease", "idle"))
+        if message["type"] == "idle":
+            time.sleep(float(message.get("retry_s", idle_retry_s)))
+            continue
+        say(f"lease {message['lease']}: model {message['model']}, "
+            f"{len(message['devices'])} device(s)")
+        _run_lease(channel, message, config, config_key, cache_mode,
+                   cohort, worker_id, crash_state)
+
+
+def run_worker(connect: str, worker_id: Optional[str] = None,
+               cache_mode: Optional[str] = None,
+               retry_limit: int = 10,
+               crash_after_checkpoints: int = 0,
+               report: Optional[Callable[[str], None]] = None) -> int:
+    """Worker main loop; returns a process exit code (0 campaign
+    complete, 1 coordinator unreachable, 2 version/campaign skew)."""
+    say = report if report is not None else (lambda _line: None)
+    host, port = parse_endpoint(connect)
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    campaign_key: Optional[str] = None
+    crash_state = {"sent": 0, "limit": crash_after_checkpoints}
+    failures = 0
+    backoff = 0.5
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10)
+        except OSError as error:
+            failures += 1
+            if failures > retry_limit:
+                say(f"giving up after {failures} failed connection "
+                    f"attempt(s): {error}")
+                return 1
+            delay = backoff * (1.0 + random.random())
+            say(f"connect to {host}:{port} failed ({error}); "
+                f"retrying in {delay:.1f}s")
+            time.sleep(delay)
+            backoff = min(backoff * 2, 30.0)
+            continue
+        channel = Channel(sock)
+        stop = threading.Event()
+        heartbeat: Optional[threading.Thread] = None
+        try:
+            welcome = _handshake(channel, campaign_key, worker_id)
+            failures = 0
+            backoff = 0.5
+            campaign_key = str(welcome["campaign"])
+            config = FleetConfig(
+                **{**welcome["config"],
+                   "models": tuple(welcome["config"]["models"])})
+            if config.key() != campaign_key:
+                say("campaign key does not match the advertised "
+                    "config — version skew between hosts")
+                return 2
+            mode = cache_mode if cache_mode is not None \
+                else str(welcome.get("cache_mode", "shared"))
+            _import_stores(channel, list(welcome.get("stores", [])),
+                           say)
+            heartbeat = threading.Thread(
+                target=_heartbeat,
+                args=(channel, float(welcome.get("heartbeat_s", 5.0)),
+                      stop),
+                name="fleet-heartbeat", daemon=True)
+            heartbeat.start()
+            say(f"joined campaign {campaign_key} at {host}:{port} "
+                f"as {worker_id!r}")
+            _work_loop(channel, welcome, config, campaign_key, mode,
+                       worker_id, crash_state, say)
+        except _Shutdown:
+            say("campaign complete — shutting down")
+            return 0
+        except _Reject as reject:
+            if reject.kind == "campaign":
+                say(f"handshake rejected ({reject}); re-handshaking "
+                    "without a campaign key")
+                campaign_key = None
+                continue
+            say(f"handshake rejected: {reject}")
+            return 2
+        except (WireError, OSError) as error:
+            failures += 1
+            if failures > retry_limit:
+                say(f"giving up after {failures} consecutive "
+                    f"connection failure(s): {error}")
+                return 1
+            delay = backoff * (1.0 + random.random())
+            say(f"connection lost ({error}); reconnecting in "
+                f"{delay:.1f}s")
+            time.sleep(delay)
+            backoff = min(backoff * 2, 30.0)
+        finally:
+            stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=1.0)
+            channel.close()

@@ -227,3 +227,23 @@ def summary_text(summary: dict) -> str:
             f"{model['faults']:>8}{model['restarts']:>9}"
             f"{rogue:>12}")
     return "\n".join(lines)
+
+
+def worker_summary(workers: Dict[str, dict]) -> dict:
+    """Fold the coordinator's per-worker attribution rows into fleet
+    totals for ``coordinator.json`` — how much work and wire traffic
+    the socket campaign cost, worker count included so reconnect and
+    timeout rates can be read per worker."""
+    return {
+        "workers": len(workers),
+        "units_run": sum(w["units_run"] for w in workers.values()),
+        "devices_done": sum(
+            w["devices_done"] for w in workers.values()),
+        "bytes_to_workers": sum(
+            w["bytes_to_worker"] for w in workers.values()),
+        "bytes_from_workers": sum(
+            w["bytes_from_worker"] for w in workers.values()),
+        "reconnects": sum(w["reconnects"] for w in workers.values()),
+        "lease_timeouts": sum(
+            w["lease_timeouts"] for w in workers.values()),
+    }

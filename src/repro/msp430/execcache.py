@@ -54,10 +54,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import struct
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: variants kept per PC before publishing stops.  A device rewriting
 #: its own code (rogue wild-pointer stores) would otherwise grow an
@@ -239,6 +240,137 @@ def prune_exec_cache(directory: Optional[Path] = None,
         total -= size
         removed += 1
     return removed
+
+
+# -- store export/import (the fleet blob channel) ---------------------------
+#
+# A remote fleet worker starts translation-cold: its host has never
+# run this firmware.  The coordinator offers its ``.sbx`` store files
+# over the content-addressed blob channel; the worker imports any it
+# doesn't already have and starts warm.  Import is fail-closed in
+# exactly the sense ingestion already is: the blob's sha was verified
+# at the channel layer, and every frame is then re-walked — magic,
+# length bound, payload digest, record shape — with anything invalid
+# dropped (never written), so a corrupt or hostile transfer degrades
+# to "fewer warm frames", never to a poisoned store.  Adoption-time
+# byte-verification against the puller's live memory still applies on
+# top, as for any locally published frame.
+
+#: store files are named by an identity hash; anything else (path
+#: tricks, stray files) is refused on both export and import
+_STORE_NAME = re.compile(r"^[0-9a-f]{16}\.sbx$")
+
+
+def list_store_files() -> List[dict]:
+    """Offerable ``.sbx`` stores in this process's cache dir:
+    ``[{"name", "sha", "size"}, ...]`` — the coordinator's side of the
+    blob-channel handshake."""
+    directory = exec_cache_dir()
+    offers = []
+    if not directory.is_dir():
+        return offers
+    for path in sorted(directory.glob("*.sbx")):
+        if not _STORE_NAME.match(path.name):
+            continue
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        offers.append({"name": path.name,
+                       "sha": hashlib.sha256(data).hexdigest(),
+                       "size": len(data)})
+    return offers
+
+
+def read_store_file(name: str) -> Optional[bytes]:
+    """The raw bytes of one offerable store, or ``None`` (bad name,
+    vanished file)."""
+    if not _STORE_NAME.match(name):
+        return None
+    try:
+        return (exec_cache_dir() / name).read_bytes()
+    except OSError:
+        return None
+
+
+def have_store_file(name: str) -> bool:
+    """Whether this host already has (any version of) the named store
+    — an importer skips those; append-only publishing means the local
+    copy converges on its own."""
+    return bool(_STORE_NAME.match(name)) and \
+        (exec_cache_dir() / name).exists()
+
+
+def scan_frames(data: bytes) -> Tuple[bytes, int, int]:
+    """Walk ``data`` as SBX frames and keep only fully valid ones.
+
+    Returns ``(valid frame bytes, records kept, frames rejected)``.
+    The walk applies every check ingestion applies — magic, length
+    bound, payload digest, unpicklable/shapeless records — and, being
+    an import-time scan of a complete transfer, also treats a torn
+    tail as a rejection rather than "wait for more"."""
+    kept = bytearray()
+    records = 0
+    rejected = 0
+    view = memoryview(data)
+    pos = 0
+    frame = len(_MAGIC) + _HEADER.size
+    while pos + frame <= len(view):
+        if bytes(view[pos:pos + len(_MAGIC)]) != _MAGIC:
+            rejected += 1
+            break                     # lost sync: drop the rest
+        length, digest = _HEADER.unpack_from(view, pos + len(_MAGIC))
+        if length > _MAX_RECORD:
+            rejected += 1
+            break
+        start = pos + frame
+        if start + length > len(view):
+            rejected += 1              # torn tail
+            break
+        payload = bytes(view[start:start + length])
+        pos = start + length
+        if hashlib.sha256(payload).digest()[:16] != digest:
+            rejected += 1
+            continue
+        try:
+            record = pickle.loads(payload)
+            record["pc"], record["code"]
+        except Exception:
+            rejected += 1
+            continue
+        kept += _MAGIC + _HEADER.pack(length, digest) + payload
+        records += 1
+    if pos < len(view) and pos + frame > len(view) and not rejected:
+        rejected += 1                  # trailing fragment shorter
+    return bytes(kept), records, rejected
+
+
+def import_store_file(name: str, data: bytes) -> int:
+    """Install a store fetched from a peer; returns records kept.
+
+    No-ops (returns 0) when caching is disabled, the name is not a
+    valid store name, the store already exists locally, or no frame
+    survives validation.  The validated frames are written atomically
+    under the peer's name — the name encodes the (port wiring,
+    toolchain, interpreter) identity, so a store from a peer with a
+    different environment simply never gets opened here."""
+    if not _disk_enabled() or not _STORE_NAME.match(name):
+        return 0
+    path = exec_cache_dir() / name
+    if path.exists():
+        return 0
+    kept, records, _rejected = scan_frames(data)
+    if not records:
+        return 0
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".sbx.tmp{os.getpid()}")
+        tmp.write_bytes(kept)
+        os.replace(tmp, path)
+    except OSError:
+        return 0                       # unwritable cache dir
+    prune_exec_cache(path.parent, keep=path)
+    return records
 
 
 class DiskTier:

@@ -60,6 +60,17 @@ class TestConfigValidation:
                                 "rogue_fraction": fraction})
         assert config.rogue_fraction == fraction
 
+    @pytest.mark.parametrize("minutes", [0, -10.0])
+    def test_rejects_nonpositive_checkpoint_cadence(self, minutes):
+        # checkpoint_minutes <= 0 used to slip through __post_init__
+        # and surface later as a confusing max(1, ...) cadence of one
+        # simulated millisecond — it must fail loudly at construction
+        with pytest.raises(ReproError,
+                           match="checkpoint_minutes must be "
+                                 "positive"):
+            FleetConfig(**{**_CAMPAIGN,
+                           "checkpoint_minutes": minutes})
+
 
 class TestKillPointMatrix:
     def test_kill_mid_checkpoint_write(self, tmp_path):

@@ -1,0 +1,421 @@
+"""Socket dispatch: wire framing, blob validation, and loopback
+campaigns.
+
+The network layer's contract has two halves.  The wire half is
+fail-closed framing: torn, oversized, garbage, or digest-mismatched
+frames raise :class:`WireError` and are never acted on, and a
+handshake with a stale campaign key or skewed versions is refused.
+The campaign half is transport invariance: a campaign dispatched over
+sockets — including one that loses a worker mid-unit, or loses the
+coordinator itself — produces byte-identical output to the in-process
+``--jobs`` path.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.executor import FleetConfig, run_campaign
+from repro.fleet.net.coordinator import SocketTransport
+from repro.fleet.net.protocol import Channel, MAX_FRAME, \
+    PROTO_VERSION, WireError, blob_sha
+from repro.fleet.net.worker import parse_endpoint, run_worker
+from repro.fleet.snapshot import STATE_VERSION
+from repro.msp430 import execcache
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: same small-but-non-trivial campaign the shard tests use: several
+#: checkpoint segments per device, rogues present
+_CAMPAIGN = dict(devices=4, hours=0.003, models=("mpu",), seed=7,
+                 checkpoint_minutes=0.05, rogue_fraction=0.5)
+
+
+# -- wire framing -----------------------------------------------------------
+
+def _pair():
+    left, right = socket.socketpair()
+    return Channel(left), Channel(right)
+
+
+class TestProtocol:
+    def test_roundtrip_message_and_blob(self):
+        tx, rx = _pair()
+        tx.send({"type": "blob", "name": "x"}, blob=b"payload")
+        message, blob = rx.recv(timeout=5)
+        assert message["type"] == "blob"
+        assert blob == b"payload"
+        assert message["blob_sha"] == blob_sha(b"payload")
+        assert rx.bytes_in == tx.bytes_out > 0
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        left.sendall(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(WireError, match="length"):
+            Channel(right).recv(timeout=5)
+
+    def test_garbage_payload_rejected(self):
+        left, right = socket.socketpair()
+        left.sendall(struct.pack(">I", 4) + b"\xff\xfe\x00\x01")
+        with pytest.raises(WireError, match="not valid JSON"):
+            Channel(right).recv(timeout=5)
+
+    def test_untyped_message_rejected(self):
+        left, right = socket.socketpair()
+        payload = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(WireError, match="typed message"):
+            Channel(right).recv(timeout=5)
+
+    def test_torn_frame_rejected(self):
+        left, right = socket.socketpair()
+        left.sendall(struct.pack(">I", 100) + b"{")
+        left.close()
+        with pytest.raises(WireError, match="torn"):
+            Channel(right).recv(timeout=5)
+
+    def test_blob_digest_mismatch_rejected(self):
+        left, right = socket.socketpair()
+        message = {"type": "blob", "blob_len": 3,
+                   "blob_sha": "0" * 64}
+        payload = json.dumps(message).encode()
+        left.sendall(struct.pack(">I", len(payload)) + payload
+                     + b"abc")
+        with pytest.raises(WireError, match="digest mismatch"):
+            Channel(right).recv(timeout=5)
+
+    def test_oversized_outgoing_frame_refused(self):
+        tx, _rx = _pair()
+        with pytest.raises(WireError, match="MAX_FRAME"):
+            tx.send({"type": "x", "pad": "a" * MAX_FRAME})
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("127.0.0.1:7633") == ("127.0.0.1", 7633)
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="host:port"):
+            parse_endpoint("7633")
+        with pytest.raises(ReproError, match="integer"):
+            parse_endpoint("host:seven")
+
+
+# -- translation-store transfer validation ----------------------------------
+
+def _sbx_frame(record: dict) -> bytes:
+    payload = pickle.dumps(record,
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()[:16]
+    return (execcache._MAGIC
+            + execcache._HEADER.pack(len(payload), digest) + payload)
+
+
+class TestStoreTransfer:
+    def test_scan_keeps_valid_rejects_torn_tail(self):
+        good = _sbx_frame({"pc": 1, "code": "a"})
+        torn = _sbx_frame({"pc": 2, "code": "b"})[:-3]
+        kept, records, rejected = execcache.scan_frames(good + torn)
+        assert (records, rejected) == (1, 1)
+        assert kept == good
+
+    def test_scan_rejects_corrupt_payload_digest(self):
+        frame = bytearray(_sbx_frame({"pc": 1, "code": "a"}))
+        frame[-1] ^= 0xFF
+        kept, records, rejected = execcache.scan_frames(bytes(frame))
+        assert (kept, records, rejected) == (b"", 0, 1)
+
+    def test_scan_rejects_shapeless_records(self):
+        frame = _sbx_frame({"not": "a block record"})
+        kept, records, rejected = execcache.scan_frames(frame)
+        assert (kept, records, rejected) == (b"", 0, 1)
+
+    def test_import_writes_only_valid_frames(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CACHE_DIR", str(tmp_path))
+        name = "0123456789abcdef.sbx"
+        good = _sbx_frame({"pc": 1, "code": "a"})
+        assert execcache.import_store_file(
+            name, good + b"trailing garbage") == 1
+        assert (tmp_path / name).read_bytes() == good
+        # an existing store is never overwritten by an import
+        assert execcache.import_store_file(name, good) == 0
+
+    def test_import_refuses_bad_names_and_empty_scans(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CACHE_DIR", str(tmp_path))
+        good = _sbx_frame({"pc": 1, "code": "a"})
+        assert execcache.import_store_file("../evil.sbx", good) == 0
+        assert execcache.import_store_file("UPPER.sbx", good) == 0
+        assert execcache.import_store_file(
+            "0123456789abcdef.sbx", b"pure garbage") == 0
+        assert list(tmp_path.glob("*.sbx")) == []
+
+
+# -- loopback campaigns -----------------------------------------------------
+
+def _serial_reference(tmp_path):
+    out = tmp_path / "reference"
+    run_campaign(FleetConfig(**_CAMPAIGN), out, jobs=1)
+    return out
+
+
+class _Coordinator:
+    """A socket campaign on a background thread, on an ephemeral
+    loopback port."""
+
+    def __init__(self, out, jobs=2, lease_timeout_s=10.0,
+                 profile=False, **overrides):
+        self.out = Path(out)
+        self.transport = SocketTransport(
+            lease_timeout_s=lease_timeout_s, heartbeat_s=0.5,
+            idle_retry_s=0.1)
+        self.error = None
+        config = FleetConfig(**{**_CAMPAIGN, **overrides})
+        profile_dir = self.out / "profiles" if profile else None
+
+        def _run():
+            try:
+                run_campaign(config, self.out, jobs=jobs,
+                             transport=self.transport,
+                             profile_dir=profile_dir)
+            except BaseException as error:   # surfaced in join()
+                self.error = error
+
+        self.thread = threading.Thread(target=_run, daemon=True)
+        self.thread.start()
+
+    def address(self) -> str:
+        path = self.out / "coordinator.addr"
+        deadline = time.monotonic() + 30
+        while not path.exists():
+            assert time.monotonic() < deadline, \
+                "coordinator never published its address"
+            assert self.thread.is_alive() or path.exists(), \
+                f"coordinator died early: {self.error}"
+            time.sleep(0.02)
+        return path.read_text().strip()
+
+    def join(self):
+        self.thread.join(timeout=120)
+        assert not self.thread.is_alive(), "coordinator hung"
+        if self.error is not None:
+            raise self.error
+
+
+def _worker_thread(address, worker_id, codes):
+    def _run():
+        codes[worker_id] = run_worker(address, worker_id=worker_id)
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    return thread
+
+
+def _raw_hello(address, **overrides):
+    """Open one raw connection, send a hello, return the reply."""
+    host, port = parse_endpoint(address)
+    channel = Channel(socket.create_connection((host, port),
+                                               timeout=10))
+    hello = {"type": "hello", "proto": PROTO_VERSION,
+             "state_version": STATE_VERSION,
+             "disk_format": execcache.DISK_FORMAT,
+             "campaign": None, "worker": "probe", "host": "test"}
+    hello.update(overrides)
+    channel.send(hello)
+    reply, _ = channel.recv(timeout=10)
+    channel.close()
+    return reply
+
+
+def _subprocess_env(tmp_path):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    env["REPRO_EXEC_CACHE_DIR"] = str(tmp_path / "subproc-exec")
+    return env
+
+
+class TestLoopbackCampaign:
+    def test_two_workers_match_local_bytes(self, tmp_path):
+        reference = _serial_reference(tmp_path)
+        out = tmp_path / "sock"
+        coordinator = _Coordinator(out, jobs=2, profile=True)
+        address = coordinator.address()
+        codes = {}
+        workers = [_worker_thread(address, f"w{i}", codes)
+                   for i in range(2)]
+        coordinator.join()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert codes == {"w0": 0, "w1": 0}
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+        assert (out / "devices-mpu.jsonl").read_bytes() == \
+            (reference / "devices-mpu.jsonl").read_bytes()
+        profile = json.loads(
+            (out / "profiles" / "coordinator.json").read_text())
+        assert profile["transport"] == "socket"
+        assert set(profile["workers"]) == {"w0", "w1"}
+        for row in profile["workers"].values():
+            assert row["bytes_to_worker"] > 0
+            assert row["bytes_from_worker"] > 0
+        totals = profile["worker_totals"]
+        assert totals["workers"] == 2
+        assert totals["devices_done"] == _CAMPAIGN["devices"]
+        assert totals["units_run"] >= 1
+
+    def test_worker_kill_mid_unit_reassigns_lease(self, tmp_path):
+        reference = _serial_reference(tmp_path)
+        out = tmp_path / "killed"
+        coordinator = _Coordinator(out, jobs=2, lease_timeout_s=3.0,
+                                   profile=True)
+        address = coordinator.address()
+        # first worker dies (os._exit) after shipping two checkpoint
+        # frames — mid-unit, with a lease held
+        crash = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet", "worker",
+             "--connect", address, "--worker-id", "crashy",
+             "--crash-after-ckpts", "2"],
+            env=_subprocess_env(tmp_path), capture_output=True,
+            timeout=120)
+        assert crash.returncode == 3
+        codes = {}
+        healthy = _worker_thread(address, "healthy", codes)
+        coordinator.join()
+        healthy.join(timeout=30)
+        assert codes == {"healthy": 0}
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+        assert (out / "devices-mpu.jsonl").read_bytes() == \
+            (reference / "devices-mpu.jsonl").read_bytes()
+        profile = json.loads(
+            (out / "profiles" / "coordinator.json").read_text())
+        # the dead worker's lease went back to the queue, and the
+        # profile attributes both ends of the story
+        assert profile["requeues"] >= 1
+        assert {"crashy", "healthy"} <= set(profile["workers"])
+        assert profile["workers"]["healthy"]["units_run"] >= 1
+
+    def test_stale_campaign_key_is_refused(self, tmp_path):
+        out = tmp_path / "stale"
+        coordinator = _Coordinator(out)
+        address = coordinator.address()
+        reply = _raw_hello(address, campaign="f" * 16)
+        assert reply["type"] == "reject"
+        assert reply["kind"] == "campaign"
+        assert "stale campaign key" in reply["reason"]
+        codes = {}
+        worker = _worker_thread(address, "w0", codes)
+        coordinator.join()
+        worker.join(timeout=30)
+        assert codes == {"w0": 0}
+
+    def test_version_skew_is_refused(self, tmp_path):
+        out = tmp_path / "skew"
+        coordinator = _Coordinator(out)
+        address = coordinator.address()
+        reply = _raw_hello(address, proto=PROTO_VERSION + 1)
+        assert reply["type"] == "reject"
+        assert reply["kind"] == "version"
+        reply = _raw_hello(address, state_version=STATE_VERSION + 1)
+        assert reply["kind"] == "version"
+        codes = {}
+        worker = _worker_thread(address, "w0", codes)
+        coordinator.join()
+        worker.join(timeout=30)
+        assert codes == {"w0": 0}
+
+    def test_garbage_connection_does_not_wedge(self, tmp_path):
+        out = tmp_path / "garbage"
+        coordinator = _Coordinator(out)
+        address = coordinator.address()
+        host, port = parse_endpoint(address)
+        # a port scanner / confused peer: raw bytes, then vanish
+        probe = socket.create_connection((host, port), timeout=10)
+        probe.sendall(b"\xff" * 8)
+        probe.close()
+        codes = {}
+        worker = _worker_thread(address, "w0", codes)
+        coordinator.join()
+        worker.join(timeout=30)
+        assert codes == {"w0": 0}
+
+    def test_coordinator_kill_and_resume_is_byte_identical(
+            self, tmp_path):
+        reference = _serial_reference(tmp_path)
+        out = tmp_path / "ckill"
+        env = _subprocess_env(tmp_path)
+        coordinator = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "fleet", "run",
+             "--devices", str(_CAMPAIGN["devices"]),
+             "--hours", str(_CAMPAIGN["hours"]),
+             "--model", "mpu", "--seed", str(_CAMPAIGN["seed"]),
+             "--checkpoint-minutes",
+             str(_CAMPAIGN["checkpoint_minutes"]),
+             "--rogue-fraction", str(_CAMPAIGN["rogue_fraction"]),
+             "--out", str(out), "--jobs", "2",
+             "--listen", "127.0.0.1:0"],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        try:
+            addr_path = out / "coordinator.addr"
+            deadline = time.monotonic() + 30
+            while not addr_path.exists():
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            address = addr_path.read_text().strip()
+            worker = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "fleet",
+                 "worker", "--connect", address,
+                 "--worker-id", "w0", "--retry-limit", "0"],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            try:
+                # kill the coordinator once real progress exists —
+                # a checkpoint or a committed record on its disk
+                shards = out / "shards"
+                deadline = time.monotonic() + 60
+                while True:
+                    assert time.monotonic() < deadline, \
+                        "no checkpoint ever appeared"
+                    if shards.is_dir() and (
+                            list(shards.glob("*.ckpt"))
+                            or list(shards.glob("*-u*.jsonl"))):
+                        break
+                    time.sleep(0.02)
+                os.kill(coordinator.pid, signal.SIGKILL)
+                coordinator.wait(timeout=30)
+            finally:
+                worker.terminate()
+                worker.wait(timeout=30)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.wait(timeout=30)
+        # resume the very same campaign locally — transports and
+        # worker counts are execution details
+        run_campaign(FleetConfig(**_CAMPAIGN), out, jobs=1)
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+        assert (out / "devices-mpu.jsonl").read_bytes() == \
+            (reference / "devices-mpu.jsonl").read_bytes()
+
+
+class TestCliValidation:
+    def test_jobs_zero_is_refused(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet", "run",
+             "--devices", "1", "--hours", "0.001", "--model", "mpu",
+             "--jobs", "0", "--out", str(tmp_path / "never")],
+            env=_subprocess_env(tmp_path), capture_output=True,
+            text=True, timeout=60)
+        assert result.returncode == 2
+        assert "--jobs must be >= 1" in result.stderr
