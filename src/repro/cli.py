@@ -160,6 +160,20 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_secret(secret_file: Optional[str]) -> Optional[bytes]:
+    """The fleet's shared handshake secret: ``--secret-file`` wins,
+    else the ``REPRO_FLEET_SECRET`` environment variable, else none
+    (loopback-only dispatch)."""
+    import os
+    if secret_file:
+        secret = Path(secret_file).read_bytes().strip()
+        if not secret:
+            raise ReproError(f"--secret-file {secret_file} is empty")
+        return secret
+    env = os.environ.get("REPRO_FLEET_SECRET")
+    return env.encode() if env else None
+
+
 def cmd_fleet_run(args: argparse.Namespace) -> int:
     from repro.fleet.executor import FleetConfig, run_campaign
     from repro.fleet.telemetry import DEFAULT_MODELS, MODELS_BY_KEY, \
@@ -190,7 +204,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
         transport = SocketTransport(
             host=host, port=port,
             lease_timeout_s=args.lease_seconds,
-            heartbeat_s=args.heartbeat_seconds)
+            heartbeat_s=args.heartbeat_seconds,
+            secret=_fleet_secret(args.secret_file))
     summary = run_campaign(config, Path(args.out), jobs=args.jobs,
                            crash_after_checkpoints=args.crash_after,
                            report=print, cache_mode=args.cache_mode,
@@ -215,7 +230,7 @@ def cmd_fleet_worker(args: argparse.Namespace) -> int:
         args.connect, worker_id=args.worker_id,
         cache_mode=args.cache_mode, retry_limit=args.retry_limit,
         crash_after_checkpoints=args.crash_after_ckpts,
-        report=print)
+        report=print, secret=_fleet_secret(args.secret_file))
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -394,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="heartbeat cadence advertised to workers "
              "(only with --listen)")
     fleet_run.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the fleet's shared handshake secret "
+             "(default: the REPRO_FLEET_SECRET environment "
+             "variable); required for a non-loopback --listen — "
+             "workers must present the same secret to join")
+    fleet_run.add_argument(
         "--crash-after", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C checkpoints
     fleet_run.add_argument(
@@ -423,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_worker.add_argument(
         "--retry-limit", type=int, default=10, metavar="N",
         help="consecutive connection failures before giving up")
+    fleet_worker.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the fleet's shared handshake secret "
+             "(default: the REPRO_FLEET_SECRET environment "
+             "variable), for coordinators that require one")
     fleet_worker.add_argument(
         "--crash-after-ckpts", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C ckpt frames

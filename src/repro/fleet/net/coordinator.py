@@ -27,15 +27,24 @@ Failure model (the part worth reading twice):
   files the local path uses, so killing the coordinator and resuming
   (with ``--jobs`` *or* ``--listen``) behaves identically.
 
-Incoming checkpoint frames are validated with
-:func:`~repro.fleet.snapshot.parse_checkpoint` (campaign key + device
-stamp) before touching disk, and blobs served to workers (checkpoint
-payloads, ``.sbx`` translation stores) go out content-addressed so
-the other end can verify them — fail-closed in both directions.
+Trust model: the listen port may be reachable by peers that are not
+fleet workers at all, so nothing a client sends is ever *executed* —
+checkpoint frames are deserialized with the restricted
+:func:`~repro.safeload.safe_loads` (inside
+:func:`~repro.fleet.snapshot.parse_checkpoint`, which also checks the
+campaign key + device stamp) before touching disk, blob names are
+validated against the model registry before becoming paths, and blobs
+served to workers (checkpoint payloads, ``.sbx`` translation stores)
+go out content-addressed so the other end can verify them.  On top of
+that, a shared ``secret`` turns the handshake into HMAC
+challenge/response — required for any non-loopback bind, because
+checkpoint *content* and ``dev_done`` records still shape campaign
+output and must come from trusted workers.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import queue
@@ -50,11 +59,17 @@ from repro.errors import ReproError
 from repro.fleet.executor import _atomic_write, _ckpt_path, \
     _shards_dir, _unit_stream_path, _unlink_quiet
 from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
-    blob_sha
+    auth_mac, blob_sha
 from repro.fleet.snapshot import STATE_VERSION, parse_checkpoint
-from repro.fleet.telemetry import record_line
+from repro.fleet.telemetry import MODELS_BY_KEY, record_line
 from repro.msp430.execcache import DISK_FORMAT, list_store_files, \
     read_store_file
+
+
+def _is_loopback(host: str) -> bool:
+    """Conservatively: only names that always resolve to the local
+    host count (an empty host binds every interface)."""
+    return host in ("localhost", "::1") or host.startswith("127.")
 
 
 class _Lease:
@@ -117,12 +132,28 @@ class SocketTransport:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  lease_timeout_s: float = 30.0,
                  heartbeat_s: float = 5.0,
-                 idle_retry_s: float = 1.0):
+                 idle_retry_s: float = 1.0,
+                 secret: Optional[bytes] = None):
         if lease_timeout_s <= 0:
             raise ReproError(
                 f"lease timeout must be positive (got {lease_timeout_s})")
+        if heartbeat_s <= 0:
+            raise ReproError(
+                f"heartbeat cadence must be positive (got "
+                f"{heartbeat_s}) — workers sleep between pings")
+        if idle_retry_s < 0:
+            raise ReproError(
+                f"idle retry must be >= 0 (got {idle_retry_s})")
+        if secret is None and not _is_loopback(host):
+            raise ReproError(
+                f"refusing to listen on non-loopback {host!r} without "
+                "a shared secret: anyone who can reach the port could "
+                "join the fleet and feed records into the campaign — "
+                "pass --secret-file (or set REPRO_FLEET_SECRET) on "
+                "both ends, or bind 127.0.0.1")
         self.host = host
         self.port = port
+        self.secret = secret
         self.lease_timeout_s = lease_timeout_s
         self.heartbeat_s = heartbeat_s
         self.idle_retry_s = idle_retry_s
@@ -316,6 +347,20 @@ class SocketTransport:
                     f"this coordinator runs {config_key!r}; drop the "
                     "key and re-handshake")})
             return None
+        if self.secret is not None:
+            nonce = os.urandom(32).hex()
+            channel.send({"type": "challenge", "nonce": nonce})
+            reply, _ = channel.recv(timeout=10.0)
+            if reply.get("type") != "auth" or not hmac.compare_digest(
+                    str(reply.get("mac", "")),
+                    auth_mac(self.secret, nonce)):
+                channel.send({
+                    "type": "reject", "kind": "auth",
+                    "reason": (
+                        "shared-secret authentication failed — this "
+                        "coordinator requires the fleet secret "
+                        "(--secret-file / REPRO_FLEET_SECRET)")})
+                return None
         worker_id = str(hello.get("worker") or "anonymous")
         channel.send({
             "type": "welcome",
@@ -472,6 +517,8 @@ class SocketTransport:
         if name.startswith("ckpt:"):
             try:
                 _tag, model_key, device = name.split(":", 2)
+                if model_key not in MODELS_BY_KEY:
+                    raise ValueError(model_key)   # path-shaped names
                 path = _ckpt_path(Path(self._campaign["out_dir"]),
                                   model_key, int(device))
                 with self._lock:

@@ -24,10 +24,13 @@ type      direction   meaning
 ========  ==========  ===================================================
 hello     w -> c      handshake: proto + STATE_VERSION + DISK_FORMAT +
                       campaign key (None on first contact) + worker id
+challenge c -> w      a secret is configured: prove you hold it —
+                      reply with ``auth`` over the fresh nonce
+auth      w -> c      HMAC-SHA256(secret, nonce) for the challenge
 welcome   c -> w      handshake accepted: campaign key, config, cache
                       mode, cohort flag, heartbeat cadence, store offers
 reject    c -> w      handshake refused (stale campaign key, version
-                      mismatch) — the reason says which
+                      mismatch, failed auth) — the reason says which
 lease_req w -> c      give me work
 lease     c -> w      a work unit: model, device ids, checkpoint shas
 idle      c -> w      no work right now; retry after ``retry_s``
@@ -47,6 +50,7 @@ pong      c -> w      heartbeat echo
 from __future__ import annotations
 
 import hashlib
+import hmac
 import json
 import socket
 import struct
@@ -57,7 +61,7 @@ from repro.errors import ReproError
 
 #: bump on any incompatible message/framing change; exchanged (and
 #: required equal) in the hello/welcome handshake
-PROTO_VERSION = 1
+PROTO_VERSION = 2
 
 #: JSON payloads are small (records, leases); anything bigger than
 #: this is a corrupt length field or garbage on the port
@@ -79,6 +83,13 @@ class WireError(ReproError):
 def blob_sha(data: bytes) -> str:
     """Content address of a blob (hex sha-256)."""
     return hashlib.sha256(data).hexdigest()
+
+
+def auth_mac(secret: bytes, nonce: str) -> str:
+    """The ``auth`` frame's proof: HMAC-SHA256 of the coordinator's
+    per-connection nonce under the shared secret.  A fresh nonce per
+    connection means a recorded handshake replays to nothing."""
+    return hmac.new(secret, nonce.encode(), hashlib.sha256).hexdigest()
 
 
 class Channel:

@@ -1,7 +1,9 @@
 """The remote fleet worker: ``repro fleet worker --connect host:port``.
 
 A worker is a loop around one connection: handshake (protocol,
-``STATE_VERSION``, ``DISK_FORMAT``, campaign key), import any warm
+``STATE_VERSION``, ``DISK_FORMAT``, campaign key, and — when the
+coordinator is configured with a shared secret — an HMAC
+challenge/response proving this worker holds it too), import any warm
 ``.sbx`` translation stores the coordinator offers, then lease units
 until the coordinator says shutdown.  Each lease runs through the
 exact same :func:`~repro.fleet.device.simulate_device` /
@@ -41,7 +43,7 @@ from repro.fleet.cohort import CohortStats
 from repro.fleet.device import simulate_cohort, simulate_device
 from repro.fleet.executor import FleetConfig
 from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
-    blob_sha
+    auth_mac, blob_sha
 from repro.fleet.population import device_spec
 from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
     parse_checkpoint
@@ -243,7 +245,8 @@ def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
 
 
 def _handshake(channel: Channel, campaign_key: Optional[str],
-               worker_id: str) -> dict:
+               worker_id: str,
+               secret: Optional[bytes] = None) -> dict:
     channel.send({"type": "hello", "proto": PROTO_VERSION,
                   "state_version": STATE_VERSION,
                   "disk_format": DISK_FORMAT,
@@ -251,6 +254,15 @@ def _handshake(channel: Channel, campaign_key: Optional[str],
                   "worker": worker_id,
                   "host": socket.gethostname()})
     message, _ = channel.recv(timeout=REPLY_TIMEOUT_S)
+    if message["type"] == "challenge":
+        if secret is None:
+            raise _Reject(
+                "auth", "coordinator requires a shared secret — "
+                "pass --secret-file or set REPRO_FLEET_SECRET")
+        channel.send({"type": "auth",
+                      "mac": auth_mac(secret,
+                                      str(message.get("nonce", "")))})
+        message, _ = channel.recv(timeout=REPLY_TIMEOUT_S)
     if message["type"] == "reject":
         raise _Reject(str(message.get("kind", "version")),
                       str(message.get("reason", "rejected")))
@@ -270,7 +282,8 @@ def _work_loop(channel: Channel, welcome: dict, config: FleetConfig,
         channel.send({"type": "lease_req", "worker": worker_id})
         message, _ = _recv_reply(channel, ("lease", "idle"))
         if message["type"] == "idle":
-            time.sleep(float(message.get("retry_s", idle_retry_s)))
+            time.sleep(max(0.0, float(message.get("retry_s",
+                                                  idle_retry_s))))
             continue
         say(f"lease {message['lease']}: model {message['model']}, "
             f"{len(message['devices'])} device(s)")
@@ -282,7 +295,8 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
                cache_mode: Optional[str] = None,
                retry_limit: int = 10,
                crash_after_checkpoints: int = 0,
-               report: Optional[Callable[[str], None]] = None) -> int:
+               report: Optional[Callable[[str], None]] = None,
+               secret: Optional[bytes] = None) -> int:
     """Worker main loop; returns a process exit code (0 campaign
     complete, 1 coordinator unreachable, 2 version/campaign skew)."""
     say = report if report is not None else (lambda _line: None)
@@ -312,7 +326,8 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
         stop = threading.Event()
         heartbeat: Optional[threading.Thread] = None
         try:
-            welcome = _handshake(channel, campaign_key, worker_id)
+            welcome = _handshake(channel, campaign_key, worker_id,
+                                 secret)
             failures = 0
             backoff = 0.5
             campaign_key = str(welcome["campaign"])
@@ -329,7 +344,8 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
                            say)
             heartbeat = threading.Thread(
                 target=_heartbeat,
-                args=(channel, float(welcome.get("heartbeat_s", 5.0)),
+                args=(channel,
+                      max(0.1, float(welcome.get("heartbeat_s", 5.0))),
                       stop),
                 name="fleet-heartbeat", daemon=True)
             heartbeat.start()

@@ -32,6 +32,7 @@ from repro.errors import KernelError, ReproError
 from repro.kernel.machine import AmuletMachine
 from repro.kernel.scheduler import Scheduler
 from repro.msp430.memory import page_delta
+from repro.safeload import safe_loads
 
 #: bump whenever any layer's ``state_dict`` layout changes
 STATE_VERSION = 2
@@ -123,10 +124,19 @@ def checkpoint_bytes(config_key: str, device_id: int,
 def parse_checkpoint(data: bytes, config_key: str,
                      device_id: int) -> dict:
     """Validate and unwrap a checkpoint written by
-    :func:`checkpoint_bytes`; returns the snapshot dict.  The file is
-    always complete (the writer renames it into place atomically), so
-    any mismatch here is a wrong-campaign error, not corruption."""
-    saved = pickle.loads(data)
+    :func:`checkpoint_bytes`; returns the snapshot dict.  A local file
+    is always complete (the writer renames it into place atomically),
+    so any mismatch here is a wrong-campaign error, not corruption.
+
+    Checkpoints also cross the fleet's socket blob channel, where the
+    sender may be anyone who can reach the port — so the payload is
+    deserialized with :func:`~repro.safeload.safe_loads`: a pickle
+    that references any global (the arbitrary-code-execution vector)
+    raises instead of resolving it.  Checkpoint state is primitives
+    all the way down, so legitimate payloads are unaffected."""
+    saved = safe_loads(data)
+    if not isinstance(saved, dict):
+        raise ReproError("checkpoint payload is not a mapping")
     if saved.get("config_key") != config_key:
         raise ReproError(
             "checkpoint belongs to a different campaign — use a "

@@ -60,6 +60,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.safeload import safe_loads
+
 #: variants kept per PC before publishing stops.  A device rewriting
 #: its own code (rogue wild-pointer stores) would otherwise grow an
 #: unbounded variant list at the rewritten PCs; past the cap it just
@@ -251,10 +253,15 @@ def prune_exec_cache(directory: Optional[Path] = None,
 # exactly the sense ingestion already is: the blob's sha was verified
 # at the channel layer, and every frame is then re-walked — magic,
 # length bound, payload digest, record shape — with anything invalid
-# dropped (never written), so a corrupt or hostile transfer degrades
-# to "fewer warm frames", never to a poisoned store.  Adoption-time
-# byte-verification against the puller's live memory still applies on
-# top, as for any locally published frame.
+# dropped (never written).  Record payloads are deserialized with the
+# restricted :func:`~repro.safeload.safe_loads` (frame digests only
+# prove the sender framed its own bytes consistently, so the
+# deserializer itself must be non-executing): a payload referencing
+# any global raises before anything is called, so a corrupt or
+# hostile transfer degrades to "fewer warm frames", never to code
+# execution or a poisoned store.  Adoption-time byte-verification
+# against the puller's live memory still applies on top, as for any
+# locally published frame.
 
 #: store files are named by an identity hash; anything else (path
 #: tricks, stray files) is refused on both export and import
@@ -306,9 +313,10 @@ def scan_frames(data: bytes) -> Tuple[bytes, int, int]:
 
     Returns ``(valid frame bytes, records kept, frames rejected)``.
     The walk applies every check ingestion applies — magic, length
-    bound, payload digest, unpicklable/shapeless records — and, being
-    an import-time scan of a complete transfer, also treats a torn
-    tail as a rejection rather than "wait for more"."""
+    bound, payload digest, globals-free restricted unpickling,
+    record shape — and, being an import-time scan of a complete
+    transfer, also treats a torn tail as a rejection rather than
+    "wait for more"."""
     kept = bytearray()
     records = 0
     rejected = 0
@@ -333,7 +341,7 @@ def scan_frames(data: bytes) -> Tuple[bytes, int, int]:
             rejected += 1
             continue
         try:
-            record = pickle.loads(payload)
+            record = safe_loads(payload)
             record["pc"], record["code"]
         except Exception:
             rejected += 1
@@ -460,7 +468,7 @@ class DiskTier:
                 self.corrupt += 1      # bit-rot: skip this frame only
                 continue
             try:
-                record = pickle.loads(payload)
+                record = safe_loads(payload)
                 pc = record["pc"]
                 code = record["code"]
             except Exception:

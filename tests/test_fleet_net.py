@@ -2,13 +2,16 @@
 campaigns.
 
 The network layer's contract has two halves.  The wire half is
-fail-closed framing: torn, oversized, garbage, or digest-mismatched
-frames raise :class:`WireError` and are never acted on, and a
-handshake with a stale campaign key or skewed versions is refused.
-The campaign half is transport invariance: a campaign dispatched over
-sockets — including one that loses a worker mid-unit, or loses the
-coordinator itself — produces byte-identical output to the in-process
-``--jobs`` path.
+fail-closed framing and hostile-input hardening: torn, oversized,
+garbage, or digest-mismatched frames raise :class:`WireError` and are
+never acted on; a handshake with a stale campaign key, skewed
+versions, or a failed shared-secret challenge is refused; and
+payloads that *deserialize* (checkpoints, ``.sbx`` records) are
+loaded with a restricted unpickler, so a crafted pickle is rejected
+instead of executed.  The campaign half is transport invariance: a
+campaign dispatched over sockets — including one that loses a worker
+mid-unit, or loses the coordinator itself — produces byte-identical
+output to the in-process ``--jobs`` path.
 """
 
 import hashlib
@@ -26,13 +29,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.fleet.executor import FleetConfig, run_campaign
+from repro.errors import ReproError
+from repro.fleet.executor import FleetConfig, run_campaign, _ckpt_path
 from repro.fleet.net.coordinator import SocketTransport
 from repro.fleet.net.protocol import Channel, MAX_FRAME, \
-    PROTO_VERSION, WireError, blob_sha
+    PROTO_VERSION, WireError, auth_mac, blob_sha
 from repro.fleet.net.worker import parse_endpoint, run_worker
-from repro.fleet.snapshot import STATE_VERSION
+from repro.fleet.snapshot import STATE_VERSION, parse_checkpoint
 from repro.msp430 import execcache
+from repro.safeload import UnsafePayload, safe_loads
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -160,6 +165,67 @@ class TestStoreTransfer:
         assert list(tmp_path.glob("*.sbx")) == []
 
 
+# -- non-executing deserialization ------------------------------------------
+
+class _Exploit:
+    """Pickles to a REDUCE of ``os.mkdir(marker)`` — the classic
+    ``pickle.loads`` code-execution payload.  Loading it with stock
+    pickle creates the marker directory; the restricted loader must
+    refuse it with the marker untouched."""
+
+    def __init__(self, marker: str):
+        self.marker = marker
+
+    def __reduce__(self):
+        return (os.mkdir, (self.marker,))
+
+
+class TestSafeLoads:
+    def test_roundtrips_the_primitive_payloads_we_ship(self):
+        value = {"pc": 0x4400, "code": b"\x0f\x12", "pure": True,
+                 "steps": [(1, 2, 3.5, None, "info", [4, 5])],
+                 "nested": {"a": {"b": (b"c",)}}}
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        assert safe_loads(data) == value
+
+    def test_refuses_global_references_without_executing(
+            self, tmp_path):
+        marker = tmp_path / "pwned"
+        evil = pickle.dumps(_Exploit(str(marker)))
+        with pytest.raises(UnsafePayload):
+            safe_loads(evil)
+        assert not marker.exists()
+
+    def test_scan_frames_never_executes_a_hostile_record(
+            self, tmp_path):
+        # a well-framed transfer (magic, length, digest all
+        # self-consistent — an attacker controls those) whose payload
+        # is an exploit pickle: rejected, nothing executed
+        marker = tmp_path / "pwned"
+        frame = _sbx_frame(_Exploit(str(marker)))
+        kept, records, rejected = execcache.scan_frames(frame)
+        assert (kept, records, rejected) == (b"", 0, 1)
+        assert not marker.exists()
+
+    def test_disk_tier_never_executes_a_hostile_record(self, tmp_path):
+        marker = tmp_path / "pwned"
+        store = tmp_path / "0123456789abcdef.sbx"
+        store.write_bytes(_sbx_frame(_Exploit(str(marker))))
+        tier = execcache.DiskTier(store)
+        assert (tier.loaded, tier.corrupt) == (0, 1)
+        assert not marker.exists()
+
+    def test_parse_checkpoint_never_executes_a_hostile_blob(
+            self, tmp_path):
+        marker = tmp_path / "pwned"
+        evil = pickle.dumps(_Exploit(str(marker)))
+        with pytest.raises(UnsafePayload):
+            parse_checkpoint(evil, "key", 0)
+        assert not marker.exists()
+        with pytest.raises(ReproError, match="not a mapping"):
+            parse_checkpoint(pickle.dumps([1, 2]), "key", 0)
+
+
 # -- loopback campaigns -----------------------------------------------------
 
 def _serial_reference(tmp_path):
@@ -173,11 +239,11 @@ class _Coordinator:
     loopback port."""
 
     def __init__(self, out, jobs=2, lease_timeout_s=10.0,
-                 profile=False, **overrides):
+                 profile=False, secret=None, **overrides):
         self.out = Path(out)
         self.transport = SocketTransport(
             lease_timeout_s=lease_timeout_s, heartbeat_s=0.5,
-            idle_retry_s=0.1)
+            idle_retry_s=0.1, secret=secret)
         self.error = None
         config = FleetConfig(**{**_CAMPAIGN, **overrides})
         profile_dir = self.out / "profiles" if profile else None
@@ -403,6 +469,110 @@ class TestLoopbackCampaign:
         # resume the very same campaign locally — transports and
         # worker counts are execution details
         run_campaign(FleetConfig(**_CAMPAIGN), out, jobs=1)
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+        assert (out / "devices-mpu.jsonl").read_bytes() == \
+            (reference / "devices-mpu.jsonl").read_bytes()
+
+
+class _RecordingChannel:
+    """Collects coordinator replies without a socket."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, message, blob=None):
+        self.sent.append((message, blob))
+
+
+class TestCoordinatorHardening:
+    def test_transport_rejects_degenerate_timings(self):
+        with pytest.raises(ReproError, match="lease timeout"):
+            SocketTransport(lease_timeout_s=0)
+        with pytest.raises(ReproError, match="heartbeat"):
+            SocketTransport(heartbeat_s=0)
+        with pytest.raises(ReproError, match="idle retry"):
+            SocketTransport(idle_retry_s=-1)
+
+    def test_non_loopback_bind_requires_a_secret(self):
+        with pytest.raises(ReproError, match="non-loopback"):
+            SocketTransport(host="0.0.0.0")
+        with pytest.raises(ReproError, match="non-loopback"):
+            SocketTransport(host="")          # all interfaces
+        SocketTransport(host="0.0.0.0", secret=b"hunter2")
+        SocketTransport(host="127.0.0.1")     # loopback stays easy
+
+    def test_blob_names_cannot_escape_the_shards_dir(self, tmp_path):
+        out = tmp_path / "out"
+        transport = SocketTransport()
+        transport._campaign = {"out_dir": str(out)}
+        # a legitimate fetch still works…
+        path = _ckpt_path(out, "mpu", 1)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"checkpoint bytes")
+        channel = _RecordingChannel()
+        transport._serve_blob(channel, {
+            "name": "ckpt:mpu:1", "sha": blob_sha(b"checkpoint bytes")})
+        assert channel.sent[-1] == ({"type": "blob",
+                                     "name": "ckpt:mpu:1"},
+                                    b"checkpoint bytes")
+        # …while a path-shaped model key is refused before any
+        # filesystem access (previously it walked out of shards/)
+        outside = tmp_path / "secret.bin"
+        outside.write_bytes(b"not yours")
+        for name in ("ckpt:../../secret.bin:1", "ckpt:evil:1",
+                     "ckpt:mpu:not-an-int"):
+            channel = _RecordingChannel()
+            transport._serve_blob(channel, {
+                "name": name, "sha": blob_sha(b"not yours")})
+            assert channel.sent == [({"type": "blob_missing",
+                                      "name": name}, None)]
+
+
+class TestSharedSecret:
+    def test_secret_gates_admission_and_authed_workers_run(
+            self, tmp_path):
+        reference = _serial_reference(tmp_path)
+        out = tmp_path / "auth"
+        secret = b"fleet-secret-7"
+        coordinator = _Coordinator(out, secret=secret)
+        address = coordinator.address()
+        host, port = parse_endpoint(address)
+        # a probe is challenged; a wrong mac is rejected as auth-kind
+        channel = Channel(socket.create_connection((host, port),
+                                                   timeout=10))
+        channel.send({"type": "hello", "proto": PROTO_VERSION,
+                      "state_version": STATE_VERSION,
+                      "disk_format": execcache.DISK_FORMAT,
+                      "campaign": None, "worker": "probe",
+                      "host": "test"})
+        reply, _ = channel.recv(timeout=10)
+        assert reply["type"] == "challenge"
+        nonce = reply["nonce"]
+        assert auth_mac(secret, nonce) != auth_mac(b"guess", nonce)
+        channel.send({"type": "auth",
+                      "mac": auth_mac(b"guess", nonce)})
+        reply, _ = channel.recv(timeout=10)
+        assert (reply["type"], reply["kind"]) == ("reject", "auth")
+        channel.close()
+        # a worker without the secret fails fast (exit 2, no retry)
+        assert run_worker(address, worker_id="keyless") == 2
+        # workers holding the secret run the campaign to the same bytes
+        codes = {}
+
+        def _authed(worker_id):
+            def _run():
+                codes[worker_id] = run_worker(
+                    address, worker_id=worker_id, secret=secret)
+            thread = threading.Thread(target=_run, daemon=True)
+            thread.start()
+            return thread
+
+        workers = [_authed(f"w{i}") for i in range(2)]
+        coordinator.join()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert codes == {"w0": 0, "w1": 0}
         assert (out / "summary.json").read_bytes() == \
             (reference / "summary.json").read_bytes()
         assert (out / "devices-mpu.jsonl").read_bytes() == \
