@@ -24,6 +24,13 @@ Cache states:
   registry and revives translations from disk: the fresh-process
   steady state a resumed or repeated study enjoys.
 
+``--trace`` applies the same three states to the cohort trace tier
+(the ``.tbx`` stores): ``cold`` starts from an empty tier, ``warm``
+lets an unmeasured campaign publish its dispatch traces first so the
+measured one replays instead of executing — the repeated-study number
+cross-unit trace sharing exists for.  ``--rejoin off`` disables
+dispatch-boundary rejoin for before/after comparisons.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_fleet.py``)
 to append a record to ``BENCH_fleet.json`` at the repo root, or via
 pytest for a quick smoke.
@@ -52,23 +59,26 @@ CACHE_STATES = ("default", "cold", "warm")
 
 
 def _one_campaign(config, jobs: int, cohort: bool = False,
-                  transport: str = "local") -> float:
+                  transport: str = "local",
+                  rejoin: bool = True) -> float:
     """Wall seconds for one campaign into a throwaway directory."""
     from repro.fleet.executor import run_campaign
 
     out = Path(tempfile.mkdtemp(prefix="bench_fleet_"))
     try:
         if transport == "socket":
-            return _one_socket_campaign(config, jobs, cohort, out)
+            return _one_socket_campaign(config, jobs, cohort, out,
+                                        rejoin)
         start = time.perf_counter()
-        run_campaign(config, out, jobs=jobs, cohort=cohort)
+        run_campaign(config, out, jobs=jobs, cohort=cohort,
+                     rejoin=rejoin)
         return time.perf_counter() - start
     finally:
         shutil.rmtree(out, ignore_errors=True)
 
 
 def _one_socket_campaign(config, jobs: int, cohort: bool,
-                         out: Path) -> float:
+                         out: Path, rejoin: bool = True) -> float:
     """Wall seconds for the same campaign dispatched over loopback
     TCP to ``jobs`` worker subprocesses — the measured time includes
     worker spawn and handshake, because a real socket campaign pays
@@ -91,7 +101,7 @@ def _one_socket_campaign(config, jobs: int, cohort: bool,
     def _campaign():
         try:
             run_campaign(config, out, jobs=jobs, cohort=cohort,
-                         transport=transport)
+                         rejoin=rejoin, transport=transport)
         except BaseException as error:
             failure.append(error)
 
@@ -120,13 +130,18 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
                    jobs: int = 1, seed: int = 0,
                    cache: str = "default", cohort: bool = False,
                    homogeneous: bool = False,
-                   transport: str = "local") -> float:
+                   transport: str = "local", trace: str = "default",
+                   rejoin: bool = True) -> float:
     """Device-sim-hours per wall second for one full campaign.
 
     ``homogeneous=True`` clones device 0 fleet-wide — the one-firmware
     fleet that is the cohort scenario's subject; ``cohort=True`` turns
     lockstep on (the pairing with ``homogeneous=False`` measures the
-    handshake/record overhead on a fleet with nothing to share)."""
+    handshake/record overhead on a fleet with nothing to share).
+    ``trace`` pins the ``.tbx`` trace-tier state exactly like
+    ``cache`` pins the ``.sbx`` one; the warm-up campaign runs with
+    the same knobs as the measured one."""
+    from repro.fleet import tracetier
     from repro.fleet.executor import FleetConfig
     from repro.msp430.execcache import clear_registry
 
@@ -134,9 +149,34 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
                          models=(MODEL,), seed=seed,
                          rogue_fraction=0.25,
                          homogeneous=homogeneous)
-    if cache == "default":
+
+    def _measured() -> float:
         return devices * hours / _one_campaign(config, jobs, cohort,
-                                               transport)
+                                               transport, rejoin)
+
+    def _with_trace_tier(run):
+        if trace == "default":
+            return run()
+        saved = os.environ.get("REPRO_TRACE_CACHE_DIR")
+        trace_dir = tempfile.mkdtemp(prefix="bench_trace_")
+        os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
+        tracetier.clear_tier()
+        try:
+            if trace == "warm":
+                _one_campaign(config, jobs, cohort, transport,
+                              rejoin)             # publish traces
+                tracetier.clear_tier()    # warmth must come from disk
+            return run()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_TRACE_CACHE_DIR"] = saved
+            tracetier.clear_tier()
+            shutil.rmtree(trace_dir, ignore_errors=True)
+
+    if cache == "default":
+        return _with_trace_tier(_measured)
 
     saved = os.environ.get("REPRO_EXEC_CACHE_DIR")
     cache_dir = tempfile.mkdtemp(prefix="bench_exec_")
@@ -145,10 +185,9 @@ def bench_campaign(devices: int = DEVICES, hours: float = SIM_HOURS,
     try:
         if cache == "warm":
             _one_campaign(config, jobs, cohort,
-                          transport)              # populate disk
+                          transport, rejoin)      # populate disk
             clear_registry()              # warmth must come from disk
-        return devices * hours / _one_campaign(config, jobs, cohort,
-                                               transport)
+        return _with_trace_tier(_measured)
     finally:
         if saved is None:
             os.environ.pop("REPRO_EXEC_CACHE_DIR", None)
@@ -162,7 +201,8 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
                    cache: str = "default", cohort: bool = False,
                    homogeneous: bool = False,
                    devices: int = DEVICES,
-                   transport: str = "local") -> dict:
+                   transport: str = "local", trace: str = "default",
+                   rejoin: bool = True) -> dict:
     # Best-of-N: interference only ever lowers a rate, so the max over
     # repeats is the least-noisy estimate (same rule as BENCH_sim).
     # A different seed per repeat keeps the firmware build cache from
@@ -172,7 +212,8 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
             bench_campaign(devices=devices, jobs=jobs, seed=n,
                            cache=cache, cohort=cohort,
                            homogeneous=homogeneous,
-                           transport=transport)
+                           transport=transport, trace=trace,
+                           rejoin=rejoin)
             for n in range(repeats)), 4),
         "devices": devices,
         "sim_hours_per_device": SIM_HOURS,
@@ -182,6 +223,8 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
         "cohort": cohort,
         "homogeneous": homogeneous,
         "transport": transport,
+        "trace": trace,
+        "rejoin": rejoin,
         "host_cpus": os.cpu_count(),
     }
 
@@ -189,21 +232,26 @@ def run_benchmarks(repeats: int = 3, jobs: int = 1,
 def record(label: str, repeats: int = 3, jobs: int = 1,
            cache: str = "default", cohort: bool = False,
            homogeneous: bool = False, devices: int = DEVICES,
-           transport: str = "local") -> dict:
+           transport: str = "local", trace: str = "default",
+           rejoin: bool = True) -> dict:
     """Append one measurement record to BENCH_fleet.json.  The stored
     label is annotated with everything that disambiguates the row —
     two rows are only comparable when jobs, cache state, population
-    shape, cohort mode, and host CPU count all match."""
+    shape, cohort mode, trace-tier state, and host CPU count all
+    match."""
     entry = {
         "label": f"{label} [jobs={jobs} cache={cache} "
                  f"cohort={'on' if cohort else 'off'} "
                  f"{'homogeneous' if homogeneous else 'jittered'} "
                  f"devices={devices} transport={transport} "
+                 f"trace={trace} "
+                 f"rejoin={'on' if rejoin else 'off'} "
                  f"cpus={os.cpu_count()}]",
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
         "repeats": repeats,
         "results": run_benchmarks(repeats, jobs, cache, cohort,
-                                  homogeneous, devices, transport),
+                                  homogeneous, devices, transport,
+                                  trace, rejoin),
     }
     history = []
     if BENCH_JSON.exists():
@@ -232,6 +280,12 @@ def test_fleet_throughput_smoke():
 def test_fleet_cohort_smoke():
     rate = bench_campaign(devices=2, hours=0.001, cohort=True,
                           homogeneous=True)
+    assert rate > 0
+
+
+def test_fleet_warm_trace_smoke():
+    rate = bench_campaign(devices=2, hours=0.001, cohort=True,
+                          trace="warm")
     assert rate > 0
 
 
@@ -271,17 +325,26 @@ def main() -> int:
         help="dispatch units to an in-process pool, or over loopback "
              "TCP to --jobs worker subprocesses (spawn and handshake "
              "included in the measured time)")
+    parser.add_argument("--trace", default="default",
+                        choices=CACHE_STATES,
+                        help="cohort trace-tier (.tbx) state the "
+                             "campaign starts from (mirrors --cache)")
+    parser.add_argument("--rejoin", default="on",
+                        choices=("on", "off"),
+                        help="dispatch-boundary rejoin for forked "
+                             "cohort followers")
     parser.add_argument(
         "--check-floor", type=float, default=None, metavar="RATE",
         help="CI mode: run without recording, exit 1 unless "
              "device-sim-hours/s >= RATE (uses the first --jobs value)")
     args = parser.parse_args()
     cohort = args.cohort == "on"
+    rejoin = args.rejoin == "on"
     if args.check_floor is not None:
         results = run_benchmarks(args.repeats, args.jobs[0],
                                  args.cache, cohort,
                                  args.homogeneous, args.devices,
-                                 args.transport)
+                                 args.transport, args.trace, rejoin)
         rate = results["device_sim_hours_per_sec"]
         ok = rate >= args.check_floor
         print(f"fleet throughput {rate} device-sim-hours/s "
@@ -291,7 +354,7 @@ def main() -> int:
     for jobs in args.jobs:
         entry = record(args.label, args.repeats, jobs, args.cache,
                        cohort, args.homogeneous, args.devices,
-                       args.transport)
+                       args.transport, args.trace, rejoin)
         print(json.dumps(entry, indent=2))
     return 0
 

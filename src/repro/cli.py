@@ -213,7 +213,8 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
                            crash_before_replace=args.crash_before_replace,
                            cohort=args.cohort == "on",
                            crash_after_records=args.crash_after_records,
-                           transport=transport)
+                           transport=transport,
+                           rejoin=args.rejoin == "on")
     print(summary_text(summary))
     print(f"summary: {Path(args.out) / 'summary.json'}")
     if profile_dir is not None:
@@ -226,11 +227,128 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
 
 def cmd_fleet_worker(args: argparse.Namespace) -> int:
     from repro.fleet.net.worker import run_worker
+    if args.batch_bytes < 0:
+        raise ReproError(
+            f"--batch-bytes must be >= 0 (got {args.batch_bytes}; "
+            "0 disables coalescing)")
+    if args.batch_ms < 1:
+        raise ReproError(
+            f"--batch-ms must be >= 1 (got {args.batch_ms})")
     return run_worker(
         args.connect, worker_id=args.worker_id,
         cache_mode=args.cache_mode, retry_limit=args.retry_limit,
         crash_after_checkpoints=args.crash_after_ckpts,
-        report=print, secret=_fleet_secret(args.secret_file))
+        report=print, secret=_fleet_secret(args.secret_file),
+        batch_bytes=args.batch_bytes, batch_ms=args.batch_ms,
+        compress=args.compress == "on")
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """One-shot live view of a campaign, from either side:
+
+    * ``HOST:PORT`` — handshake with the coordinator as a ``status``
+      observer (authenticating like a worker when a secret is set)
+      and print the reply;
+    * an out-dir — read the ``status.json`` the coordinator mirrors
+      there about once a second (works after the coordinator exits,
+      and without network reachability).
+    """
+    import json
+    target = args.target
+    if ":" in target and not Path(target).exists():
+        import socket as socketlib
+        from repro.fleet.net.protocol import Channel, PROTO_VERSION, \
+            auth_mac
+        from repro.fleet.net.worker import parse_endpoint
+        from repro.fleet.snapshot import STATE_VERSION
+        from repro.msp430.execcache import DISK_FORMAT
+        host, port = parse_endpoint(target)
+        secret = _fleet_secret(args.secret_file)
+        channel = Channel(
+            socketlib.create_connection((host, port), timeout=10))
+        try:
+            channel.send({"type": "hello", "proto": PROTO_VERSION,
+                          "state_version": STATE_VERSION,
+                          "disk_format": DISK_FORMAT,
+                          "campaign": None, "role": "status",
+                          "worker": "status-observer",
+                          "host": socketlib.gethostname()})
+            message, _blob = channel.recv(timeout=10.0)
+            if message["type"] == "challenge":
+                if secret is None:
+                    raise ReproError(
+                        "coordinator requires a shared secret — pass "
+                        "--secret-file or set REPRO_FLEET_SECRET")
+                channel.send({"type": "auth", "mac": auth_mac(
+                    secret, str(message.get("nonce", "")))})
+                message, _blob = channel.recv(timeout=10.0)
+            if message["type"] == "reject":
+                raise ReproError(
+                    f"status request rejected: "
+                    f"{message.get('reason', 'rejected')}")
+            if message["type"] != "status":
+                raise ReproError(
+                    f"expected a status reply, got "
+                    f"{message['type']!r}")
+            status = message
+        finally:
+            channel.close()
+    else:
+        path = Path(target)
+        if path.is_dir():
+            path = path / "status.json"
+        if not path.exists():
+            raise ReproError(
+                f"no status at {path} — point at a campaign out-dir "
+                "with a socket coordinator (status.json appears "
+                "once dispatch starts) or at a live HOST:PORT")
+        status = json.loads(path.read_text())
+    print(_fleet_status_text(status))
+    return 0
+
+
+def _fleet_status_text(status: dict) -> str:
+    """Render one status snapshot for a terminal."""
+    lines = [f"campaign {status.get('campaign') or '?'}"]
+    model = status.get("model")
+    if model:
+        lines.append(
+            f"  model {model}: {status.get('devices_done', 0)}/"
+            f"{status.get('devices_total', 0)} devices, "
+            f"{status.get('queue_depth', 0)} unit(s) queued, "
+            f"{status.get('active_leases', 0)} leased, "
+            f"{status.get('requeues', 0)} requeue(s)")
+    else:
+        lines.append(
+            f"  no model in flight "
+            f"({status.get('requeues', 0)} requeue(s) so far)")
+    cohort = status.get("cohort") or {}
+    if any(cohort.values()):
+        rate = status.get("trace_hit_rate")
+        lines.append(
+            f"  cohort: {cohort.get('cohort_replayed', 0)} replayed, "
+            f"{cohort.get('cohort_executed', 0)} executed, "
+            f"{cohort.get('cohort_forks', 0)} fork(s), "
+            f"{cohort.get('cohort_rejoins', 0)} rejoin(s); "
+            f"trace tier {cohort.get('trace_hits', 0)} hit(s) / "
+            f"{cohort.get('trace_misses', 0)} miss(es)"
+            + (f" ({rate:.0%} hit rate)"
+               if isinstance(rate, float) else "")
+            + f", {cohort.get('trace_published', 0)} published")
+    workers = status.get("workers") or {}
+    for worker_id in sorted(workers):
+        row = workers[worker_id]
+        lines.append(
+            f"  worker {worker_id} ({row.get('host', '?')}): "
+            f"{row.get('units_run', 0)} unit(s), "
+            f"{row.get('devices_done', 0)} device(s), "
+            f"{row.get('bytes_from_worker', 0):,}B up / "
+            f"{row.get('bytes_to_worker', 0):,}B down, "
+            f"{row.get('reconnects', 0)} reconnect(s), "
+            f"{row.get('lease_timeouts', 0)} lease timeout(s)")
+    if not workers:
+        lines.append("  no workers have connected")
+    return "\n".join(lines)
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -389,6 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
              "an execution detail — summaries are byte-identical "
              "on or off")
     fleet_run.add_argument(
+        "--rejoin", default="on", choices=("on", "off"),
+        help="let a forked cohort follower re-handshake at each "
+             "later dispatch boundary and resume trace replay once "
+             "its state digest matches again (only with --cohort "
+             "on); an execution detail — summaries are "
+             "byte-identical on or off")
+    fleet_run.add_argument(
         "--homogeneous", action="store_true",
         help="clone device 0 across the whole fleet (one firmware "
              "build for everyone) — campaign identity, used by the "
@@ -450,9 +575,39 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_FLEET_SECRET environment "
              "variable), for coordinators that require one")
     fleet_worker.add_argument(
+        "--batch-bytes", type=int, default=65536, metavar="B",
+        help="coalesce report frames (ckpt/dev_done/result) into one "
+             "batch frame once B payload bytes buffer (0 disables "
+             "batching; results are identical either way)")
+    fleet_worker.add_argument(
+        "--batch-ms", type=int, default=50, metavar="MS",
+        help="ship a partial batch once its oldest frame has waited "
+             "this long")
+    fleet_worker.add_argument(
+        "--compress", default="on", choices=("on", "off"),
+        help="zlib-deflate blob transfers (checkpoints, cache "
+             "stores) on the wire; transparent and verified on "
+             "receipt — results are identical on or off")
+    fleet_worker.add_argument(
         "--crash-after-ckpts", type=int, default=0, metavar="C",
         help=argparse.SUPPRESS)   # test hook: die after C ckpt frames
     fleet_worker.set_defaults(func=cmd_fleet_worker)
+
+    fleet_status = fleet_sub.add_parser(
+        "status",
+        help="one-shot live view of a campaign: per-worker "
+             "throughput, queue depth, trace-tier hit rates")
+    fleet_status.add_argument(
+        "target", metavar="OUT_DIR|HOST:PORT",
+        help="a campaign out-dir (reads the status.json the "
+             "coordinator mirrors there) or a live coordinator "
+             "address (asks over the wire)")
+    fleet_status.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the fleet's shared handshake secret "
+             "(default: the REPRO_FLEET_SECRET environment "
+             "variable), for coordinators that require one")
+    fleet_status.set_defaults(func=cmd_fleet_status)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing and the attack matrix")

@@ -25,15 +25,29 @@ Why this is sound — the dispatch read/write contract
 * the absolute cycle counter — but **only** when the code reads the
   cycle-timer port (``CycleTimer`` returns absolute quantized cycles).
 
-The trace therefore carries a one-time **segment handshake** (full
-memory image, registers, env tuple, MPU state, storage dict — a
-follower joins lockstep only if all match) and a per-entry **key**
-``(app, handler, args, env)`` checked before each replay.  Equality of
-the remaining inputs then follows by induction: matching states plus
-matching deltas stay matching.  Timer-reading dispatches additionally
-pin the leader's pre-dispatch cycle count modulo
-``divider * 2^16`` — the exact equivalence class under which every
-timer read in the dispatch returns the same value.
+The trace therefore carries a **state digest** per dispatch boundary
+(:func:`state_digest`: sha-256 over the memory delta against the
+firmware base image plus registers, env tuple, MPU state and storage
+— everything a dispatch can read, nothing it can't) and a per-entry
+**key** ``(app, handler, args, env)`` checked before each replay.  A
+follower joins lockstep when its segment-start digest equals the
+leader's; equality of the remaining inputs then follows by induction:
+matching states plus matching deltas stay matching.  Timer-reading
+dispatches additionally pin the leader's pre-dispatch cycle count
+modulo ``divider * 2^16`` — the exact equivalence class under which
+every timer read in the dispatch returns the same value.
+
+The per-entry digests also buy **dispatch-boundary rejoin**: a forked
+follower (executing for real after a divergence) re-offers its state
+at each subsequent dispatch boundary — key and cycles-mod first (both
+cheap), digest only when those match — and resumes delta replay the
+moment it coincides with a recorded pre-state again.  This needs no
+induction from the segment start: digest equality *is* direct
+verification of every replay-relevant input, the entry key pins the
+dispatched event (and with it ``env.time_ms``, hence the scheduler's
+``now``), and cycle counts stay per-device because entries store
+deltas.  A device that diverges for three dispatches and reconverges
+replays the rest of the segment instead of interpreting it.
 
 Entries store the complete write-set: dirtied memory pages
 (hierarchical diff against a pre-dispatch copy), post registers,
@@ -54,6 +68,7 @@ campaign-by-campaign.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -65,6 +80,13 @@ from repro.kernel.machine import AmuletMachine, DispatchResult
 #: unbounded trace memory; followers replay the prefix and execute
 #: the rest — slower, never wrong
 MAX_TRACE_ENTRIES = 200_000
+
+#: how many upcoming trace entries a forked follower offers its state
+#: against at each dispatch boundary.  Divergences the fleet actually
+#: produces (a rogue's extra fault recovery, one skipped handler)
+#: displace the streams by a dispatch or two; a small window catches
+#: those without scanning the whole tail on every diverged dispatch
+REJOIN_WINDOW = 8
 
 
 def _env_tuple(env) -> tuple:
@@ -84,7 +106,7 @@ def _env_restore(env, values: tuple) -> None:
 class TraceEntry:
     """One recorded dispatch: the match key plus the full write-set."""
 
-    __slots__ = ("key", "cycles_mod", "pages", "regs_post",
+    __slots__ = ("key", "pre_sha", "cycles_mod", "pages", "regs_post",
                  "cycles_delta", "instructions_delta", "env_post",
                  "mpu_post", "faults", "digits", "texts", "log_words",
                  "log_buffers", "storage_updates", "vibrations_delta",
@@ -93,6 +115,9 @@ class TraceEntry:
     def __init__(self) -> None:
         #: (app, handler, args tuple, pre-dispatch env tuple)
         self.key: tuple = ()
+        #: leader's :func:`state_digest` at this dispatch boundary —
+        #: the rejoin handshake (and entry 0's is the segment one)
+        self.pre_sha: str = ""
         #: leader's pre-dispatch ``cycles % (divider * 2^16)`` when the
         #: dispatch read the timer port; None for the common
         #: timer-blind dispatch
@@ -123,9 +148,10 @@ class SegmentTrace:
 
     base_sha: str
     start_ms: int
-    #: handshake state at segment start (memory image, regs, halted,
-    #: env, mpu, storage) — a follower joins only on full equality
-    pre: dict
+    end_ms: int
+    #: leader's :func:`state_digest` at segment start — a follower
+    #: joins lockstep only on digest equality
+    pre_sha: str
     #: equivalence modulus for timer-sensitive entries
     timer_modulus: int
     entries: List[TraceEntry] = field(default_factory=list)
@@ -142,7 +168,7 @@ class CohortStats:
     executed: int = 0
     #: dispatches satisfied by delta replay
     replayed: int = 0
-    #: segments recorded (one per distinct (firmware, start) reached)
+    #: segments recorded (one per distinct (firmware, start, state))
     leads: int = 0
     #: follower segments that passed the handshake and entered lockstep
     joins: int = 0
@@ -150,46 +176,44 @@ class CohortStats:
     rejects: int = 0
     #: in-segment copy-on-write exits (first divergent dispatch)
     forks: int = 0
+    #: forked followers that reconverged and resumed delta replay at a
+    #: later dispatch boundary
+    rejoins: int = 0
+    #: segments satisfied from the persistent trace tier
+    trace_hits: int = 0
+    #: tier probes that found no matching recorded segment
+    trace_misses: int = 0
+    #: segment traces published to the persistent tier
+    trace_published: int = 0
 
 
-def capture_pre_state(machine: AmuletMachine) -> dict:
-    """Handshake state: everything a dispatch can read, captured at a
-    dispatch boundary.  Append-only service state (display, log,
-    vibration, call counters, the armed-timer log) is deliberately
-    absent — execution never reads it, and leaving it out lets a
-    device whose *history* differs but whose live state has
-    reconverged rejoin lockstep."""
+def state_digest(machine: AmuletMachine) -> str:
+    """Everything a dispatch can read, folded to one hex digest.
+
+    Covers the firmware identity, the memory image (as its page delta
+    against the pristine base image — a hierarchical memcmp plus a few
+    dirtied pages to hash, instead of 64 KB), registers, halted flag,
+    env tuple, MPU configuration and the storage dict.  Append-only
+    service state (display, log, vibration, call counters, the
+    armed-timer log) is deliberately absent — execution never reads
+    it, and leaving it out lets a device whose *history* differs but
+    whose live state has reconverged (re)join lockstep.  The absolute
+    cycle counter is also absent: entries store cycle *deltas*, and
+    the rare timer-reading dispatch is pinned by ``cycles_mod``."""
     cpu = machine.cpu
-    return {
-        "mem": cpu.memory.image_bytes(),
-        "regs": tuple(cpu.regs.snapshot()),
-        "halted": cpu.halted,
-        "env": _env_tuple(machine.services.env),
-        "mpu": machine.mpu.state_dict()
-        if machine.mpu is not None else None,
-        "storage": dict(machine.services.storage),
-    }
-
-
-def _handshake_matches(machine: AmuletMachine, trace: SegmentTrace
-                       ) -> bool:
-    if machine.base_sha != trace.base_sha:
-        return False
-    pre = trace.pre
-    cpu = machine.cpu
-    if cpu.halted != pre["halted"]:
-        return False
-    if tuple(cpu.regs.snapshot()) != pre["regs"]:
-        return False
-    if _env_tuple(machine.services.env) != pre["env"]:
-        return False
+    digest = hashlib.sha256()
+    digest.update(machine.base_sha.encode())
+    for offset, page in cpu.memory.delta_since(
+            machine.base_image).items():
+        digest.update(offset.to_bytes(4, "big"))
+        digest.update(page)
     mpu = machine.mpu
-    mpu_state = mpu.state_dict() if mpu is not None else None
-    if mpu_state != pre["mpu"]:
-        return False
-    if machine.services.storage != pre["storage"]:
-        return False
-    return cpu.memory.image_equals(pre["mem"])
+    digest.update(repr((
+        tuple(cpu.regs.snapshot()), cpu.halted,
+        _env_tuple(machine.services.env),
+        None if mpu is None else sorted(mpu.state_dict().items()),
+        sorted(machine.services.storage.items()))).encode())
+    return digest.hexdigest()
 
 
 class CohortRecorder:
@@ -216,6 +240,7 @@ class CohortRecorder:
         env = svc.env
         timer = machine.timer
         env_pre = _env_tuple(env)
+        pre_sha = state_digest(machine)
         pre_mem = cpu.memory.image_bytes()
         pre_cycles = cpu.cycles
         pre_instructions = cpu.instructions
@@ -236,6 +261,7 @@ class CohortRecorder:
 
         entry = TraceEntry()
         entry.key = (app, handler, tuple(args), env_pre)
+        entry.pre_sha = pre_sha
         if timer.reads != pre_timer_reads:
             entry.cycles_mod = pre_cycles % trace.timer_modulus
         entry.pages = cpu.memory.delta_since(pre_mem)
@@ -328,25 +354,32 @@ def _apply_entry(machine: AmuletMachine, scheduler,
 
 class CohortFollower:
     """Follower-side ``dispatch_fn``: replay while in lockstep, fork
-    copy-on-write (execute normally) from the first divergence on."""
+    copy-on-write (execute normally) at a divergence — and, with
+    ``rejoin``, offer the forked device's state back to the trace at
+    every later dispatch boundary, resuming replay on a match."""
 
     def __init__(self, machine: AmuletMachine, scheduler,
-                 trace: SegmentTrace, stats: CohortStats):
+                 trace: SegmentTrace, stats: CohortStats,
+                 rejoin: bool = True,
+                 pre_sha: Optional[str] = None):
         self.machine = machine
         self.scheduler = scheduler
         self.trace = trace
         self.stats = stats
+        self.rejoin = rejoin
         self.cursor = 0
-        self.lockstep = _handshake_matches(machine, trace)
+        if pre_sha is None:
+            pre_sha = state_digest(machine)
+        self.lockstep = pre_sha == trace.pre_sha
         if self.lockstep:
             stats.joins += 1
         else:
             stats.rejects += 1
 
     def __call__(self, app: str, handler: str, args) -> DispatchResult:
+        machine = self.machine
         if self.lockstep:
             trace = self.trace
-            machine = self.machine
             if self.cursor < len(trace.entries):
                 entry = trace.entries[self.cursor]
                 key = (app, handler, tuple(args),
@@ -363,19 +396,60 @@ class CohortFollower:
             # the rest of the segment for real
             self.lockstep = False
             self.stats.forks += 1
+        elif self.rejoin:
+            entry = self._try_rejoin(app, handler, args)
+            if entry is not None:
+                self.stats.replayed += 1
+                return _apply_entry(machine, self.scheduler, entry)
         self.stats.executed += 1
-        return self.machine.dispatch(app, handler, args)
+        return machine.dispatch(app, handler, args)
+
+    def _try_rejoin(self, app: str, handler: str, args
+                    ) -> Optional[TraceEntry]:
+        """Re-handshake a forked follower against the next few
+        recorded entries: key and cycles-mod are cheap pre-filters,
+        the state digest (computed at most once per boundary) is the
+        actual verification.  On a match the cursor jumps there and
+        lockstep resumes."""
+        trace = self.trace
+        machine = self.machine
+        entries = trace.entries
+        key = (app, handler, tuple(args),
+               _env_tuple(machine.services.env))
+        digest = None
+        limit = min(len(entries), self.cursor + REJOIN_WINDOW)
+        for index in range(self.cursor, limit):
+            entry = entries[index]
+            if entry.key != key:
+                continue
+            if entry.cycles_mod is not None and \
+                    machine.cpu.cycles % trace.timer_modulus \
+                    != entry.cycles_mod:
+                continue
+            if digest is None:
+                digest = state_digest(machine)
+            if entry.pre_sha == digest:
+                self.cursor = index + 1
+                self.lockstep = True
+                self.stats.rejoins += 1
+                return entry
+        if self.cursor < len(entries):
+            # keep the window sliding with the follower's own stream,
+            # so a persistent divergence stays a cheap key compare
+            self.cursor += 1
+        return None
 
 
 def record_segment(machine: AmuletMachine, scheduler,
                    start_ms: int, end_ms: int,
-                   stats: CohortStats) -> SegmentTrace:
+                   stats: CohortStats,
+                   pre_sha: Optional[str] = None) -> SegmentTrace:
     """Run ``[start_ms, end_ms)`` as the cohort leader, returning the
     trace followers replay.  Event seeding and draining are exactly
     :func:`repro.fleet.device.simulate_device`'s segment loop."""
     trace = SegmentTrace(
-        base_sha=machine.base_sha, start_ms=start_ms,
-        pre=capture_pre_state(machine),
+        base_sha=machine.base_sha, start_ms=start_ms, end_ms=end_ms,
+        pre_sha=state_digest(machine) if pre_sha is None else pre_sha,
         timer_modulus=machine.timer.divider << 16)
     stats.leads += 1
     scheduler.dispatch_fn = CohortRecorder(machine, trace, stats)
@@ -390,10 +464,16 @@ def record_segment(machine: AmuletMachine, scheduler,
 
 def replay_segment(machine: AmuletMachine, scheduler,
                    trace: SegmentTrace, start_ms: int, end_ms: int,
-                   stats: CohortStats) -> None:
-    """Run ``[start_ms, end_ms)`` as a follower of ``trace``."""
+                   stats: CohortStats, rejoin: bool = True,
+                   pre_sha: Optional[str] = None) -> None:
+    """Run ``[start_ms, end_ms)`` as a follower of ``trace``.
+
+    ``pre_sha`` (the follower's already-computed segment-start digest)
+    skips recomputing the handshake; ``rejoin=False`` restores the
+    fork-and-interpret-to-segment-end behaviour."""
     scheduler.dispatch_fn = CohortFollower(machine, scheduler, trace,
-                                           stats)
+                                           stats, rejoin=rejoin,
+                                           pre_sha=pre_sha)
     try:
         scheduler.seed_events(end_ms, start_ms)
         while scheduler.step(before_ms=end_ms) is not None:

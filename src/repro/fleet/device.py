@@ -20,7 +20,7 @@ from repro.aft.phases import AppSource
 from repro.apps.catalog import load_app, load_suite
 from repro.errors import ReproError
 from repro.fleet.cohort import CohortStats, SegmentTrace, \
-    record_segment, replay_segment
+    record_segment, replay_segment, state_digest
 from repro.fleet.population import ANALYTICS_APP, DeviceSpec, \
     ROGUE_APP, ROGUE_HANDLER, ROGUE_SOURCE
 from repro.fleet.snapshot import restore_device, snapshot_device
@@ -155,25 +155,32 @@ def simulate_cohort(specs: Sequence[DeviceSpec], model: IsolationModel,
                                                      None]] = None,
                     resumes: Optional[Dict[int, dict]] = None,
                     cache_mode: str = "shared",
-                    stats: Optional[CohortStats] = None
-                    ) -> Dict[int, DeviceRun]:
+                    stats: Optional[CohortStats] = None,
+                    rejoin: bool = True,
+                    tier=None) -> Dict[int, DeviceRun]:
     """Run (or resume) several devices together, lockstep where their
     firmware and state coincide (see :mod:`repro.fleet.cohort`).
 
     Devices advance segment by segment, interleaved: all devices at
     the earliest pending segment run it before anyone moves on.  The
-    first device to run a ``(firmware, segment)`` pair records a
-    trace; every later same-firmware device at that segment replays it
-    — or, failing the state handshake (different jitter phases,
-    different fault history), executes normally.  Traces die as soon
-    as no device can still use them, bounding trace memory to roughly
-    the resume-point spread.
+    first device to run a ``(firmware, segment)`` pair *from a given
+    pre-state* records a trace; every later same-firmware device at
+    that segment whose state digest matches replays it.  A device
+    matching nothing executes normally (recording its own variant
+    when the persistent ``tier`` — a
+    :class:`repro.fleet.tracetier.TraceTier` — is attached, so a
+    rerun, a sibling unit, or a remote worker replays it next time),
+    and with ``rejoin`` a mid-segment divergence can re-enter
+    lockstep at a later dispatch boundary.  In-memory traces die as
+    soon as no device can still use them, bounding trace memory to
+    roughly the resume-point spread.
 
     ``on_checkpoint(device_id, sim_ms, snapshot)`` fires at every
     interior segment boundary (note the extra leading ``device_id``
     compared to :func:`simulate_device`'s callback); ``resumes`` maps
     device id to a snapshot.  Results are byte-identical to running
-    :func:`simulate_device` per device — the tests pin this.
+    :func:`simulate_device` per device — with the tier cold, warm,
+    or absent, rejoin on or off — the tests pin this.
     """
     resumes = resumes or {}
     stats = stats if stats is not None else CohortStats()
@@ -192,7 +199,8 @@ def simulate_cohort(specs: Sequence[DeviceSpec], model: IsolationModel,
         position[spec.device_id] = start_ms
 
     order = [spec.device_id for spec in specs]
-    traces: Dict[tuple, SegmentTrace] = {}
+    #: (base_sha, start_ms) -> {pre-state digest: trace}
+    traces: Dict[tuple, Dict[str, SegmentTrace]] = {}
     while True:
         pending = [p for p in position.values() if p < sim_ms]
         if not pending:
@@ -204,13 +212,35 @@ def simulate_cohort(specs: Sequence[DeviceSpec], model: IsolationModel,
                 continue
             spec, machine, scheduler, _rogue = devices[device_id]
             key = (machine.base_sha, t)
-            trace = traces.get(key)
-            if trace is None:
-                traces[key] = record_segment(machine, scheduler,
-                                             t, end, stats)
-            else:
+            bucket = traces.setdefault(key, {})
+            pre_sha = state_digest(machine)
+            trace = bucket.get(pre_sha)
+            if trace is None and tier is not None:
+                trace = tier.load(machine.base_sha, t, end, pre_sha)
+                if trace is not None:
+                    bucket[pre_sha] = trace
+                    stats.trace_hits += 1
+                else:
+                    stats.trace_misses += 1
+            if trace is not None:
                 replay_segment(machine, scheduler, trace, t, end,
-                               stats)
+                               stats, rejoin=rejoin, pre_sha=pre_sha)
+            elif not bucket or tier is not None:
+                # lead this (segment, state): record — and persist,
+                # so the next unit/process/worker replays instead
+                trace = record_segment(machine, scheduler, t, end,
+                                       stats, pre_sha=pre_sha)
+                bucket[pre_sha] = trace
+                if tier is not None and tier.publish(trace):
+                    stats.trace_published += 1
+            else:
+                # no tier and a leader already recorded this segment
+                # from a different state: the handshake rejects and
+                # the device executes (rejoining mid-segment if its
+                # state converges onto the leader's)
+                first = next(iter(bucket.values()))
+                replay_segment(machine, scheduler, first, t, end,
+                               stats, rejoin=rejoin, pre_sha=pre_sha)
             position[device_id] = end
             if on_checkpoint is not None and end < sim_ms:
                 on_checkpoint(device_id, end,

@@ -254,20 +254,22 @@ def run_unit(config_dict: dict, model_key: str,
              cache_mode: str = "shared",
              profile_dir: Optional[str] = None,
              cohort: bool = False,
-             crash_after_records: int = 0) -> dict:
+             crash_after_records: int = 0,
+             rejoin: bool = True) -> dict:
     """Worker entry point: run (or resume) one work unit.
 
     Returns ``{"records": {device_id: record}, "stats": {...}}`` —
     the stats feed the coordinator's profile (checkpoint flush stalls,
-    lockstep replay counts, wall time) so "checkpoint-bound" and
-    "queue-bound" show up as numbers.  ``crash_after_checkpoints`` /
-    ``crash_before_replace`` / ``crash_after_records`` are
-    crash-injection hooks (``os._exit`` after the Nth committed
-    checkpoint, after the Nth checkpoint temp write but before its
-    rename, or after the Nth record line was flushed but before its
-    checkpoint was unlinked) for the kill-and-resume tests.
-    ``cache_mode`` and ``cohort`` pick execution strategies; like
-    ``--jobs`` they never change results.
+    lockstep replay counts, trace-tier hit rates, wall time) so
+    "checkpoint-bound" and "queue-bound" show up as numbers.
+    ``crash_after_checkpoints`` / ``crash_before_replace`` /
+    ``crash_after_records`` are crash-injection hooks (``os._exit``
+    after the Nth committed checkpoint, after the Nth checkpoint temp
+    write but before its rename, or after the Nth record line was
+    flushed but before its checkpoint was unlinked) for the
+    kill-and-resume tests.  ``cache_mode``, ``cohort`` and ``rejoin``
+    pick execution strategies; like ``--jobs`` they never change
+    results.
     """
     if profile_dir is not None:
         import cProfile
@@ -280,20 +282,21 @@ def run_unit(config_dict: dict, model_key: str,
             return _run_unit(config_dict, model_key, device_ids,
                              out_dir, crash_after_checkpoints,
                              crash_before_replace, cache_mode,
-                             cohort, crash_after_records)
+                             cohort, crash_after_records, rejoin)
         finally:
             profile.disable()
             profile.dump_stats(str(prof_path))
     return _run_unit(config_dict, model_key, device_ids, out_dir,
                      crash_after_checkpoints, crash_before_replace,
-                     cache_mode, cohort, crash_after_records)
+                     cache_mode, cohort, crash_after_records, rejoin)
 
 
 def _run_unit(config_dict: dict, model_key: str,
               device_ids: List[int], out_dir: str,
               crash_after_checkpoints: int,
               crash_before_replace: int, cache_mode: str,
-              cohort: bool, crash_after_records: int) -> dict:
+              cohort: bool, crash_after_records: int,
+              rejoin: bool = True) -> dict:
     t_start = time.time()
     config = FleetConfig(**{**config_dict,
                             "models": tuple(config_dict["models"])})
@@ -350,12 +353,14 @@ def _run_unit(config_dict: dict, model_key: str,
             resumes = {device_id: resume for device_id in device_ids
                        if (resume := load_resume(device_id))
                        is not None}
+            from repro.fleet.tracetier import trace_tier
             runs = simulate_cohort(
                 specs, model, sim_ms=config.sim_ms,
                 checkpoint_every_ms=config.checkpoint_ms,
                 on_checkpoint=submit_checkpoint,
                 resumes=resumes, cache_mode=cache_mode,
-                stats=cohort_stats)
+                stats=cohort_stats, rejoin=rejoin,
+                tier=trace_tier())
             writer.drain()
             # records commit only once the whole cohort finished (the
             # devices advance interleaved); a kill mid-unit resumes
@@ -392,6 +397,10 @@ def _run_unit(config_dict: dict, model_key: str,
             "cohort_replayed": cohort_stats.replayed,
             "cohort_executed": cohort_stats.executed,
             "cohort_forks": cohort_stats.forks,
+            "cohort_rejoins": cohort_stats.rejoins,
+            "trace_hits": cohort_stats.trace_hits,
+            "trace_misses": cohort_stats.trace_misses,
+            "trace_published": cohort_stats.trace_published,
         },
     }
 
@@ -441,7 +450,8 @@ class LocalTransport:
                     unit, campaign["out_dir"], self._crash_after,
                     self._crash_before_replace,
                     campaign["cache_mode"], campaign["profile_dir"],
-                    campaign["cohort"], self._crash_after_records)
+                    campaign["cohort"], self._crash_after_records,
+                    campaign.get("rejoin", True))
                 submitted[future] = (unit, t_submit)
             # stream the fold: consume results the moment any worker
             # finishes a unit, in completion order
@@ -464,13 +474,13 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
                  crash_before_replace: int = 0,
                  cohort: bool = False,
                  crash_after_records: int = 0,
-                 transport=None) -> dict:
+                 transport=None, rejoin: bool = True) -> dict:
     """Run (or resume) a whole campaign; returns the summary dict.
 
-    ``jobs``, ``cache_mode``, ``cohort``, the transport and the
-    profiling/crash knobs are execution details — they never change
-    the results and are free to differ between the original run and a
-    resume.  ``transport`` defaults to an in-process
+    ``jobs``, ``cache_mode``, ``cohort``, ``rejoin``, the transport
+    and the profiling/crash knobs are execution details — they never
+    change the results and are free to differ between the original
+    run and a resume.  ``transport`` defaults to an in-process
     :class:`LocalTransport` pool of ``jobs`` workers; pass a
     :class:`repro.fleet.net.coordinator.SocketTransport` to serve the
     same unit queue to remote ``repro fleet worker`` processes (the
@@ -522,7 +532,7 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
         coordinator_profile = {"jobs": jobs, "cohort": cohort,
-                               "models": {}}
+                               "rejoin": rejoin, "models": {}}
 
     if transport is None:
         transport = LocalTransport(
@@ -535,6 +545,7 @@ def run_campaign(config: FleetConfig, out_dir: Path, jobs: int = 1,
         "out_dir": str(out_dir),
         "cache_mode": cache_mode,
         "cohort": cohort,
+        "rejoin": rejoin,
         "profile_dir": str(profile_dir)
         if profile_dir is not None else None,
         "say": say,
@@ -647,6 +658,11 @@ def _run_models(config: FleetConfig, out_dir: Path, jobs: int,
                     "cohort_executed": stats.get(
                         "cohort_executed", 0),
                     "cohort_forks": stats.get("cohort_forks", 0),
+                    "cohort_rejoins": stats.get("cohort_rejoins", 0),
+                    "trace_hits": stats.get("trace_hits", 0),
+                    "trace_misses": stats.get("trace_misses", 0),
+                    "trace_published": stats.get(
+                        "trace_published", 0),
                 })
                 say(f"{model_key}: "
                     f"{fold.count(model_key)}/{config.devices} "
@@ -687,4 +703,12 @@ def _run_models(config: FleetConfig, out_dir: Path, jobs: int,
                     row["cohort_executed"] for row in unit_rows),
                 "cohort_forks": sum(
                     row["cohort_forks"] for row in unit_rows),
+                "cohort_rejoins": sum(
+                    row["cohort_rejoins"] for row in unit_rows),
+                "trace_hits": sum(
+                    row["trace_hits"] for row in unit_rows),
+                "trace_misses": sum(
+                    row["trace_misses"] for row in unit_rows),
+                "trace_published": sum(
+                    row["trace_published"] for row in unit_rows),
             }

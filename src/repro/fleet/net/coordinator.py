@@ -56,14 +56,24 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set
 
 from repro.errors import ReproError
+from repro.fleet import tracetier
 from repro.fleet.executor import _atomic_write, _ckpt_path, \
     _shards_dir, _unit_stream_path, _unlink_quiet
 from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
-    auth_mac, blob_sha
+    auth_mac, blob_sha, unpack_batch
 from repro.fleet.snapshot import STATE_VERSION, parse_checkpoint
 from repro.fleet.telemetry import MODELS_BY_KEY, record_line
 from repro.msp430.execcache import DISK_FORMAT, list_store_files, \
     read_store_file
+
+#: a cProfile dump for one unit is tens of KB; anything bigger is not
+#: a profile
+_MAX_PROFILE = 8 * 1024 * 1024
+
+#: per-unit stats the coordinator accumulates for the live status view
+_UNIT_STAT_KEYS = ("cohort_replayed", "cohort_executed",
+                   "cohort_forks", "cohort_rejoins", "trace_hits",
+                   "trace_misses", "trace_published")
 
 
 def _is_loopback(host: str) -> bool:
@@ -116,7 +126,8 @@ def _zero_stats(devices: List[int], now: float) -> dict:
     return {"devices": list(devices), "t_start": now, "t_end": now,
             "ckpt_flushes": 0, "ckpt_stall_s": 0.0, "ckpt_bytes": 0,
             "cohort_replayed": 0, "cohort_executed": 0,
-            "cohort_forks": 0, "worker": None}
+            "cohort_forks": 0, "cohort_rejoins": 0, "trace_hits": 0,
+            "trace_misses": 0, "trace_published": 0, "worker": None}
 
 
 class SocketTransport:
@@ -169,13 +180,30 @@ class SocketTransport:
         self._workers: Dict[str, dict] = {}
         self._requeues = 0
         self._shutdown = False
+        #: hashed once per campaign at open, not once per handshake —
+        #: re-offering a 40+ MB exec cache to every reconnect was a
+        #: measurable per-worker startup tax
+        self._store_offers: List[dict] = []
+        self._trace_offers: List[dict] = []
+        self._status_path: Optional[Path] = None
+        self._status_at = 0.0
+        self._unit_totals: Dict[str, int] = {
+            key: 0 for key in _UNIT_STAT_KEYS}
 
     # -- executor-facing transport API -----------------------------------
     def open_campaign(self, campaign: dict) -> None:
         self._campaign = campaign
+        self._store_offers = list_store_files()
+        # trace segments only replay inside cohort lockstep, so a
+        # cohort-off campaign would hash and ship .tbx stores that no
+        # worker can use
+        self._trace_offers = (
+            tracetier.list_store_files() if campaign.get("cohort")
+            else [])
         self._listener = socket.create_server((self.host, self.port))
         self.address = self._listener.getsockname()[:2]
         out_dir = Path(campaign["out_dir"])
+        self._status_path = out_dir / "status.json"
         _atomic_write(out_dir / "coordinator.addr",
                       f"{self.address[0]}:{self.address[1]}\n".encode())
         campaign["say"](
@@ -206,6 +234,7 @@ class SocketTransport:
                     if row is not None:
                         yield row
                 self._expire_leases(st)
+                self._write_status()
         finally:
             with self._lock:
                 st.active = False
@@ -240,6 +269,57 @@ class SocketTransport:
                        in self._workers.items()}
         return {"workers": workers, "requeues": self._requeues}
 
+    # -- live status --------------------------------------------------------
+    def _status_snapshot(self) -> dict:
+        """The live campaign view served to ``status_req`` observers
+        and mirrored into ``status.json``."""
+        with self._lock:
+            for channel, worker_id in self._channels:
+                self._fold_bytes(channel, worker_id)
+            st = self._state
+            campaign = self._campaign
+            trace = self._unit_totals
+            lookups = trace["trace_hits"] + trace["trace_misses"]
+            return {
+                "type": "status",
+                "campaign": campaign["config_key"]
+                if campaign is not None else None,
+                "model": st.model if st is not None else None,
+                "queue_depth": len(st.queue) if st is not None else 0,
+                "active_leases": len(st.leases)
+                if st is not None else 0,
+                "devices_done": len(st.records)
+                if st is not None else 0,
+                "devices_total": st.total if st is not None else 0,
+                "requeues": self._requeues,
+                "connections": len(self._channels),
+                "workers": {worker_id: dict(row) for worker_id, row
+                            in self._workers.items()},
+                "cohort": dict(trace),
+                "trace_hit_rate": round(
+                    trace["trace_hits"] / lookups, 4)
+                if lookups else None,
+            }
+
+    def _write_status(self, force: bool = False) -> None:
+        """Mirror the live view to ``<out_dir>/status.json`` about
+        once a second, atomically — ``repro fleet status <out-dir>``
+        reads it without touching the port."""
+        if self._status_path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._status_at < 1.0:
+            return
+        self._status_at = now
+        status = self._status_snapshot()
+        status["updated"] = time.time()
+        try:
+            _atomic_write(self._status_path,
+                          (json.dumps(status, indent=2, sort_keys=True)
+                           + "\n").encode())
+        except OSError:
+            pass                        # the view is best-effort
+
     def close(self) -> None:
         with self._lock:
             self._shutdown = True
@@ -265,6 +345,7 @@ class SocketTransport:
             channel.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=1.0)
+        self._write_status(force=True)
 
     # -- completion-order plumbing ----------------------------------------
     def _fresh_row(self, st: _ModelState, devices: List[int],
@@ -361,6 +442,11 @@ class SocketTransport:
                         "coordinator requires the fleet secret "
                         "(--secret-file / REPRO_FLEET_SECRET)")})
                 return None
+        if hello.get("role") == "status":
+            # a one-shot observer: authenticated like a worker (the
+            # view names hosts and progress), never granted work
+            channel.send(self._status_snapshot())
+            return None
         worker_id = str(hello.get("worker") or "anonymous")
         channel.send({
             "type": "welcome",
@@ -368,10 +454,13 @@ class SocketTransport:
             "config": self._campaign["config_dict"],
             "cache_mode": self._campaign["cache_mode"],
             "cohort": self._campaign["cohort"],
+            "rejoin": self._campaign.get("rejoin", True),
+            "profile": self._campaign.get("profile_dir") is not None,
             "heartbeat_s": self.heartbeat_s,
             "idle_retry_s": self.idle_retry_s,
             "lease_timeout_s": self.lease_timeout_s,
-            "stores": list_store_files(),
+            "stores": self._store_offers,
+            "trace_stores": self._trace_offers,
         })
         with self._lock:
             row = self._workers.get(worker_id)
@@ -418,6 +507,12 @@ class SocketTransport:
                     self._commit_device(message, worker_id)
                 elif mtype == "result":
                     self._finish_lease(message, worker_id, held)
+                elif mtype == "batch":
+                    self._handle_batch(message, blob, worker_id, held)
+                elif mtype == "profile":
+                    self._store_profile(message, blob)
+                elif mtype == "status_req":
+                    channel.send(self._status_snapshot())
                 else:
                     raise WireError(
                         f"unexpected message type {mtype!r}")
@@ -527,10 +622,54 @@ class SocketTransport:
                 data = None
         elif name.startswith("sbx:"):
             data = read_store_file(name[len("sbx:"):])
+        elif name.startswith("tbx:"):
+            data = tracetier.read_store_file(name[len("tbx:"):])
         if data is None or blob_sha(data) != want_sha:
             channel.send({"type": "blob_missing", "name": name})
             return
-        channel.send({"type": "blob", "name": name}, blob=data)
+        channel.send({"type": "blob", "name": name}, blob=data,
+                     compress=bool(message.get("zip")))
+
+    def _handle_batch(self, message: dict, blob: Optional[bytes],
+                      worker_id: str, held: Set[int]) -> None:
+        """Unpack a coalesced frame and dispatch its sub-frames in
+        order.  Only report-shaped frames may batch — anything that
+        expects a reply (lease_req, blob_get, ping) must go direct,
+        and anything else drops the connection."""
+        for sub, piece in unpack_batch(message, blob):
+            subtype = sub["type"]
+            if subtype == "ckpt":
+                self._store_checkpoint(sub, piece)
+            elif subtype == "dev_done":
+                self._commit_device(sub, worker_id)
+            elif subtype == "result":
+                self._finish_lease(sub, worker_id, held)
+            elif subtype == "profile":
+                self._store_profile(sub, piece)
+            else:
+                raise WireError(
+                    f"batch may not carry {subtype!r} frames")
+
+    def _store_profile(self, message: dict,
+                       blob: Optional[bytes]) -> None:
+        """Land one remote unit's cProfile dump under the same name
+        the local pool writes, so ``--profile`` output is
+        transport-agnostic.  Name parts are validated against the
+        model registry before becoming a path; dumps are size-capped
+        and landed atomically."""
+        if blob is None or not blob or len(blob) > _MAX_PROFILE:
+            return
+        profile_dir = self._campaign.get("profile_dir")
+        if profile_dir is None:
+            return                      # campaign not profiling
+        model_key = message.get("model")
+        first = message.get("first")
+        if model_key not in MODELS_BY_KEY or \
+                not isinstance(first, int) or not 0 <= first < 10**5:
+            return
+        path = Path(profile_dir) / f"{model_key}-u{first:05d}.prof"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path, blob)
 
     def _store_checkpoint(self, message: dict,
                           blob: Optional[bytes]) -> None:
@@ -598,6 +737,10 @@ class SocketTransport:
             row = self._workers.get(worker_id)
             if row is not None:
                 row["units_run"] += 1
+            for key in _UNIT_STAT_KEYS:
+                value = stats.get(key)
+                if isinstance(value, int):
+                    self._unit_totals[key] += value
             if lease is not None:
                 st.results.put((lease.devices, lease.t_submit, stats))
             else:

@@ -19,13 +19,25 @@ uses — the only difference is where the bytes go:
 * the unit ends with a ``result`` frame carrying the same stats dict
   :func:`~repro.fleet.executor.run_unit` returns.
 
-A heartbeat thread pings on the coordinator's advertised cadence so
-an idle or long-simulating worker keeps its lease alive.  Connection
-loss triggers reconnect with exponential backoff plus jitter; a
-``campaign``-kind reject (the coordinator moved on to a different
-campaign) drops the remembered key and re-handshakes fresh, while a
-``version``-kind reject is fatal — no amount of retrying fixes a
-version skew.
+Report frames (``ckpt``/``dev_done``/``result``/``profile``) flow
+through a :class:`FrameBatcher`: they buffer until ``--batch-bytes``
+accumulate or the oldest waits ``--batch-ms``, then ship as one
+``batch`` frame — tiny dev_done frames stop paying a syscall and a
+TCP round each.  Anything that expects a reply (lease_req, blob_get)
+flushes the buffer first, so the coordinator always observes frames
+in the order the worker produced them.  ``--batch-bytes 0`` disables
+coalescing entirely (byte-for-byte the PR 9 wire behavior), and
+``--compress off`` disables the zlib blob framing that otherwise
+shrinks checkpoint and store transfers.
+
+A heartbeat thread pings on the coordinator's advertised cadence
+(±10% jitter, so a fleet of same-config workers doesn't phase-lock
+into synchronized ping bursts) to keep an idle or long-simulating
+worker's lease alive.  Connection loss triggers reconnect with
+exponential backoff plus jitter; a ``campaign``-kind reject (the
+coordinator moved on to a different campaign) drops the remembered
+key and re-handshakes fresh, while a ``version``-kind reject is
+fatal — no amount of retrying fixes a version skew.
 """
 
 from __future__ import annotations
@@ -33,17 +45,20 @@ from __future__ import annotations
 import os
 import random
 import socket
+import tempfile
 import threading
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.fleet import tracetier
 from repro.fleet.ckptio import AsyncCheckpointWriter
 from repro.fleet.cohort import CohortStats
 from repro.fleet.device import simulate_cohort, simulate_device
 from repro.fleet.executor import FleetConfig
 from repro.fleet.net.protocol import Channel, PROTO_VERSION, WireError, \
-    auth_mac, blob_sha
+    auth_mac, blob_sha, pack_batch
 from repro.fleet.population import device_spec
 from repro.fleet.snapshot import STATE_VERSION, checkpoint_bytes, \
     parse_checkpoint
@@ -54,6 +69,11 @@ from repro.msp430.execcache import DISK_FORMAT, have_store_file, \
 #: per-frame reply deadline: the coordinator answers lease/blob
 #: requests immediately, so a silent minute means the link is gone
 REPLY_TIMEOUT_S = 60.0
+
+#: default coalescing bounds: flush a batch once this many payload
+#: bytes accumulate, or once its oldest frame has waited this long
+DEFAULT_BATCH_BYTES = 65536
+DEFAULT_BATCH_MS = 50
 
 
 class _Shutdown(Exception):
@@ -101,12 +121,121 @@ def _recv_reply(channel: Channel, want: Tuple[str, ...]
             f"expected one of {want}, got {mtype!r}")
 
 
-def _fetch_blob(channel: Channel, name: str,
+class FrameBatcher:
+    """Coalesce report frames into bounded ``batch`` frames.
+
+    ``add`` buffers; a batch ships when the buffered payload reaches
+    ``max_bytes`` or the oldest frame has waited ``max_ms`` (a pump
+    thread watches the clock).  ``direct`` flushes then sends — the
+    path for anything expecting a reply, so frame order on the wire
+    matches production order.  A single buffered frame ships as
+    itself, not wrapped; ``max_bytes <= 0`` disables coalescing so
+    every ``add`` degenerates to a plain send.  ``compress`` turns on
+    the zlib blob framing for everything this batcher ships.
+    """
+
+    #: rough JSON envelope per sub-message, counted toward max_bytes
+    #: so a flood of blobless dev_done frames still flushes
+    FRAME_OVERHEAD = 256
+
+    def __init__(self, channel: Channel,
+                 max_bytes: int = DEFAULT_BATCH_BYTES,
+                 max_ms: int = DEFAULT_BATCH_MS,
+                 compress: bool = True):
+        self.channel = channel
+        self.max_bytes = max_bytes
+        self.max_ms = max_ms
+        self.compress = compress
+        self.batches_sent = 0
+        self._pending: List[tuple] = []
+        self._pending_bytes = 0
+        self._oldest = 0.0
+        self._lock = threading.Lock()
+        self._ship_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._pump: Optional[threading.Thread] = None
+        if self.enabled:
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="fleet-batch",
+                daemon=True)
+            self._pump.start()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    def add(self, message: dict,
+            blob: Optional[bytes] = None) -> None:
+        if not self.enabled:
+            self.channel.send(message, blob=blob,
+                              compress=self.compress)
+            return
+        with self._lock:
+            if not self._pending:
+                self._oldest = time.monotonic()
+            self._pending.append((message, blob))
+            self._pending_bytes += self.FRAME_OVERHEAD + \
+                (len(blob) if blob is not None else 0)
+            ship = self._pending_bytes >= self.max_bytes
+        if ship:
+            self.flush()
+
+    def flush(self) -> None:
+        # pop and send under one lock: concurrent flushes (pump
+        # thread vs. simulating thread) must not reorder batches
+        with self._ship_lock:
+            with self._lock:
+                pending, self._pending = self._pending, []
+                self._pending_bytes = 0
+            if not pending:
+                return
+            if len(pending) == 1:
+                message, blob = pending[0]
+            else:
+                message, blob = pack_batch(pending)
+                self.batches_sent += 1
+            self.channel.send(message, blob=blob,
+                              compress=self.compress)
+
+    def direct(self, message: dict,
+               blob: Optional[bytes] = None) -> None:
+        """Flush, then send — for frames that expect a reply."""
+        self.flush()
+        self.channel.send(message, blob=blob, compress=self.compress)
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._pump is not None:
+            self._pump.join(timeout=1.0)
+        try:
+            self.flush()
+        except (WireError, OSError):
+            pass                        # connection already gone
+
+    def _pump_loop(self) -> None:
+        age_limit = max(0.001, self.max_ms / 1000.0)
+        while not self._stop.wait(age_limit / 2):
+            with self._lock:
+                due = bool(self._pending) and \
+                    time.monotonic() - self._oldest >= age_limit
+            if due:
+                try:
+                    self.flush()
+                except (WireError, OSError):
+                    return              # main loop handles the drop
+
+
+def _fetch_blob(batcher: FrameBatcher, channel: Channel, name: str,
                 want_sha: str) -> Optional[bytes]:
     """Content-addressed fetch: ``None`` unless the coordinator
     returns exactly the bytes whose sha we asked for (fail closed —
-    a changed or vanished blob means run without it)."""
-    channel.send({"type": "blob_get", "name": name, "sha": want_sha})
+    a changed or vanished blob means run without it).  ``zip`` asks
+    the coordinator to deflate the transfer; the channel inflates
+    transparently, so the digest below is always over raw bytes."""
+    request = {"type": "blob_get", "name": name, "sha": want_sha}
+    if batcher.compress:
+        request["zip"] = True
+    batcher.direct(request)
     message, blob = _recv_reply(channel, ("blob", "blob_missing"))
     if message["type"] == "blob_missing" or blob is None:
         return None
@@ -117,38 +246,80 @@ def _fetch_blob(channel: Channel, name: str,
 
 def _heartbeat(channel: Channel, interval: float,
                stop: threading.Event) -> None:
-    while not stop.wait(interval):
+    # ±10% jitter: workers sharing a start time (a cohort of systemd
+    # units, a test harness) would otherwise ping in phase forever
+    while not stop.wait(interval * (0.9 + 0.2 * random.random())):
         try:
             channel.send({"type": "ping"})
         except (WireError, OSError):
             return                      # main loop handles the drop
 
 
-def _import_stores(channel: Channel, offers: List[dict],
-                   say: Callable[[str], None]) -> None:
-    """Warm this host's translation cache from the coordinator's
-    ``.sbx`` offers; every store is fetched by content hash and
-    re-validated frame-by-frame on import."""
+def _import_stores(batcher: FrameBatcher, channel: Channel,
+                   offers: List[dict], say: Callable[[str], None],
+                   prefix: str = "sbx",
+                   have: Callable[[str], bool] = have_store_file,
+                   install: Callable[[str, bytes], int]
+                   = import_store_file,
+                   label: str = "translation") -> None:
+    """Warm this host's cache tiers from the coordinator's store
+    offers (``.sbx`` translation stores, ``.tbx`` trace stores);
+    every store is fetched by content hash and re-validated
+    frame-by-frame on import."""
     for offer in offers:
         name = str(offer.get("name", ""))
         sha = offer.get("sha")
-        if not name or not isinstance(sha, str) or \
-                have_store_file(name):
+        if not name or not isinstance(sha, str) or have(name):
             continue
-        blob = _fetch_blob(channel, f"sbx:{name}", sha)
+        blob = _fetch_blob(batcher, channel, f"{prefix}:{name}", sha)
         if blob is None:
             continue
-        records = import_store_file(name, blob)
+        records = install(name, blob)
         if records:
-            say(f"imported translation store {name} "
+            say(f"imported {label} store {name} "
                 f"({records} records)")
 
 
-def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
-               config_key: str, cache_mode: str, cohort: bool,
+def _run_lease(batcher: FrameBatcher, channel: Channel, lease: dict,
+               config: FleetConfig, config_key: str, cache_mode: str,
+               cohort: bool, rejoin: bool, profile: bool,
                worker_id: str, crash_state: Dict[str, int]) -> None:
-    """Run one leased unit, mirroring the local ``_run_unit`` loop
-    with wire sinks in place of files."""
+    """Run one leased unit, mirroring the local ``run_unit`` entry
+    point: wire sinks in place of files, and — when the campaign
+    profiles — a per-unit cProfile dump shipped home as a ``profile``
+    frame so ``--profile`` output is transport-agnostic."""
+    if not profile:
+        _simulate_lease(batcher, channel, lease, config, config_key,
+                        cache_mode, cohort, rejoin, worker_id,
+                        crash_state)
+        return
+    import cProfile
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        _simulate_lease(batcher, channel, lease, config, config_key,
+                        cache_mode, cohort, rejoin, worker_id,
+                        crash_state)
+    finally:
+        prof.disable()
+    handle, prof_path = tempfile.mkstemp(suffix=".prof")
+    os.close(handle)
+    try:
+        prof.dump_stats(prof_path)
+        dump = Path(prof_path).read_bytes()
+    finally:
+        os.unlink(prof_path)
+    batcher.add({"type": "profile", "model": lease["model"],
+                 "first": lease["first"], "lease": lease["lease"]},
+                blob=dump)
+
+
+def _simulate_lease(batcher: FrameBatcher, channel: Channel,
+                    lease: dict, config: FleetConfig,
+                    config_key: str, cache_mode: str, cohort: bool,
+                    rejoin: bool, worker_id: str,
+                    crash_state: Dict[str, int]) -> None:
+    """The local ``_run_unit`` loop over wire sinks."""
     t_start = time.time()
     model_key = lease["model"]
     lease_id = lease["lease"]
@@ -161,18 +332,22 @@ def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
     resumes: Dict[int, dict] = {}
     for device_text, sha in dict(lease.get("ckpts", {})).items():
         device = int(device_text)
-        blob = _fetch_blob(channel, f"ckpt:{model_key}:{device}",
-                           str(sha))
+        blob = _fetch_blob(batcher, channel,
+                           f"ckpt:{model_key}:{device}", str(sha))
         if blob is None:
             continue                   # fresh start is byte-identical
         resumes[device] = parse_checkpoint(blob, config_key, device)
 
     def sink(device_id, payload: bytes) -> None:
-        channel.send({"type": "ckpt", "model": model_key,
-                      "device": device_id, "lease": lease_id},
-                     blob=payload)
+        batcher.add({"type": "ckpt", "model": model_key,
+                     "device": device_id, "lease": lease_id},
+                    blob=payload)
         crash_state["sent"] += 1
         if 0 < crash_state["limit"] <= crash_state["sent"]:
+            try:
+                batcher.flush()        # land what was reported
+            except (WireError, OSError):
+                pass
             os._exit(3)                # a worker dying mid-unit
 
     writer = AsyncCheckpointWriter(sink=sink)
@@ -185,12 +360,13 @@ def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
 
     def commit_record(device_id: int) -> None:
         # same commit order as the local path: drain the in-flight
-        # checkpoint sends, then the record — the coordinator sees
-        # ckpt frames strictly before the dev_done that retires them
-        channel.send({"type": "dev_done", "model": model_key,
-                      "device": device_id, "first": first,
-                      "lease": lease_id,
-                      "record": records[device_id]})
+        # checkpoint sends, then the record — the batcher preserves
+        # production order, so the coordinator still sees each ckpt
+        # before the dev_done that retires it
+        batcher.add({"type": "dev_done", "model": model_key,
+                     "device": device_id, "first": first,
+                     "lease": lease_id,
+                     "record": records[device_id]})
 
     with writer:
         if cohort:
@@ -205,7 +381,8 @@ def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
                 resumes={device: resumes[device]
                          for device in device_ids
                          if device in resumes},
-                cache_mode=cache_mode, stats=cohort_stats)
+                cache_mode=cache_mode, stats=cohort_stats,
+                rejoin=rejoin, tier=tracetier.trace_tier())
             writer.drain()
             for device_id in device_ids:
                 records[device_id] = device_record(runs[device_id],
@@ -228,20 +405,24 @@ def _run_lease(channel: Channel, lease: dict, config: FleetConfig,
                 writer.drain()
                 commit_record(device_id)
 
-    channel.send({"type": "result", "lease": lease_id,
-                  "model": model_key,
-                  "stats": {
-                      "devices": list(device_ids),
-                      "t_start": t_start,
-                      "t_end": time.time(),
-                      "ckpt_flushes": writer.flushes,
-                      "ckpt_stall_s": round(writer.stall_s, 6),
-                      "ckpt_bytes": writer.bytes_written,
-                      "cohort_replayed": cohort_stats.replayed,
-                      "cohort_executed": cohort_stats.executed,
-                      "cohort_forks": cohort_stats.forks,
-                      "worker": worker_id,
-                  }})
+    batcher.add({"type": "result", "lease": lease_id,
+                 "model": model_key,
+                 "stats": {
+                     "devices": list(device_ids),
+                     "t_start": t_start,
+                     "t_end": time.time(),
+                     "ckpt_flushes": writer.flushes,
+                     "ckpt_stall_s": round(writer.stall_s, 6),
+                     "ckpt_bytes": writer.bytes_written,
+                     "cohort_replayed": cohort_stats.replayed,
+                     "cohort_executed": cohort_stats.executed,
+                     "cohort_forks": cohort_stats.forks,
+                     "cohort_rejoins": cohort_stats.rejoins,
+                     "trace_hits": cohort_stats.trace_hits,
+                     "trace_misses": cohort_stats.trace_misses,
+                     "trace_published": cohort_stats.trace_published,
+                     "worker": worker_id,
+                 }})
 
 
 def _handshake(channel: Channel, campaign_key: Optional[str],
@@ -272,14 +453,17 @@ def _handshake(channel: Channel, campaign_key: Optional[str],
     return message
 
 
-def _work_loop(channel: Channel, welcome: dict, config: FleetConfig,
+def _work_loop(batcher: FrameBatcher, channel: Channel,
+               welcome: dict, config: FleetConfig,
                config_key: str, cache_mode: str, worker_id: str,
                crash_state: Dict[str, int],
                say: Callable[[str], None]) -> None:
     idle_retry_s = float(welcome.get("idle_retry_s", 1.0))
     cohort = bool(welcome.get("cohort", False))
+    rejoin = bool(welcome.get("rejoin", True))
+    profile = bool(welcome.get("profile", False))
     while True:
-        channel.send({"type": "lease_req", "worker": worker_id})
+        batcher.direct({"type": "lease_req", "worker": worker_id})
         message, _ = _recv_reply(channel, ("lease", "idle"))
         if message["type"] == "idle":
             time.sleep(max(0.0, float(message.get("retry_s",
@@ -287,8 +471,9 @@ def _work_loop(channel: Channel, welcome: dict, config: FleetConfig,
             continue
         say(f"lease {message['lease']}: model {message['model']}, "
             f"{len(message['devices'])} device(s)")
-        _run_lease(channel, message, config, config_key, cache_mode,
-                   cohort, worker_id, crash_state)
+        _run_lease(batcher, channel, message, config, config_key,
+                   cache_mode, cohort, rejoin, profile, worker_id,
+                   crash_state)
 
 
 def run_worker(connect: str, worker_id: Optional[str] = None,
@@ -296,9 +481,17 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
                retry_limit: int = 10,
                crash_after_checkpoints: int = 0,
                report: Optional[Callable[[str], None]] = None,
-               secret: Optional[bytes] = None) -> int:
+               secret: Optional[bytes] = None,
+               batch_bytes: int = DEFAULT_BATCH_BYTES,
+               batch_ms: int = DEFAULT_BATCH_MS,
+               compress: bool = True) -> int:
     """Worker main loop; returns a process exit code (0 campaign
-    complete, 1 coordinator unreachable, 2 version/campaign skew)."""
+    complete, 1 coordinator unreachable, 2 version/campaign skew).
+
+    ``batch_bytes``/``batch_ms`` bound the report-frame coalescing
+    (``batch_bytes=0`` disables it); ``compress`` toggles zlib blob
+    framing.  Like every other execution knob, neither changes a
+    single byte of campaign output."""
     say = report if report is not None else (lambda _line: None)
     host, port = parse_endpoint(connect)
     if worker_id is None:
@@ -323,6 +516,8 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
             backoff = min(backoff * 2, 30.0)
             continue
         channel = Channel(sock)
+        batcher = FrameBatcher(channel, max_bytes=batch_bytes,
+                               max_ms=batch_ms, compress=compress)
         stop = threading.Event()
         heartbeat: Optional[threading.Thread] = None
         try:
@@ -340,8 +535,14 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
                 return 2
             mode = cache_mode if cache_mode is not None \
                 else str(welcome.get("cache_mode", "shared"))
-            _import_stores(channel, list(welcome.get("stores", [])),
-                           say)
+            _import_stores(batcher, channel,
+                           list(welcome.get("stores", [])), say)
+            _import_stores(batcher, channel,
+                           list(welcome.get("trace_stores", [])),
+                           say, prefix="tbx",
+                           have=tracetier.have_store_file,
+                           install=tracetier.import_store_file,
+                           label="trace")
             heartbeat = threading.Thread(
                 target=_heartbeat,
                 args=(channel,
@@ -351,8 +552,9 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
             heartbeat.start()
             say(f"joined campaign {campaign_key} at {host}:{port} "
                 f"as {worker_id!r}")
-            _work_loop(channel, welcome, config, campaign_key, mode,
-                       worker_id, crash_state, say)
+            _work_loop(batcher, channel, welcome, config,
+                       campaign_key, mode, worker_id, crash_state,
+                       say)
         except _Shutdown:
             say("campaign complete — shutting down")
             return 0
@@ -379,4 +581,5 @@ def run_worker(connect: str, worker_id: Optional[str] = None,
             stop.set()
             if heartbeat is not None:
                 heartbeat.join(timeout=1.0)
+            batcher.close()
             channel.close()

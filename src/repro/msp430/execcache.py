@@ -52,15 +52,12 @@ byte-identical to private-cache and step-only runs.
 from __future__ import annotations
 
 import hashlib
-import os
-import pickle
-import re
-import struct
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.safeload import safe_loads
+from repro.framestore import AppendStore, FrameFormat, HEADER, \
+    StoreLayout, scan_store
 
 #: variants kept per PC before publishing stops.  A device rewriting
 #: its own code (rogue wild-pointer stores) would otherwise grow an
@@ -158,54 +155,49 @@ def clear_registry() -> None:
 # content-addressed exactly like the in-memory store: each carries the
 # code bytes it translates, and adoption byte-verifies against the
 # puller's live memory, so the disk tier adds no trust beyond what a
-# sibling process already gets.  Framing is self-checking (magic,
-# length, payload digest): a torn tail from a killed writer or a
-# corrupted record is detected, skipped, and simply re-translated.
+# sibling process already gets.  The framing, scanning, pruning and
+# env-knob plumbing are the shared :mod:`repro.framestore` machinery
+# (the cohort trace tier uses the same grammar under a different
+# magic): a torn tail from a killed writer or a corrupted record is
+# detected, skipped, and simply re-translated.
 
 #: bump when the record payload layout changes
 DISK_FORMAT = 1
 
-_MAGIC = b"SBX1"
-_HEADER = struct.Struct("<I16s")     # payload length, sha-256 prefix
 #: a single compiled block serializes to a few KB; anything claiming
 #: to be bigger is a corrupt length field
 _MAX_RECORD = 1 << 24
 
+_FORMAT = FrameFormat(b"SBX1", _MAX_RECORD, ".sbx")
+_LAYOUT = StoreLayout(_FORMAT, "EXEC_CACHE", "exec", default_mb=64)
+
+# kept under their historical names: tests (and the wire layer's
+# hostile-input fixtures) frame .sbx records by hand with these
+_MAGIC = _FORMAT.magic
+_HEADER = HEADER
+
 
 def _disk_enabled() -> bool:
-    if os.environ.get("REPRO_NO_CACHE", "") in ("1", "true"):
-        return False
-    return os.environ.get("REPRO_EXEC_CACHE", "") not in ("0", "off")
+    return _LAYOUT.enabled()
 
 
 def exec_cache_dir() -> Path:
     """``REPRO_EXEC_CACHE_DIR``, else ``<REPRO_CACHE_DIR>/exec``, else
     ``<repo>/.cache/exec`` (sibling of the firmware build cache)."""
-    override = os.environ.get("REPRO_EXEC_CACHE_DIR")
-    if override:
-        return Path(override)
-    shared_root = os.environ.get("REPRO_CACHE_DIR")
-    if shared_root:
-        return Path(shared_root) / "exec"
-    return Path(__file__).resolve().parents[3] / ".cache" / "exec"
+    return _LAYOUT.directory()
 
 
 def exec_cache_max_bytes() -> int:
     """Disk budget from ``REPRO_EXEC_CACHE_MAX_MB`` (<= 0: unbounded;
     default 64 MB — compiled-block records are a few KB each)."""
-    raw = os.environ.get("REPRO_EXEC_CACHE_MAX_MB", "64")
-    try:
-        return int(float(raw) * 1024 * 1024)
-    except ValueError:
-        return 64 * 1024 * 1024
+    return _LAYOUT.max_bytes()
 
 
 def _store_path(port_key: tuple) -> Path:
     from repro.aft.cache import toolchain_version  # lazy: avoids cycle
-    digest = hashlib.sha256()
-    digest.update(repr((DISK_FORMAT, sys.implementation.cache_tag,
-                        toolchain_version(), port_key)).encode())
-    return exec_cache_dir() / f"{digest.hexdigest()[:16]}.sbx"
+    identity = (DISK_FORMAT, sys.implementation.cache_tag,
+                toolchain_version(), port_key)
+    return exec_cache_dir() / _LAYOUT.store_name(identity)
 
 
 def prune_exec_cache(directory: Optional[Path] = None,
@@ -215,33 +207,7 @@ def prune_exec_cache(directory: Optional[Path] = None,
     fits the budget; returns the number of files removed.  ``keep``
     (the store a live process is appending to) is never evicted —
     its mtime is refreshed by every append anyway."""
-    directory = exec_cache_dir() if directory is None else directory
-    limit = exec_cache_max_bytes() if max_bytes is None else max_bytes
-    if limit <= 0 or not directory.is_dir():
-        return 0
-    entries = []
-    total = 0
-    for path in directory.glob("*.sbx"):
-        try:
-            stat = path.stat()
-        except OSError:
-            continue
-        entries.append((stat.st_mtime, stat.st_size, path))
-        total += stat.st_size
-    removed = 0
-    entries.sort()                     # oldest first
-    for _mtime, size, path in entries:
-        if total <= limit:
-            break
-        if keep is not None and path == keep:
-            continue
-        try:
-            path.unlink()
-        except OSError:
-            continue                   # raced with another process
-        total -= size
-        removed += 1
-    return removed
+    return _LAYOUT.prune(directory, max_bytes, keep)
 
 
 # -- store export/import (the fleet blob channel) ---------------------------
@@ -263,49 +229,29 @@ def prune_exec_cache(directory: Optional[Path] = None,
 # against the puller's live memory still applies on top, as for any
 # locally published frame.
 
-#: store files are named by an identity hash; anything else (path
-#: tricks, stray files) is refused on both export and import
-_STORE_NAME = re.compile(r"^[0-9a-f]{16}\.sbx$")
+def _validate_block_record(record) -> None:
+    """Raise unless ``record`` has the shape of a block record."""
+    record["pc"], record["code"]
 
 
 def list_store_files() -> List[dict]:
     """Offerable ``.sbx`` stores in this process's cache dir:
     ``[{"name", "sha", "size"}, ...]`` — the coordinator's side of the
     blob-channel handshake."""
-    directory = exec_cache_dir()
-    offers = []
-    if not directory.is_dir():
-        return offers
-    for path in sorted(directory.glob("*.sbx")):
-        if not _STORE_NAME.match(path.name):
-            continue
-        try:
-            data = path.read_bytes()
-        except OSError:
-            continue
-        offers.append({"name": path.name,
-                       "sha": hashlib.sha256(data).hexdigest(),
-                       "size": len(data)})
-    return offers
+    return _LAYOUT.list_store_files()
 
 
 def read_store_file(name: str) -> Optional[bytes]:
     """The raw bytes of one offerable store, or ``None`` (bad name,
     vanished file)."""
-    if not _STORE_NAME.match(name):
-        return None
-    try:
-        return (exec_cache_dir() / name).read_bytes()
-    except OSError:
-        return None
+    return _LAYOUT.read_store_file(name)
 
 
 def have_store_file(name: str) -> bool:
     """Whether this host already has (any version of) the named store
     — an importer skips those; append-only publishing means the local
     copy converges on its own."""
-    return bool(_STORE_NAME.match(name)) and \
-        (exec_cache_dir() / name).exists()
+    return _LAYOUT.have_store_file(name)
 
 
 def scan_frames(data: bytes) -> Tuple[bytes, int, int]:
@@ -317,40 +263,7 @@ def scan_frames(data: bytes) -> Tuple[bytes, int, int]:
     record shape — and, being an import-time scan of a complete
     transfer, also treats a torn tail as a rejection rather than
     "wait for more"."""
-    kept = bytearray()
-    records = 0
-    rejected = 0
-    view = memoryview(data)
-    pos = 0
-    frame = len(_MAGIC) + _HEADER.size
-    while pos + frame <= len(view):
-        if bytes(view[pos:pos + len(_MAGIC)]) != _MAGIC:
-            rejected += 1
-            break                     # lost sync: drop the rest
-        length, digest = _HEADER.unpack_from(view, pos + len(_MAGIC))
-        if length > _MAX_RECORD:
-            rejected += 1
-            break
-        start = pos + frame
-        if start + length > len(view):
-            rejected += 1              # torn tail
-            break
-        payload = bytes(view[start:start + length])
-        pos = start + length
-        if hashlib.sha256(payload).digest()[:16] != digest:
-            rejected += 1
-            continue
-        try:
-            record = safe_loads(payload)
-            record["pc"], record["code"]
-        except Exception:
-            rejected += 1
-            continue
-        kept += _MAGIC + _HEADER.pack(length, digest) + payload
-        records += 1
-    if pos < len(view) and pos + frame > len(view) and not rejected:
-        rejected += 1                  # trailing fragment shorter
-    return bytes(kept), records, rejected
+    return scan_store(data, _FORMAT, _validate_block_record)
 
 
 def import_store_file(name: str, data: bytes) -> int:
@@ -362,26 +275,11 @@ def import_store_file(name: str, data: bytes) -> int:
     under the peer's name — the name encodes the (port wiring,
     toolchain, interpreter) identity, so a store from a peer with a
     different environment simply never gets opened here."""
-    if not _disk_enabled() or not _STORE_NAME.match(name):
-        return 0
-    path = exec_cache_dir() / name
-    if path.exists():
-        return 0
-    kept, records, _rejected = scan_frames(data)
-    if not records:
-        return 0
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".sbx.tmp{os.getpid()}")
-        tmp.write_bytes(kept)
-        os.replace(tmp, path)
-    except OSError:
-        return 0                       # unwritable cache dir
-    prune_exec_cache(path.parent, keep=path)
-    return records
+    return _LAYOUT.import_store_file(name, data,
+                                     _validate_block_record)
 
 
-class DiskTier:
+class DiskTier(AppendStore):
     """Append-only persistent block store for one port wiring.
 
     Concurrency model: every record is appended with a single
@@ -398,94 +296,34 @@ class DiskTier:
     keyed off :meth:`take` at superblock-compile time.
     """
 
-    __slots__ = ("path", "_offset", "_records", "_seen", "_counts",
-                 "loaded", "published", "corrupt")
+    __slots__ = ("_records", "_seen", "_counts")
 
     def __init__(self, path: Path):
-        self.path = path
-        self._offset = 0
         #: pc -> not-yet-revived record dicts read from the file
         self._records: Dict[int, List[dict]] = {}
         #: (pc, code bytes) already read or published — the dedup set
         self._seen = set()
         #: pc -> total variants seen (enforces MAX_VARIANTS on disk)
         self._counts: Dict[int, int] = {}
-        self.loaded = 0
-        self.published = 0
-        self.corrupt = 0
-        path.parent.mkdir(parents=True, exist_ok=True)
-        self.refresh()
+        super().__init__(path, _LAYOUT)
 
     def stats(self) -> dict:
         return {"path": str(self.path), "loaded": self.loaded,
                 "published": self.published, "corrupt": self.corrupt,
                 "pending": sum(len(v) for v in self._records.values())}
 
-    def refresh(self) -> bool:
-        """Read frames appended since the last call (other workers'
-        publishes); returns True when anything new arrived."""
-        try:
-            size = self.path.stat().st_size
-        except OSError:
+    def _accept(self, record) -> bool:
+        pc = record["pc"]              # wrong shape raises -> corrupt
+        code = record["code"]
+        key = (pc, code)
+        if key in self._seen:
             return False
-        if size <= self._offset:
-            return False
-        try:
-            with self.path.open("rb") as fh:
-                fh.seek(self._offset)
-                data = fh.read(size - self._offset)
-        except OSError:
-            return False
-        return self._ingest(data)
-
-    def _ingest(self, data: bytes) -> bool:
-        new = False
-        view = memoryview(data)
-        pos = 0
-        frame = len(_MAGIC) + _HEADER.size
-        while pos + frame <= len(view):
-            if bytes(view[pos:pos + len(_MAGIC)]) != _MAGIC:
-                # lost sync (corrupt length field earlier, or garbage
-                # from an interleaved write): stop consuming — the
-                # remaining tail is re-examined on the next refresh
-                # only if the file grows past it, so count it corrupt
-                # and give up on this file's tail
-                self.corrupt += 1
-                pos = len(view)
-                break
-            length, digest = _HEADER.unpack_from(
-                view, pos + len(_MAGIC))
-            if length > _MAX_RECORD:
-                self.corrupt += 1
-                pos = len(view)
-                break
-            start = pos + frame
-            if start + length > len(view):
-                break                  # torn tail: wait for the rest
-            payload = bytes(view[start:start + length])
-            pos = start + length
-            if hashlib.sha256(payload).digest()[:16] != digest:
-                self.corrupt += 1      # bit-rot: skip this frame only
-                continue
-            try:
-                record = safe_loads(payload)
-                pc = record["pc"]
-                code = record["code"]
-            except Exception:
-                self.corrupt += 1
-                continue
-            key = (pc, code)
-            if key in self._seen:
-                continue
-            if self._counts.get(pc, 0) >= MAX_VARIANTS:
-                continue               # rogue-variant cap, on disk too
-            self._seen.add(key)
-            self._counts[pc] = self._counts.get(pc, 0) + 1
-            self._records.setdefault(pc, []).append(record)
-            self.loaded += 1
-            new = True
-        self._offset += pos
-        return new
+        if self._counts.get(pc, 0) >= MAX_VARIANTS:
+            return False               # rogue-variant cap, on disk too
+        self._seen.add(key)
+        self._counts[pc] = self._counts.get(pc, 0) + 1
+        self._records.setdefault(pc, []).append(record)
+        return True
 
     def take(self, pc: int) -> Optional[List[dict]]:
         """Pop (and return) the pending records for ``pc`` — each is
@@ -500,17 +338,7 @@ class DiskTier:
         key = (pc, record["code"])
         if key in self._seen or self._counts.get(pc, 0) >= MAX_VARIANTS:
             return
-        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(payload).digest()[:16]
-        frame = (_MAGIC + _HEADER.pack(len(payload), digest) + payload)
-        try:
-            with self.path.open("ab") as fh:
-                fh.write(frame)
-        except OSError:
+        if not self.publish_record(record):
             return                     # read-only FS: stay memory-only
         self._seen.add(key)
         self._counts[pc] = self._counts.get(pc, 0) + 1
-        # (the next refresh re-reads our own frame and dedups it via
-        # _seen — offset tracking stays simple and conservative)
-        self.published += 1
-        prune_exec_cache(self.path.parent, keep=self.path)

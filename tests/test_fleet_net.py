@@ -25,6 +25,7 @@ import subprocess
 import sys
 import threading
 import time
+import zlib
 from pathlib import Path
 
 import pytest
@@ -33,8 +34,10 @@ from repro.errors import ReproError
 from repro.fleet.executor import FleetConfig, run_campaign, _ckpt_path
 from repro.fleet.net.coordinator import SocketTransport
 from repro.fleet.net.protocol import Channel, MAX_FRAME, \
-    PROTO_VERSION, WireError, auth_mac, blob_sha
-from repro.fleet.net.worker import parse_endpoint, run_worker
+    PROTO_VERSION, WireError, auth_mac, blob_sha, pack_batch, \
+    unpack_batch
+from repro.fleet.net.worker import FrameBatcher, parse_endpoint, \
+    run_worker
 from repro.fleet.snapshot import STATE_VERSION, parse_checkpoint
 from repro.msp430 import execcache
 from repro.safeload import UnsafePayload, safe_loads
@@ -239,7 +242,8 @@ class _Coordinator:
     loopback port."""
 
     def __init__(self, out, jobs=2, lease_timeout_s=10.0,
-                 profile=False, secret=None, **overrides):
+                 profile=False, secret=None, cohort=False,
+                 rejoin=True, **overrides):
         self.out = Path(out)
         self.transport = SocketTransport(
             lease_timeout_s=lease_timeout_s, heartbeat_s=0.5,
@@ -251,6 +255,7 @@ class _Coordinator:
         def _run():
             try:
                 run_campaign(config, self.out, jobs=jobs,
+                             cohort=cohort, rejoin=rejoin,
                              transport=self.transport,
                              profile_dir=profile_dir)
             except BaseException as error:   # surfaced in join()
@@ -277,9 +282,10 @@ class _Coordinator:
             raise self.error
 
 
-def _worker_thread(address, worker_id, codes):
+def _worker_thread(address, worker_id, codes, **kwargs):
     def _run():
-        codes[worker_id] = run_worker(address, worker_id=worker_id)
+        codes[worker_id] = run_worker(address, worker_id=worker_id,
+                                      **kwargs)
     thread = threading.Thread(target=_run, daemon=True)
     thread.start()
     return thread
@@ -306,6 +312,7 @@ def _subprocess_env(tmp_path):
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
         env.get("PYTHONPATH", "")
     env["REPRO_EXEC_CACHE_DIR"] = str(tmp_path / "subproc-exec")
+    env["REPRO_TRACE_CACHE_DIR"] = str(tmp_path / "subproc-trace")
     return env
 
 
@@ -481,7 +488,7 @@ class _RecordingChannel:
     def __init__(self):
         self.sent = []
 
-    def send(self, message, blob=None):
+    def send(self, message, blob=None, compress=False):
         self.sent.append((message, blob))
 
 
@@ -589,3 +596,326 @@ class TestCliValidation:
             text=True, timeout=60)
         assert result.returncode == 2
         assert "--jobs must be >= 1" in result.stderr
+
+
+# -- blob compression -------------------------------------------------------
+
+class TestCompression:
+    def test_large_blob_deflates_and_inflates_transparently(self):
+        tx, rx = _pair()
+        blob = b"amulet checkpoint page " * 500
+        tx.send({"type": "blob", "name": "x"}, blob=blob,
+                compress=True)
+        message, out = rx.recv(timeout=5)
+        assert out == blob
+        assert message["blob_enc"] == "zlib"
+        assert message["blob_raw_sha"] == blob_sha(blob)
+        assert tx.bytes_out < len(blob)
+
+    def test_small_and_incompressible_blobs_ship_raw(self):
+        tx, rx = _pair()
+        tx.send({"type": "blob"}, blob=b"tiny", compress=True)
+        message, out = rx.recv(timeout=5)
+        assert out == b"tiny"
+        assert "blob_enc" not in message
+        noise = os.urandom(4096)        # deflate only grows this
+        tx.send({"type": "blob"}, blob=noise, compress=True)
+        message, out = rx.recv(timeout=5)
+        assert out == noise
+        assert "blob_enc" not in message
+
+    def _hostile(self, message, blob):
+        """One hand-framed message+blob, bypassing Channel.send's
+        self-consistent framing — the attacker's view."""
+        left, right = socket.socketpair()
+        payload = json.dumps(message).encode()
+        left.sendall(struct.pack(">I", len(payload)) + payload + blob)
+        return Channel(right)
+
+    def test_tampered_raw_digest_fails_closed(self):
+        raw = b"secret state " * 100
+        packed = zlib.compress(raw)
+        channel = self._hostile(
+            {"type": "blob", "blob_len": len(packed),
+             "blob_sha": blob_sha(packed), "blob_enc": "zlib",
+             "blob_raw_len": len(raw), "blob_raw_sha": "0" * 64},
+            packed)
+        with pytest.raises(WireError, match="digest mismatch"):
+            channel.recv(timeout=5)
+
+    def test_understated_raw_length_trips_the_bomb_guard(self):
+        # a deflate bomb declares less than it inflates to: the
+        # declared length caps the inflater, and the leftover stream
+        # fails the exactness check before any digesting happens
+        raw = b"b" * 100_000
+        packed = zlib.compress(raw)
+        channel = self._hostile(
+            {"type": "blob", "blob_len": len(packed),
+             "blob_sha": blob_sha(packed), "blob_enc": "zlib",
+             "blob_raw_len": 64, "blob_raw_sha": blob_sha(raw)},
+            packed)
+        with pytest.raises(WireError, match="declared length"):
+            channel.recv(timeout=5)
+
+    def test_trailing_garbage_after_the_stream_fails_closed(self):
+        raw = b"clean payload " * 64
+        packed = zlib.compress(raw) + b"#trailing#"
+        channel = self._hostile(
+            {"type": "blob", "blob_len": len(packed),
+             "blob_sha": blob_sha(packed), "blob_enc": "zlib",
+             "blob_raw_len": len(raw), "blob_raw_sha": blob_sha(raw)},
+            packed)
+        with pytest.raises(WireError, match="declared length"):
+            channel.recv(timeout=5)
+
+    def test_unknown_encoding_and_bad_lengths_refused(self):
+        raw = b"x" * 600
+        packed = zlib.compress(raw)
+        base = {"type": "blob", "blob_len": len(packed),
+                "blob_sha": blob_sha(packed),
+                "blob_raw_len": len(raw),
+                "blob_raw_sha": blob_sha(raw)}
+        channel = self._hostile(dict(base, blob_enc="lz4"), packed)
+        with pytest.raises(WireError, match="unknown blob encoding"):
+            channel.recv(timeout=5)
+        channel = self._hostile(
+            dict(base, blob_enc="zlib", blob_raw_len=-1), packed)
+        with pytest.raises(WireError, match="outside"):
+            channel.recv(timeout=5)
+
+
+# -- report-frame batching --------------------------------------------------
+
+class TestBatching:
+    def test_pack_unpack_roundtrip_over_the_wire(self):
+        frames = [({"type": "dev_done", "device": 3}, None),
+                  ({"type": "ckpt", "model": "mpu"}, b"alpha"),
+                  ({"type": "result", "lease": 9}, b"bravo" * 300)]
+        message, blob = pack_batch(frames)
+        assert message["type"] == "batch"
+        tx, rx = _pair()
+        tx.send(message, blob=blob, compress=True)
+        received, received_blob = rx.recv(timeout=5)
+        out = unpack_batch(received, received_blob)
+        assert [(sub["type"], piece) for sub, piece in out] == \
+            [("dev_done", None), ("ckpt", b"alpha"),
+             ("result", b"bravo" * 300)]
+
+    def test_blobless_batch_has_no_blob(self):
+        message, blob = pack_batch([({"type": "a"}, None),
+                                    ({"type": "b"}, None)])
+        assert blob is None
+        assert [sub["type"] for sub, _ in
+                unpack_batch(message, blob)] == ["a", "b"]
+
+    def test_unpack_rejects_tampered_slice(self):
+        message, blob = pack_batch([({"type": "ckpt"}, b"alpha"),
+                                    ({"type": "ckpt"}, b"bravo")])
+        evil = bytearray(blob)
+        evil[0] ^= 0xFF
+        with pytest.raises(WireError, match="digest mismatch"):
+            unpack_batch(message, bytes(evil))
+
+    def test_unpack_rejects_overrun_and_unclaimed_bytes(self):
+        message, blob = pack_batch([({"type": "ckpt"}, b"alpha")])
+        with pytest.raises(WireError, match="unclaimed"):
+            unpack_batch(message, blob + b"!")
+        with pytest.raises(WireError, match="overrun"):
+            unpack_batch(message, blob[:-1])
+
+    def test_unpack_rejects_nested_and_shapeless_frames(self):
+        with pytest.raises(WireError, match="malformed"):
+            unpack_batch({"type": "batch",
+                          "frames": [{"type": "batch"}]}, None)
+        with pytest.raises(WireError, match="malformed"):
+            unpack_batch({"type": "batch", "frames": ["x"]}, None)
+        with pytest.raises(WireError, match="non-empty"):
+            unpack_batch({"type": "batch", "frames": []}, None)
+
+    def test_batcher_single_frame_ships_unwrapped_on_age(self):
+        tx, rx = _pair()
+        batcher = FrameBatcher(tx, max_bytes=1 << 20, max_ms=30,
+                               compress=False)
+        try:
+            batcher.add({"type": "dev_done", "device": 1})
+            message, _ = rx.recv(timeout=5)
+            assert message["type"] == "dev_done"
+            assert batcher.batches_sent == 0
+        finally:
+            batcher.close()
+
+    def test_batcher_coalesces_on_size(self):
+        tx, rx = _pair()
+        batcher = FrameBatcher(tx, max_bytes=3 * 256, max_ms=60_000,
+                               compress=False)
+        try:
+            for device in range(3):
+                batcher.add({"type": "dev_done", "device": device})
+            message, blob = rx.recv(timeout=5)
+            assert message["type"] == "batch"
+            assert [sub["device"] for sub, _ in
+                    unpack_batch(message, blob)] == [0, 1, 2]
+            assert batcher.batches_sent == 1
+        finally:
+            batcher.close()
+
+    def test_direct_flushes_buffered_frames_first(self):
+        tx, rx = _pair()
+        batcher = FrameBatcher(tx, max_bytes=1 << 20, max_ms=60_000,
+                               compress=False)
+        try:
+            batcher.add({"type": "ckpt", "device": 0}, blob=b"ck")
+            batcher.direct({"type": "lease_req"})
+            first, first_blob = rx.recv(timeout=5)
+            second, _ = rx.recv(timeout=5)
+            assert (first["type"], first_blob) == ("ckpt", b"ck")
+            assert second["type"] == "lease_req"
+        finally:
+            batcher.close()
+
+    def test_disabled_batcher_sends_immediately(self):
+        tx, rx = _pair()
+        batcher = FrameBatcher(tx, max_bytes=0, compress=False)
+        try:
+            assert not batcher.enabled
+            batcher.add({"type": "dev_done", "device": 5})
+            message, _ = rx.recv(timeout=5)
+            assert message["type"] == "dev_done"
+            assert batcher.batches_sent == 0
+        finally:
+            batcher.close()
+
+
+class TestHeartbeatJitter:
+    def test_intervals_jitter_within_ten_percent(self):
+        from repro.fleet.net.worker import _heartbeat
+
+        waits = []
+
+        class _Stop:
+            def wait(self, seconds):
+                waits.append(seconds)
+                return len(waits) >= 50
+
+        class _Null:
+            def send(self, message, blob=None, compress=False):
+                pass
+
+        _heartbeat(_Null(), 10.0, _Stop())
+        assert len(waits) == 50
+        assert all(9.0 <= wait <= 11.0 for wait in waits)
+        # actually jittered, not a constant at one end of the band
+        assert len(set(waits)) > 1
+
+
+# -- batching / trace tier / status over loopback ---------------------------
+
+class TestBatchedCampaign:
+    def test_batch_knobs_do_not_change_bytes(self, tmp_path):
+        reference = _serial_reference(tmp_path)
+        for name, kwargs in (
+                ("unbatched", dict(batch_bytes=0, compress=False)),
+                ("tiny-batches", dict(batch_bytes=512, batch_ms=5))):
+            out = tmp_path / name
+            coordinator = _Coordinator(out)
+            address = coordinator.address()
+            codes = {}
+            workers = [_worker_thread(address, f"w{i}", codes,
+                                      **kwargs) for i in range(2)]
+            coordinator.join()
+            for worker in workers:
+                worker.join(timeout=30)
+            assert codes == {"w0": 0, "w1": 0}
+            assert (out / "summary.json").read_bytes() == \
+                (reference / "summary.json").read_bytes()
+            assert (out / "devices-mpu.jsonl").read_bytes() == \
+                (reference / "devices-mpu.jsonl").read_bytes()
+
+    def test_remote_profile_dumps_land_in_profile_dir(self, tmp_path):
+        import pstats
+        out = tmp_path / "prof"
+        coordinator = _Coordinator(out, profile=True)
+        address = coordinator.address()
+        codes = {}
+        worker = _worker_thread(address, "w0", codes)
+        coordinator.join()
+        worker.join(timeout=30)
+        assert codes == {"w0": 0}
+        dumps = sorted((out / "profiles").glob("mpu-u*.prof"))
+        assert dumps, "no per-unit profile dumps arrived"
+        stats = pstats.Stats(str(dumps[0]))
+        assert stats.total_calls > 0
+
+
+class TestSocketTraceTier:
+    def test_warm_tier_ships_to_workers_and_matches_bytes(
+            self, tmp_path):
+        from repro.fleet import tracetier
+        # a cold local cohort run publishes .tbx stores in this
+        # process's (test-isolated) trace dir
+        reference = tmp_path / "reference"
+        run_campaign(FleetConfig(**_CAMPAIGN), reference, jobs=1,
+                     cohort=True)
+        assert list(tracetier.trace_cache_dir().glob("*.tbx"))
+        # a subprocess worker starts with empty caches: the stores
+        # must reach it over the sha-verified blob channel
+        out = tmp_path / "sock-warm"
+        coordinator = _Coordinator(out, cohort=True, profile=True)
+        address = coordinator.address()
+        env = _subprocess_env(tmp_path)
+        worker = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet", "worker",
+             "--connect", address, "--worker-id", "wt"],
+            env=env, capture_output=True, text=True, timeout=120)
+        coordinator.join()
+        assert worker.returncode == 0, worker.stderr
+        assert "imported trace store" in worker.stdout
+        assert list(Path(env["REPRO_TRACE_CACHE_DIR"]).glob("*.tbx"))
+        assert (out / "summary.json").read_bytes() == \
+            (reference / "summary.json").read_bytes()
+        assert (out / "devices-mpu.jsonl").read_bytes() == \
+            (reference / "devices-mpu.jsonl").read_bytes()
+        profile = json.loads(
+            (out / "profiles" / "coordinator.json").read_text())
+        assert profile["models"]["mpu"]["trace_hits"] > 0
+
+
+class TestFleetStatus:
+    def _cli_status(self, target, tmp_path):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet", "status",
+             str(target)],
+            env=_subprocess_env(tmp_path), capture_output=True,
+            text=True, timeout=60)
+
+    def test_live_then_file_mode(self, tmp_path):
+        out = tmp_path / "status"
+        coordinator = _Coordinator(out, cohort=True)
+        address = coordinator.address()
+        # live: no worker yet, the port answers a status observer
+        live = self._cli_status(address, tmp_path)
+        assert live.returncode == 0, live.stderr
+        assert "campaign" in live.stdout
+        assert "no workers have connected" in live.stdout
+        codes = {}
+        worker = _worker_thread(address, "w0", codes)
+        coordinator.join()
+        worker.join(timeout=30)
+        assert codes == {"w0": 0}
+        # file: the mirrored status.json outlives the coordinator
+        # (with no model in flight; per-worker rows keep the totals)
+        status = json.loads((out / "status.json").read_text())
+        assert status["model"] is None
+        assert status["workers"]["w0"]["devices_done"] == \
+            _CAMPAIGN["devices"]
+        assert status["cohort"]["cohort_executed"] > 0
+        done = self._cli_status(out, tmp_path)
+        assert done.returncode == 0, done.stderr
+        assert "worker w0" in done.stdout
+
+    def test_missing_status_file_is_a_clear_error(self, tmp_path):
+        empty = tmp_path / "not-a-campaign"
+        empty.mkdir()
+        result = self._cli_status(empty, tmp_path)
+        assert result.returncode != 0
+        assert "status.json" in result.stderr
